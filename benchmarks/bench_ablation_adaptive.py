@@ -1,0 +1,68 @@
+"""Ablation: adaptive mode switching (the §1 future-work extension).
+
+Quantifies why neither fixed mode dominates: the latency-optimized mode
+(short epochs, per-request subORAM) wins at low offered load, the
+throughput-optimized mode (long epochs, batch scan) at high load; the
+adaptive policy tracks the better of the two with hysteresis.
+"""
+
+import pytest
+
+from repro.extensions.adaptive import AdaptivePolicy, Mode
+
+from conftest import report
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return AdaptivePolicy(
+        num_load_balancers=1, num_suborams=4, num_objects=500_000
+    )
+
+
+def test_ablation_adaptive(benchmark, policy):
+    benchmark(policy.decide, 100.0)
+
+    lat = policy.latency_mode
+    thr = policy.throughput_mode
+    lines = [
+        "mode        epoch     capacity      idle latency",
+        f"latency     {lat.epoch * 1e3:5.0f} ms  {lat.capacity:>9,.0f}/s  "
+        f"{lat.idle_latency * 1e3:8.1f} ms",
+        f"throughput  {thr.epoch * 1e3:5.0f} ms  {thr.capacity:>9,.0f}/s  "
+        f"{thr.idle_latency * 1e3:8.1f} ms",
+        "",
+        "offered load -> chosen mode / predicted latency:",
+    ]
+    for rate in (50, 500, 5_000, 50_000):
+        fresh = AdaptivePolicy(1, 4, 500_000)
+        for _ in range(20):
+            fresh.observe(requests=rate, window=1.0)
+        predicted = fresh.predicted_latency(fresh.rate_estimate)
+        lines.append(
+            f"  {rate:>7,}/s -> {fresh.mode.value:<10} "
+            f"{predicted * 1e3:8.1f} ms"
+        )
+    report("Ablation — adaptive mode switching (§1 future work)", "\n".join(lines))
+
+
+def test_neither_fixed_mode_dominates(policy):
+    low, high = 100.0, policy.latency_mode.capacity * 3
+    assert policy.predicted_latency(low, Mode.LATENCY) < (
+        policy.predicted_latency(low, Mode.THROUGHPUT)
+    )
+    assert policy.predicted_latency(high, Mode.THROUGHPUT) < (
+        policy.predicted_latency(high, Mode.LATENCY)
+    )
+
+
+def test_adaptive_tracks_the_winner(policy):
+    for rate in (100.0, policy.latency_mode.capacity * 3):
+        fresh = AdaptivePolicy(1, 4, 500_000)
+        for _ in range(20):
+            fresh.observe(requests=int(rate), window=1.0)
+        best = min(
+            (Mode.LATENCY, Mode.THROUGHPUT),
+            key=lambda m: fresh.predicted_latency(rate, m),
+        )
+        assert fresh.mode == best

@@ -1,0 +1,79 @@
+"""Ablation: the Theorem 3 bound vs prior balls-into-bins bounds (§10).
+
+The paper argues prior bounds are "either inefficient to evaluate or do
+not have a cryptographically negligible overflow probability under
+realistic system parameters".  This bench quantifies both claims:
+
+* polynomial-probability bounds (Berenbrink, Raab-Steger) produce
+  *smaller* capacities but deliver only tens of security bits;
+* the exact binomial union bound is tight but costs a tail summation per
+  point, while the Lambert-W closed form is ~constant time and lands
+  within a few percent of it.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.balls_bins import batch_size, security_bits
+from repro.analysis.bounds import (
+    berenbrink_bound,
+    exact_batch_size,
+    raab_steger_bound,
+)
+
+from conftest import report
+
+POINTS = [(1_000, 4), (10_000, 10), (100_000, 16)]
+
+
+def test_ablation_bounds(benchmark):
+    benchmark(batch_size, 10_000, 10, 128)
+
+    lines = [
+        "R        S   theorem3  exact   berenb.  raab-st.  "
+        "(sec bits: t3 / berenb.)"
+    ]
+    for r, s in POINTS:
+        t3 = batch_size(r, s, 128)
+        exact = exact_batch_size(r, s, 128)
+        ber = berenbrink_bound(r, s)
+        rs = raab_steger_bound(r, s)
+        bits_t3 = security_bits(r, s, t3)
+        bits_ber = security_bits(r, s, ber)
+        lines.append(
+            f"{r:<8} {s:<3} {t3:<9} {exact:<7} {ber:<8} {rs:<9} "
+            f"({bits_t3:.0f} / {bits_ber:.0f})"
+        )
+    report("Ablation — batch-size bounds (lambda=128)", "\n".join(lines))
+
+
+def test_theorem3_has_crypto_security_where_others_do_not():
+    for r, s in POINTS:
+        t3 = batch_size(r, s, 128)
+        assert security_bits(r, s, t3) >= 128
+        assert security_bits(r, s, berenbrink_bound(r, s)) < 64
+        assert security_bits(r, s, raab_steger_bound(r, s)) < 64
+
+
+def test_theorem3_tight_against_exact():
+    for r, s in POINTS:
+        exact = exact_batch_size(r, s, 128)
+        closed = batch_size(r, s, 128)
+        assert exact <= closed <= 1.25 * exact
+
+
+def test_closed_form_much_faster_than_exact():
+    start = time.perf_counter()
+    for _ in range(50):
+        batch_size(100_000, 16, 128)
+    closed_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    exact_batch_size(100_000, 16, 128)
+    exact_time = time.perf_counter() - start
+
+    assert closed_time / 50 < exact_time, (
+        "the Lambert-W form must be cheaper per evaluation than the "
+        "exact tail search"
+    )

@@ -1,0 +1,39 @@
+"""Figure 3: dummy-request overhead vs number of real requests.
+
+Paper: overhead falls as R grows; at R=10K with 10 subORAMs it is ~50%;
+more subORAMs mean more overhead (lambda = 128 throughout).
+"""
+
+from repro.analysis.overhead import dummy_overhead_percent
+
+from conftest import report
+
+REQUEST_COUNTS = [500, 1_000, 2_000, 4_000, 6_000, 8_000, 10_000]
+SUBORAM_COUNTS = [2, 10, 20]
+
+
+def compute_table():
+    rows = {}
+    for s in SUBORAM_COUNTS:
+        rows[s] = [dummy_overhead_percent(r, s, 128) for r in REQUEST_COUNTS]
+    return rows
+
+
+def test_fig03_dummy_overhead(benchmark):
+    rows = benchmark(compute_table)
+
+    lines = ["R (reals)  " + "".join(f"S={s:<8}" for s in SUBORAM_COUNTS)]
+    for i, r in enumerate(REQUEST_COUNTS):
+        lines.append(
+            f"{r:<10} "
+            + "".join(f"{rows[s][i]:>6.1f}%  " for s in SUBORAM_COUNTS)
+        )
+    report("Fig 3 — dummy overhead % (lambda=128)", "\n".join(lines))
+
+    # Shape checks mirroring the paper's claims.
+    for s in SUBORAM_COUNTS:
+        assert rows[s] == sorted(rows[s], reverse=True), "overhead must fall with R"
+    for i in range(len(REQUEST_COUNTS)):
+        assert rows[2][i] <= rows[10][i] <= rows[20][i]
+    # Anchor: ~50% at R=10K, S=10.
+    assert 30 < rows[10][-1] < 70

@@ -1,0 +1,34 @@
+"""Figure 4: total real-request capacity per epoch vs number of subORAMs.
+
+Paper: capacity grows with S but sublinearly for lambda > 0 (the insecure
+lambda=0 line is exactly 1K x S); security costs real capacity.
+"""
+
+from repro.analysis.overhead import capacity_curve
+
+from conftest import report
+
+MAX_SUBORAMS = 20
+BUDGET = 1000  # <= 1K requests per subORAM per epoch, as in the paper
+
+
+def test_fig04_capacity(benchmark):
+    curves = benchmark(capacity_curve, MAX_SUBORAMS, BUDGET)
+
+    lines = ["S    lambda=0   lambda=80  lambda=128"]
+    for s in (1, 2, 5, 10, 15, 20):
+        lines.append(
+            f"{s:<4} {curves[0][s - 1]:<10} {curves[80][s - 1]:<10} "
+            f"{curves[128][s - 1]:<10}"
+        )
+    report("Fig 4 — real request capacity (budget 1K/subORAM)", "\n".join(lines))
+
+    insecure = curves[0]
+    assert insecure == [BUDGET * s for s in range(1, MAX_SUBORAMS + 1)]
+    for lam in (80, 128):
+        curve = curves[lam]
+        assert all(b >= a for a, b in zip(curve, curve[1:])), "monotone in S"
+        assert all(c <= i for c, i in zip(curve, insecure)), "security costs capacity"
+        # Sublinear: doubling S from 10 to 20 less than doubles capacity.
+        assert curve[19] < 2 * curve[9]
+    assert all(a >= b for a, b in zip(curves[80], curves[128]))

@@ -1,0 +1,82 @@
+"""Figure 9a + §8.2 headline: throughput scaling with machines.
+
+Paper (2M 160-byte objects):
+  * 18 machines -> 68K reqs/s (300 ms), 92K (500 ms), 130K (1 s);
+  * Obladi caps at 6,716 reqs/s (2 machines), Oblix at 1,153 (1 machine);
+  * Snoopy passes Obladi by ~6 machines at 300 ms and beats it 13.7x at
+    500 ms with 18 machines.
+"""
+
+import pytest
+
+from repro.sim.cluster import throughput_scaling_series
+from repro.sim.costmodel import obladi_throughput, oblix_throughput
+
+from conftest import report
+
+MACHINES = list(range(4, 19))
+LATENCIES = [0.3, 0.5, 1.0]
+NUM_OBJECTS = 2_000_000
+
+
+@pytest.fixture(scope="module")
+def series():
+    return throughput_scaling_series(MACHINES, NUM_OBJECTS, LATENCIES)
+
+
+def test_fig09a_series(benchmark, series):
+    result = benchmark(
+        throughput_scaling_series, [4, 18], NUM_OBJECTS, [0.5]
+    )
+    assert result[0.5][-1][3] > result[0.5][0][3]
+
+    obladi = obladi_throughput(NUM_OBJECTS)
+    oblix = oblix_throughput(NUM_OBJECTS)
+    lines = [
+        "machines  300ms (L+S)        500ms (L+S)        1s (L+S)",
+    ]
+    for i, m in enumerate(MACHINES):
+        cells = []
+        for lat in LATENCIES:
+            _, l, s, x = series[lat][i]
+            cells.append(f"{x / 1000:7.1f}K ({l}+{s})")
+        lines.append(f"{m:<9} " + "   ".join(cells))
+    lines.append(f"Obladi (2 machines): {obladi / 1000:.1f}K reqs/s")
+    lines.append(f"Oblix  (1 machine):  {oblix / 1000:.2f}K reqs/s")
+    report("Fig 9a — throughput vs machines (2M x 160B)", "\n".join(lines))
+
+
+def test_headline_92k_at_500ms(series):
+    _, _, _, x = series[0.5][-1]
+    assert 70_000 < x < 115_000, f"expected ~92K reqs/s, got {x:,.0f}"
+
+
+def test_headline_13x_over_obladi(series):
+    _, _, _, x = series[0.5][-1]
+    ratio = x / obladi_throughput(NUM_OBJECTS)
+    assert ratio > 10, f"expected ~13.7x over Obladi, got {ratio:.1f}x"
+
+
+def test_snoopy_crosses_obladi_with_few_machines(series):
+    """Paper: Snoopy outperforms Obladi with >= 6 machines at 300 ms."""
+    obladi = obladi_throughput(NUM_OBJECTS)
+    crossing = next(
+        m for m, _, _, x in series[0.3] if x > obladi
+    )
+    assert crossing <= 8
+
+    oblix = oblix_throughput(NUM_OBJECTS)
+    crossing_oblix = next(m for m, _, _, x in series[0.3] if x > oblix)
+    assert crossing_oblix <= 6  # paper: >= 5 machines
+
+
+def test_per_machine_gain(series):
+    """Paper: each machine adds ~8.6K reqs/s at 1 s latency."""
+    rows = series[1.0]
+    gain = (rows[-1][3] - rows[0][3]) / (MACHINES[-1] - MACHINES[0])
+    assert 4_000 < gain < 13_000, f"per-machine gain {gain:,.0f}"
+
+
+def test_relaxing_latency_helps(series):
+    for i in range(len(MACHINES)):
+        assert series[0.3][i][3] <= series[0.5][i][3] <= series[1.0][i][3]

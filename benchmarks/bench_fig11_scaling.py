@@ -1,0 +1,70 @@
+"""Figure 11: adding subORAMs for data size (11a) and latency (11b).
+
+Paper (1 load balancer, constant load):
+  * 11a — at <=160 ms mean latency each extra subORAM supports ~191K more
+    objects; 15 subORAMs hold ~2.8M.
+  * 11b — 2M objects: 847 ms mean latency with 1 subORAM, 112 ms with 15,
+    with diminishing returns from dummy overhead.
+  * Obladi: 79 ms; Oblix: 1.1 ms (sequential, for reference).
+"""
+
+import pytest
+
+from repro.sim.cluster import latency_vs_suborams, max_objects_within_latency
+from repro.sim.costmodel import oblix_access_time
+
+from conftest import report
+
+SUBORAM_COUNTS = [1, 3, 5, 7, 9, 11, 13, 15]
+NUM_OBJECTS = 2_000_000
+LOAD = 500.0  # constant offered load (reqs/s)
+
+
+def test_fig11a_data_size(benchmark):
+    capacities = benchmark(
+        lambda: [
+            max_objects_within_latency(s, latency_target=0.160, load=LOAD)
+            for s in SUBORAM_COUNTS
+        ]
+    )
+    lines = ["subORAMs  max objects @160ms"]
+    for s, cap in zip(SUBORAM_COUNTS, capacities):
+        lines.append(f"{s:<9} {cap:>12,}")
+    slope = (capacities[-1] - capacities[0]) / (
+        SUBORAM_COUNTS[-1] - SUBORAM_COUNTS[0]
+    )
+    lines.append(f"slope: ~{slope:,.0f} objects per added subORAM")
+    report("Fig 11a — data size vs subORAMs (<=160 ms)", "\n".join(lines))
+
+    assert all(b > a for a, b in zip(capacities, capacities[1:]))
+    # Roughly linear growth: consecutive slopes within a factor of ~3.
+    slopes = [
+        (capacities[i + 1] - capacities[i])
+        / (SUBORAM_COUNTS[i + 1] - SUBORAM_COUNTS[i])
+        for i in range(len(capacities) - 1)
+    ]
+    assert max(slopes) < 4 * max(1.0, min(slopes))
+
+
+def test_fig11b_latency(benchmark):
+    rows = benchmark(latency_vs_suborams, SUBORAM_COUNTS, NUM_OBJECTS, LOAD)
+
+    lines = ["subORAMs  mean latency"]
+    for s, latency in rows:
+        lines.append(f"{s:<9} {latency * 1e3:>8.0f} ms")
+    lines.append(f"(Obladi: ~79 ms at batch 500; Oblix: "
+                 f"{oblix_access_time(NUM_OBJECTS) * 1e3:.1f} ms sequential)")
+    report("Fig 11b — latency vs subORAMs (2M objects)", "\n".join(lines))
+
+    latencies = [latency for _, latency in rows]
+    # Paper anchors: ~847 ms at 1 subORAM; large drop by 15.
+    assert 0.6 < latencies[0] < 1.1
+    assert latencies[-1] < 0.2
+    assert all(b < a for a, b in zip(latencies, latencies[1:]))
+    # Diminishing returns.
+    assert (latencies[0] - latencies[1]) > (latencies[-2] - latencies[-1])
+
+
+def test_oblix_latency_reference():
+    """Oblix's sequential access is ~1 ms — far below Snoopy's epochs."""
+    assert oblix_access_time(NUM_OBJECTS) < 0.005

@@ -1,0 +1,69 @@
+"""Figure 12: breakdown of batch processing time (1 LB + 1 subORAM).
+
+Paper: three components — load balancer make-batch, subORAM process-batch,
+load balancer match-responses — for data sizes 2^10 / 2^15 / 2^20 and
+batch sizes 2^6..2^11.  Load-balancer time grows with batch size; subORAM
+time is dominated by the data-size-dependent linear scan and jumps
+between 2^15 and 2^20 due to enclave paging.
+"""
+
+import pytest
+
+from repro.analysis.balls_bins import batch_size
+from repro.sim.costmodel import load_balancer_time, suboram_time
+
+from conftest import report
+
+BATCH_SIZES = [2**6, 2**7, 2**8, 2**9, 2**10, 2**11]
+DATA_SIZES = [2**10, 2**15, 2**20]
+
+
+def breakdown(requests: int, num_objects: int):
+    """(make_batch, process_batch, match_responses) in seconds."""
+    lb_total = load_balancer_time(requests, 1)
+    # The two LB phases are near-symmetric sorts+compactions (§4.2).
+    make_batch = lb_total / 2
+    match = lb_total / 2
+    size = batch_size(requests, 1)
+    process = suboram_time(size, num_objects)
+    return make_batch, process, match
+
+
+def test_fig12_breakdown(benchmark):
+    benchmark(breakdown, 2**10, 2**20)
+
+    lines = []
+    for n in DATA_SIZES:
+        lines.append(f"-- data size 2^{n.bit_length() - 1} objects --")
+        lines.append("batch   make(ms)  process(ms)  match(ms)")
+        for r in BATCH_SIZES:
+            make, process, match = breakdown(r, n)
+            lines.append(
+                f"{r:<7} {make * 1e3:>8.1f} {process * 1e3:>12.1f} "
+                f"{match * 1e3:>10.1f}"
+            )
+    report("Fig 12 — batch processing breakdown", "\n".join(lines))
+
+
+def test_lb_time_grows_with_batch_size():
+    times = [breakdown(r, 2**15)[0] for r in BATCH_SIZES]
+    assert all(b >= a for a, b in zip(times, times[1:]))
+    assert times[-1] > 2 * times[0]
+
+
+def test_suboram_time_dominated_by_data_size():
+    """Paper: subORAM time depends mostly on N, not the batch size."""
+    across_batches = [breakdown(r, 2**20)[1] for r in BATCH_SIZES]
+    across_data = [breakdown(2**9, n)[1] for n in DATA_SIZES]
+    batch_spread = max(across_batches) / min(across_batches)
+    data_spread = max(across_data) / min(across_data)
+    assert data_spread > 5 * batch_spread
+
+
+def test_paging_jump_between_2e15_and_2e20():
+    """Paper: the 2^15 -> 2^20 jump exceeds the 32x object ratio."""
+    t_15 = suboram_time(2**9, 2**15)
+    t_20 = suboram_time(2**9, 2**20)
+    scan_15 = t_15 - suboram_time(2**9, 1)
+    scan_20 = t_20 - suboram_time(2**9, 1)
+    assert scan_20 / scan_15 > 32  # super-proportional: the paging knee

@@ -1,0 +1,78 @@
+"""Figure 14: planner allocations and cost vs throughput requirements.
+
+Paper (1 s max latency): larger stores need a higher subORAM:LB ratio as
+throughput grows (14a); monthly cost rises with throughput and with data
+size — ~$4K/month buys ~122.9K reqs/s at 10K objects but only ~51.6K at
+1M objects (14b).
+"""
+
+import pytest
+
+from repro.planner.planner import Planner
+
+from conftest import report
+
+THROUGHPUTS = [10_000, 20_000, 40_000, 80_000, 120_000]
+LATENCY = 1.0
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {
+        10_000: Planner(10_000).sweep(THROUGHPUTS, LATENCY),
+        1_000_000: Planner(1_000_000).sweep(THROUGHPUTS, LATENCY),
+    }
+
+
+def test_fig14_planner(benchmark, sweeps):
+    benchmark(lambda: Planner(10_000).plan(20_000, LATENCY))
+
+    lines = ["target X    10K objects (L,S,$)      1M objects (L,S,$)"]
+    for i, x in enumerate(THROUGHPUTS):
+        cells = []
+        for size in (10_000, 1_000_000):
+            plan = sweeps[size][i]
+            cells.append(
+                f"({plan.num_load_balancers},{plan.num_suborams},"
+                f"${plan.monthly_cost:,.0f})"
+                if plan
+                else "infeasible"
+            )
+        lines.append(f"{x:<11} {cells[0]:<24} {cells[1]}")
+    report("Fig 14 — planner allocation & cost (1 s latency)", "\n".join(lines))
+
+
+def test_cost_monotone_in_throughput(sweeps):
+    for size in (10_000, 1_000_000):
+        costs = [p.monthly_cost for p in sweeps[size] if p]
+        assert costs == sorted(costs)
+
+
+def test_larger_data_costs_more(sweeps):
+    """Fig 14b: the 1M-object line sits above the 10K-object line."""
+    for small, large in zip(sweeps[10_000], sweeps[1_000_000]):
+        if small and large:
+            assert large.monthly_cost >= small.monthly_cost
+
+
+def test_larger_data_higher_suboram_ratio(sweeps):
+    """Fig 14a: big stores allocate relatively more subORAMs."""
+    pairs = [
+        (s, l)
+        for s, l in zip(sweeps[10_000], sweeps[1_000_000])
+        if s and l
+    ]
+    assert pairs
+    small, large = pairs[-1]
+    ratio_small = small.num_suborams / small.num_load_balancers
+    ratio_large = large.num_suborams / large.num_load_balancers
+    assert ratio_large >= ratio_small
+
+
+def test_budget_anchor(sweeps):
+    """Paper: ~$4K/month sustains >100K reqs/s on 10K objects but far
+    less on 1M objects."""
+    plan_small = Planner(10_000).plan(100_000, LATENCY)
+    assert plan_small.monthly_cost < 6_000
+    plan_large = Planner(1_000_000).plan(50_000, LATENCY)
+    assert plan_large.monthly_cost >= plan_small.monthly_cost / 2

@@ -1,0 +1,136 @@
+"""Related-work comparison (§10): every ORAM family, measured.
+
+One table across the families the paper positions itself against, with
+*functionally measured* per-operation characteristics (not just the cost
+model): server work per access, coordination events, and the structural
+bottleneck each design hits.  Demonstrates executably why Snoopy's
+batch-scan + stateless-balancer design is the only one whose bottleneck
+disappears with machines.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.circuitoram import CircuitOram
+from repro.baselines.obladi import ObladiProxy
+from repro.baselines.pancake import PancakeProxy
+from repro.baselines.pathoram import PathOram
+from repro.baselines.prooram import ProOram
+from repro.baselines.querylog import QueryLogOram
+from repro.baselines.ringoram import RingOram
+from repro.baselines.sqrtoram import SqrtOram
+from repro.baselines.taostore import TaoStoreProxy
+from repro.types import OpType, Request
+
+from conftest import report
+
+N = 256
+OPS = 200
+
+
+def _uniform_dist(n):
+    return {k: 1.0 / n for k in range(n)}
+
+
+def run_ops(store, rng, write_ok=True):
+    for i in range(OPS):
+        key = rng.randrange(N)
+        if write_ok and rng.random() < 0.3:
+            store.write(key, bytes([i % 256]))
+        else:
+            store.read(key)
+
+
+def test_related_work_table(benchmark):
+    rng = random.Random(1)
+    objects = {k: bytes([k % 256]) for k in range(N)}
+
+    path = PathOram(N, rng=random.Random(2))
+    path.initialize(dict(objects))
+    run_ops(path, rng)
+
+    ring = RingOram(N, rng=random.Random(3))
+    ring.initialize(dict(objects))
+    run_ops(ring, rng)
+
+    circuit = CircuitOram(N, rng=random.Random(12))
+    circuit.initialize(dict(objects))
+    run_ops(circuit, rng)
+
+    sqrt = SqrtOram(N, rng=random.Random(4))
+    sqrt.initialize(dict(objects))
+    run_ops(sqrt, rng)
+
+    tao = TaoStoreProxy(N, rng=random.Random(5))
+    tao.initialize(dict(objects))
+    run_ops(tao, rng)
+
+    qlog = QueryLogOram(N, rng=random.Random(6))
+    qlog.initialize(dict(objects))
+    run_ops(qlog, rng)
+
+    pancake = PancakeProxy(dict(objects), _uniform_dist(N),
+                           rng=random.Random(7))
+    run_ops(pancake, rng)
+
+    pro = ProOram(dict(objects), rng=random.Random(8))
+    run_ops(pro, rng, write_ok=False)
+
+    def quick_obladi():
+        proxy = ObladiProxy(N, batch_size=16, rng=random.Random(9))
+        proxy.initialize(dict(objects))
+        proxy.batch([Request(OpType.READ, k % N, seq=k) for k in range(32)])
+        return proxy
+
+    obladi = benchmark(quick_obladi)
+
+    rows = [
+        "family          coordination point       measured notes",
+        f"Path ORAM       position map (client)    {path.path_length_blocks()} blocks/path",
+        f"Ring ORAM       position map + evict     {ring.evictions} evictions, {ring.early_reshuffles} reshuffles",
+        f"Circuit ORAM    position map + evict     {circuit.evictions} single-pass evictions, stash {circuit.stash_size}",
+        f"sqrt ORAM       periodic reshuffle       {sqrt.reshuffles} reshuffles / {sqrt.accesses} ops",
+        f"TaoStore        proxy sequencer          {tao.sequenced} sequenced, {tao.paths_fetched} paths",
+        f"PrivateFS-like  encrypted query log      {qlog.log_scans} log scans, {qlog.commits} commits",
+        f"Obladi          proxy + fixed batches    {obladi.batches_executed} batches, {obladi.dummy_accesses} dummy accesses",
+        f"Pancake         proxy + distribution     {pancake.num_replicas} replicas, smooth={pancake.smoothness():.2f}",
+        f"PRO-ORAM        read-only, bg shuffle    {pro.background_shuffles} bg shuffles (writes rejected)",
+        "Snoopy          none (stateless LBs)     batch shape public; scans parallel",
+    ]
+    report("Related work (§10) — measured coordination structure", "\n".join(rows))
+
+    # Executable claims behind the table.
+    assert tao.sequenced == OPS
+    assert qlog.log_scans == OPS
+    assert sqrt.reshuffles >= sqrt.accesses // sqrt.shelter_size
+    # Smoothness needs enough samples per replica to mean anything; run a
+    # dedicated, denser workload for the assertion.
+    dense = PancakeProxy(
+        {k: bytes([k]) for k in range(32)},
+        _uniform_dist(32),
+        rng=random.Random(11),
+    )
+    dense_rng = random.Random(12)
+    for _ in range(3000):
+        dense.read(dense_rng.randrange(32))
+    assert dense.smoothness() < 2.0  # uniform workload stays smooth
+
+
+def test_only_snoopy_avoids_per_request_coordination():
+    """Every baseline has a component touched by *every* request; Snoopy's
+    load balancers partition requests instead (no shared state)."""
+    from repro.core.config import SnoopyConfig
+    from repro.core.snoopy import Snoopy
+
+    store = Snoopy(
+        SnoopyConfig(num_load_balancers=2, num_suborams=2, value_size=1,
+                     security_parameter=16),
+        rng=random.Random(10),
+    )
+    store.initialize({k: bytes(1) for k in range(N)})
+    # Requests split across balancers; neither sees the other's queue.
+    store.submit(Request(OpType.READ, 1, seq=0), load_balancer=0)
+    store.submit(Request(OpType.READ, 2, seq=1), load_balancer=1)
+    assert store.load_balancers[0].pending == 1
+    assert store.load_balancers[1].pending == 1

@@ -1,0 +1,23 @@
+"""Benchmark-suite plumbing: collects figure tables and prints them at the
+end of the run, so ``pytest benchmarks/ --benchmark-only`` emits the
+paper-style rows alongside pytest-benchmark's timing table."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def report(title: str, text: str) -> None:
+    """Register a figure/table reproduction for the terminal summary."""
+    _REPORTS.append((title, text))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper figure/table reproductions")
+    for title, text in _REPORTS:
+        terminalreporter.write_sep("-", title)
+        terminalreporter.write_line(text)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Access control via recursive Snoopy lookups (Appendix D).
+
+The access-control matrix itself lives in an oblivious store; each epoch
+first resolves privileges obliviously, then executes the data batch with
+per-request permission bits checked inside the subORAM's oblivious
+compare-and-set.  Denied reads return null; denied writes silently don't
+apply — and the cloud can't tell any of it happened.
+
+Run:  python examples/access_control.py
+"""
+
+from repro import AccessControlledStore, OpType, Request, SnoopyConfig
+
+
+def main() -> None:
+    store = AccessControlledStore(
+        SnoopyConfig(
+            num_load_balancers=1,
+            num_suborams=2,
+            value_size=16,
+            security_parameter=32,
+        )
+    )
+
+    # Medical-records flavour: patient charts keyed by record id.
+    records = {k: f"chart-{k:04d}".ljust(16).encode() for k in range(20)}
+    DOCTOR, NURSE, BILLING = 1, 2, 3
+    store.initialize(
+        records,
+        grants=[
+            # The doctor can read and update chart 7.
+            (DOCTOR, 7, OpType.READ),
+            (DOCTOR, 7, OpType.WRITE),
+            # The nurse can only read it.
+            (NURSE, 7, OpType.READ),
+            # Billing has no access to chart 7 at all.
+            (BILLING, 12, OpType.READ),
+        ],
+    )
+    print("initialized 20 records + oblivious ACL matrix")
+
+    store.submit(Request(OpType.READ, 7, client_id=DOCTOR, seq=1))
+    store.submit(Request(OpType.READ, 7, client_id=NURSE, seq=1))
+    store.submit(Request(OpType.READ, 7, client_id=BILLING, seq=1))
+    store.submit(Request(OpType.WRITE, 7, b"tampered-chart!!", client_id=BILLING, seq=2))
+    responses = {(r.client_id, r.seq): r for r in store.run_epoch()}
+
+    print(f"doctor read  -> {responses[(DOCTOR, 1)].value}")
+    print(f"nurse read   -> {responses[(NURSE, 1)].value}")
+    print(f"billing read -> {responses[(BILLING, 1)].value} "
+          f"(ok={responses[(BILLING, 1)].ok})")
+    print(f"billing write-> ok={responses[(BILLING, 2)].ok}")
+
+    assert responses[(DOCTOR, 1)].ok and responses[(NURSE, 1)].ok
+    assert not responses[(BILLING, 1)].ok
+    assert not responses[(BILLING, 2)].ok
+
+    # The denied write did not change the chart.
+    store.submit(Request(OpType.READ, 7, client_id=DOCTOR, seq=3))
+    [check] = store.run_epoch()
+    assert check.value == records[7]
+    print("denied write verified not applied")
+
+    # Privileges are themselves updated with oblivious writes.
+    store.revoke(NURSE, 7, OpType.READ)
+    store.submit(Request(OpType.READ, 7, client_id=NURSE, seq=2))
+    [revoked] = store.run_epoch()
+    assert not revoked.ok
+    print("revocation took effect on the next epoch")
+
+
+if __name__ == "__main__":
+    main()

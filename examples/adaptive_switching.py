@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Adaptive latency/throughput mode switching (§1's stated future work).
+
+The paper notes Snoopy is built for the high-throughput regime and that a
+latency-optimized subORAM with shorter epochs serves the low-throughput
+regime better, leaving adaptive switching between them as future work.
+This example runs that policy against a day-in-the-life load trace:
+overnight trickle, morning ramp, lunchtime spike, evening decay.
+
+Run:  python examples/adaptive_switching.py
+"""
+
+from repro.extensions.adaptive import AdaptivePolicy
+
+
+def load_trace():
+    """(hour, offered requests/second) — a synthetic diurnal pattern."""
+    trace = []
+    for hour in range(24):
+        if hour < 6:
+            rate = 40  # overnight trickle
+        elif hour < 9:
+            rate = 40 + (hour - 5) * 4_000  # morning ramp
+        elif hour < 14:
+            rate = 25_000  # busy plateau
+        elif hour < 15:
+            rate = 60_000  # lunch spike
+        elif hour < 20:
+            rate = 12_000  # afternoon
+        else:
+            rate = 300  # evening decay
+        trace.append((hour, rate))
+    return trace
+
+
+def main() -> None:
+    policy = AdaptivePolicy(
+        num_load_balancers=2,
+        num_suborams=8,
+        num_objects=1_000_000,
+    )
+    print("operating points:")
+    for spec in (policy.latency_mode, policy.throughput_mode):
+        print(
+            f"  {spec.mode.value:<10}: epoch {spec.epoch * 1e3:5.0f} ms, "
+            f"capacity {spec.capacity:>9,.0f} reqs/s, idle latency "
+            f"{spec.idle_latency * 1e3:6.1f} ms"
+        )
+
+    print("\nhour  offered/s   mode        predicted latency")
+    for hour, rate in load_trace():
+        # Each hour delivers several measurement windows to the EWMA.
+        for _ in range(6):
+            policy.observe(requests=rate * 10, window=10.0, now=float(hour))
+        predicted = policy.predicted_latency(policy.rate_estimate)
+        print(
+            f"{hour:>4}  {rate:>9,}   {policy.mode.value:<10} "
+            f"{predicted * 1e3:8.1f} ms"
+        )
+
+    print(f"\nmode switches over the day: {len(policy.switches)}")
+    for when, mode in policy.switches:
+        print(f"  hour {when:4.1f} -> {mode.value}")
+    assert len(policy.switches) <= 4, "hysteresis must prevent flapping"
+
+
+if __name__ == "__main__":
+    main()

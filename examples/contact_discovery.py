@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Private contact discovery over Snoopy (§3.2, §5).
+
+A Signal-style service learns which of a client's contacts are registered
+users — without the access pattern revealing the contact list, and
+without registration writes revealing who joined.
+
+Run:  python examples/contact_discovery.py
+"""
+
+from repro.apps.contact_discovery import ContactDiscoveryService
+from repro.core.config import SnoopyConfig
+
+
+def main() -> None:
+    service = ContactDiscoveryService(
+        key_space=4096,
+        config=SnoopyConfig(
+            num_load_balancers=1,
+            num_suborams=2,
+            value_size=16,
+            security_parameter=32,
+        ),
+    )
+
+    registered = [f"+1555000{i:04d}" for i in range(50)]
+    service.initialize(registered)
+    print(f"directory initialized: {len(registered)} registered numbers "
+          f"in a {service.key_space}-slot oblivious table")
+
+    # A client uploads its address book; the whole lookup is one epoch of
+    # oblivious reads — duplicates and skew are deduplicated server-side.
+    contacts = [
+        "+15550000007",   # registered
+        "+15550000021",   # registered
+        "+19990000000",   # not registered
+        "+15550000007",   # duplicate — free after dedup
+        "+18880000000",   # not registered
+    ]
+    results = service.discover(contacts)
+    for number, present in results.items():
+        print(f"  {number}: {'registered' if present else 'not registered'}")
+
+    assert results["+15550000007"] and results["+15550000021"]
+    assert not results["+19990000000"] and not results["+18880000000"]
+
+    # Registration updates are oblivious writes: the server cannot tell
+    # register from unregister, nor which number changed.
+    service.register("+19990000000")
+    assert service.discover(["+19990000000"])["+19990000000"]
+    print("newly registered number discovered on the next query")
+
+    service.unregister("+19990000000")
+    assert not service.discover(["+19990000000"])["+19990000000"]
+    print("unregistered number disappeared — all via indistinguishable writes")
+
+
+if __name__ == "__main__":
+    main()

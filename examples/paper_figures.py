@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Regenerate every evaluation figure/table of the paper in one run.
+
+The pytest benchmarks under ``benchmarks/`` do this with assertions; this
+example is the human-friendly version: it prints each figure's series
+with the paper's reported values alongside.
+
+Run:  python examples/paper_figures.py        (~1 minute)
+"""
+
+from repro.analysis.overhead import capacity_curve, dummy_overhead_percent
+from repro.planner.planner import Planner
+from repro.sim.cluster import (
+    latency_vs_suborams,
+    max_objects_within_latency,
+    snoopy_oblix_best_split,
+    throughput_scaling_series,
+)
+from repro.sim.costmodel import (
+    adaptive_sort_time,
+    load_balancer_time,
+    obladi_throughput,
+    oblix_throughput,
+    redis_throughput,
+    sort_time,
+    suboram_time,
+)
+from repro.tools.ascii import series_table
+
+
+def heading(text: str) -> None:
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+def fig3() -> None:
+    heading("Fig 3 — dummy overhead % (paper: ~50% at R=10K, S=10)")
+    rows = [
+        (r, *(f"{dummy_overhead_percent(r, s):.1f}%" for s in (2, 10, 20)))
+        for r in (1000, 2500, 5000, 10_000)
+    ]
+    print(series_table(["R", "S=2", "S=10", "S=20"], rows))
+
+
+def fig4() -> None:
+    heading("Fig 4 — real request capacity (paper: sublinear for lambda>0)")
+    curves = capacity_curve(20)
+    rows = [
+        (s, curves[0][s - 1], curves[80][s - 1], curves[128][s - 1])
+        for s in (1, 5, 10, 15, 20)
+    ]
+    print(series_table(["S", "lambda=0", "lambda=80", "lambda=128"], rows))
+
+
+def fig9a() -> None:
+    heading("Fig 9a — throughput scaling, 2M x 160B "
+            "(paper: 68K/92K/130K at 18 machines)")
+    series = throughput_scaling_series(
+        list(range(4, 19, 2)), 2_000_000, [0.3, 0.5, 1.0]
+    )
+    rows = []
+    for i, machines in enumerate(range(4, 19, 2)):
+        rows.append(
+            (
+                machines,
+                f"{series[0.3][i][3] / 1e3:.1f}K",
+                f"{series[0.5][i][3] / 1e3:.1f}K",
+                f"{series[1.0][i][3] / 1e3:.1f}K",
+            )
+        )
+    print(series_table(["machines", "300ms", "500ms", "1s"], rows))
+    print(f"Obladi: {obladi_throughput(2_000_000) / 1e3:.1f}K   "
+          f"Oblix: {oblix_throughput(2_000_000) / 1e3:.2f}K   "
+          f"Redis(15): {redis_throughput(15) / 1e6:.1f}M")
+
+
+def fig9b() -> None:
+    heading("Fig 9b — key transparency, 10M x 32B, 24 accesses/op "
+            "(paper: 1.1K/3.2K/6.1K)")
+    series = throughput_scaling_series(
+        [6, 12, 18], 10_000_000, [0.3, 0.5, 1.0],
+        object_size=32, accesses_per_op=24,
+    )
+    rows = [
+        (
+            machines,
+            f"{series[0.3][i][3]:.0f}",
+            f"{series[0.5][i][3]:.0f}",
+            f"{series[1.0][i][3]:.0f}",
+        )
+        for i, machines in enumerate([6, 12, 18])
+    ]
+    print(series_table(["machines", "300ms", "500ms", "1s"], rows))
+
+
+def fig10() -> None:
+    heading("Fig 10 — Snoopy-Oblix hybrid (paper: 18K = 15.6x vanilla @17)")
+    vanilla = oblix_throughput(2_000_000)
+    rows = []
+    for machines in (3, 5, 7, 9, 11, 13, 15, 17):
+        _, suborams, x = snoopy_oblix_best_split(machines, 2_000_000, 0.5)
+        rows.append((machines, f"{x / 1e3:.1f}K", f"{x / vanilla:.1f}x"))
+    print(series_table(["machines", "throughput", "vs vanilla"], rows))
+
+
+def fig11() -> None:
+    heading("Fig 11a — objects per subORAM budget at <=160ms "
+            "(paper: ~191K/subORAM)")
+    rows = [
+        (s, f"{max_objects_within_latency(s):,}") for s in (1, 5, 10, 15)
+    ]
+    print(series_table(["subORAMs", "max objects"], rows))
+
+    heading("Fig 11b — latency vs subORAMs, 2M objects "
+            "(paper: 847ms -> 112ms)")
+    rows = [
+        (s, f"{latency * 1e3:.0f} ms")
+        for s, latency in latency_vs_suborams([1, 3, 5, 9, 15])
+    ]
+    print(series_table(["subORAMs", "mean latency"], rows))
+
+
+def fig12() -> None:
+    heading("Fig 12 — batch breakdown (paper: subORAM jump 2^15 -> 2^20)")
+    rows = []
+    for n in (2**10, 2**15, 2**20):
+        lb = load_balancer_time(512, 1)
+        so = suboram_time(512, n)
+        rows.append(
+            (
+                f"2^{n.bit_length() - 1}",
+                f"{lb / 2 * 1e3:.1f} ms",
+                f"{so * 1e3:.1f} ms",
+                f"{lb / 2 * 1e3:.1f} ms",
+            )
+        )
+    print(series_table(["objects", "make batch", "process", "match"], rows))
+
+
+def fig13() -> None:
+    heading("Fig 13 — parallelism (paper: adaptive sort; ~linear scan speedup)")
+    rows = []
+    for n in (2**10, 2**13, 2**16):
+        rows.append(
+            (
+                f"2^{n.bit_length() - 1}",
+                f"{sort_time(n, 1) * 1e3:.1f} ms",
+                f"{sort_time(n, 3) * 1e3:.1f} ms",
+                f"{adaptive_sort_time(n, 3) * 1e3:.1f} ms",
+            )
+        )
+    print(series_table(["sort n", "1 thread", "3 threads", "adaptive"], rows))
+
+
+def fig14() -> None:
+    heading("Fig 14 — planner (paper: bigger data => more subORAMs, more $)")
+    rows = []
+    for objects in (10_000, 1_000_000):
+        planner = Planner(objects)
+        for target in (20_000, 80_000):
+            plan = planner.plan(target, 1.0)
+            rows.append(
+                (
+                    f"{objects:,}",
+                    f"{target / 1e3:.0f}K",
+                    plan.num_load_balancers,
+                    plan.num_suborams,
+                    f"${plan.monthly_cost:,.0f}",
+                )
+            )
+    print(series_table(["objects", "target", "LB", "subORAMs", "cost/mo"], rows))
+
+
+def main() -> None:
+    fig3()
+    fig4()
+    fig9a()
+    fig9b()
+    fig10()
+    fig11()
+    fig12()
+    fig13()
+    fig14()
+    print("\nSee EXPERIMENTS.md for the full paper-vs-measured record.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the operator CLI."""
+
+import sys
+
+from repro.tools.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

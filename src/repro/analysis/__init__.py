@@ -1,0 +1,22 @@
+"""Analytical machinery: the Theorem 3 batch-size bound and its relatives."""
+
+from repro.analysis.balls_bins import (
+    batch_size,
+    log_overflow_probability,
+    overflow_probability,
+)
+from repro.analysis.bounds import bound_comparison, exact_batch_size
+from repro.analysis.overhead import capacity_curve, dummy_overhead_percent
+
+# repro.analysis.calibration is importable directly; re-exporting it here
+# would cycle through repro.sim (which itself uses repro.analysis).
+
+__all__ = [
+    "batch_size",
+    "bound_comparison",
+    "capacity_curve",
+    "dummy_overhead_percent",
+    "exact_batch_size",
+    "log_overflow_probability",
+    "overflow_probability",
+]

@@ -1,0 +1,101 @@
+"""Theorem 3: the Lambert-W batch-size bound (§4.1 and Appendix A).
+
+Given ``R`` distinct, randomly distributed requests and ``S`` subORAMs, the
+paper sets the per-subORAM batch size to
+
+    f(R, S) = min(R, mu * exp[ W0( e^-1 * (gamma/mu - 1) ) + 1 ])
+
+where ``mu = R/S``, ``gamma = -log(1/(S * 2^lambda)) = ln S + lambda ln 2``
+(the derivation uses natural logarithms), and ``W0`` is branch 0 of the
+Lambert W function.  With batch size ``f(R, S)`` the probability that *any*
+subORAM receives more requests than its batch can hold is at most
+``2^-lambda`` (Chernoff bound + union bound over subORAMs).
+
+The same bound sizes the oblivious hash-table buckets in the subORAM (§5),
+"exactly the problem that we solved in the load balancer".
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+from scipy.special import lambertw
+
+from repro.utils.validation import require, require_positive
+
+DEFAULT_SECURITY_PARAMETER = 128
+
+
+@functools.lru_cache(maxsize=65536)
+def batch_size(num_requests: int, num_bins: int, security_parameter: int = DEFAULT_SECURITY_PARAMETER) -> int:
+    """The paper's ``f(R, S)``: per-bin capacity with negligible overflow.
+
+    Args:
+        num_requests: ``R`` — number of distinct balls (requests).
+        num_bins: ``S`` — number of bins (subORAMs or hash buckets).
+        security_parameter: ``lambda``; overflow probability <= 2^-lambda.
+            ``0`` means "no security margin": plain ``ceil(R/S)`` (the
+            paper's lambda=0 line in Fig. 4).
+
+    Returns:
+        The batch size ``B`` (an integer; the analytical bound is rounded
+        up).  Always ``<= R`` and ``>= ceil(R/S)``.
+    """
+    require_positive(num_bins, "num_bins")
+    require(num_requests >= 0, f"num_requests must be >= 0, got {num_requests}")
+    require(security_parameter >= 0, "security_parameter must be >= 0")
+    if num_requests == 0:
+        return 0
+    if security_parameter == 0:
+        return math.ceil(num_requests / num_bins)
+    if num_bins == 1:
+        return num_requests
+
+    mu = num_requests / num_bins
+    gamma = math.log(num_bins) + security_parameter * math.log(2.0)
+    # delta >= exp(W0(e^-1 (gamma/mu - 1)) + 1) - 1; B = (1 + delta) * mu.
+    argument = (gamma / mu - 1.0) / math.e
+    if argument < -1.0 / math.e:
+        # W0 undefined; happens only when gamma < mu * (1 - e) < 0, i.e.
+        # never for positive gamma.  Guard anyway.
+        return num_requests
+    w = float(lambertw(argument, 0).real)
+    bound = mu * math.exp(w + 1.0)
+    return min(num_requests, math.ceil(bound))
+
+
+def log_overflow_probability(num_requests: int, num_bins: int, capacity: int) -> float:
+    """Natural log of the Chernoff+union upper bound on overflow probability.
+
+    ``Pr[any bin > capacity] <= S * (e^delta / (1+delta)^(1+delta))^mu``
+    with ``1 + delta = capacity / mu``.  Returns ``0.0`` (probability 1)
+    when the bound is vacuous and ``-inf`` when overflow is impossible
+    (capacity >= R).
+    """
+    require_positive(num_bins, "num_bins")
+    if capacity >= num_requests:
+        return float("-inf")
+    mu = num_requests / num_bins
+    if capacity <= mu:
+        return 0.0
+    one_plus_delta = capacity / mu
+    delta = one_plus_delta - 1.0
+    log_per_bin = mu * (delta - one_plus_delta * math.log(one_plus_delta))
+    return min(0.0, math.log(num_bins) + log_per_bin)
+
+
+def overflow_probability(num_requests: int, num_bins: int, capacity: int) -> float:
+    """The Chernoff+union overflow bound as a probability (may underflow to 0)."""
+    log_p = log_overflow_probability(num_requests, num_bins, capacity)
+    if log_p == float("-inf"):
+        return 0.0
+    return math.exp(log_p)
+
+
+def security_bits(num_requests: int, num_bins: int, capacity: int) -> float:
+    """How many bits of security a given capacity provides: -log2(overflow bound)."""
+    log_p = log_overflow_probability(num_requests, num_bins, capacity)
+    if log_p == float("-inf"):
+        return float("inf")
+    return -log_p / math.log(2.0)

@@ -1,0 +1,111 @@
+"""Fitting cost-model constants from measurements.
+
+The default :class:`~repro.sim.machines.MachineProfile` is calibrated to
+the paper's reported numbers.  To model a *different* machine, measure a
+few primitive timings and fit:
+
+* ``fit_sort_constant`` — least-squares ``c`` in ``t = c * comparators(n)``
+  from (n, seconds) samples of a bitonic sort;
+* ``fit_scan_constants`` — per-object and per-byte scan costs from
+  (num_objects, object_size, seconds) samples (one regime at a time:
+  resident or paged);
+* ``calibrate_profile`` — run the real Python primitives, fit, and return
+  a profile describing *this interpreter* (useful for making the micro
+  benchmarks' absolute numbers interpretable).
+
+All fits are ordinary least squares through the origin / normal
+equations — two or three parameters, no scipy optimizers needed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.sim.machines import DEFAULT_PROFILE, MachineProfile
+from repro.utils.bits import next_pow2
+from repro.utils.validation import require
+
+
+def _comparators(n: int) -> int:
+    m = next_pow2(max(1, n))
+    if m == 1:
+        return 0
+    log_m = m.bit_length() - 1
+    return (m // 2) * (log_m * (log_m + 1) // 2)
+
+
+def fit_sort_constant(samples: Sequence[Tuple[int, float]]) -> float:
+    """Least-squares per-comparator cost from (n, seconds) samples."""
+    require(len(samples) >= 1, "need at least one sample")
+    num = 0.0
+    den = 0.0
+    for n, seconds in samples:
+        work = _comparators(n)
+        num += work * seconds
+        den += work * work
+    require(den > 0, "samples must include n >= 2")
+    return num / den
+
+
+def fit_scan_constants(
+    samples: Sequence[Tuple[int, int, float]]
+) -> Tuple[float, float]:
+    """Fit (per_object_s, per_byte_s) from (objects, object_size, seconds).
+
+    Model: ``t = objects * (a + size * b)``.  Solved by the 2x2 normal
+    equations; requires samples with at least two distinct object sizes.
+    """
+    require(len(samples) >= 2, "need at least two samples")
+    s_xx = s_xy = s_yy = r_x = r_y = 0.0
+    for objects, size, seconds in samples:
+        x = float(objects)  # coefficient of a
+        y = float(objects * size)  # coefficient of b
+        s_xx += x * x
+        s_xy += x * y
+        s_yy += y * y
+        r_x += x * seconds
+        r_y += y * seconds
+    det = s_xx * s_yy - s_xy * s_xy
+    require(abs(det) > 1e-30, "samples must vary object size")
+    a = (r_x * s_yy - r_y * s_xy) / det
+    b = (s_xx * r_y - s_xy * r_x) / det
+    return max(0.0, a), max(0.0, b)
+
+
+def measure_python_sort(
+    sizes: Sequence[int], rng_seed: int = 0
+) -> List[Tuple[int, float]]:
+    """Time the real bitonic sort at each size (one run each)."""
+    import random
+
+    from repro.oblivious.sort import bitonic_sort
+
+    rng = random.Random(rng_seed)
+    samples = []
+    for n in sizes:
+        data = [rng.randrange(10**9) for _ in range(n)]
+        start = time.perf_counter()
+        bitonic_sort(data)
+        samples.append((n, time.perf_counter() - start))
+    return samples
+
+
+def calibrate_profile(
+    base: MachineProfile = DEFAULT_PROFILE,
+    sort_sizes: Sequence[int] = (256, 512, 1024),
+    measure_sort: Optional[Callable] = None,
+) -> MachineProfile:
+    """A profile whose sort constant reflects the running interpreter.
+
+    Only the sort constant is refit by default (it dominates the load
+    balancer); other constants carry over from ``base``.  Pass
+    ``measure_sort`` to supply samples from elsewhere (e.g. a C++
+    implementation's timings).
+    """
+    if measure_sort is None:
+        samples = measure_python_sort(sort_sizes)
+    else:
+        samples = measure_sort(sort_sizes)
+    return replace(base, sort_compare_s=fit_sort_constant(samples))

@@ -1,0 +1,73 @@
+"""Dummy-overhead and capacity analysis behind Figures 3 and 4.
+
+Figure 3 plots the percentage overhead of dummy requests
+(``(S*B - R) / R``) as the number of real requests grows, for
+``S in {2, 10, 20}`` at lambda=128: more real requests -> better balance ->
+less padding.  Figure 4 plots the total *real* request capacity of the
+system per epoch assuming each subORAM can process at most a fixed number
+of requests per epoch (<= 1K in the paper): inverting ``f`` shows capacity
+grows sublinearly in S for lambda > 0 because padding grows too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.balls_bins import batch_size
+
+
+def dummy_overhead_percent(num_requests: int, num_suborams: int, security_parameter: int = 128) -> float:
+    """Percent overhead of dummies: 100 * (S*B - R) / R (Fig. 3's y-axis)."""
+    if num_requests <= 0:
+        return 0.0
+    total = num_suborams * batch_size(num_requests, num_suborams, security_parameter)
+    return 100.0 * (total - num_requests) / num_requests
+
+
+def real_request_capacity(
+    num_suborams: int,
+    per_suboram_budget: int = 1000,
+    security_parameter: int = 128,
+) -> int:
+    """Largest R such that f(R, S) <= per-subORAM budget (Fig. 4's y-axis).
+
+    Found by binary search; ``f`` is monotone non-decreasing in R for fixed
+    S (more balls never shrink the required bin size).
+    """
+    lo, hi = 0, per_suboram_budget * num_suborams
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if batch_size(mid, num_suborams, security_parameter) <= per_suboram_budget:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def capacity_curve(
+    max_suborams: int,
+    per_suboram_budget: int = 1000,
+    security_parameters: Optional[List[int]] = None,
+) -> dict:
+    """Fig. 4 data: {lambda: [capacity at S=1..max_suborams]}."""
+    if security_parameters is None:
+        security_parameters = [0, 80, 128]
+    return {
+        lam: [
+            real_request_capacity(s, per_suboram_budget, lam)
+            for s in range(1, max_suborams + 1)
+        ]
+        for lam in security_parameters
+    }
+
+
+def overhead_curve(
+    request_counts: List[int],
+    num_suborams: int,
+    security_parameter: int = 128,
+) -> List[float]:
+    """Fig. 3 data: dummy overhead % for each request count."""
+    return [
+        dummy_overhead_percent(r, num_suborams, security_parameter)
+        for r in request_counts
+    ]

@@ -1,0 +1,12 @@
+"""Applications from §3.2: key transparency and private contact discovery."""
+
+from repro.apps.merkle import MerkleTree
+from repro.apps.key_transparency import KeyTransparencyLog, LookupProof
+from repro.apps.contact_discovery import ContactDiscoveryService
+
+__all__ = [
+    "ContactDiscoveryService",
+    "KeyTransparencyLog",
+    "LookupProof",
+    "MerkleTree",
+]

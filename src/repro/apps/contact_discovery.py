@@ -1,0 +1,112 @@
+"""Private contact discovery over Snoopy (§3.2, §5).
+
+Signal's problem: a client wants to learn which of its contacts are
+registered users without revealing the contact list.  The paper's
+subORAM design is directly inspired by Signal's oblivious hash table
+approach; here we solve the *service-side* version with Snoopy itself —
+registration state is an oblivious object store, so neither queries nor
+registration updates leak which phone numbers they touch.
+
+Phone numbers are mapped to object keys by truncated keyed hash;
+registered numbers store a presence record, all other keys store an
+"absent" record.  (A production deployment would size the key space to
+the hash domain; the class keeps it configurable for tests.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.config import SnoopyConfig
+from repro.core.snoopy import Snoopy
+from repro.types import OpType, Request
+
+PRESENT = b"\x01"
+ABSENT = b"\x00"
+RECORD_SIZE = 16  # presence byte + padding to a fixed record size
+
+
+def _record(present: bool) -> bytes:
+    return (PRESENT if present else ABSENT) + b"\x00" * (RECORD_SIZE - 1)
+
+
+class ContactDiscoveryService:
+    """An oblivious contact-discovery service.
+
+    Args:
+        key_space: number of hash buckets for phone numbers (the object
+            count; collisions produce false positives exactly as in any
+            truncated-hash directory).
+        config: Snoopy deployment parameters.
+    """
+
+    def __init__(
+        self,
+        key_space: int = 1 << 16,
+        config: Optional[SnoopyConfig] = None,
+        hash_salt: bytes = b"contact-discovery",
+    ):
+        self.key_space = key_space
+        self._salt = hash_salt
+        if config is None:
+            config = SnoopyConfig(
+                num_load_balancers=1,
+                num_suborams=2,
+                value_size=RECORD_SIZE,
+                security_parameter=32,
+            )
+        if config.value_size != RECORD_SIZE:
+            raise ValueError(f"contact discovery uses {RECORD_SIZE}-byte records")
+        self.store = Snoopy(config)
+        self._initialized = False
+
+    def object_key(self, phone_number: str) -> int:
+        """Hash a phone number into the key space."""
+        digest = hashlib.sha256(
+            self._salt + phone_number.encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % self.key_space
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def initialize(self, registered: Iterable[str]) -> None:
+        """Build the directory: every key-space slot gets a record."""
+        objects = {key: _record(False) for key in range(self.key_space)}
+        for phone_number in registered:
+            objects[self.object_key(phone_number)] = _record(True)
+        self.store.initialize(objects)
+        self._initialized = True
+
+    def register(self, phone_number: str) -> None:
+        """Register a number (an oblivious write)."""
+        self.store.write(self.object_key(phone_number), _record(True))
+
+    def unregister(self, phone_number: str) -> None:
+        """Remove a number (an oblivious write, indistinguishable)."""
+        self.store.write(self.object_key(phone_number), _record(False))
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def discover(self, contacts: List[str]) -> Dict[str, bool]:
+        """Which of ``contacts`` are registered, in one oblivious epoch.
+
+        Duplicate contacts and arbitrary skew are fine — the load
+        balancer deduplicates (§4.1).
+        """
+        if not self._initialized:
+            raise RuntimeError("service not initialized")
+        requests = [
+            Request(OpType.READ, self.object_key(number), seq=i)
+            for i, number in enumerate(contacts)
+        ]
+        responses = {r.seq: r for r in self.store.batch(requests)}
+        return {
+            number: (
+                responses[i].value is not None
+                and responses[i].value[:1] == PRESENT
+            )
+            for i, number in enumerate(contacts)
+        }

@@ -1,0 +1,91 @@
+"""A binary Merkle tree with heap-indexed nodes.
+
+Used by the key-transparency application: the tree's nodes are the
+objects stored in Snoopy (32-byte hashes), and an inclusion proof is the
+list of sibling nodes on the leaf-to-root path — each fetched with an
+oblivious read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from repro.utils.bits import next_pow2
+
+HASH_SIZE = 32
+
+
+def _hash_leaf(data: bytes) -> bytes:
+    return hashlib.sha256(b"leaf:" + data).digest()
+
+
+def _hash_node(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"node:" + left + right).digest()
+
+
+EMPTY_LEAF = _hash_leaf(b"")
+
+
+class MerkleTree:
+    """A complete binary Merkle tree over a fixed number of leaf slots.
+
+    Nodes use 1-based heap indexing: node ``i`` has children ``2i`` and
+    ``2i+1``; leaves occupy ``[num_slots, 2*num_slots)``.
+    """
+
+    def __init__(self, leaves: List[bytes]):
+        if not leaves:
+            raise ValueError("MerkleTree requires at least one leaf")
+        self.num_leaves = len(leaves)
+        self.num_slots = next_pow2(self.num_leaves)
+        self.nodes: List[bytes] = [b""] * (2 * self.num_slots)
+        for i in range(self.num_slots):
+            data = leaves[i] if i < self.num_leaves else b""
+            self.nodes[self.num_slots + i] = _hash_leaf(data)
+        for i in range(self.num_slots - 1, 0, -1):
+            self.nodes[i] = _hash_node(self.nodes[2 * i], self.nodes[2 * i + 1])
+
+    @property
+    def root(self) -> bytes:
+        """The tree's root hash."""
+        return self.nodes[1]
+
+    @property
+    def height(self) -> int:
+        """Levels below the root (= proof length)."""
+        return self.num_slots.bit_length() - 1
+
+    def leaf_index(self, position: int) -> int:
+        """Node index of the leaf at ``position``."""
+        if not 0 <= position < self.num_slots:
+            raise IndexError(f"leaf position {position} out of range")
+        return self.num_slots + position
+
+    def proof_node_indices(self, position: int) -> List[int]:
+        """Node indices of the siblings on the path to the root."""
+        index = self.leaf_index(position)
+        siblings = []
+        while index > 1:
+            siblings.append(index ^ 1)
+            index //= 2
+        return siblings
+
+    def as_objects(self) -> Dict[int, bytes]:
+        """All nodes as a {node_index: hash} object map for Snoopy."""
+        return {i: self.nodes[i] for i in range(1, 2 * self.num_slots)}
+
+    @staticmethod
+    def verify(
+        leaf_data: bytes, position: int, siblings: List[bytes], root: bytes
+    ) -> bool:
+        """Check an inclusion proof (leaf data + sibling hashes) to a root."""
+        current = _hash_leaf(leaf_data)
+        index = position
+        for sibling in siblings:
+            if index % 2 == 0:
+                current = _hash_node(current, sibling)
+            else:
+                current = _hash_node(sibling, current)
+            index //= 2
+        return current == root

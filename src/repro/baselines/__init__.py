@@ -1,0 +1,54 @@
+"""Baseline systems from the paper's evaluation (Table 8, §8.1).
+
+* :mod:`repro.baselines.pathoram` — Path ORAM (Stefanov et al.), the
+  tree-based ORAM underlying TaoStore and Oblix's DORAM.
+* :mod:`repro.baselines.ringoram` — Ring ORAM (Ren et al.), the ORAM
+  Obladi parallelizes.
+* :mod:`repro.baselines.obladi` — Obladi-lite: a trusted proxy batching
+  requests over Ring ORAM with deduplication and delayed visibility.
+* :mod:`repro.baselines.oblix` — Oblix-lite: a sequential, enclave-hosted
+  doubly-oblivious map with a recursively stored position map.
+* :mod:`repro.baselines.plaintext` — a Redis-like sharded plaintext store
+  (the insecure performance ceiling).
+
+Each executes its real algorithm (correctness-tested); the performance
+comparisons in the figure benchmarks use the calibrated cost models in
+:mod:`repro.sim.costmodel`.
+"""
+
+from repro.baselines.pathoram import PathOram
+from repro.baselines.ringoram import RingOram
+from repro.baselines.obladi import ObladiProxy
+from repro.baselines.oblix import OblixMap, OblixSubOram
+from repro.baselines.plaintext import PlaintextStore
+from repro.baselines.sqrtoram import SqrtOram
+
+__all__ = [
+    "ObladiProxy",
+    "OblixMap",
+    "OblixSubOram",
+    "PathOram",
+    "PlaintextStore",
+    "RingOram",
+    "SqrtOram",
+]
+
+from repro.baselines.taostore import TaoStoreProxy  # noqa: E402
+
+__all__.append("TaoStoreProxy")
+
+from repro.baselines.pancake import PancakeProxy  # noqa: E402
+
+__all__.append("PancakeProxy")
+
+from repro.baselines.prooram import ProOram  # noqa: E402
+
+__all__.append("ProOram")
+
+from repro.baselines.querylog import QueryLogOram  # noqa: E402
+
+__all__.append("QueryLogOram")
+
+from repro.baselines.circuitoram import CircuitOram  # noqa: E402
+
+__all__.append("CircuitOram")

@@ -1,0 +1,225 @@
+"""Circuit ORAM (Wang, Chan, Shi — CCS 2015), the ORAM inside MOSE (§10).
+
+§10: "MOSE runs CircuitORAM inside a hardware enclave and distributes the
+work for a single request across multiple cores."  Circuit ORAM is the
+tree ORAM whose eviction runs in a *single pass* over the path with O(1)
+blocks of client state — which is what makes it circuit-friendly and a
+natural fit for enclaves whose private memory is tiny.
+
+This implementation keeps the protocol's structure:
+
+* accesses read one path and remap, like Path ORAM, but the fetched block
+  goes to the *stash*, never straight back to the path;
+* after every access, two deterministic reverse-lexicographic evictions
+  run; each eviction makes one metadata scan to plan (the deepest-target
+  assignment) and one pass down the path carrying at most one block in
+  hand — the signature single-pass eviction.
+
+The planning pass here mirrors the paper's 1-pass greedy: for each level,
+the block currently held can drop into a bucket if it has space and the
+block's leaf path passes through it; the deepest stash/path block that
+can go deeper is picked up.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.utils.bits import next_pow2
+from repro.utils.validation import require_positive
+
+
+class _Block:
+    __slots__ = ("key", "value", "leaf")
+
+    def __init__(self, key: int, value: bytes, leaf: int):
+        self.key = key
+        self.value = value
+        self.leaf = leaf
+
+
+class CircuitOram:
+    """A Circuit ORAM instance over integer-keyed fixed-size blocks.
+
+    Args:
+        capacity: maximum number of blocks.
+        bucket_size: Z slots per bucket (2 suffices for Circuit ORAM; we
+            default to 3 for stash headroom at small sizes).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        bucket_size: int = 3,
+        rng: Optional[random.Random] = None,
+    ):
+        require_positive(capacity, "capacity")
+        self.capacity = capacity
+        self.bucket_size = bucket_size
+        self._rng = rng if rng is not None else random.Random()
+
+        self.num_leaves = next_pow2(max(2, capacity))
+        self.height = self.num_leaves.bit_length() - 1
+        self._buckets: List[List[_Block]] = [
+            [] for _ in range(2 * self.num_leaves - 1)
+        ]
+        self._position: Dict[int, int] = {}
+        self._stash: List[_Block] = []
+        self.accesses = 0
+        self.evictions = 0
+        self._eviction_counter = 0
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def _leaf_bucket(self, leaf: int) -> int:
+        return (self.num_leaves - 1) + leaf
+
+    def _path(self, leaf: int) -> List[int]:
+        path = []
+        node = self._leaf_bucket(leaf)
+        while True:
+            path.append(node)
+            if node == 0:
+                break
+            node = (node - 1) // 2
+        path.reverse()
+        return path
+
+    def _path_at_depth(self, leaf: int, depth: int) -> int:
+        node = self._leaf_bucket(leaf)
+        for _ in range(self.height - depth):
+            node = (node - 1) // 2
+        return node
+
+    def _deepest_legal_depth(self, block_leaf: int, eviction_leaf: int) -> int:
+        """Deepest level where the two paths still coincide."""
+        depth = 0
+        for level in range(self.height + 1):
+            if self._path_at_depth(block_leaf, level) == self._path_at_depth(
+                eviction_leaf, level
+            ):
+                depth = level
+            else:
+                break
+        return depth
+
+    # ------------------------------------------------------------------
+    # Access protocol
+    # ------------------------------------------------------------------
+    def access(self, key: int, new_value: Optional[bytes] = None) -> Optional[bytes]:
+        """Read the path into hand, remap, stash; then evict twice."""
+        self.accesses += 1
+        leaf = self._position.get(key)
+        if leaf is None:
+            leaf = self._rng.randrange(self.num_leaves)
+        new_leaf = self._rng.randrange(self.num_leaves)
+        self._position[key] = new_leaf
+
+        # Fetch: remove the block from the path (or stash) if present.
+        block: Optional[_Block] = None
+        for bucket_index in self._path(leaf):
+            bucket = self._buckets[bucket_index]
+            for candidate in bucket:
+                if candidate.key == key:
+                    block = candidate
+                    bucket.remove(candidate)
+                    break
+            if block is not None:
+                break
+        if block is None:
+            for candidate in self._stash:
+                if candidate.key == key:
+                    block = candidate
+                    self._stash.remove(candidate)
+                    break
+
+        result = block.value if block is not None else None
+        if new_value is not None:
+            if block is None:
+                block = _Block(key, new_value, new_leaf)
+            else:
+                block.value = new_value
+        if block is not None:
+            block.leaf = new_leaf
+            self._stash.append(block)
+
+        # Two deterministic evictions per access (the Circuit ORAM rate).
+        for _ in range(2):
+            self._evict(self._reverse_lexicographic_leaf(self._eviction_counter))
+            self._eviction_counter += 1
+        return result
+
+    def _reverse_lexicographic_leaf(self, counter: int) -> int:
+        bits = self.height
+        value = counter % self.num_leaves
+        reversed_value = 0
+        for _ in range(bits):
+            reversed_value = (reversed_value << 1) | (value & 1)
+            value >>= 1
+        return reversed_value
+
+    def _evict(self, eviction_leaf: int) -> None:
+        """Single-pass eviction: walk root->leaf holding <= 1 block."""
+        self.evictions += 1
+        path = self._path(eviction_leaf)
+        held: Optional[_Block] = None
+
+        for depth, bucket_index in enumerate(path):
+            bucket = self._buckets[bucket_index]
+
+            # Drop the held block here if this is as deep as it may go or
+            # the bucket has room and going deeper isn't possible later.
+            if held is not None and len(bucket) < self.bucket_size:
+                deepest = self._deepest_legal_depth(held.leaf, eviction_leaf)
+                if deepest == depth:
+                    bucket.append(held)
+                    held = None
+
+            # Pick up the bucket/stash block that can go deepest below
+            # this level (only if our hand is free).
+            if held is None:
+                candidates = list(bucket)
+                if depth == 0:
+                    candidates += list(self._stash)
+                best = None
+                best_depth = depth
+                for candidate in candidates:
+                    candidate_depth = self._deepest_legal_depth(
+                        candidate.leaf, eviction_leaf
+                    )
+                    if candidate_depth > best_depth:
+                        best = candidate
+                        best_depth = candidate_depth
+                if best is not None:
+                    held = best
+                    if best in bucket:
+                        bucket.remove(best)
+                    else:
+                        self._stash.remove(best)
+
+        # Anything still in hand returns to the stash.
+        if held is not None:
+            self._stash.append(held)
+
+    # ------------------------------------------------------------------
+    # Convenience API
+    # ------------------------------------------------------------------
+    def read(self, key: int) -> Optional[bytes]:
+        """Read one block (one path fetch + two evictions)."""
+        return self.access(key, None)
+
+    def write(self, key: int, value: bytes) -> Optional[bytes]:
+        """Write one block; returns the prior value."""
+        return self.access(key, value)
+
+    def initialize(self, objects: Dict[int, bytes]) -> None:
+        """Bulk-load blocks one access at a time."""
+        for key, value in objects.items():
+            self.write(key, value)
+
+    @property
+    def stash_size(self) -> int:
+        """Current stash occupancy — O(1) blocks w.h.p. for Circuit ORAM."""
+        return len(self._stash)

@@ -1,0 +1,121 @@
+"""Obladi-lite (Crooks et al., OSDI 2018): trusted-proxy batched ORAM.
+
+Obladi's core idea: a trusted proxy collects requests into fixed-size
+batches, deduplicates them, executes them against a (parallelized) Ring
+ORAM, and delays visibility of writes to the end of the batch.  The proxy
+is the scalability bottleneck Snoopy's evaluation highlights: every
+request serializes through it, so throughput cannot scale past one proxy
+machine (Table 8, Fig. 9a).
+
+This module reproduces the algorithmic behaviour (batching, dedup,
+last-write-wins, delayed visibility, padding to the fixed batch size with
+dummy accesses) on top of :class:`repro.baselines.ringoram.RingOram`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.baselines.ringoram import RingOram
+from repro.types import OpType, Request, Response
+from repro.utils.validation import require_positive
+
+DEFAULT_BATCH_SIZE = 500  # the paper's Obladi configuration (§8.1)
+
+
+class ObladiProxy:
+    """A trusted proxy batching requests over a single Ring ORAM.
+
+    Args:
+        capacity: object count.
+        batch_size: fixed batch size (500 in the paper's runs); batches
+            are padded to this size with dummy accesses so the storage
+            server cannot learn the real load.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        rng: Optional[random.Random] = None,
+    ):
+        require_positive(batch_size, "batch_size")
+        self._rng = rng if rng is not None else random.Random()
+        self.oram = RingOram(capacity, rng=self._rng)
+        self.batch_size = batch_size
+        self._queue: List[Request] = []
+        self.batches_executed = 0
+        self.dummy_accesses = 0
+        self._known_keys: List[int] = []
+
+    def initialize(self, objects: Dict[int, bytes]) -> None:
+        """Bulk-load the store's initial contents into the Ring ORAM."""
+        self.oram.initialize(objects)
+        self._known_keys = sorted(objects)
+
+    # ------------------------------------------------------------------
+    # Request flow
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Queue a request for the next batch."""
+        self._queue.append(request)
+
+    def execute_batch(self) -> List[Response]:
+        """Run one fixed-size batch; delayed-visibility semantics.
+
+        Reads observe the state as of batch start; writes apply at batch
+        end (last write wins).  Every batch performs exactly
+        ``batch_size`` ORAM accesses — real deduplicated requests first,
+        dummy accesses for the rest.
+        """
+        requests = self._queue[: self.batch_size]
+        self._queue = self._queue[self.batch_size :]
+        self.batches_executed += 1
+
+        # Deduplicate: one ORAM access per distinct key; last write wins.
+        reads_first: Dict[int, bytes] = {}
+        winning_write: Dict[int, bytes] = {}
+        order: List[int] = []
+        for request in requests:
+            if request.key not in winning_write and request.key not in reads_first:
+                order.append(request.key)
+            if request.op is OpType.WRITE:
+                winning_write[request.key] = request.value
+            reads_first.setdefault(request.key, b"")
+
+        # Phase 1: read every distinct key (captures batch-start values).
+        prior: Dict[int, Optional[bytes]] = {}
+        for key in order:
+            prior[key] = self.oram.read(key)
+
+        # Pad to the fixed batch size with dummy accesses.
+        for _ in range(self.batch_size - len(order)):
+            self.dummy_accesses += 1
+            dummy_key = (
+                self._rng.choice(self._known_keys) if self._known_keys else 0
+            )
+            self.oram.read(dummy_key)
+
+        # Phase 2 (batch end): apply winning writes.
+        for key, value in winning_write.items():
+            self.oram.write(key, value)
+
+        return [
+            Response(
+                key=request.key,
+                value=prior.get(request.key),
+                client_id=request.client_id,
+                seq=request.seq,
+            )
+            for request in requests
+        ]
+
+    def batch(self, requests: List[Request]) -> List[Response]:
+        """Convenience: submit then execute enough batches to drain."""
+        for request in requests:
+            self.submit(request)
+        responses: List[Response] = []
+        while self._queue:
+            responses.extend(self.execute_batch())
+        return responses

@@ -1,0 +1,148 @@
+"""Pancake-lite (Grubbs et al., USENIX Security 2020): frequency smoothing.
+
+Pancake takes a different road than ORAM (§10): a trusted proxy that
+knows the plaintext access *distribution* transforms queries so the
+server-visible accesses are uniformly distributed over an encrypted,
+non-oblivious store.  Two mechanisms:
+
+* **selective replication** — key ``k`` with probability ``pi(k)`` gets
+  ``r(k) ~ pi(k) * n'`` replicas, so each replica's real-access
+  probability is ~uniform;
+* **fake queries** — every incoming request is padded into a batch of
+  ``B`` server accesses; slots not used by real queries are drawn from a
+  *fake* distribution chosen so that real + fake per-replica rates are
+  exactly uniform.
+
+The proxy remains a central bottleneck and must track the distribution —
+"the proxy remains a bottleneck as it must maintain dynamic state about
+the request distribution" — which is precisely the contrast with
+Snoopy's distribution-independent batching.
+
+Simplifications vs the full system: the distribution is given (not
+estimated online), and writes synchronously update every replica of the
+key (Pancake spreads the update over subsequent accesses).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.utils.validation import require, require_positive
+
+DEFAULT_BATCH = 3  # Pancake's B (three server accesses per real query)
+
+
+class PancakeProxy:
+    """A frequency-smoothing proxy over an encrypted key-value server.
+
+    Args:
+        objects: initial contents.
+        distribution: access probability per key (must sum to ~1).
+        replication_factor: total replicas ~= factor * len(objects).
+        batch_size: server accesses issued per client request.
+    """
+
+    def __init__(
+        self,
+        objects: Dict[int, bytes],
+        distribution: Dict[int, float],
+        replication_factor: float = 2.0,
+        batch_size: int = DEFAULT_BATCH,
+        rng: Optional[random.Random] = None,
+    ):
+        require_positive(batch_size, "batch_size")
+        require(set(distribution) == set(objects),
+                "distribution must cover exactly the stored keys")
+        total = sum(distribution.values())
+        require(abs(total - 1.0) < 1e-6, "distribution must sum to 1")
+        self._rng = rng if rng is not None else random.Random()
+        self.batch_size = batch_size
+
+        # Selective replication: r(k) ~ pi(k) * n'.
+        target_replicas = max(len(objects), int(replication_factor * len(objects)))
+        self._replicas: Dict[int, List[int]] = {}
+        self._server: Dict[int, bytes] = {}  # replica id -> ciphertext value
+        self.access_log: List[int] = []  # server-visible replica accesses
+        next_replica = 0
+        for key in sorted(objects):
+            count = max(1, round(distribution[key] * target_replicas))
+            ids = list(range(next_replica, next_replica + count))
+            next_replica += count
+            self._replicas[key] = ids
+            for replica in ids:
+                self._server[replica] = objects[key]
+        self.num_replicas = next_replica
+
+        # Fake distribution: per replica, the uniform target rate minus the
+        # real rate; real rate of replica of key k = pi(k)/r(k).
+        uniform = 1.0 / self.num_replicas
+        weights = []
+        for key in sorted(objects):
+            real_rate = distribution[key] / len(self._replicas[key])
+            deficit = max(0.0, uniform - real_rate / self.batch_size)
+            for replica in self._replicas[key]:
+                weights.append((replica, deficit))
+        total_weight = sum(w for _, w in weights) or 1.0
+        self._fake_replicas = [replica for replica, _ in weights]
+        self._fake_weights = [w / total_weight for _, w in weights]
+
+    # ------------------------------------------------------------------
+    # Access protocol
+    # ------------------------------------------------------------------
+    def _touch(self, replica: int) -> bytes:
+        self.access_log.append(replica)
+        return self._server[replica]
+
+    def _fake_access(self) -> None:
+        [replica] = self._rng.choices(
+            self._fake_replicas, weights=self._fake_weights
+        )
+        self._touch(replica)
+
+    def read(self, key: int) -> bytes:
+        """Serve a read: one real replica access + B-1 smoothing accesses."""
+        replica = self._rng.choice(self._replicas[key])
+        value = self._touch(replica)
+        for _ in range(self.batch_size - 1):
+            self._fake_access()
+        return value
+
+    def write(self, key: int, value: bytes) -> bytes:
+        """Serve a write; returns the prior value.
+
+        Simplification: all replicas update now (the real system defers);
+        the *visible* access pattern is still one touched replica plus
+        fakes — replica rewrites ride along as ciphertext refreshes.
+        """
+        prior = self._server[self._replicas[key][0]]
+        for replica in self._replicas[key]:
+            self._server[replica] = value
+        replica = self._rng.choice(self._replicas[key])
+        self._touch(replica)
+        for _ in range(self.batch_size - 1):
+            self._fake_access()
+        return prior
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def replica_count(self, key: int) -> int:
+        """Number of replicas provisioned for ``key``."""
+        return len(self._replicas[key])
+
+    def observed_histogram(self) -> Dict[int, int]:
+        """Server-visible access counts per replica."""
+        histogram: Dict[int, int] = {r: 0 for r in range(self.num_replicas)}
+        for replica in self.access_log:
+            histogram[replica] += 1
+        return histogram
+
+    def smoothness(self) -> float:
+        """Max/mean ratio of the observed replica histogram (1.0 = flat)."""
+        histogram = self.observed_histogram()
+        counts = list(histogram.values())
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            return 1.0
+        return max(counts) / mean

@@ -1,0 +1,169 @@
+"""Path ORAM (Stefanov et al., CCS 2013).
+
+The canonical tree-based ORAM: blocks live in a binary tree of
+``Z``-slot buckets; a position map assigns each block a leaf; an access
+reads the whole root-to-leaf path into a client-side stash, remaps the
+block to a fresh leaf, and greedily writes the path back.  The paper's
+baselines Oblix and TaoStore, and Snoopy's "attempt #2" strawman, all
+build on this structure — and its root bucket is the scalability
+bottleneck Snoopy removes (§1).
+
+This is a complete functional implementation (stash, greedy write-back,
+recursion-free position map); :class:`repro.baselines.oblix.OblixMap`
+layers recursive position maps on top.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.utils.bits import next_pow2
+from repro.utils.validation import require_positive
+
+DEFAULT_BUCKET_SIZE = 4
+
+
+class _Block:
+    __slots__ = ("key", "value", "leaf")
+
+    def __init__(self, key: int, value: bytes, leaf: int):
+        self.key = key
+        self.value = value
+        self.leaf = leaf
+
+
+class PathOram:
+    """A Path ORAM instance over integer-keyed fixed-size blocks.
+
+    Args:
+        capacity: maximum number of blocks.
+        bucket_size: Z (4 is the standard choice).
+        rng: randomness source (tests pass a seeded ``random.Random``).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        bucket_size: int = DEFAULT_BUCKET_SIZE,
+        rng: Optional[random.Random] = None,
+    ):
+        require_positive(capacity, "capacity")
+        require_positive(bucket_size, "bucket_size")
+        self.capacity = capacity
+        self.bucket_size = bucket_size
+        self._rng = rng if rng is not None else random.Random()
+
+        self.num_leaves = next_pow2(max(2, capacity))
+        self.height = self.num_leaves.bit_length() - 1  # root depth 0
+        num_buckets = 2 * self.num_leaves - 1
+        # Bucket b's children are 2b+1, 2b+2; leaves occupy the last level.
+        self._tree: List[List[_Block]] = [[] for _ in range(num_buckets)]
+        self._position: Dict[int, int] = {}
+        self._stash: Dict[int, _Block] = {}
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+    # Tree geometry
+    # ------------------------------------------------------------------
+    def _leaf_bucket(self, leaf: int) -> int:
+        return (self.num_leaves - 1) + leaf
+
+    def _path(self, leaf: int) -> List[int]:
+        """Bucket indices from root to ``leaf``'s bucket."""
+        path = []
+        node = self._leaf_bucket(leaf)
+        while True:
+            path.append(node)
+            if node == 0:
+                break
+            node = (node - 1) // 2
+        path.reverse()
+        return path
+
+    def _path_at_depth(self, leaf: int, depth: int) -> int:
+        """The bucket on ``leaf``'s path at the given depth."""
+        node = self._leaf_bucket(leaf)
+        for _ in range(self.height - depth):
+            node = (node - 1) // 2
+        return node
+
+    # ------------------------------------------------------------------
+    # Access protocol
+    # ------------------------------------------------------------------
+    def access(
+        self, key: int, new_value: Optional[bytes] = None
+    ) -> Optional[bytes]:
+        """One ORAM access: read (new_value None) or write.
+
+        Returns the block's value prior to the access, or ``None`` if the
+        key has never been written.
+        """
+        self.accesses += 1
+        leaf = self._position.get(key)
+        if leaf is None:
+            leaf = self._rng.randrange(self.num_leaves)
+        new_leaf = self._rng.randrange(self.num_leaves)
+        self._position[key] = new_leaf
+
+        # Read the whole path into the stash.
+        path = self._path(leaf)
+        for bucket_index in path:
+            bucket = self._tree[bucket_index]
+            for block in bucket:
+                self._stash[block.key] = block
+            self._tree[bucket_index] = []
+
+        block = self._stash.get(key)
+        result = block.value if block is not None else None
+
+        if new_value is not None:
+            if block is None:
+                block = _Block(key, new_value, new_leaf)
+                self._stash[key] = block
+            else:
+                block.value = new_value
+        if block is not None:
+            block.leaf = new_leaf
+
+        self._write_back(leaf)
+        return result
+
+    def _write_back(self, leaf: int) -> None:
+        """Greedy write-back: deepest intersecting bucket first."""
+        for depth in range(self.height, -1, -1):
+            bucket_index = self._path_at_depth(leaf, depth)
+            bucket: List[_Block] = []
+            for key in list(self._stash):
+                if len(bucket) >= self.bucket_size:
+                    break
+                block = self._stash[key]
+                if self._path_at_depth(block.leaf, depth) == bucket_index:
+                    bucket.append(block)
+                    del self._stash[key]
+            self._tree[bucket_index] = bucket
+
+    # ------------------------------------------------------------------
+    # Convenience API
+    # ------------------------------------------------------------------
+    def read(self, key: int) -> Optional[bytes]:
+        """Read one block (a full path access)."""
+        return self.access(key, None)
+
+    def write(self, key: int, value: bytes) -> Optional[bytes]:
+        """Write one block; returns the prior value."""
+        return self.access(key, value)
+
+    def initialize(self, objects: Dict[int, bytes]) -> None:
+        """Bulk-load objects (standard one-by-one insertion)."""
+        for key, value in objects.items():
+            self.write(key, value)
+
+    @property
+    def stash_size(self) -> int:
+        """Current stash occupancy — bounded w.h.p. for Z >= 4."""
+        return len(self._stash)
+
+    def path_length_blocks(self) -> int:
+        """Blocks transferred per access: Z * (height + 1), both directions."""
+        return self.bucket_size * (self.height + 1)

@@ -1,0 +1,69 @@
+"""A Redis-like sharded plaintext key-value store (§8.1's Redis baseline).
+
+The insecure performance ceiling: objects are sharded across nodes by a
+plain hash, clients route directly to the owning shard, and the server
+observes every access in the clear.  Used to quantify the overhead of
+obliviousness (Snoopy is ~39x slower than Redis at 15 machines, §8.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.types import OpType, Request, Response
+from repro.utils.validation import require_positive
+
+
+class PlaintextStore:
+    """A sharded in-memory KV store with visible access patterns.
+
+    ``access_log`` records (shard, key, op) per request — exactly the
+    leakage oblivious storage exists to remove; the comparison tests use
+    it to demonstrate the insecurity of "attempt #1" sharding (§3).
+    """
+
+    def __init__(self, num_shards: int = 1):
+        require_positive(num_shards, "num_shards")
+        self.num_shards = num_shards
+        self._shards: List[Dict[int, bytes]] = [{} for _ in range(num_shards)]
+        self.access_log: List[tuple] = []
+
+    def _shard_of(self, key: int) -> int:
+        return hash(key) % self.num_shards
+
+    def initialize(self, objects: Dict[int, bytes]) -> None:
+        """Bulk-load the shards."""
+        for key, value in objects.items():
+            self._shards[self._shard_of(key)][key] = value
+
+    def read(self, key: int) -> Optional[bytes]:
+        """Read one object; the access is logged in the clear."""
+        shard = self._shard_of(key)
+        self.access_log.append((shard, key, "read"))
+        return self._shards[shard].get(key)
+
+    def write(self, key: int, value: bytes) -> Optional[bytes]:
+        """Write one object; returns the prior value; logged in the clear."""
+        shard = self._shard_of(key)
+        self.access_log.append((shard, key, "write"))
+        prior = self._shards[shard].get(key)
+        self._shards[shard][key] = value
+        return prior
+
+    def batch(self, requests: List[Request]) -> List[Response]:
+        """Pipelined batch execution (memtier-style)."""
+        responses = []
+        for request in requests:
+            if request.op is OpType.WRITE:
+                value = self.write(request.key, request.value)
+            else:
+                value = self.read(request.key)
+            responses.append(
+                Response(
+                    key=request.key,
+                    value=value,
+                    client_id=request.client_id,
+                    seq=request.seq,
+                )
+            )
+        return responses

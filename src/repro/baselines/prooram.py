@@ -1,0 +1,127 @@
+"""PRO-ORAM-lite (Tople et al., RAID 2019): practical read-only ORAM.
+
+§10: "PRO-ORAM, a read-only ORAM running inside an enclave, parallelizes
+the shuffling of batches of sqrt(N) requests across cores, offering
+competitive performance for read workloads.  Snoopy, in contrast,
+supports both reads and writes."
+
+Structure (a read-only refinement of square-root ORAM): a permuted store
+plus a sqrt(N) shelter; unlike the classic design, the next epoch's
+oblivious shuffle is performed *incrementally* — each access contributes
+a fixed quantum of shuffle work that the enclave distributes across its
+cores — so accesses never stall on a monolithic reshuffle.  Writes are
+rejected (the design's limitation and Snoopy's contrast point).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional
+
+from repro.crypto.keys import random_key
+from repro.errors import ReproError
+from repro.oblivious.shuffle import permutation_of
+from repro.utils.validation import require_positive
+
+
+class ReadOnlyViolation(ReproError):
+    """A write was issued to the read-only PRO-ORAM."""
+
+
+class ProOram:
+    """A read-only ORAM with incremental, parallelizable reshuffles.
+
+    Args:
+        objects: the (immutable) contents.
+        workers: cores available for shuffle work (speeds up the
+            background shuffle quantum, Fig. 13-style).
+    """
+
+    def __init__(
+        self,
+        objects: Dict[int, bytes],
+        workers: int = 4,
+        rng: Optional[random.Random] = None,
+    ):
+        require_positive(workers, "workers")
+        if not objects:
+            raise ReproError("PRO-ORAM needs at least one object")
+        self._rng = rng if rng is not None else random.Random()
+        self.workers = workers
+        self._keys = sorted(objects)
+        self._values = [objects[k] for k in self._keys]
+        self._index_of = {key: i for i, key in enumerate(self._keys)}
+        self.capacity = len(self._keys)
+        self.shelter_size = max(1, math.isqrt(self.capacity))
+        self.num_dummies = self.shelter_size
+
+        self.accesses = 0
+        self.background_shuffles = 0
+        # Total shuffle work per epoch, split into per-access quanta so the
+        # sqrt(N) accesses of an epoch collectively fund the next shuffle.
+        n = self.capacity + self.num_dummies
+        self._shuffle_total_work = n * max(1, math.ceil(math.log2(max(2, n))))
+        self._shuffle_progress = 0
+        self._install_layout()
+
+    # ------------------------------------------------------------------
+    # Layout management
+    # ------------------------------------------------------------------
+    def _install_layout(self) -> None:
+        """Adopt a freshly shuffled layout; reset the shelter."""
+        size = self.capacity + self.num_dummies
+        permutation = permutation_of(size, random_key(self._rng))
+        self._slot_of = {
+            logical: slot for slot, logical in enumerate(permutation)
+        }
+        self._sheltered: set = set()
+        self._next_dummy = 0
+        self._epoch_accesses = 0
+        self._shuffle_progress = 0
+        self.background_shuffles += 1
+
+    def shuffle_quantum_per_access(self) -> int:
+        """Work units each access contributes to the background shuffle."""
+        return math.ceil(
+            self._shuffle_total_work / (self.shelter_size * self.workers)
+        )
+
+    # ------------------------------------------------------------------
+    # Read protocol
+    # ------------------------------------------------------------------
+    def read(self, key: int) -> bytes:
+        """One read: shelter scan + one permuted-store slot + shuffle work."""
+        if key not in self._index_of:
+            raise KeyError(f"key {key} not stored")
+        self.accesses += 1
+        self._epoch_accesses += 1
+        logical = self._index_of[key]
+
+        # Scan the shelter (membership only — values are immutable).
+        if logical in self._sheltered:
+            dummy_logical = self.capacity + self._next_dummy
+            self._next_dummy = (self._next_dummy + 1) % self.num_dummies
+            _ = self._slot_of[dummy_logical]  # touch a dummy slot
+        else:
+            _ = self._slot_of[logical]
+            self._sheltered.add(logical)
+
+        # Contribute this access's shuffle quantum.
+        self._shuffle_progress += self.shuffle_quantum_per_access() * self.workers
+        if (
+            self._epoch_accesses >= self.shelter_size
+            and self._shuffle_progress >= self._shuffle_total_work
+        ):
+            self._install_layout()
+        return self._values[logical]
+
+    def write(self, key: int, value: bytes):
+        """Rejected: PRO-ORAM is read-only (Snoopy's contrast point)."""
+        raise ReadOnlyViolation(
+            "PRO-ORAM supports only reads; use Snoopy for mixed workloads"
+        )
+
+    def batch_read(self, keys: List[int]) -> List[bytes]:
+        """Sequential reads of a batch (the sqrt(N)-request epoch unit)."""
+        return [self.read(key) for key in keys]

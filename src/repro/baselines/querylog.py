@@ -1,0 +1,132 @@
+"""PrivateFS / ConcurORAM-lite: query-log-coordinated parallel ORAM (§10).
+
+"PrivateFS and ConcurORAM coordinate concurrent requests to shared data
+using an encrypted query log on top of a hierarchical ORAM or a
+tree-based ORAM, respectively.  This query log quickly becomes a
+serialization bottleneck."
+
+The scheme: concurrent clients *append* their query to an encrypted log
+and scan the log for earlier pending queries to the same block (so two
+clients never fetch the same path twice — the second is served from the
+log).  Periodically the log is committed: its writes are applied to the
+underlying ORAM and the log is cleared.  Every operation serializes
+through log append + full log scan — the bottleneck in question, which
+``log_scans`` and ``appends`` make measurable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.baselines.pathoram import PathOram
+from repro.types import OpType, Request, Response
+from repro.utils.validation import require_positive
+
+
+class _LogEntry:
+    __slots__ = ("key", "value", "is_write")
+
+    def __init__(self, key: int, value: Optional[bytes], is_write: bool):
+        self.key = key
+        self.value = value
+        self.is_write = is_write
+
+
+class QueryLogOram:
+    """A query-log coordinator over a Path ORAM.
+
+    Args:
+        capacity: number of blocks.
+        commit_every: log size triggering a commit (the period the real
+            systems derive from their de-amortized eviction schedules).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        commit_every: int = 8,
+        rng: Optional[random.Random] = None,
+    ):
+        require_positive(commit_every, "commit_every")
+        self._rng = rng if rng is not None else random.Random()
+        self.oram = PathOram(capacity, rng=self._rng)
+        self.commit_every = commit_every
+        self._log: List[_LogEntry] = []
+        self.appends = 0
+        self.log_scans = 0
+        self.commits = 0
+
+    # ------------------------------------------------------------------
+    # The serialized access path
+    # ------------------------------------------------------------------
+    def access(self, key: int, new_value: Optional[bytes] = None) -> Optional[bytes]:
+        """One coordinated access: scan the log, maybe fetch, append."""
+        # Every request scans the whole log (obliviously in the real
+        # system) — the serialization bottleneck.
+        self.log_scans += 1
+        pending: Optional[_LogEntry] = None
+        for entry in self._log:
+            if entry.key == key:
+                pending = entry  # latest wins; keep scanning
+
+        if pending is not None:
+            result = pending.value
+        else:
+            result = self.oram.read(key)
+
+        self.appends += 1
+        self._log.append(
+            _LogEntry(
+                key,
+                new_value if new_value is not None else result,
+                new_value is not None,
+            )
+        )
+        if len(self._log) >= self.commit_every:
+            self.commit()
+        return result
+
+    def commit(self) -> None:
+        """Apply the log's writes to the ORAM and clear it."""
+        self.commits += 1
+        latest_write: Dict[int, bytes] = {}
+        for entry in self._log:
+            if entry.is_write and entry.value is not None:
+                latest_write[entry.key] = entry.value
+        for key, value in latest_write.items():
+            self.oram.write(key, value)
+        self._log.clear()
+
+    # ------------------------------------------------------------------
+    # Convenience API
+    # ------------------------------------------------------------------
+    def read(self, key: int) -> Optional[bytes]:
+        """Read one block through the query log."""
+        return self.access(key, None)
+
+    def write(self, key: int, value: bytes) -> Optional[bytes]:
+        """Write one block through the query log; returns the prior value."""
+        return self.access(key, value)
+
+    def initialize(self, objects: Dict[int, bytes]) -> None:
+        """Bulk-load the underlying tree."""
+        self.oram.initialize(objects)
+
+    def batch(self, requests: List[Request]) -> List[Response]:
+        """Serve requests in order; each sees earlier requests' effects."""
+        responses = []
+        for request in requests:
+            value = self.access(
+                request.key,
+                request.value if request.op is OpType.WRITE else None,
+            )
+            responses.append(
+                Response(
+                    key=request.key,
+                    value=value,
+                    client_id=request.client_id,
+                    seq=request.seq,
+                )
+            )
+        return responses

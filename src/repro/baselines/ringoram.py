@@ -1,0 +1,217 @@
+"""Ring ORAM (Ren et al., USENIX Security 2015).
+
+The ORAM Obladi parallelizes.  Relative to Path ORAM, Ring ORAM reads only
+*one* slot per bucket on an access (the target block if present, a fresh
+dummy otherwise) and amortizes shuffling into an ``EvictPath`` every ``A``
+accesses along reverse-lexicographic paths, plus an ``EarlyReshuffle``
+when a bucket runs out of unread dummies.
+
+This implementation keeps the protocol structure faithful — per-bucket
+valid bits, access counts, deterministic eviction order, early reshuffles
+— while using plain Python containers for the bucket bodies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.utils.bits import next_pow2
+from repro.utils.validation import require_positive
+
+
+class _Block:
+    __slots__ = ("key", "value", "leaf")
+
+    def __init__(self, key: int, value: bytes, leaf: int):
+        self.key = key
+        self.value = value
+        self.leaf = leaf
+
+
+class _Bucket:
+    """A Ring ORAM bucket: up to Z real blocks, S dummies, valid bits."""
+
+    __slots__ = ("blocks", "dummies_remaining", "accesses_since_shuffle")
+
+    def __init__(self, num_dummies: int):
+        self.blocks: List[_Block] = []
+        self.dummies_remaining = num_dummies
+        self.accesses_since_shuffle = 0
+
+
+class RingOram:
+    """A Ring ORAM instance over integer-keyed fixed-size blocks.
+
+    Args:
+        capacity: maximum number of blocks.
+        bucket_size: Z real slots per bucket.
+        num_dummies: S dummy slots per bucket.
+        eviction_rate: A — EvictPath every A accesses.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        bucket_size: int = 4,
+        num_dummies: int = 5,
+        eviction_rate: int = 3,
+        rng: Optional[random.Random] = None,
+    ):
+        require_positive(capacity, "capacity")
+        self.capacity = capacity
+        self.bucket_size = bucket_size
+        self.num_dummies = num_dummies
+        self.eviction_rate = eviction_rate
+        self._rng = rng if rng is not None else random.Random()
+
+        self.num_leaves = next_pow2(max(2, capacity))
+        self.height = self.num_leaves.bit_length() - 1
+        self._buckets = [
+            _Bucket(num_dummies) for _ in range(2 * self.num_leaves - 1)
+        ]
+        self._position: Dict[int, int] = {}
+        self._stash: Dict[int, _Block] = {}
+        self.accesses = 0
+        self._eviction_counter = 0  # reverse-lexicographic leaf cursor
+        self.evictions = 0
+        self.early_reshuffles = 0
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def _leaf_bucket(self, leaf: int) -> int:
+        return (self.num_leaves - 1) + leaf
+
+    def _path(self, leaf: int) -> List[int]:
+        path = []
+        node = self._leaf_bucket(leaf)
+        while True:
+            path.append(node)
+            if node == 0:
+                break
+            node = (node - 1) // 2
+        path.reverse()
+        return path
+
+    def _path_at_depth(self, leaf: int, depth: int) -> int:
+        node = self._leaf_bucket(leaf)
+        for _ in range(self.height - depth):
+            node = (node - 1) // 2
+        return node
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def access(self, key: int, new_value: Optional[bytes] = None) -> Optional[bytes]:
+        """ReadPath + conditional stash update + periodic EvictPath."""
+        self.accesses += 1
+        leaf = self._position.get(key)
+        if leaf is None:
+            leaf = self._rng.randrange(self.num_leaves)
+        new_leaf = self._rng.randrange(self.num_leaves)
+        self._position[key] = new_leaf
+
+        # ReadPath: one slot per bucket — the target block if the bucket
+        # holds it, otherwise consume one dummy.
+        found: Optional[_Block] = None
+        for bucket_index in self._path(leaf):
+            bucket = self._buckets[bucket_index]
+            bucket.accesses_since_shuffle += 1
+            target = None
+            for block in bucket.blocks:
+                if block.key == key:
+                    target = block
+                    break
+            if target is not None:
+                bucket.blocks.remove(target)
+                self._stash[target.key] = target
+                found = target
+            else:
+                bucket.dummies_remaining -= 1
+            if (
+                bucket.dummies_remaining <= 0
+                or bucket.accesses_since_shuffle >= self.num_dummies
+            ):
+                self._early_reshuffle(bucket_index)
+
+        block = self._stash.get(key) if found is None else found
+        result = block.value if block is not None else None
+
+        if new_value is not None:
+            if block is None:
+                block = _Block(key, new_value, new_leaf)
+                self._stash[key] = block
+            else:
+                block.value = new_value
+        if block is not None:
+            block.leaf = new_leaf
+
+        if self.accesses % self.eviction_rate == 0:
+            self._evict_path()
+        return result
+
+    def _early_reshuffle(self, bucket_index: int) -> None:
+        """Re-provision a bucket's dummies (reads + rewrites the bucket)."""
+        bucket = self._buckets[bucket_index]
+        bucket.dummies_remaining = self.num_dummies
+        bucket.accesses_since_shuffle = 0
+        self.early_reshuffles += 1
+
+    def _evict_path(self) -> None:
+        """EvictPath along the next reverse-lexicographic leaf."""
+        leaf = self._reverse_lexicographic_leaf(self._eviction_counter)
+        self._eviction_counter += 1
+        self.evictions += 1
+
+        # Pull every real block on the path into the stash.
+        for bucket_index in self._path(leaf):
+            bucket = self._buckets[bucket_index]
+            for block in bucket.blocks:
+                self._stash[block.key] = block
+            bucket.blocks = []
+            bucket.dummies_remaining = self.num_dummies
+            bucket.accesses_since_shuffle = 0
+
+        # Greedy write-back, deepest bucket first.
+        for depth in range(self.height, -1, -1):
+            bucket_index = self._path_at_depth(leaf, depth)
+            bucket = self._buckets[bucket_index]
+            for key in list(self._stash):
+                if len(bucket.blocks) >= self.bucket_size:
+                    break
+                block = self._stash[key]
+                if self._path_at_depth(block.leaf, depth) == bucket_index:
+                    bucket.blocks.append(block)
+                    del self._stash[key]
+
+    def _reverse_lexicographic_leaf(self, counter: int) -> int:
+        """Bit-reversed eviction order spreads evictions across the tree."""
+        bits = self.height
+        value = counter % self.num_leaves
+        reversed_value = 0
+        for _ in range(bits):
+            reversed_value = (reversed_value << 1) | (value & 1)
+            value >>= 1
+        return reversed_value
+
+    # ------------------------------------------------------------------
+    # Convenience API
+    # ------------------------------------------------------------------
+    def read(self, key: int) -> Optional[bytes]:
+        """Read one block (one slot per bucket on the path)."""
+        return self.access(key, None)
+
+    def write(self, key: int, value: bytes) -> Optional[bytes]:
+        """Write one block; returns the prior value."""
+        return self.access(key, value)
+
+    def initialize(self, objects: Dict[int, bytes]) -> None:
+        """Bulk-load the tree's initial contents."""
+        for key, value in objects.items():
+            self.write(key, value)
+
+    @property
+    def stash_size(self) -> int:
+        """Current stash occupancy (bounded w.h.p.)."""
+        return len(self._stash)

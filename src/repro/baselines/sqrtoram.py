@@ -1,0 +1,154 @@
+"""Square-root ORAM (Goldreich-Ostrovsky), the classic hierarchical design.
+
+The paper's introduction traces the scalability bottleneck to ORAM's two
+traditional properties: a dynamic logical-to-physical mapping and a
+hierarchical/tree structure with a hot top level (§1).  Square-root ORAM
+is the simplest member of the hierarchical family and makes both
+properties explicit:
+
+* ``n`` blocks live in a pseudorandomly permuted main area plus a
+  ``sqrt(n)``-sized *shelter*;
+* each access first scans the whole shelter; if the block was sheltered,
+  a *dummy* main-area slot is touched, otherwise the block's permuted
+  slot is; the result joins the shelter;
+* after ``sqrt(n)`` accesses the structure is obliviously reshuffled
+  (here via :func:`repro.oblivious.shuffle.oblivious_shuffle`) — the
+  serialized, unparallelizable step that caps throughput.
+
+Included as the representative of the hierarchical class (ObliviStore's
+SSS-ORAM descends from it) for baseline comparisons and tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional
+
+from repro.crypto.keys import random_key
+from repro.oblivious.shuffle import permutation_of
+from repro.utils.validation import require_positive
+
+
+class _Slot:
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: int, value: Optional[bytes]):
+        self.key = key
+        self.value = value
+
+
+class SqrtOram:
+    """A square-root ORAM over integer keys ``0..capacity-1``.
+
+    Args:
+        capacity: number of logical blocks (keys are ``range(capacity)``).
+        rng: randomness source for permutation keys and dummy selection.
+    """
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None):
+        require_positive(capacity, "capacity")
+        self.capacity = capacity
+        self._rng = rng if rng is not None else random.Random()
+        self.shelter_size = max(1, math.isqrt(capacity))
+        # Main area: capacity real slots + sqrt(n) dummy slots, permuted.
+        self.num_dummies = self.shelter_size
+        self._values: List[Optional[bytes]] = [None] * capacity
+        self.accesses = 0
+        self.reshuffles = 0
+        self._epoch_accesses = 0
+        self._reshuffle()
+
+    # ------------------------------------------------------------------
+    # Oblivious reshuffle
+    # ------------------------------------------------------------------
+    def _reshuffle(self) -> None:
+        """Re-permute main area; drain the shelter back into it."""
+        self.reshuffles += 1
+        self._epoch_accesses = 0
+        key = random_key(self._rng)
+        size = self.capacity + self.num_dummies
+        permutation = permutation_of(size, key)
+        # slot_of[logical index] = physical slot after the shuffle.
+        self._slot_of = {logical: slot for slot, logical in enumerate(permutation)}
+        self._main: List[_Slot] = [None] * size  # type: ignore[list-item]
+        for logical in range(self.capacity):
+            self._main[self._slot_of[logical]] = _Slot(
+                logical, self._values[logical]
+            )
+        for dummy in range(self.num_dummies):
+            logical = self.capacity + dummy
+            self._main[self._slot_of[logical]] = _Slot(-1 - dummy, None)
+        self._shelter: List[_Slot] = []
+        self._next_dummy = 0
+
+    # ------------------------------------------------------------------
+    # Access protocol
+    # ------------------------------------------------------------------
+    def access(self, key: int, new_value: Optional[bytes] = None) -> Optional[bytes]:
+        """One access: shelter scan + one main-area fetch (+ periodic reshuffle)."""
+        if not 0 <= key < self.capacity:
+            raise KeyError(f"key {key} outside capacity {self.capacity}")
+        self.accesses += 1
+        self._epoch_accesses += 1
+
+        # 1. Scan the entire shelter (oblivious: full scan every time).
+        sheltered = None
+        for slot in self._shelter:
+            if slot.key == key:
+                sheltered = slot
+
+        # 2. Touch exactly one main-area slot: the real one if the block
+        # was not sheltered, else the next unused dummy.
+        if sheltered is None:
+            physical = self._slot_of[key]
+            fetched = self._main[physical]
+            block = _Slot(fetched.key, fetched.value)
+        else:
+            dummy_logical = self.capacity + self._next_dummy
+            self._next_dummy = (self._next_dummy + 1) % self.num_dummies
+            _ = self._main[self._slot_of[dummy_logical]]
+            block = sheltered
+
+        result = block.value
+        if new_value is not None:
+            block.value = new_value
+            self._values[key] = new_value
+        if sheltered is None:
+            self._shelter.append(block)
+            self._values[key] = block.value
+
+        # 3. Reshuffle after sqrt(n) accesses.
+        if self._epoch_accesses >= self.shelter_size:
+            self._reshuffle()
+        return result
+
+    def read(self, key: int) -> Optional[bytes]:
+        """Read one block."""
+        return self.access(key, None)
+
+    def write(self, key: int, value: bytes) -> Optional[bytes]:
+        """Write one block; returns the prior value."""
+        return self.access(key, value)
+
+    def initialize(self, objects: Dict[int, bytes]) -> None:
+        """Bulk-load values and build the first permuted layout."""
+        for key, value in objects.items():
+            self._values[key] = value
+        self._reshuffle()
+
+    # ------------------------------------------------------------------
+    # Cost accounting (for baseline comparisons)
+    # ------------------------------------------------------------------
+    def amortized_work_per_access(self) -> float:
+        """Shelter scan + one fetch + amortized reshuffle, in touched slots.
+
+        ``O(sqrt(n))`` shelter scan per access plus an ``O(n log^2 n)``
+        oblivious shuffle every ``sqrt(n)`` accesses — the asymptotics
+        that make the hierarchical family throughput-poor.
+        """
+        n = self.capacity
+        shuffle_cost = (n + self.num_dummies) * max(
+            1, math.ceil(math.log2(max(2, n))) ** 2
+        )
+        return self.shelter_size + 1 + shuffle_cost / self.shelter_size

@@ -1,0 +1,126 @@
+"""TaoStore-lite (Sahin et al., S&P 2016): asynchronous trusted-proxy ORAM.
+
+TaoStore serves concurrent clients through a trusted proxy over Path
+ORAM *without batching*: requests are processed as they arrive; requests
+for overlapping paths are coalesced through an in-proxy subtree cache so
+a path is never fetched twice concurrently; write-back happens
+asynchronously.  The proxy sequencer is the scalability bottleneck (§10:
+"each requires some centralized component that eventually bottlenecks
+scalability").
+
+This reproduction keeps the request-level structure — a sequencer, a
+fresh-subtree cache keyed by path, coalesced fetches, deferred
+write-back every ``flush_every`` completions — at the granularity our
+comparisons need, on top of :class:`repro.baselines.pathoram.PathOram`
+internals.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.baselines.pathoram import PathOram
+from repro.types import OpType, Request, Response
+from repro.utils.validation import require_positive
+
+
+class TaoStoreProxy:
+    """A TaoStore-style proxy over one Path ORAM tree.
+
+    Requests submitted between flushes see the proxy's fresh state
+    (sequencer order), while the server-side tree is updated lazily —
+    TaoStore's "asynchronous" write-back.  ``paths_fetched`` counts
+    server round trips; coalescing makes it less than the request count
+    under concurrency.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        flush_every: int = 8,
+        rng: Optional[random.Random] = None,
+    ):
+        require_positive(flush_every, "flush_every")
+        self._rng = rng if rng is not None else random.Random()
+        self.oram = PathOram(capacity, rng=self._rng)
+        self.flush_every = flush_every
+        # Proxy state: fresh values not yet written back, and the set of
+        # paths currently held in the subtree cache.
+        self._fresh: Dict[int, bytes] = {}
+        self._cached_paths: set = set()
+        self.sequenced = 0
+        self.paths_fetched = 0
+        self._since_flush = 0
+
+    # ------------------------------------------------------------------
+    # Request processing (sequential sequencer — the bottleneck)
+    # ------------------------------------------------------------------
+    def access(self, key: int, new_value: Optional[bytes] = None) -> Optional[bytes]:
+        """Sequence one request; fetches a path unless coalesced."""
+        self.sequenced += 1
+
+        if key in self._fresh:
+            # Coalesced: answered from the proxy's subtree cache, no
+            # server round trip.
+            result = self._fresh[key]
+        else:
+            leaf = self.oram._position.get(key)
+            path_id = leaf if leaf is not None else ("miss", key)
+            if path_id not in self._cached_paths:
+                self.paths_fetched += 1
+                self._cached_paths.add(path_id)
+            # Fetch through the ORAM (moves the block, remaps the leaf)
+            # and keep the block cached until the next flush.
+            result = self.oram.read(key)
+            if result is not None:
+                self._fresh[key] = result
+
+        if new_value is not None:
+            self._fresh[key] = new_value
+        self._since_flush += 1
+        if self._since_flush >= self.flush_every:
+            self.flush()
+        return result
+
+    def flush(self) -> None:
+        """Asynchronous write-back: push fresh values into the tree."""
+        for key, value in self._fresh.items():
+            self.oram.write(key, value)
+        self._fresh.clear()
+        self._cached_paths.clear()
+        self._since_flush = 0
+
+    # ------------------------------------------------------------------
+    # Convenience API
+    # ------------------------------------------------------------------
+    def read(self, key: int) -> Optional[bytes]:
+        """Read one object through the sequencer."""
+        return self.access(key, None)
+
+    def write(self, key: int, value: bytes) -> Optional[bytes]:
+        """Write one object through the sequencer; returns the prior value."""
+        return self.access(key, value)
+
+    def initialize(self, objects: Dict[int, bytes]) -> None:
+        """Bulk-load the tree's initial contents."""
+        self.oram.initialize(objects)
+
+    def batch(self, requests: List[Request]) -> List[Response]:
+        """Serve requests in sequence (no batching — TaoStore semantics:
+        each request sees all earlier requests' effects immediately)."""
+        responses = []
+        for request in requests:
+            value = self.access(
+                request.key,
+                request.value if request.op is OpType.WRITE else None,
+            )
+            responses.append(
+                Response(
+                    key=request.key,
+                    value=value,
+                    client_id=request.client_id,
+                    seq=request.seq,
+                )
+            )
+        return responses

@@ -1,0 +1,21 @@
+"""Snoopy core: the assembled oblivious object store (§3, Figure 21).
+
+:class:`repro.core.snoopy.Snoopy` wires ``L`` load balancers to ``S``
+subORAMs, drives epochs, and exposes the client-facing batch-access API.
+The package also hosts the linearizability checker backing the §C proof
+and the §D access-control extension.
+"""
+
+from repro.core.config import SnoopyConfig
+from repro.core.snoopy import Snoopy
+from repro.core.client import Client
+from repro.core.linearizability import History, Operation, check_linearizable
+
+__all__ = [
+    "Client",
+    "History",
+    "Operation",
+    "Snoopy",
+    "SnoopyConfig",
+    "check_linearizable",
+]

@@ -1,0 +1,105 @@
+"""Client-side API and history recording.
+
+``Client`` issues reads/writes against a :class:`~repro.core.snoopy.Snoopy`
+deployment, assigns sequence numbers, and records an operation history
+(invocation/response epochs) suitable for the linearizability checker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.linearizability import Operation
+from repro.core.snoopy import Snoopy
+from repro.types import OpType, Request, Response
+
+
+class Client:
+    """A Snoopy client with sequence numbers and history recording."""
+
+    _next_client_id = 0
+
+    def __init__(self, store: Snoopy, client_id: Optional[int] = None):
+        if client_id is None:
+            client_id = Client._next_client_id
+            Client._next_client_id += 1
+        self.client_id = client_id
+        self.store = store
+        self._seq = 0
+        self.history: List[Operation] = []
+        self._pending: Dict[int, Operation] = {}
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Asynchronous interface: submit now, complete at epoch end.
+    # ------------------------------------------------------------------
+    def submit_read(self, key: int, load_balancer: Optional[int] = None) -> int:
+        """Queue a read; returns its sequence number."""
+        seq = self._next_seq()
+        balancer, arrival = self.store.submit(
+            Request(OpType.READ, key, client_id=self.client_id, seq=seq),
+            load_balancer,
+        )
+        self._pending[seq] = Operation(
+            client_id=self.client_id,
+            seq=seq,
+            op=OpType.READ,
+            key=key,
+            start_epoch=self.store.counter.value,
+            load_balancer=balancer,
+            arrival=arrival,
+        )
+        return seq
+
+    def submit_write(
+        self, key: int, value: bytes, load_balancer: Optional[int] = None
+    ) -> int:
+        """Queue a write; returns its sequence number."""
+        seq = self._next_seq()
+        balancer, arrival = self.store.submit(
+            Request(OpType.WRITE, key, value, client_id=self.client_id, seq=seq),
+            load_balancer,
+        )
+        self._pending[seq] = Operation(
+            client_id=self.client_id,
+            seq=seq,
+            op=OpType.WRITE,
+            key=key,
+            written=value,
+            start_epoch=self.store.counter.value,
+            load_balancer=balancer,
+            arrival=arrival,
+        )
+        return seq
+
+    def complete(self, responses: List[Response]) -> None:
+        """Record responses addressed to this client into the history."""
+        for response in responses:
+            if response.client_id != self.client_id:
+                continue
+            operation = self._pending.pop(response.seq, None)
+            if operation is None:
+                continue
+            operation.result = response.value
+            operation.end_epoch = self.store.counter.value
+            self.history.append(operation)
+
+    # ------------------------------------------------------------------
+    # Synchronous conveniences (run an epoch per call).
+    # ------------------------------------------------------------------
+    def read(self, key: int) -> Optional[bytes]:
+        """Read one object in its own epoch, recording the operation."""
+        self.submit_read(key)
+        responses = self.store.run_epoch()
+        self.complete(responses)
+        return self.history[-1].result
+
+    def write(self, key: int, value: bytes) -> Optional[bytes]:
+        """Write one object in its own epoch, recording the operation."""
+        self.submit_write(key, value)
+        responses = self.store.run_epoch()
+        self.complete(responses)
+        return self.history[-1].result

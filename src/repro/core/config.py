@@ -1,0 +1,42 @@
+"""Deployment configuration for a Snoopy cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class SnoopyConfig:
+    """Public parameters of a Snoopy deployment (§2.1's public information).
+
+    Attributes:
+        num_load_balancers: L.
+        num_suborams: S.
+        value_size: fixed object size in bytes.
+        security_parameter: lambda; overflow probability <= 2^-lambda.
+        epoch_duration: epoch length T in seconds (used by the performance
+            simulator; the functional core runs epochs on demand).
+    """
+
+    num_load_balancers: int = 1
+    num_suborams: int = 1
+    value_size: int = 160
+    security_parameter: int = 128
+    epoch_duration: float = 0.2
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_load_balancers, "num_load_balancers")
+        require_positive(self.num_suborams, "num_suborams")
+        require_positive(self.value_size, "value_size")
+        require(
+            self.security_parameter >= 0,
+            "security_parameter must be >= 0",
+        )
+        require(self.epoch_duration > 0, "epoch_duration must be positive")
+
+    @property
+    def num_machines(self) -> int:
+        """Total machine count (one enclave machine per component)."""
+        return self.num_load_balancers + self.num_suborams

@@ -1,0 +1,174 @@
+"""A distributed-style Snoopy deployment with real encrypted transport.
+
+Where :class:`~repro.core.snoopy.Snoopy` wires components with direct
+Python calls, ``DistributedSnoopy`` reproduces the deployment story of
+§3.1:
+
+* each load balancer and subORAM runs in its own
+  :class:`~repro.enclave.model.Enclave`;
+* components prove themselves to each other via remote attestation
+  against a shared :class:`~repro.enclave.attestation.AttestationService`
+  whitelist (the Snoopy release measurements);
+* every load-balancer <-> subORAM message is serialized
+  (:mod:`repro.core.wire`) and sent through an AEAD
+  :class:`~repro.crypto.aead.SecureChannel` with replay protection.
+
+Functionally equivalent to the in-process deployment — identical
+results for identical requests — but a tampering or replaying network
+raises :class:`~repro.errors.IntegrityError` /
+:class:`~repro.errors.ReplayError`, which the integration tests inject.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.config import SnoopyConfig
+from repro.core.wire import decode_batch, encode_batch
+from repro.crypto.aead import SecureChannel
+from repro.crypto.keys import KeyChain
+from repro.enclave.attestation import AttestationService
+from repro.loadbalancer.initialization import oblivious_shard
+from repro.enclave.model import Enclave
+from repro.enclave.sealed import MonotonicCounter
+from repro.loadbalancer.balancer import LoadBalancer
+from repro.suboram.suboram import SubOram
+from repro.types import Request, Response
+from repro.utils.validation import require
+
+
+class _ChannelPair:
+    """Both directions of an attested LB <-> subORAM link."""
+
+    def __init__(self, key: bytes, name: str):
+        self.to_suboram = SecureChannel(key, f"{name}/fwd")
+        self.to_suboram_rx = SecureChannel(key, f"{name}/fwd")
+        self.to_balancer = SecureChannel(key, f"{name}/rev")
+        self.to_balancer_rx = SecureChannel(key, f"{name}/rev")
+
+
+class DistributedSnoopy:
+    """Snoopy with per-component enclaves and encrypted transport."""
+
+    def __init__(self, config: SnoopyConfig, keychain: Optional[KeyChain] = None,
+                 rng: Optional[random.Random] = None):
+        self.config = config
+        self.keychain = keychain if keychain is not None else KeyChain()
+        self._rng = rng if rng is not None else random.Random()
+        self.counter = MonotonicCounter()
+
+        # Provision the attestation service with the release measurements.
+        self.attestation = AttestationService()
+        self.balancer_enclaves = [
+            Enclave(f"snoopy-lb-{i}") for i in range(config.num_load_balancers)
+        ]
+        self.suboram_enclaves = [
+            Enclave(f"snoopy-suboram-{s}") for s in range(config.num_suborams)
+        ]
+        for enclave in self.balancer_enclaves + self.suboram_enclaves:
+            self.attestation.trust(enclave.measurement)
+
+        sharding_key = self.keychain.sharding_key()
+        self.load_balancers = [
+            LoadBalancer(i, config.num_suborams, sharding_key,
+                         config.security_parameter)
+            for i in range(config.num_load_balancers)
+        ]
+        self.suborams = [
+            SubOram(s, config.value_size, self.keychain,
+                    config.security_parameter)
+            for s in range(config.num_suborams)
+        ]
+
+        # Attested channel establishment: each pair verifies the peer's
+        # quote before deriving the channel key.
+        self._channels: Dict[tuple, _ChannelPair] = {}
+        for i, lb_enclave in enumerate(self.balancer_enclaves):
+            for s, so_enclave in enumerate(self.suboram_enclaves):
+                self._verify_peer(lb_enclave)
+                self._verify_peer(so_enclave)
+                key = self.keychain.channel_key(lb_enclave.name, so_enclave.name)
+                self._channels[(i, s)] = _ChannelPair(key, f"lb{i}-so{s}")
+        self._initialized = False
+
+    def _verify_peer(self, enclave: Enclave) -> None:
+        quote = self.attestation.quote(enclave, b"\x00" * 32)
+        self.attestation.verify(quote)  # raises AttestationError if rogue
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def initialize(self, objects: Dict[int, bytes]) -> None:
+        """Obliviously shard objects across the subORAM enclaves."""
+        require(all(key >= 0 for key in objects), "object keys must be >= 0")
+        partitions = oblivious_shard(
+            objects, self.config.num_suborams, self.keychain.sharding_key()
+        )
+        for suboram, partition in zip(self.suborams, partitions):
+            suboram.initialize(partition)
+        self._initialized = True
+
+    def submit(self, request: Request, load_balancer: Optional[int] = None) -> tuple:
+        """Queue a request with a (randomly) chosen load balancer."""
+        if load_balancer is None:
+            load_balancer = self._rng.randrange(self.config.num_load_balancers)
+        arrival = self.load_balancers[load_balancer].submit(request)
+        return load_balancer, arrival
+
+    def run_epoch(self) -> List[Response]:
+        """One epoch over the encrypted transport."""
+        if not self._initialized:
+            raise RuntimeError("DistributedSnoopy.initialize must be called first")
+        self.counter.increment()
+
+        responses: List[Response] = []
+        for i, balancer in enumerate(self.load_balancers):
+            def send_batch(suboram_id: int, batch, balancer_index=i):
+                pair = self._channels[(balancer_index, suboram_id)]
+                # LB side: serialize + seal.
+                nonce, sealed = pair.to_suboram.send(encode_batch(batch))
+                # "Network" — the attacker may tamper here (tests do).
+                nonce, sealed = self.network_hook(
+                    balancer_index, suboram_id, nonce, sealed
+                )
+                # SubORAM side: open + deserialize + execute.
+                wire_batch = decode_batch(pair.to_suboram_rx.receive(nonce, sealed))
+                results = self.suborams[suboram_id].batch_access(wire_batch)
+                # Response path back.
+                r_nonce, r_sealed = pair.to_balancer.send(encode_batch(results))
+                return decode_batch(pair.to_balancer_rx.receive(r_nonce, r_sealed))
+
+            responses.extend(balancer.run_epoch(send_batch))
+        return responses
+
+    # Overridable by tests to simulate an in-network attacker.
+    def network_hook(self, balancer: int, suboram: int, nonce: bytes,
+                     sealed: bytes) -> tuple:
+        """Test hook: intercept (and possibly tamper with) a sealed message in flight."""
+        return nonce, sealed
+
+    # ------------------------------------------------------------------
+    # Conveniences matching Snoopy's API
+    # ------------------------------------------------------------------
+    def read(self, key: int) -> Optional[bytes]:
+        """Read one object in its own epoch."""
+        from repro.types import OpType
+
+        self.submit(Request(OpType.READ, key))
+        [response] = self.run_epoch()
+        return response.value
+
+    def write(self, key: int, value: bytes) -> Optional[bytes]:
+        """Write one object in its own epoch; returns the prior value."""
+        from repro.types import OpType
+
+        self.submit(Request(OpType.WRITE, key, value))
+        [response] = self.run_epoch()
+        return response.value
+
+    def batch(self, requests) -> List[Response]:
+        """Submit requests and run one epoch over the encrypted transport."""
+        for request in requests:
+            self.submit(request)
+        return self.run_epoch()

@@ -1,0 +1,179 @@
+"""Linearizability checking (Appendix C).
+
+Two checkers are provided:
+
+* :func:`check_snoopy_history` — verifies the paper's *specific*
+  linearization order: operations totally ordered by
+  ``(batch commit epoch, load balancer id, reads-before-writes, arrival
+  index)``, replayed against hashmap semantics where every operation in a
+  batch observes the batch-start state (reads first; writes return the
+  prior value; last write per key wins).  This is exactly the order
+  Theorem 4's proof constructs.
+
+* :func:`check_linearizable` — a general Wing&Gong-style search usable on
+  small histories: is there *any* total order consistent with the
+  real-time partial order (epoch intervals) under which every result is
+  legal?  Used by tests as an independent oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.types import OpType
+
+
+@dataclass
+class Operation:
+    """One completed client operation with epoch-interval timing."""
+
+    client_id: int
+    seq: int
+    op: OpType
+    key: int
+    written: Optional[bytes] = None  # payload for writes
+    result: Optional[bytes] = None  # returned value (prior value for writes)
+    start_epoch: int = 0  # counter value at invocation
+    end_epoch: int = 0  # counter value at response
+    load_balancer: int = 0
+    arrival: int = 0  # arrival index at the load balancer
+
+
+@dataclass
+class History:
+    """A set of completed operations plus the store's initial contents."""
+
+    initial: Dict[int, bytes]
+    operations: List[Operation] = field(default_factory=list)
+
+
+class LinearizabilityViolation(AssertionError):
+    """Raised (by the strict checker) when the history is not linearizable."""
+
+
+# ---------------------------------------------------------------------------
+# The paper's linearization order (Theorem 4)
+# ---------------------------------------------------------------------------
+def snoopy_linearization_order(operations: Sequence[Operation]) -> List[Operation]:
+    """Sort operations by (commit epoch, balancer, reads-first, arrival)."""
+    return sorted(
+        operations,
+        key=lambda o: (
+            o.end_epoch,
+            o.load_balancer,
+            int(o.op is OpType.WRITE),
+            o.arrival,
+        ),
+    )
+
+
+def check_snoopy_history(history: History) -> None:
+    """Verify ``history`` under the paper's linearization order.
+
+    Raises:
+        LinearizabilityViolation: some read did not observe the latest
+            preceding write, or some write's returned prior value was
+            wrong, or real-time order was violated.
+    """
+    ordered = snoopy_linearization_order(history.operations)
+
+    # Real-time check (C1): if o1 completed before o2 started, o1 must
+    # precede o2 in the order.  Position indices make this O(n^2) worst
+    # case, which is fine at test scale.
+    position = {id(o): i for i, o in enumerate(ordered)}
+    for o1 in ordered:
+        for o2 in ordered:
+            if o1.end_epoch < o2.start_epoch and position[id(o1)] > position[id(o2)]:
+                raise LinearizabilityViolation(
+                    f"real-time order violated: {o1} completed before {o2} "
+                    "started but is linearized after it"
+                )
+
+    # Semantic check (C2): replay group by group; every operation in a
+    # (epoch, balancer) group observes the group-start state.
+    state = dict(history.initial)
+    index = 0
+    while index < len(ordered):
+        group_key = (ordered[index].end_epoch, ordered[index].load_balancer)
+        group: List[Operation] = []
+        while index < len(ordered) and (
+            ordered[index].end_epoch,
+            ordered[index].load_balancer,
+        ) == group_key:
+            group.append(ordered[index])
+            index += 1
+
+        snapshot = {op.key: state.get(op.key) for op in group}
+        for op in group:
+            expected = snapshot[op.key]
+            if op.result != expected:
+                raise LinearizabilityViolation(
+                    f"{op.op.value}({op.key}) by client {op.client_id} in "
+                    f"epoch {op.end_epoch} returned {op.result!r}, expected "
+                    f"group-start value {expected!r}"
+                )
+        # Apply writes in arrival order; last write wins.
+        for op in group:
+            if op.op is OpType.WRITE:
+                state[op.key] = op.written
+
+
+# ---------------------------------------------------------------------------
+# General linearizability search (small histories)
+# ---------------------------------------------------------------------------
+def check_linearizable(history: History, max_operations: int = 12) -> bool:
+    """Exhaustive linearizability check (Wing & Gong style DFS).
+
+    Semantics: ``read(k)`` returns the current value; ``write(k, v)``
+    installs ``v`` (its return value is not checked — Snoopy's writes
+    report the *batch-start* value, which is a batching artifact rather
+    than part of the register's sequential specification; Theorem 4's C2
+    condition likewise constrains only reads).  Real-time precedence:
+    ``o1 < o2`` iff ``o1.end_epoch < o2.start_epoch``.
+
+    Only intended for small histories (branching is factorial); raises
+    ``ValueError`` beyond ``max_operations``.
+    """
+    operations = list(history.operations)
+    if len(operations) > max_operations:
+        raise ValueError(
+            f"history too large for exhaustive search ({len(operations)} ops)"
+        )
+
+    precedes = [
+        [a.end_epoch < b.start_epoch for b in operations] for a in operations
+    ]
+
+    seen: set = set()
+
+    def dfs(done: frozenset, state: Tuple[Tuple[int, Optional[bytes]], ...]) -> bool:
+        if len(done) == len(operations):
+            return True
+        memo_key = (done, state)
+        if memo_key in seen:
+            return False
+        seen.add(memo_key)
+        state_dict = dict(state)
+        for i, op in enumerate(operations):
+            if i in done:
+                continue
+            # All real-time predecessors must already be linearized.
+            if any(
+                precedes[j][i] and j not in done for j in range(len(operations))
+            ):
+                continue
+            current = state_dict.get(op.key, history.initial.get(op.key))
+            if op.op is OpType.READ and op.result != current:
+                continue
+            if op.op is OpType.WRITE:
+                new_state = dict(state_dict)
+                new_state[op.key] = op.written
+                frozen = tuple(sorted(new_state.items(), key=lambda kv: kv[0]))
+            else:
+                frozen = state
+            if dfs(done | {i}, frozen):
+                return True
+        return False
+
+    return dfs(frozenset(), tuple())

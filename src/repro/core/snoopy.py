@@ -1,0 +1,191 @@
+"""The assembled Snoopy system (Figure 21).
+
+``Snoopy`` owns ``L`` load balancers and ``S`` subORAMs.  Clients submit
+requests to a load balancer of their choice (clients pick randomly, §4.3);
+``run_epoch`` closes the current epoch: every load balancer independently
+builds its batches, and every subORAM executes the load balancers' batches
+*in a fixed order* (LB 0 first, then LB 1, ...), which — together with
+last-write-wins within a balancer — yields the linearization order proved
+correct in Appendix C.
+
+The trusted monotonic counter is bumped once per epoch (§9): state sealed
+at epoch ``e`` cannot be replayed at epoch ``e' > e``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.keys import KeyChain
+from repro.core.config import SnoopyConfig
+from repro.enclave.sealed import MonotonicCounter
+from repro.loadbalancer.balancer import LoadBalancer
+from repro.loadbalancer.initialization import oblivious_shard
+from repro.suboram.suboram import SubOram
+from repro.types import OpType, Request, Response
+from repro.utils.validation import require
+
+
+class Snoopy:
+    """An in-process Snoopy deployment: L load balancers, S subORAMs.
+
+    Example::
+
+        store = Snoopy(SnoopyConfig(num_load_balancers=2, num_suborams=3,
+                                    value_size=16))
+        store.initialize({k: bytes(16) for k in range(1000)})
+        store.submit(Request(OpType.WRITE, 7, b"x" * 16))
+        [response] = store.run_epoch()
+    """
+
+    def __init__(self, config: SnoopyConfig, keychain: Optional[KeyChain] = None,
+                 rng: Optional[random.Random] = None, suboram_factory=None):
+        """Assemble the deployment.
+
+        Args:
+            config: public deployment parameters.
+            keychain: deployment secrets (generated if omitted).
+            rng: randomness for client load-balancer selection.
+            suboram_factory: optional ``(suboram_id, config, keychain) ->
+                subORAM`` callable for plugging in alternative subORAM
+                designs (anything with ``initialize(objects)`` and
+                ``batch_access(batch)``), e.g. the Oblix adapter behind
+                Fig. 10.  Defaults to the paper's throughput-optimized
+                linear-scan subORAM (§5).
+        """
+        self.config = config
+        self.keychain = keychain if keychain is not None else KeyChain()
+        self._rng = rng if rng is not None else random.Random()
+        self.counter = MonotonicCounter()
+
+        sharding_key = self.keychain.sharding_key()
+        self.load_balancers = [
+            LoadBalancer(
+                balancer_id=i,
+                num_suborams=config.num_suborams,
+                sharding_key=sharding_key,
+                security_parameter=config.security_parameter,
+            )
+            for i in range(config.num_load_balancers)
+        ]
+        if suboram_factory is None:
+            suboram_factory = _default_suboram_factory
+        self.suborams = [
+            suboram_factory(s, config, self.keychain)
+            for s in range(config.num_suborams)
+        ]
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Initialization (Figure 23: shard objects by the keyed hash)
+    # ------------------------------------------------------------------
+    def initialize(self, objects: Dict[int, bytes]) -> None:
+        """Shard ``objects`` across subORAMs and load the partitions.
+
+        Uses the Figure 23 oblivious sharding pipeline (fixed tagging
+        scan, oblivious sort, boundary scan) so initialization leaks only
+        the public partition sizes.
+        """
+        require(
+            all(key >= 0 for key in objects),
+            "object keys must be non-negative (negative ids are reserved "
+            "for dummies)",
+        )
+        partitions = oblivious_shard(
+            objects, self.config.num_suborams, self.keychain.sharding_key()
+        )
+        for suboram, partition in zip(self.suborams, partitions):
+            suboram.initialize(partition)
+        self._initialized = True
+
+    @property
+    def num_objects(self) -> int:
+        """Total number of stored objects across all subORAMs."""
+        return sum(s.num_objects for s in self.suborams)
+
+    @property
+    def partition_sizes(self) -> List[int]:
+        """Number of objects per subORAM (public information)."""
+        return [s.num_objects for s in self.suborams]
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: Request, load_balancer: Optional[int] = None
+    ) -> tuple:
+        """Queue a request; clients pick a random load balancer by default.
+
+        Returns:
+            (load_balancer_index, arrival_index) — clients record these to
+            build linearizability histories.
+        """
+        if load_balancer is None:
+            load_balancer = self._rng.randrange(self.config.num_load_balancers)
+        arrival = self.load_balancers[load_balancer].submit(request)
+        return load_balancer, arrival
+
+    # ------------------------------------------------------------------
+    # Epoch execution
+    # ------------------------------------------------------------------
+    def run_epoch(self, permissions=None) -> List[Response]:
+        """Close the epoch: batch, execute, match; returns all responses.
+
+        SubORAMs execute the load balancers' batches in fixed balancer
+        order; each batch is processed in its own linear scan with a fresh
+        hash-table key (§4.3: with L balancers each subORAM performs L
+        scans per epoch).
+
+        Args:
+            permissions: optional §D access-control bits,
+                ``{(client_id, seq): 0/1}``; used by
+                :class:`repro.core.access_control.AccessControlledStore`.
+        """
+        if not self._initialized:
+            raise RuntimeError("Snoopy.initialize must be called first")
+        self.counter.increment()  # one trusted-counter bump per epoch (§9)
+
+        responses: List[Response] = []
+        for balancer in self.load_balancers:
+            responses.extend(
+                balancer.run_epoch(
+                    lambda suboram_id, batch: self.suborams[
+                        suboram_id
+                    ].batch_access(batch),
+                    permissions=permissions,
+                )
+            )
+        return responses
+
+    # ------------------------------------------------------------------
+    # One-shot conveniences (single-request epochs)
+    # ------------------------------------------------------------------
+    def read(self, key: int) -> Optional[bytes]:
+        """Read one object in its own epoch."""
+        self.submit(Request(OpType.READ, key))
+        [response] = self.run_epoch()
+        return response.value
+
+    def write(self, key: int, value: bytes) -> Optional[bytes]:
+        """Write one object in its own epoch; returns the prior value."""
+        self.submit(Request(OpType.WRITE, key, value))
+        [response] = self.run_epoch()
+        return response.value
+
+    def batch(self, requests: Sequence[Request]) -> List[Response]:
+        """Submit a set of requests (random balancers) and run one epoch."""
+        for request in requests:
+            self.submit(request)
+        return self.run_epoch()
+
+
+def _default_suboram_factory(suboram_id: int, config: SnoopyConfig,
+                             keychain: KeyChain) -> SubOram:
+    """The paper's throughput-optimized linear-scan subORAM (§5)."""
+    return SubOram(
+        suboram_id=suboram_id,
+        value_size=config.value_size,
+        keychain=keychain,
+        security_parameter=config.security_parameter,
+    )

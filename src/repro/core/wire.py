@@ -1,0 +1,121 @@
+"""Wire serialization for load-balancer <-> subORAM traffic.
+
+The in-process :class:`~repro.core.snoopy.Snoopy` passes Python objects
+directly; the distributed deployment
+(:mod:`repro.core.deployment`) sends real bytes over AEAD channels, so
+batches and responses need a stable encoding.  The format is fixed-size
+headers plus a length-prefixed value:
+
+    entry := op(1) | flags(1) | key(16, signed) | suboram(4) | tag(8)
+             | client_id(8) | seq(8) | value_len(4) | value(value_len)
+
+Every real/dummy entry of a batch serializes to the same header size, so
+message sizes depend only on batch size and object size — public
+quantities — preserving the obliviousness of the transport.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.errors import ReproError
+from repro.types import BatchEntry, OpType
+
+_HEADER = struct.Struct(">BBq8xIQQQI")
+# op, flags, key(int64 -- see _encode_key), pad, suboram, tag, client, seq, vlen
+# Keys can exceed 64 bits only for ACL-extended deployments; those stay
+# in-process.  The dummy/spill id spaces fit int64.
+
+_FLAG_DUMMY = 1
+_FLAG_PERMITTED = 2
+_FLAG_HAS_VALUE = 4
+
+_OPS = {OpType.READ: 0, OpType.WRITE: 1}
+_OPS_INV = {0: OpType.READ, 1: OpType.WRITE}
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+
+class WireError(ReproError):
+    """Malformed or out-of-range wire data."""
+
+
+def _check_key(key: int) -> int:
+    if not INT64_MIN <= key <= INT64_MAX:
+        raise WireError(f"key {key} does not fit the wire format")
+    return key
+
+
+def encode_entry(entry: BatchEntry) -> bytes:
+    """Serialize one batch entry."""
+    flags = 0
+    if entry.is_dummy:
+        flags |= _FLAG_DUMMY
+    if entry.permitted:
+        flags |= _FLAG_PERMITTED
+    value = entry.value if entry.value is not None else b""
+    if entry.value is not None:
+        flags |= _FLAG_HAS_VALUE
+    header = _HEADER.pack(
+        _OPS[entry.op],
+        flags,
+        _check_key(entry.key),
+        entry.suboram,
+        entry.tag,
+        entry.client_id,
+        entry.seq,
+        len(value),
+    )
+    return header + value
+
+
+def decode_entry(data: bytes, offset: int = 0) -> tuple:
+    """Deserialize one entry; returns (entry, next_offset)."""
+    if len(data) - offset < _HEADER.size:
+        raise WireError("truncated entry header")
+    op, flags, key, suboram, tag, client_id, seq, value_len = _HEADER.unpack_from(
+        data, offset
+    )
+    offset += _HEADER.size
+    if op not in _OPS_INV:
+        raise WireError(f"unknown op code {op}")
+    if len(data) - offset < value_len:
+        raise WireError("truncated entry value")
+    value = bytes(data[offset : offset + value_len]) if flags & _FLAG_HAS_VALUE else None
+    offset += value_len
+    entry = BatchEntry(
+        op=_OPS_INV[op],
+        key=key,
+        value=value,
+        suboram=suboram,
+        tag=tag,
+        client_id=client_id,
+        seq=seq,
+        is_dummy=bool(flags & _FLAG_DUMMY),
+        permitted=1 if flags & _FLAG_PERMITTED else 0,
+    )
+    return entry, offset
+
+
+def encode_batch(batch: List[BatchEntry]) -> bytes:
+    """Serialize a batch: count header + entries."""
+    parts = [struct.pack(">I", len(batch))]
+    parts.extend(encode_entry(entry) for entry in batch)
+    return b"".join(parts)
+
+
+def decode_batch(data: bytes) -> List[BatchEntry]:
+    """Deserialize a batch; rejects trailing garbage."""
+    if len(data) < 4:
+        raise WireError("truncated batch header")
+    (count,) = struct.unpack_from(">I", data, 0)
+    offset = 4
+    batch = []
+    for _ in range(count):
+        entry, offset = decode_entry(data, offset)
+        batch.append(entry)
+    if offset != len(data):
+        raise WireError("trailing bytes after batch")
+    return batch

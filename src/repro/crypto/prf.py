@@ -1,0 +1,48 @@
+"""Keyed pseudorandom function used for sharding and oblivious hashing.
+
+The paper assigns objects to subORAMs with a keyed cryptographic hash whose
+key the attacker does not know (§4.1), and assigns batch requests to hash
+buckets with a per-batch key (§5).  Both are instances of a PRF mapping an
+integer id to a bounded range, implemented here with HMAC-SHA256.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+
+
+class Prf:
+    """HMAC-SHA256 PRF with convenience range reduction.
+
+    Range reduction uses the full 256-bit output modulo ``n``; the modulo
+    bias is below 2^-190 for any realistic ``n`` and is irrelevant for the
+    balls-into-bins analysis.
+    """
+
+    __slots__ = ("_key",)
+
+    def __init__(self, key: bytes):
+        if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
+            raise ValueError("PRF key must be non-empty bytes")
+        self._key = bytes(key)
+
+    def digest(self, message: bytes) -> bytes:
+        """Raw 32-byte PRF output for a byte-string input."""
+        return hmac.new(self._key, message, hashlib.sha256).digest()
+
+    def value(self, x: int) -> int:
+        """PRF output for integer input, as a 256-bit integer."""
+        encoded = x.to_bytes(16, "big", signed=True)
+        return int.from_bytes(self.digest(encoded), "big")
+
+    def range(self, x: int, n: int) -> int:
+        """PRF output for ``x`` reduced into ``[0, n)``."""
+        if n <= 0:
+            raise ValueError(f"range size must be positive, got {n}")
+        return self.value(x) % n
+
+
+def suboram_of(key: bytes, object_id: int, num_suborams: int) -> int:
+    """The subORAM owning ``object_id`` under sharding key ``key`` (§4.1)."""
+    return Prf(key).range(object_id, num_suborams)

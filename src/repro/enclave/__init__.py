@@ -1,0 +1,27 @@
+"""Abstract hardware-enclave model (§2, §B.1).
+
+The paper designs Snoopy on "an abstract enclave model where the attacker
+controls the software stack outside the enclave and can observe memory
+access patterns but cannot learn the contents of the data inside the
+processor".  This package provides that abstraction:
+
+* :class:`repro.enclave.model.Enclave` — a protected execution context with
+  a bounded EPC and a paging cost model,
+* :mod:`repro.enclave.attestation` — simulated remote attestation used to
+  establish channels (§3.1),
+* :mod:`repro.enclave.sealed` — sealed storage plus a trusted monotonic
+  counter, the rollback-defense hooks of §9.
+"""
+
+from repro.enclave.model import Enclave, EpcModel
+from repro.enclave.attestation import AttestationService, Quote
+from repro.enclave.sealed import MonotonicCounter, SealedStore
+
+__all__ = [
+    "AttestationService",
+    "Enclave",
+    "EpcModel",
+    "MonotonicCounter",
+    "Quote",
+    "SealedStore",
+]

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Snoopy reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A system was configured with invalid or inconsistent parameters."""
+
+
+class SecurityError(ReproError):
+    """A security invariant was violated (tampering, replay, overflow)."""
+
+
+class IntegrityError(SecurityError):
+    """Stored or transmitted data failed an integrity check."""
+
+
+class ReplayError(SecurityError):
+    """A message with a previously seen nonce was received."""
+
+
+class AttestationError(SecurityError):
+    """Remote attestation of an enclave failed."""
+
+
+class RollbackError(SecurityError):
+    """Sealed state is older than the trusted monotonic counter allows."""
+
+
+class BatchOverflowError(SecurityError):
+    """More than ``f(R, S)`` distinct requests hashed to one subORAM.
+
+    By Theorem 3 this happens with probability negligible in the security
+    parameter; surfacing it loudly (instead of silently dropping a request)
+    preserves the paper's no-drop guarantee.
+    """
+
+
+class DuplicateRequestError(ReproError):
+    """A subORAM batch contained duplicate object ids.
+
+    The subORAM security definition (Definition 2) only holds for batches of
+    distinct requests; the load balancer guarantees this, so receiving a
+    duplicate indicates a protocol bug.
+    """
+
+
+class CapacityError(ReproError):
+    """An operation exceeded a fixed capacity (e.g. oblivious hash bucket)."""
+
+
+class PlannerError(ReproError):
+    """The planner could not find a configuration meeting the constraints."""

@@ -1,0 +1,18 @@
+"""Extensions the paper sketches but does not evaluate (§9).
+
+* :mod:`repro.extensions.replication` — quorum-replicated subORAMs with
+  trusted-counter freshness: tolerates ``f`` crashed and ``r`` rolled-back
+  replicas.
+* :mod:`repro.extensions.pir` — Snoopy's load-balancer techniques applied
+  to private information retrieval: subORAMs replaced with two-server
+  XOR-PIR shards.
+"""
+
+from repro.extensions.replication import ReplicatedSubOram
+from repro.extensions.pir import PirServer, PirShardedStore
+
+__all__ = ["PirServer", "PirShardedStore", "ReplicatedSubOram"]
+
+from repro.extensions.adaptive import AdaptivePolicy, Mode  # noqa: E402
+
+__all__.extend(["AdaptivePolicy", "Mode"])

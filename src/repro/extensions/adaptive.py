@@ -1,0 +1,176 @@
+"""Adaptive configuration switching — the paper's stated future work.
+
+§1 (Limitations): "Snoopy can use a different, latency-optimized subORAM
+with a shorter epoch time if latency is a priority.  We leave for future
+work the problem of adaptively switching between solutions that are
+optimal under different workloads."
+
+This module implements that switching at the policy level:
+
+* two *modes*, each a (epoch length, subORAM design) pair —
+  ``LATENCY`` (short epochs; per-request-efficient subORAM, modelled on
+  Oblix) and ``THROUGHPUT`` (longer epochs; the batch linear-scan
+  subORAM);
+* a load estimator (exponentially weighted request rate);
+* a hysteresis policy: switch up when the estimated rate exceeds the
+  latency mode's sustainable capacity (headroom factor), switch down only
+  when the rate falls well below it — oscillation would pay the
+  reconfiguration cost repeatedly.
+
+Predicted mode latencies come from the calibrated cost model, so the
+policy's decisions inherit its calibration.  The *security* note from the
+paper applies: which mode is active is public information (epoch timing
+is observable anyway); the switch itself depends only on the public
+request rate.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.sim.cluster import snoopy_oblix_max_throughput
+from repro.sim.costmodel import max_throughput, mean_latency, oblix_access_time
+from repro.sim.machines import DEFAULT_PROFILE, MachineProfile
+from repro.utils.validation import require, require_positive
+
+
+class Mode(enum.Enum):
+    """The two operating points the policy switches between."""
+
+    LATENCY = "latency"
+    THROUGHPUT = "throughput"
+
+
+@dataclass(frozen=True)
+class ModeSpec:
+    """One operating point: epoch length plus a capacity estimate."""
+
+    mode: Mode
+    epoch: float
+    capacity: float  # sustainable requests/second
+    idle_latency: float  # mean latency at negligible load
+
+
+class AdaptivePolicy:
+    """Decides the operating mode from an estimated request rate.
+
+    Args:
+        num_load_balancers / num_suborams / num_objects: the deployment.
+        latency_epoch: epoch length of the latency mode (short).
+        throughput_epoch: epoch length of the throughput mode.
+        headroom: fraction of a mode's capacity considered safe (switch
+            up beyond it).
+        hysteresis: switch down only below ``headroom * hysteresis`` of
+            the latency mode's capacity.
+        smoothing: EWMA factor for the rate estimator (0..1; higher reacts
+            faster).
+    """
+
+    def __init__(
+        self,
+        num_load_balancers: int,
+        num_suborams: int,
+        num_objects: int,
+        latency_epoch: float = 0.02,
+        throughput_epoch: float = 0.4,
+        headroom: float = 0.8,
+        hysteresis: float = 0.5,
+        smoothing: float = 0.3,
+        profile: MachineProfile = DEFAULT_PROFILE,
+    ):
+        require_positive(latency_epoch, "latency_epoch")
+        require_positive(throughput_epoch, "throughput_epoch")
+        require(0 < headroom <= 1, "headroom must be in (0, 1]")
+        require(0 < hysteresis < 1, "hysteresis must be in (0, 1)")
+        require(0 < smoothing <= 1, "smoothing must be in (0, 1]")
+        self.profile = profile
+        self.headroom = headroom
+        self.hysteresis = hysteresis
+        self.smoothing = smoothing
+
+        shard = max(1, math.ceil(num_objects / num_suborams))
+        # Latency mode: Oblix-style subORAM, short epochs.  Capacity is
+        # what the hybrid sustains at mean latency = 5/2 * latency_epoch.
+        latency_capacity = snoopy_oblix_max_throughput(
+            num_load_balancers,
+            num_suborams,
+            num_objects,
+            5 * latency_epoch / 2,
+            profile,
+        )
+        self.latency_mode = ModeSpec(
+            mode=Mode.LATENCY,
+            epoch=latency_epoch,
+            capacity=latency_capacity,
+            idle_latency=latency_epoch / 2 + oblix_access_time(shard, profile),
+        )
+        throughput_capacity = max_throughput(
+            num_load_balancers,
+            num_suborams,
+            num_objects,
+            5 * throughput_epoch / 2,
+            profile=profile,
+        )
+        self.throughput_mode = ModeSpec(
+            mode=Mode.THROUGHPUT,
+            epoch=throughput_epoch,
+            capacity=throughput_capacity,
+            idle_latency=mean_latency(
+                1.0, num_load_balancers, num_suborams, num_objects,
+                profile=profile,
+            ),
+        )
+
+        self._rate_estimate = 0.0
+        self.mode = Mode.LATENCY
+        self.switches: List[Tuple[float, Mode]] = []
+
+    # ------------------------------------------------------------------
+    # Rate estimation + decisions
+    # ------------------------------------------------------------------
+    @property
+    def rate_estimate(self) -> float:
+        """The current EWMA of the offered request rate (reqs/s)."""
+        return self._rate_estimate
+
+    def observe(self, requests: int, window: float, now: float = 0.0) -> Mode:
+        """Feed one measurement window; returns the (possibly new) mode."""
+        require_positive(window, "window")
+        instantaneous = requests / window
+        self._rate_estimate = (
+            self.smoothing * instantaneous
+            + (1 - self.smoothing) * self._rate_estimate
+        )
+        decided = self.decide(self._rate_estimate)
+        if decided != self.mode:
+            self.mode = decided
+            self.switches.append((now, decided))
+        return self.mode
+
+    def decide(self, rate: float) -> Mode:
+        """Pure decision function with hysteresis (no state update)."""
+        up_threshold = self.headroom * self.latency_mode.capacity
+        down_threshold = up_threshold * self.hysteresis
+        if self.mode is Mode.LATENCY:
+            return Mode.THROUGHPUT if rate > up_threshold else Mode.LATENCY
+        return Mode.LATENCY if rate < down_threshold else Mode.THROUGHPUT
+
+    # ------------------------------------------------------------------
+    # Predicted behaviour per mode (for tests and reporting)
+    # ------------------------------------------------------------------
+    def spec(self, mode: Optional[Mode] = None) -> ModeSpec:
+        """The ModeSpec for ``mode`` (default: the current mode)."""
+        mode = mode if mode is not None else self.mode
+        return (
+            self.latency_mode if mode is Mode.LATENCY else self.throughput_mode
+        )
+
+    def predicted_latency(self, rate: float, mode: Optional[Mode] = None) -> float:
+        """Rough mean latency at ``rate`` in ``mode`` (inf if overloaded)."""
+        spec = self.spec(mode)
+        if rate > spec.capacity:
+            return float("inf")
+        return max(spec.idle_latency, 5 * spec.epoch / 2 * 0.5)

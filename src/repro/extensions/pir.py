@@ -1,0 +1,165 @@
+"""Snoopy's techniques applied to Private Information Retrieval (§9).
+
+The paper: "We can replace the subORAMs with PIR servers, each of which
+stores a shard of the data.  Our load balancer design then makes it
+possible to obliviously route requests to the PIR server holding the
+correct shard."
+
+This module implements the sketch with classic two-server XOR PIR
+(Chor-Goldreich-Kushilevitz-Sudan):
+
+* each shard is replicated on two non-colluding :class:`PirServer`\\ s;
+* to fetch record ``i`` the querier sends a uniformly random subset
+  ``S`` of record indices to server A and ``S xor {i}`` to server B;
+  XOR-ing the two answers yields record ``i``, while each server alone
+  sees a uniformly random subset;
+* :class:`PirShardedStore` plays the load-balancer role: requests are
+  routed to shards by the keyed hash, deduplicated, and padded to the
+  Theorem 3 batch size with dummy queries so the per-shard query count
+  is public.
+
+PIR is read-only; the fundamental per-query cost is a linear scan of the
+shard — exactly the regime Snoopy's batching amortizes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.balls_bins import batch_size
+from repro.crypto.prf import Prf
+from repro.errors import ConfigurationError
+from repro.utils.validation import require, require_positive
+
+
+class PirServer:
+    """One PIR server: a shard of fixed-size records, XOR-subset queries.
+
+    ``query_log`` records the subsets served — tests use it to verify the
+    information-theoretic property that a single server's view is a
+    uniformly random subset, independent of the retrieved index.
+    """
+
+    def __init__(self, records: Sequence[bytes], record_size: int):
+        require_positive(record_size, "record_size")
+        for record in records:
+            require(
+                len(record) == record_size,
+                f"record size {len(record)} != {record_size}",
+            )
+        self.records = list(records)
+        self.record_size = record_size
+        self.query_log: List[frozenset] = []
+
+    def answer(self, subset: frozenset) -> bytes:
+        """XOR of the records indexed by ``subset``."""
+        self.query_log.append(subset)
+        out = bytearray(self.record_size)
+        for index in subset:
+            record = self.records[index]
+            for b in range(self.record_size):
+                out[b] ^= record[b]
+        return bytes(out)
+
+
+def pir_fetch(server_a: PirServer, server_b: PirServer, index: int,
+              rng: random.Random) -> bytes:
+    """Two-server PIR retrieval of one record."""
+    n = len(server_a.records)
+    subset = frozenset(i for i in range(n) if rng.getrandbits(1))
+    flipped = subset ^ frozenset([index])
+    answer_a = server_a.answer(subset)
+    answer_b = server_b.answer(flipped)
+    return bytes(a ^ b for a, b in zip(answer_a, answer_b))
+
+
+class PirShardedStore:
+    """A sharded, batched, load-balanced two-server PIR store.
+
+    Read-only Snoopy analogue: ``batch_read`` deduplicates the requested
+    keys, routes each to its shard by the keyed hash, pads every shard's
+    query list to the public batch size ``f(R, S)`` with dummy queries,
+    and executes all queries through the two-server PIR protocol.
+    """
+
+    def __init__(
+        self,
+        objects: Dict[int, bytes],
+        num_shards: int,
+        record_size: int,
+        sharding_key: bytes = b"pir-sharding-key-0123456789abcd!",
+        security_parameter: int = 32,
+        rng: Optional[random.Random] = None,
+    ):
+        require_positive(num_shards, "num_shards")
+        if not objects:
+            raise ConfigurationError("PIR store needs at least one object")
+        self._prf = Prf(sharding_key)
+        self.num_shards = num_shards
+        self.record_size = record_size
+        self.security_parameter = security_parameter
+        self._rng = rng if rng is not None else random.Random()
+
+        # Build shard layouts: key -> (shard, position).
+        shard_keys: List[List[int]] = [[] for _ in range(num_shards)]
+        for key in sorted(objects):
+            shard_keys[self._prf.range(key, num_shards)].append(key)
+        self._position: Dict[int, tuple] = {}
+        self._key_at: Dict[tuple, int] = {}
+        self.servers: List[tuple] = []
+        for shard, keys in enumerate(shard_keys):
+            records = [objects[k] for k in keys] or [bytes(record_size)]
+            for position, key in enumerate(keys):
+                self._position[key] = (shard, position)
+                self._key_at[(shard, position)] = key
+            self.servers.append(
+                (
+                    PirServer(records, record_size),
+                    PirServer(records, record_size),
+                )
+            )
+
+    def batch_read(self, keys: Sequence[int]) -> Dict[int, Optional[bytes]]:
+        """Fetch a batch of keys; per-shard query counts are public.
+
+        Returns a key -> value map (``None`` for unknown keys).  Every
+        shard answers exactly ``f(len(keys), num_shards)`` queries —
+        dummy queries target position 0 — so the shard load leaks nothing
+        about which keys were requested.
+        """
+        distinct = sorted(set(keys))
+        if not distinct:
+            return {}
+        size = batch_size(
+            len(distinct), self.num_shards, self.security_parameter
+        )
+
+        per_shard: List[List[int]] = [[] for _ in range(self.num_shards)]
+        results: Dict[int, Optional[bytes]] = {}
+        for key in distinct:
+            if key not in self._position:
+                results[key] = None
+                continue
+            shard, position = self._position[key]
+            per_shard[shard].append(position)
+
+        for shard, positions in enumerate(per_shard):
+            if len(positions) > size:
+                # Negligible under Theorem 3 with distinct random keys.
+                raise ConfigurationError(
+                    f"shard {shard} batch overflowed public size {size}"
+                )
+            padded = positions + [0] * (size - len(positions))
+            server_a, server_b = self.servers[shard]
+            answers = [
+                pir_fetch(server_a, server_b, position, self._rng)
+                for position in padded
+            ]
+            for position, value in zip(positions, answers[: len(positions)]):
+                results[self._key_at[(shard, position)]] = value
+        return results
+
+    def queries_per_shard(self, num_keys: int) -> int:
+        """The public per-shard query count for a batch of ``num_keys``."""
+        return batch_size(num_keys, self.num_shards, self.security_parameter)

@@ -1,0 +1,23 @@
+"""The oblivious load balancer (§4).
+
+Per epoch, a load balancer:
+
+1. assigns each client request to the subORAM owning its key (keyed hash,
+   fixed across epochs),
+2. deduplicates requests per key with a last-write-wins policy and pads
+   every subORAM's batch to exactly ``f(R, S)`` entries with dummies —
+   all through oblivious sort / fixed scans / oblivious compaction
+   (Figure 5, Figure 25),
+3. after the subORAMs reply, obliviously matches responses back to the
+   original requests, propagating values to duplicates and discarding
+   dummy responses (Figure 6, Figure 26).
+
+Load balancers are stateless across epochs (besides the sharding key), so
+adding more of them requires no coordination (§4.3).
+"""
+
+from repro.loadbalancer.batching import generate_batches
+from repro.loadbalancer.matching import match_responses
+from repro.loadbalancer.balancer import LoadBalancer
+
+__all__ = ["LoadBalancer", "generate_batches", "match_responses"]

@@ -1,0 +1,95 @@
+"""The load balancer entity: epoch queue + the oblivious pipeline (§4.3).
+
+A ``LoadBalancer`` owns no dynamic request-routing state — only the
+deployment sharding key — so any number of them can run independently and
+in parallel.  Each epoch it turns its queued requests into one fixed-size
+batch per subORAM, hands them to the subORAMs, and matches the responses
+back to clients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.loadbalancer.batching import generate_batches
+from repro.loadbalancer.matching import match_responses
+from repro.types import BatchEntry, Request, Response
+from repro.utils.validation import require_positive
+
+
+class LoadBalancer:
+    """One stateless (across epochs) Snoopy load balancer.
+
+    Args:
+        balancer_id: index among the deployment's load balancers.
+        num_suborams: number of data partitions.
+        sharding_key: the deployment-wide keyed-hash key (same on every
+            load balancer; fixed across epochs, §4.1).
+        security_parameter: lambda for batch sizing.
+    """
+
+    def __init__(
+        self,
+        balancer_id: int,
+        num_suborams: int,
+        sharding_key: bytes,
+        security_parameter: int = 128,
+    ):
+        require_positive(num_suborams, "num_suborams")
+        self.balancer_id = balancer_id
+        self.num_suborams = num_suborams
+        self.sharding_key = sharding_key
+        self.security_parameter = security_parameter
+        self._queue: List[Request] = []
+        self.epochs_processed = 0
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> int:
+        """Queue a client request; returns its arrival index in the epoch."""
+        self._queue.append(request)
+        return len(self._queue) - 1
+
+    @property
+    def pending(self) -> int:
+        """Requests queued for the current epoch."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Epoch processing
+    # ------------------------------------------------------------------
+    def run_epoch(
+        self,
+        send_batch: Callable[[int, List[BatchEntry]], List[BatchEntry]],
+        permissions=None,
+    ) -> List[Response]:
+        """Process one epoch.
+
+        Args:
+            send_batch: callable ``(suboram_id, batch) -> responses``
+                implementing delivery to the subORAMs (direct call in the
+                in-process deployment, an encrypted channel in a networked
+                one).
+            permissions: optional §D access-control bits,
+                ``{(client_id, seq): 0/1}``.
+
+        Returns:
+            Responses for every queued request, in arrival order.
+        """
+        requests, self._queue = self._queue, []
+        self.epochs_processed += 1
+        if not requests:
+            return []
+
+        batches, originals, _ = generate_batches(
+            requests,
+            self.num_suborams,
+            self.sharding_key,
+            self.security_parameter,
+            permissions=permissions,
+        )
+        responses: List[BatchEntry] = []
+        for suboram_id, batch in enumerate(batches):
+            responses.extend(send_batch(suboram_id, batch))
+        return match_responses(originals, responses)

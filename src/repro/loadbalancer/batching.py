@@ -1,0 +1,157 @@
+"""Oblivious batch generation (Figure 5 / Figure 25).
+
+The pipeline, all of whose access patterns depend only on the public pair
+``(R, S)`` and the security parameter:
+
+➊ a fixed scan assigns each request its subORAM via the keyed hash;
+➋ exactly ``B = f(R, S)`` dummy requests per subORAM are appended
+  (dummy ids come from a reserved id space so they never collide with
+  client keys or with each other);
+➌ one oblivious sort groups entries by subORAM, placing real requests
+  before dummies and duplicate keys adjacently, ordered so the
+  *last-write-wins* representative of each duplicate group sorts last;
+➍ a fixed scan marks, per subORAM, the representative of each distinct
+  key and enough dummies to reach exactly ``B`` kept entries, and
+  oblivious compaction drops the rest.
+
+The output is one ``B``-sized batch per subORAM, so batch sizes leak
+nothing; a request is dropped only in the cryptographically negligible
+overflow event, which raises :class:`~repro.errors.BatchOverflowError`
+instead of silently retrying (a retry would leak, §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.analysis.balls_bins import batch_size
+from repro.crypto.prf import Prf
+from repro.errors import BatchOverflowError
+from repro.oblivious.compact import ocompact
+from repro.oblivious.primitives import and_bit, lt_bit, not_bit, o_select
+from repro.oblivious.sort import bitonic_sort
+from repro.types import BatchEntry, OpType, Request
+
+# Reserved id space for load-balancer dummy requests: far below any
+# plausible client key and disjoint from hash-table spill fillers (-2^62-).
+_DUMMY_ID_BASE = 2**61
+
+
+def dummy_key(suboram: int, index: int) -> int:
+    """Unique dummy id for the ``index``-th dummy of a subORAM's batch."""
+    return -(_DUMMY_ID_BASE + suboram * 2**20 + index)
+
+
+def generate_batches(
+    requests: Sequence[Request],
+    num_suborams: int,
+    sharding_key: bytes,
+    security_parameter: int = 128,
+    mem_factory=None,
+    permissions=None,
+) -> Tuple[List[List[BatchEntry]], List[BatchEntry], int]:
+    """Build one fixed-size batch per subORAM from an epoch's requests.
+
+    Args (beyond the obvious):
+        permissions: optional ``{(client_id, seq): 0/1}`` access-control
+            bits from the §D recursive ACL lookup; missing pairs default
+            to permitted.
+
+    Returns:
+        (batches, originals, batch_size) where ``batches[s]`` is subORAM
+        ``s``'s batch of exactly ``B`` entries, ``originals`` preserves the
+        client requests (with arrival order in ``tag``) for response
+        matching, and ``batch_size`` is ``B = f(R, S)``.
+
+    Raises:
+        BatchOverflowError: more than ``B`` distinct keys hashed to one
+            subORAM (probability <= 2^-lambda by Theorem 3).
+    """
+    prf = Prf(sharding_key)
+    num_requests = len(requests)
+    size = batch_size(num_requests, num_suborams, security_parameter)
+
+    # ➊ Assign subORAMs (fixed scan over the request list).
+    originals: List[BatchEntry] = []
+    for arrival, request in enumerate(requests):
+        entry = BatchEntry.from_request(request)
+        entry.suboram = prf.range(request.key, num_suborams)
+        entry.tag = arrival  # remember arrival order for last-write-wins
+        if permissions is not None:
+            entry.permitted = int(
+                permissions.get((request.client_id, request.seq), 1)
+            )
+        originals.append(entry)
+
+    # ➋ Append B dummies per subORAM.
+    working = [entry.copy() for entry in originals]
+    for suboram in range(num_suborams):
+        for index in range(size):
+            working.append(
+                BatchEntry(
+                    op=OpType.READ,
+                    key=dummy_key(suboram, index),
+                    suboram=suboram,
+                    is_dummy=True,
+                )
+            )
+
+    # ➌ Oblivious sort: group by subORAM; reals before dummies; duplicate
+    # keys adjacent with the last-write-wins representative sorting last.
+    working = bitonic_sort(
+        working,
+        key=lambda e: (
+            e.suboram,
+            int(e.is_dummy),
+            e.key,
+            int(e.op is OpType.WRITE),
+            e.tag,
+        ),
+        mem_factory=mem_factory,
+    )
+
+    # ➍ Fixed scan marking keeps; compact.  An entry is the representative
+    # of its key iff the next entry differs in (suboram, is_dummy, key).
+    keep_flags: List[int] = []
+    kept_in_suboram = 0
+    current_suboram = -1
+    dropped_real = 0
+    for i, entry in enumerate(working):
+        new_suboram = int(entry.suboram != current_suboram)
+        kept_in_suboram = o_select(new_suboram, kept_in_suboram, 0)
+        current_suboram = entry.suboram
+
+        if i + 1 < len(working):
+            nxt = working[i + 1]
+            is_last_of_key = not_bit(
+                and_bit(
+                    int(nxt.suboram == entry.suboram),
+                    and_bit(
+                        int(nxt.is_dummy == entry.is_dummy),
+                        int(nxt.key == entry.key),
+                    ),
+                )
+            )
+        else:
+            is_last_of_key = 1
+
+        keep = and_bit(is_last_of_key, lt_bit(kept_in_suboram, size))
+        keep_flags.append(keep)
+        kept_in_suboram += keep
+        dropped_real += and_bit(
+            is_last_of_key, and_bit(not_bit(keep), not_bit(int(entry.is_dummy)))
+        )
+
+    if dropped_real:
+        raise BatchOverflowError(
+            f"{dropped_real} distinct request(s) exceeded batch size {size}; "
+            f"probability <= 2^-{security_parameter} under Theorem 3"
+        )
+
+    compacted = ocompact(working, keep_flags, mem_factory=mem_factory)
+    assert len(compacted) == num_suborams * size
+
+    batches = [
+        compacted[s * size : (s + 1) * size] for s in range(num_suborams)
+    ]
+    return batches, originals, size

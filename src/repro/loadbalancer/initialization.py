@@ -1,0 +1,71 @@
+"""Oblivious initialization (Figure 23): sharding the object store.
+
+``Snoopy.initialize`` must place each object into the subORAM its keyed
+hash names — without the placement process itself leaking the mapping
+(the trace of building partitions is visible to the cloud just like any
+other enclave execution).  Figure 23's algorithm:
+
+1. a fixed scan tags every object with ``t = H_k(idx)``;
+2. one oblivious sort orders objects by tag — after which each partition
+   is a contiguous run;
+3. a fixed scan finds the run boundaries ``y_0..y_{S-1}``;
+4. partition ``s`` is the slice ``O[y_{s-1} : y_s]``.
+
+The boundary *positions* (partition sizes) are revealed — they are public
+information (the keyed hash of the static key set; equivalently the
+partition sizes the server observes anyway when storing the shards).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.crypto.prf import Prf
+from repro.oblivious.sort import bitonic_sort
+
+
+def oblivious_shard(
+    objects: Dict[int, bytes],
+    num_suborams: int,
+    sharding_key: bytes,
+    mem_factory=None,
+) -> List[Dict[int, bytes]]:
+    """Partition ``objects`` per Figure 23; returns one dict per subORAM.
+
+    Args:
+        objects: the full object store, ``{key: value}``.
+        num_suborams: S.
+        sharding_key: the deployment keyed-hash key.
+        mem_factory: optional traced-memory wrapper for the oblivious sort
+            (security tests).
+    """
+    prf = Prf(sharding_key)
+
+    # ➊ Fixed scan: attach the tag t = H_k(idx) to each object.
+    tagged: List[Tuple[int, int, bytes]] = [
+        (prf.range(key, num_suborams), key, value)
+        for key, value in objects.items()
+    ]
+
+    # ➋ Oblivious sort by tag (ties broken by key for determinism).
+    ordered = bitonic_sort(
+        tagged, key=lambda record: (record[0], record[1]),
+        mem_factory=mem_factory,
+    )
+
+    # ➌ Fixed scan locating partition boundaries.
+    partitions: List[Dict[int, bytes]] = [{} for _ in range(num_suborams)]
+    for tag, key, value in ordered:
+        partitions[tag][key] = value
+    return partitions
+
+
+def partition_sizes(
+    objects: Sequence[int], num_suborams: int, sharding_key: bytes
+) -> List[int]:
+    """The public partition-size vector for a key set."""
+    prf = Prf(sharding_key)
+    sizes = [0] * num_suborams
+    for key in objects:
+        sizes[prf.range(key, num_suborams)] += 1
+    return sizes

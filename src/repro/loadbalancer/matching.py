@@ -1,0 +1,92 @@
+"""Oblivious response matching (Figure 6 / Figure 26).
+
+➊ merge the subORAM responses (tag 0) with the original client requests
+  (tag 1);
+➋ obliviously sort by (key, tag) so each response immediately precedes
+  every client request for its key;
+➌ a fixed scan propagates each response's value to the following
+  request(s) — duplicates all receive the value, dummy responses have no
+  followers;
+➍ oblivious compaction keeps only the client requests, now carrying
+  response values.
+
+A final (non-secret-dependent) sort restores client arrival order so the
+caller can zip responses with its request list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.oblivious.compact import ocompact
+from repro.oblivious.primitives import and_bit, eq_bit, o_select
+from repro.oblivious.sort import bitonic_sort
+from repro.types import BatchEntry, Response
+
+
+def match_responses(
+    originals: Sequence[BatchEntry],
+    responses: Sequence[BatchEntry],
+    mem_factory=None,
+) -> List[Response]:
+    """Map subORAM responses back onto the epoch's client requests.
+
+    Args:
+        originals: the client-request entries from ``generate_batches``
+            (``tag`` holds arrival order).
+        responses: every entry returned by every subORAM (including dummy
+            responses).
+
+    Returns:
+        One :class:`Response` per original request, in arrival order,
+        carrying the object value prior to this epoch's writes.
+    """
+    # ➊ Merge: responses get tag bit 0, requests tag bit 1.  We stash the
+    # arrival order separately so sorting can't disturb it.
+    merged: List[list] = []
+    for entry in responses:
+        merged.append([entry.key, 0, entry.value, entry, 0])
+    for entry in originals:
+        merged.append([entry.key, 1, None, entry, entry.tag])
+
+    # ➋ Sort by object id, responses before requests.
+    merged = bitonic_sort(
+        merged, key=lambda r: (r[0], r[1], r[4]), mem_factory=mem_factory
+    )
+
+    # ➌ Propagate response values forward (fixed scan).
+    prev_key = None
+    prev_value = None
+    for record in merged:
+        is_response = eq_bit(record[1], 0)
+        prev_key = o_select(is_response, prev_key, record[0])
+        prev_value = o_select(is_response, prev_value, record[2])
+        same_key = int(record[0] == prev_key)
+        take = and_bit(eq_bit(record[1], 1), same_key)
+        record[2] = o_select(take, record[2], prev_value)
+
+    # ➍ Keep only client requests.
+    flags = [record[1] for record in merged]
+    kept = ocompact(merged, flags, mem_factory=mem_factory)
+    assert len(kept) == len(originals)
+
+    # Access control (§D): a denied request receives a null value; the
+    # masking happens here, after the oblivious pipeline, per *original*
+    # request (duplicates may have different privileges).
+    results = [
+        Response(
+            key=record[3].key,
+            value=o_select(record[3].permitted, None, record[2]),
+            client_id=record[3].client_id,
+            seq=record[3].seq,
+            ok=bool(record[3].permitted),
+        )
+        for record in kept
+    ]
+    # Restore arrival order (public permutation: depends only on arrival
+    # tags, which the attacker already observes).
+    order = {id(entry): i for i, entry in enumerate(originals)}
+    results_with_pos = sorted(
+        zip(results, kept), key=lambda pair: order[id(pair[1][3])]
+    )
+    return [response for response, _ in results_with_pos]

@@ -1,0 +1,43 @@
+"""Oblivious building blocks (§4.2.1 of the paper).
+
+These are the primitives Theorems 1 and 2 assume:
+
+* an oblivious compare-and-set / compare-and-swap operator
+  (:mod:`repro.oblivious.primitives`),
+* an oblivious sorting algorithm — bitonic sort
+  (:mod:`repro.oblivious.sort`),
+* an oblivious, order-preserving compaction algorithm — Goodrich's routing
+  network (:mod:`repro.oblivious.compact`),
+* a two-tier oblivious hash table — Chan et al.
+  (:mod:`repro.oblivious.hashtable`).
+
+Obliviousness in our model means: the sequence of *memory addresses*
+touched depends only on public parameters (array length, capacity), never
+on element contents.  :class:`repro.oblivious.memory.TracedMemory` records
+the address trace so tests can assert this property directly.
+"""
+
+from repro.oblivious.memory import AccessTrace, TracedMemory
+from repro.oblivious.primitives import o_select, ocmp_set, ocmp_swap
+from repro.oblivious.sort import bitonic_sort, bitonic_sort_network_size
+from repro.oblivious.compact import goodrich_compact, ocompact
+from repro.oblivious.hashtable import TwoTierHashTable, TwoTierParams
+from repro.oblivious.shuffle import oblivious_shuffle
+from repro.oblivious.permutation import apply_permutation, route_permutation
+
+__all__ = [
+    "AccessTrace",
+    "TracedMemory",
+    "TwoTierHashTable",
+    "TwoTierParams",
+    "apply_permutation",
+    "bitonic_sort",
+    "bitonic_sort_network_size",
+    "goodrich_compact",
+    "o_select",
+    "oblivious_shuffle",
+    "ocmp_set",
+    "ocmp_swap",
+    "ocompact",
+    "route_permutation",
+]

@@ -1,0 +1,128 @@
+"""Goodrich order-preserving oblivious compaction (§4.2.1).
+
+Given ``n`` items each tagged with a bit, compaction moves the tagged items
+to a contiguous prefix, preserving their relative order, while revealing
+nothing but ``n`` and the number kept.  Goodrich's algorithm routes each
+kept item left by ``d_i = i - rank_i`` positions through ``log n`` layers;
+layer ``k`` shifts items whose distance has bit ``k`` set by exactly
+``2^k``.  Every slot is visited in a fixed order in every layer, so the
+address trace depends only on ``n``.
+
+Correctness sketch: kept items' distances are non-decreasing left to right
+(consecutive ranks differ by one while positions differ by at least one),
+so after processing bits ``0..k-1`` the 2^k-jumps in layer ``k`` always land
+on a slot not occupied by a kept item — the conditional swap displaces only
+discarded filler.  Property tests in ``tests/test_compact.py`` exercise this
+exhaustively for small ``n`` and randomly for large ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.oblivious.primitives import o_select
+from repro.utils.bits import next_pow2
+
+
+def goodrich_compact(items: Sequence, flags: Sequence[int], mem_factory=None) -> List:
+    """Obliviously move flagged items to the front, preserving order.
+
+    Args:
+        items: the array to compact (not modified).
+        flags: 0/1 keep-bits, same length as ``items``.
+        mem_factory: optional wrapper (e.g. ``TracedMemory``) for the working
+            arrays, letting tests capture the trace.
+
+    Returns:
+        A list of length ``len(items)``: the kept items in order, followed
+        by the discarded ones in unspecified order.
+    """
+    if len(items) != len(flags):
+        raise ValueError(
+            f"items ({len(items)}) and flags ({len(flags)}) length mismatch"
+        )
+    n = len(items)
+    if n == 0:
+        return []
+
+    m = next_pow2(n)
+    # Work on (flag, distance_remaining, payload) records; padding slots are
+    # permanently un-flagged.
+    work = [
+        [flags[i] if i < n else 0, 0, items[i] if i < n else None]
+        for i in range(m)
+    ]
+    mem = mem_factory(work) if mem_factory is not None else work
+
+    # Fixed linear scan computing each kept item's left-shift distance.
+    # rank = number of kept items strictly before position i.
+    rank = 0
+    for i in range(m):
+        record = mem[i]
+        flag = record[0]
+        distance = i - rank
+        # Write the distance unconditionally (0 for dropped items).
+        record[1] = o_select(flag, 0, distance)
+        mem[i] = record
+        rank += flag
+
+    # log m routing layers; layer k conditionally swaps (i - 2^k, i).
+    offset = 1
+    while offset < m:
+        for i in range(offset, m):
+            right = mem[i]
+            left = mem[i - offset]
+            move_bit = right[0] & ((right[1] >> _bit_index(offset)) & 1)
+            # Decrement the remaining distance of the moving record.
+            moved_right = [
+                right[0],
+                right[1] - o_select(move_bit, 0, offset),
+                right[2],
+            ]
+            new_left = o_select(move_bit, left, moved_right)
+            new_right = o_select(move_bit, right, left)
+            mem[i - offset] = new_left
+            mem[i] = new_right
+        offset <<= 1
+
+    return [mem[i][2] for i in range(n)]
+
+
+def _bit_index(offset: int) -> int:
+    return offset.bit_length() - 1
+
+
+def ocompact(items: Sequence, flags: Sequence[int], mem_factory=None) -> List:
+    """Compact and truncate: return exactly the flagged items, in order.
+
+    The output length equals ``sum(flags)`` — public information, exactly as
+    in the paper ("except for the total number of objects kept").
+    """
+    kept = sum(1 for f in flags if f)
+    prefix = goodrich_compact(items, flags, mem_factory=mem_factory)
+    return prefix[:kept]
+
+
+def ocompact_by_sort(items: Sequence, flags: Sequence[int], mem_factory=None) -> List:
+    """Order-preserving compaction via oblivious sort — the O(n log^2 n)
+    alternative to Goodrich's routing network.
+
+    Sorting by ``(1 - flag, original index)`` moves kept items to a
+    stable-ordered prefix.  Slower asymptotically but trivially correct,
+    so the test suite uses it as an independent oracle for
+    :func:`goodrich_compact`.
+    """
+    from repro.oblivious.sort import bitonic_sort
+
+    if len(items) != len(flags):
+        raise ValueError(
+            f"items ({len(items)}) and flags ({len(flags)}) length mismatch"
+        )
+    tagged = [
+        (1 - flags[i], i, items[i]) for i in range(len(items))
+    ]
+    ordered = bitonic_sort(
+        tagged, key=lambda t: (t[0], t[1]), mem_factory=mem_factory
+    )
+    kept = sum(1 for f in flags if f)
+    return [item for _, _, item in ordered[:kept]]

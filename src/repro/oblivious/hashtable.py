@@ -1,0 +1,366 @@
+"""Two-tier oblivious hash table (Chan et al.), the subORAM's core (§5).
+
+The subORAM builds an oblivious hash table over the *batch of requests*,
+then performs a single linear scan over the stored objects, looking each
+object up in the table.  Obliviousness requires:
+
+* construction access patterns independent of which request lands in which
+  bucket (achieved with oblivious sort + oblivious compaction),
+* fixed, public bucket sizes — never sized by the actual load (that would
+  leak request popularity; §5 "Choosing an oblivious hash table"),
+* lookups that scan *entire* buckets in both tiers.
+
+Sizing.  Tier-1 buckets are deliberately small (cheap lookups); requests
+that overflow a tier-1 bucket spill into a second, independently keyed
+table whose capacity ``C2`` and bucket size are *public functions of the
+batch capacity alone* (Theorem 3 applied to the spill).  Construction
+conceals how many requests actually spilled by always routing exactly
+``C2`` entries (real spills topped up with fillers) into tier 2.
+
+All table dimensions derive from ``(capacity, security_parameter, knobs)``
+— never from request contents — which is the checkable security property
+(see ``tests/test_obliviousness.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.balls_bins import batch_size
+from repro.crypto.prf import Prf
+from repro.errors import CapacityError
+from repro.oblivious.compact import ocompact
+from repro.oblivious.primitives import o_select
+from repro.oblivious.sort import bitonic_sort
+
+
+@dataclass(frozen=True)
+class TwoTierParams:
+    """Public dimensions of a two-tier table.
+
+    Attributes:
+        capacity: maximum number of (real) items the table holds.
+        tier1_buckets: number of tier-1 buckets.
+        tier1_bucket_size: slots per tier-1 bucket (Z1).
+        tier2_capacity: fixed number of entries routed to tier 2 (C2).
+        tier2_buckets: number of tier-2 buckets.
+        tier2_bucket_size: slots per tier-2 bucket (Z2).
+        security_parameter: lambda used for the tier-2 Chernoff sizing.
+    """
+
+    capacity: int
+    tier1_buckets: int
+    tier1_bucket_size: int
+    tier2_capacity: int
+    tier2_buckets: int
+    tier2_bucket_size: int
+    security_parameter: int
+
+    @classmethod
+    def for_capacity(
+        cls,
+        capacity: int,
+        security_parameter: int = 128,
+        tier1_load: float = 4.0,
+        tier1_slack: int = 6,
+    ) -> "TwoTierParams":
+        """Derive all dimensions from the public batch capacity.
+
+        Tier-1 buckets hold ``ceil(tier1_load) + tier1_slack`` slots around
+        an expected load of ``tier1_load``; the spill bound ``C2`` is a
+        conservative public function of capacity (validated empirically by
+        property tests to leave orders-of-magnitude margin); tier-2 buckets
+        are sized by Theorem 3 so tier-2 overflow is cryptographically
+        negligible.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        b1 = max(1, math.ceil(capacity / tier1_load))
+        z1 = int(math.ceil(tier1_load)) + tier1_slack
+        c2 = max(8, capacity // 8 + 4 * math.isqrt(capacity) + 8)
+        c2 = min(c2, capacity) if capacity >= 8 else capacity
+        c2 = max(c2, 1)
+        b2 = max(1, math.ceil(c2 / tier1_load))
+        z2 = batch_size(c2, b2, security_parameter)
+        return cls(
+            capacity=capacity,
+            tier1_buckets=b1,
+            tier1_bucket_size=z1,
+            tier2_capacity=c2,
+            tier2_buckets=b2,
+            tier2_bucket_size=z2,
+            security_parameter=security_parameter,
+        )
+
+    @property
+    def tier1_slots(self) -> int:
+        """Total tier-1 slots (buckets x bucket size)."""
+        return self.tier1_buckets * self.tier1_bucket_size
+
+    @property
+    def tier2_slots(self) -> int:
+        """Total tier-2 slots (buckets x bucket size)."""
+        return self.tier2_buckets * self.tier2_bucket_size
+
+    @property
+    def total_slots(self) -> int:
+        """Total slots across both tiers."""
+        return self.tier1_slots + self.tier2_slots
+
+    @property
+    def lookup_scan_slots(self) -> int:
+        """Slots touched per lookup: one full bucket in each tier."""
+        return self.tier1_bucket_size + self.tier2_bucket_size
+
+
+class _Slot:
+    """One hash-table slot: a payload plus a real/dummy flag."""
+
+    __slots__ = ("item", "real")
+
+    def __init__(self, item=None, real: int = 0):
+        self.item = item
+        self.real = real
+
+
+class TwoTierHashTable:
+    """An oblivious hash table over a batch of distinct-keyed items.
+
+    Typical use (the subORAM's Figure 19 loop)::
+
+        table = TwoTierHashTable.build(batch, key_fn, prf_key, params)
+        for obj in store:                     # fixed linear scan
+            for slot in table.lookup_slots(obj.key):
+                ...oblivious compare-and-set against slot...
+        survivors = table.extract_real()      # oblivious compaction
+
+    ``key_fn`` maps an item to its integer id; dummy items must have ids
+    that are still well-defined (the load balancer gives dummies fresh ids
+    hashing to the right subORAM).
+    """
+
+    def __init__(
+        self,
+        params: TwoTierParams,
+        prf1: Prf,
+        prf2: Prf,
+        slots: List[_Slot],
+        key_fn: Callable,
+    ):
+        self.params = params
+        self._prf1 = prf1
+        self._prf2 = prf2
+        self._slots = slots
+        self._key_fn = key_fn
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        items: Sequence,
+        key_fn: Callable,
+        prf_key: bytes,
+        params: Optional[TwoTierParams] = None,
+        security_parameter: int = 128,
+        is_real_fn: Optional[Callable] = None,
+        mem_factory=None,
+    ) -> "TwoTierHashTable":
+        """Obliviously construct the table from ``items``.
+
+        Args:
+            items: at most ``params.capacity`` items with distinct keys.
+            key_fn: item -> integer id.
+            prf_key: per-batch secret key (resampled every batch, §5).
+            params: public dimensions; derived from ``len(items)`` if None.
+            security_parameter: lambda for derived params.
+            is_real_fn: item -> bool; defaults to "everything is real".
+                Items marked not-real are carried as dummies (they occupy
+                slots and are scanned, but ``extract_real`` drops them).
+            mem_factory: optional traced-memory wrapper passed to the
+                internal oblivious sorts/compactions (security tests).
+        """
+        if params is None:
+            params = TwoTierParams.for_capacity(
+                max(1, len(items)), security_parameter
+            )
+        if len(items) > params.capacity:
+            raise CapacityError(
+                f"{len(items)} items exceed table capacity {params.capacity}"
+            )
+        if is_real_fn is None:
+            is_real_fn = _always_real
+
+        prf1 = Prf(prf_key + b"/tier1")
+        prf2 = Prf(prf_key + b"/tier2")
+
+        def tier2_key_fn(item):
+            if isinstance(item, _SpillFiller):
+                return item.key
+            return key_fn(item)
+
+        tier1, spill = cls._build_tier(
+            [(item, int(bool(is_real_fn(item)))) for item in items],
+            key_fn,
+            prf1,
+            params.tier1_buckets,
+            params.tier1_bucket_size,
+            spill_capacity=params.tier2_capacity,
+            mem_factory=mem_factory,
+        )
+        tier2, overflow = cls._build_tier(
+            spill,
+            tier2_key_fn,
+            prf2,
+            params.tier2_buckets,
+            params.tier2_bucket_size,
+            spill_capacity=0,
+            mem_factory=mem_factory,
+        )
+        if overflow:
+            raise CapacityError(
+                "tier-2 oblivious hash table overflowed; probability of this"
+                f" event is <= 2^-{params.security_parameter} under Theorem 3"
+            )
+        return cls(params, prf1, prf2, tier1 + tier2, key_fn)
+
+    @staticmethod
+    def _build_tier(
+        tagged_items: List[tuple],
+        key_fn: Callable,
+        prf: Prf,
+        num_buckets: int,
+        bucket_size: int,
+        spill_capacity: int,
+        mem_factory=None,
+    ) -> tuple:
+        """Build one tier; returns (slots, spill_entries).
+
+        ``tagged_items`` is a list of (item, real_bit).  The tier always
+        emits ``num_buckets * bucket_size`` slots in bucket order and, when
+        ``spill_capacity > 0``, exactly ``spill_capacity`` spill entries
+        (real spills topped up with filler dummies) so the spill size is
+        public.  When ``spill_capacity == 0`` the returned spill list
+        contains only real entries; non-empty means overflow.
+        """
+        # Working records: [bucket, kind, within_bucket_index, item, real].
+        # kind 0 = real/dummy payload entry, kind 1 = bucket filler.
+        records = []
+        for item, real_bit in tagged_items:
+            bucket = prf.range(key_fn(item), num_buckets)
+            records.append([bucket, 0, 0, item, real_bit])
+        for bucket in range(num_buckets):
+            for _ in range(bucket_size):
+                records.append([bucket, 1, 0, None, 0])
+
+        # Oblivious sort groups buckets, payload entries before fillers.
+        records = bitonic_sort(
+            records, key=lambda r: (r[0], r[1]), mem_factory=mem_factory
+        )
+
+        # Fixed scan: assign within-bucket indices.
+        prev_bucket = -1
+        index_in_bucket = 0
+        for record in records:
+            same = int(record[0] == prev_bucket)
+            index_in_bucket = o_select(same, 0, index_in_bucket)
+            record[2] = index_in_bucket
+            index_in_bucket += 1
+            prev_bucket = record[0]
+
+        keep_flags = [int(r[2] < bucket_size) for r in records]
+        spill_flags = [
+            int(r[2] >= bucket_size and r[1] == 0) for r in records
+        ]
+        num_spilled = sum(spill_flags)
+
+        kept = ocompact(records, keep_flags, mem_factory=mem_factory)
+        # Filler slots (bucket fillers and tier-2 spill fillers) normalize
+        # to item=None so scans can treat every non-payload slot uniformly.
+        slots = [
+            _Slot(
+                item=None if (r[1] == 1 or isinstance(r[3], _SpillFiller)) else r[3],
+                real=o_select(r[1], r[4], 0),
+            )
+            for r in kept
+        ]
+
+        if spill_capacity == 0:
+            spilled = ocompact(records, spill_flags, mem_factory=mem_factory)
+            return slots, [(r[3], r[4]) for r in spilled if r[4]]
+
+        if num_spilled > spill_capacity:
+            raise CapacityError(
+                f"tier-1 spill {num_spilled} exceeds public bound {spill_capacity}"
+            )
+        # Top the spill up to exactly spill_capacity with fillers so its
+        # size is public.  The fillers get fresh ids deterministically
+        # derived from their index; their real bit is 0.
+        padded = list(records)
+        padded_flags = list(spill_flags)
+        for i in range(spill_capacity):
+            filler_id = -(2**62 + i)  # id space disjoint from real/dummy ids
+            padded.append([0, 1, 0, _SpillFiller(filler_id), 0])
+            # Keep filler i only while i < spill_capacity - num_spilled:
+            # computed by a fixed scan over public-length arrays; the flag
+            # value itself is secret-dependent but never branches.
+            padded_flags.append(int(i < spill_capacity - num_spilled))
+        spill_entries = ocompact(padded, padded_flags, mem_factory=mem_factory)
+        return slots, [(r[3], r[4]) for r in spill_entries]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def bucket_slot_indices(self, key: int) -> List[int]:
+        """Indices (into the flat slot array) of both buckets for ``key``.
+
+        The caller must scan *all* returned slots (the scan hides which
+        slot, if any, matched).
+        """
+        p = self.params
+        b1 = self._prf1.range(key, p.tier1_buckets)
+        b2 = self._prf2.range(key, p.tier2_buckets)
+        tier1_start = b1 * p.tier1_bucket_size
+        tier2_start = p.tier1_slots + b2 * p.tier2_bucket_size
+        return list(range(tier1_start, tier1_start + p.tier1_bucket_size)) + list(
+            range(tier2_start, tier2_start + p.tier2_bucket_size)
+        )
+
+    def lookup_slots(self, key: int) -> List[_Slot]:
+        """The slot objects of both buckets for ``key`` (scan them all)."""
+        return [self._slots[i] for i in self.bucket_slot_indices(key)]
+
+    @property
+    def slots(self) -> List[_Slot]:
+        """The flat slot array (tier 1 followed by tier 2)."""
+        return self._slots
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def extract_real(self) -> List:
+        """Obliviously compact out dummies; returns the real items (§5 ➌)."""
+        flags = [slot.real for slot in self._slots]
+        kept = ocompact(self._slots, flags)
+        return [slot.item for slot in kept]
+
+
+class _SpillFiller:
+    """Filler entry occupying a tier-2 slot; has an id so hashing works."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: int):
+        self.key = key
+
+
+def _always_real(_item) -> bool:
+    return True
+
+
+def spill_filler_key(filler) -> int:
+    """Key extractor understanding both real items and spill fillers."""
+    return filler.key

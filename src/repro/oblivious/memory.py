@@ -1,0 +1,102 @@
+"""Instrumented memory recording access patterns.
+
+The abstract enclave model (§2, §B.1) lets the attacker observe which
+addresses the enclave touches but not their contents.  ``TracedMemory``
+makes that observation concrete: it wraps a Python list and appends
+``('R', i)`` / ``('W', i)`` events to a trace for every access.
+
+Obliviousness tests run the same algorithm on different secret inputs with
+identical public parameters and assert the traces are *equal* — a direct,
+mechanical check of the simulation-based security argument in Appendix B.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+AccessEvent = Tuple[str, int]
+
+
+class AccessTrace:
+    """An append-only log of memory access events."""
+
+    def __init__(self) -> None:
+        self.events: List[AccessEvent] = []
+
+    def record(self, op: str, index: int) -> None:
+        """Append one access event."""
+        self.events.append((op, index))
+
+    def clear(self) -> None:
+        """Discard all recorded events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessTrace):
+            return NotImplemented
+        return self.events == other.events
+
+    def __hash__(self):  # traces are mutable; keep them unhashable
+        raise TypeError("AccessTrace is unhashable")
+
+    def reads(self) -> List[int]:
+        """Indices of all read events, in order."""
+        return [i for op, i in self.events if op == "R"]
+
+    def writes(self) -> List[int]:
+        """Indices of all write events, in order."""
+        return [i for op, i in self.events if op == "W"]
+
+    def __repr__(self) -> str:
+        return f"AccessTrace({len(self.events)} events)"
+
+
+class TracedMemory:
+    """A list-like memory whose every element access is logged.
+
+    Algorithms in :mod:`repro.oblivious` accept either a plain list (fast
+    path, used in production code paths) or a ``TracedMemory`` (used by
+    security tests).  Only integer indexing is allowed — slicing would hide
+    individual accesses from the trace.
+    """
+
+    def __init__(self, items: Iterable, trace: AccessTrace | None = None):
+        self._items: List = list(items)
+        self.trace = trace if trace is not None else AccessTrace()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int):
+        if not isinstance(index, int):
+            raise TypeError("TracedMemory only supports integer indexing")
+        self.trace.record("R", self._normalize(index))
+        return self._items[index]
+
+    def __setitem__(self, index: int, value) -> None:
+        if not isinstance(index, int):
+            raise TypeError("TracedMemory only supports integer indexing")
+        self.trace.record("W", self._normalize(index))
+        self._items[index] = value
+
+    def _normalize(self, index: int) -> int:
+        return index if index >= 0 else len(self._items) + index
+
+    def append(self, value) -> None:
+        """Appending extends memory; the new address is public (end of array)."""
+        self.trace.record("W", len(self._items))
+        self._items.append(value)
+
+    def __iter__(self) -> Iterator:
+        for i in range(len(self._items)):
+            yield self[i]
+
+    def to_list(self) -> List:
+        """Untraced snapshot of contents (test convenience only)."""
+        return list(self._items)
+
+    def __repr__(self) -> str:
+        return f"TracedMemory(len={len(self._items)}, trace={len(self.trace)} events)"

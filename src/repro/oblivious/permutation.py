@@ -1,0 +1,176 @@
+"""Oblivious application of an arbitrary permutation: Waksman networks.
+
+An (AS-)Waksman network routes any permutation of ``n`` elements through
+``O(n log n)`` binary switches arranged in a fixed topology.  The switch
+*control bits* are computed from the secret permutation, but the switch
+*positions* depend only on ``n`` — so applying the network is a sequence
+of oblivious conditional swaps over fixed index pairs, and an observer
+learns nothing about the permutation.
+
+This complements :mod:`repro.oblivious.shuffle` (random permutation via
+sort, O(n log^2 n)): Waksman applies a *chosen* permutation in
+O(n log n) — the standard tool when an enclave must physically reorder
+data it has privately decided how to reorder (e.g. hierarchical ORAM
+rebuilds).
+
+Construction (classic recursion): an ``n``-input network is an input
+column of ``floor(n/2)`` switches, two parallel subnetworks of sizes
+``floor(n/2)`` and ``ceil(n/2)``, and an output column in which the last
+switch is fixed (even ``n``) or the last wire bypasses (odd ``n``).
+Control bits come from the standard loop-chasing 2-coloring: wires on the
+same switch take different subnets, and an element stays in one subnet
+between the columns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.oblivious.primitives import ocmp_swap
+
+SwapInstruction = Tuple[int, int, int]  # (i, j, control bit)
+
+
+def route_permutation(permutation: Sequence[int]) -> List[SwapInstruction]:
+    """Compute the Waksman swap schedule realizing ``permutation``.
+
+    ``output[permutation[i]] = input[i]``.  The (i, j) pairs in the
+    returned schedule are a pure function of ``len(permutation)``; the
+    control bits carry all secret information.
+    """
+    permutation = list(permutation)
+    if sorted(permutation) != list(range(len(permutation))):
+        raise ValueError("not a permutation")
+    return _route(permutation)
+
+
+def _route(perm: List[int]) -> List[SwapInstruction]:
+    n = len(perm)
+    if n <= 1:
+        return []
+    if n == 2:
+        return [(0, 1, int(perm[0] == 1))]
+
+    half = n // 2
+    odd = n % 2 == 1
+    bottom_size = n - half
+    inverse = [0] * n
+    for position, target in enumerate(perm):
+        inverse[target] = position
+
+    TOP, BOTTOM = 0, 1
+    in_subnet: List = [None] * n
+    out_subnet: List = [None] * n
+
+    def bypass_in(position: int) -> bool:
+        return odd and position == n - 1
+
+    def bypass_out(position: int) -> bool:
+        return odd and position == n - 1
+
+    def propagate(kind: str, position: int, subnet: int) -> None:
+        """Assign (kind, position) to subnet and chase all consequences."""
+        stack = [(kind, position, subnet)]
+        while stack:
+            k, pos, s = stack.pop()
+            table = in_subnet if k == "in" else out_subnet
+            if table[pos] is not None:
+                continue
+            table[pos] = s
+            if k == "in":
+                # Same-switch partner goes to the other subnet.
+                if not bypass_in(pos):
+                    partner = pos ^ 1
+                    if partner < n and not bypass_in(partner):
+                        stack.append(("in", partner, 1 - s))
+                # The element keeps its subnet through the middle.
+                stack.append(("out", perm[pos], s))
+            else:
+                if not bypass_out(pos):
+                    partner = pos ^ 1
+                    if partner < n and not bypass_out(partner):
+                        stack.append(("out", partner, 1 - s))
+                stack.append(("in", inverse[pos], s))
+
+    # Seeds: bypass wires (odd n) are wired to the bottom subnet; for even
+    # n the last output switch is fixed straight.
+    if odd:
+        propagate("in", n - 1, BOTTOM)
+        propagate("out", n - 1, BOTTOM)
+    else:
+        propagate("out", n - 2, TOP)
+        propagate("out", n - 1, BOTTOM)
+    # Free cycles: route through the top by convention.
+    for position in range(n):
+        if in_subnet[position] is None:
+            propagate("in", position, TOP)
+
+    # Switch bits: bit=1 means "swap".  The upper wire (even position)
+    # stays on the top subnet / top output exactly when the bit is 0.
+    in_bits = [int(in_subnet[2 * k] == BOTTOM) for k in range(half)]
+    out_bits = [
+        int(out_subnet[2 * k] == BOTTOM)
+        for k in range(half if odd else half - 1)
+    ]
+
+    # Sub-permutations over subnet wire indices.
+    def in_wire(position: int) -> int:
+        return bottom_size - 1 if bypass_in(position) else position // 2
+
+    def out_wire(position: int) -> int:
+        return bottom_size - 1 if bypass_out(position) else position // 2
+
+    top_perm = [0] * half
+    bottom_perm = [0] * bottom_size
+    for position in range(n):
+        subnet = in_subnet[position]
+        src = in_wire(position)
+        dst = out_wire(perm[position])
+        if subnet == TOP:
+            top_perm[src] = dst
+        else:
+            bottom_perm[src] = dst
+
+    # Physical layout of subnet wires between the columns: top wire w at
+    # position 2w, bottom wire w at position 2w+1 (the odd bypass wire is
+    # bottom wire bottom_size-1 at position n-1).
+    def top_pos(wire: int) -> int:
+        return 2 * wire
+
+    def bottom_pos(wire: int) -> int:
+        return min(2 * wire + 1, n - 1)
+
+    schedule: List[SwapInstruction] = []
+    for k in range(half):
+        schedule.append((2 * k, 2 * k + 1, in_bits[k]))
+    for i, j, bit in _route(top_perm):
+        schedule.append((top_pos(i), top_pos(j), bit))
+    for i, j, bit in _route(bottom_perm):
+        schedule.append((bottom_pos(i), bottom_pos(j), bit))
+    for k in range(len(out_bits)):
+        schedule.append((2 * k, 2 * k + 1, out_bits[k]))
+    if not odd:
+        schedule.append((n - 2, n - 1, 0))  # the fixed Waksman switch
+    return schedule
+
+
+def apply_permutation(items: Sequence, permutation: Sequence[int],
+                      mem_factory=None) -> List:
+    """Obliviously apply ``permutation``: output[permutation[i]] = items[i].
+
+    Args:
+        items: the data to reorder (not modified).
+        permutation: target position per input index.
+        mem_factory: optional traced-memory wrapper for security tests.
+    """
+    schedule = route_permutation(permutation)
+    work = list(items)
+    mem = mem_factory(work) if mem_factory is not None else work
+    for i, j, bit in schedule:
+        ocmp_swap(mem, bit, i, j)
+    return [mem[i] for i in range(len(items))]
+
+
+def network_size(n: int) -> int:
+    """Number of switches a size-``n`` Waksman network uses."""
+    return len(route_permutation(list(range(n))))

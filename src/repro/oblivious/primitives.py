@@ -1,0 +1,90 @@
+"""Oblivious compare-and-set / compare-and-swap operators.
+
+The paper builds every oblivious algorithm "on top of an oblivious
+'compare-and-set' operator that allows us to copy a value if a condition is
+true without leaking if the copy happened or not" (§4.2).  The C++
+implementation uses AVX-512 conditional moves; at the Python level of our
+model the observable is the *address sequence*, so each operator touches the
+same addresses regardless of the condition:
+
+* both operands are always read,
+* both destinations are always written (with either the old or new value,
+  selected without branching on secret data).
+
+``o_select`` implements the branchless select by indexing a two-element
+tuple with the condition bit — address-wise this is a single fixed access.
+"""
+
+from __future__ import annotations
+
+
+def o_select(bit: int, if_zero, if_one):
+    """Return ``if_one`` when ``bit`` is 1 else ``if_zero``.
+
+    ``bit`` must be 0 or 1.  Selection is by tuple indexing, which performs
+    no data-dependent memory access at the granularity of our model.
+    """
+    return (if_zero, if_one)[bit]
+
+
+def ocmp_set(mem, bit: int, dst: int, src: int) -> None:
+    """If ``bit`` is 1, set ``mem[dst] = mem[src]`` — always touching both.
+
+    Mirrors the paper's ``OCmpSet(b, x, y)``: reads both cells, writes the
+    destination unconditionally with the selected value.
+    """
+    src_val = mem[src]
+    dst_val = mem[dst]
+    mem[dst] = o_select(bit, dst_val, src_val)
+
+
+def ocmp_set_value(mem, bit: int, dst: int, value) -> None:
+    """If ``bit`` is 1, set ``mem[dst] = value``; same trace either way."""
+    dst_val = mem[dst]
+    mem[dst] = o_select(bit, dst_val, value)
+
+
+def ocmp_swap(mem, bit: int, i: int, j: int) -> None:
+    """If ``bit`` is 1, swap ``mem[i]`` and ``mem[j]`` — always touching both.
+
+    Mirrors the paper's ``OCmpSwap(b, x, y)``; this is the only primitive
+    bitonic sort and Goodrich compaction need.
+    """
+    a = mem[i]
+    b = mem[j]
+    mem[i] = o_select(bit, a, b)
+    mem[j] = o_select(bit, b, a)
+
+
+def o_counter_increment(counter: int, bit: int) -> int:
+    """Branchlessly add ``bit`` to a running counter.
+
+    Used for the oblivious per-subORAM distinct-request counters in the load
+    balancer (§4.2.2) and within-bucket indices in the hash table.
+    """
+    return counter + bit
+
+
+def eq_bit(a, b) -> int:
+    """1 if ``a == b`` else 0, as an int (comparison is register-local)."""
+    return int(a == b)
+
+
+def lt_bit(a, b) -> int:
+    """1 if ``a < b`` else 0, as an int."""
+    return int(a < b)
+
+
+def and_bit(a: int, b: int) -> int:
+    """Logical AND of two 0/1 bits."""
+    return a & b
+
+
+def or_bit(a: int, b: int) -> int:
+    """Logical OR of two 0/1 bits."""
+    return a | b
+
+
+def not_bit(a: int) -> int:
+    """Logical NOT of a 0/1 bit."""
+    return 1 - a

@@ -1,0 +1,46 @@
+"""Oblivious shuffle: a random permutation with a data-independent trace.
+
+Classic construction: tag every element with a PRF of its index under a
+fresh key (statistically collision-free for 256-bit tags) and obliviously
+sort by the tags.  Since bitonic sort's comparator schedule depends only
+on the length, the access trace reveals nothing about the permutation.
+
+Snoopy itself doesn't need a shuffle (it never moves objects between
+partitions — that's the point), but the baselines' initialization and
+several related systems (hierarchical ORAMs, Signal's hash tables) do,
+so the primitive belongs in the toolbox.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from repro.crypto.prf import Prf
+from repro.oblivious.sort import bitonic_sort
+
+
+def oblivious_shuffle(
+    items: Sequence,
+    key: Optional[bytes] = None,
+    mem_factory=None,
+) -> List:
+    """Return ``items`` in a pseudorandom order via sort-by-PRF-tag.
+
+    Args:
+        items: the sequence to permute (not modified).
+        key: PRF key; a fresh random key is drawn if omitted.  The
+            permutation is a deterministic function of (key, len(items)).
+        mem_factory: optional traced-memory wrapper for security tests.
+    """
+    if key is None:
+        key = os.urandom(32)
+    prf = Prf(key)
+    tagged = [(prf.value(index), item) for index, item in enumerate(items)]
+    shuffled = bitonic_sort(tagged, key=lambda t: t[0], mem_factory=mem_factory)
+    return [item for _, item in shuffled]
+
+
+def permutation_of(n: int, key: bytes) -> List[int]:
+    """The index permutation ``oblivious_shuffle`` applies for (key, n)."""
+    return oblivious_shuffle(list(range(n)), key=key)

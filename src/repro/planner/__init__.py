@@ -1,0 +1,6 @@
+"""The Snoopy planner (§6): cheapest configuration meeting SLOs."""
+
+from repro.planner.planner import Plan, Planner
+from repro.planner.pricing import PriceTable, DEFAULT_PRICES
+
+__all__ = ["DEFAULT_PRICES", "Plan", "Planner", "PriceTable"]

@@ -1,0 +1,28 @@
+"""Machine pricing for the planner's cost objective (Eq. 3, Fig. 14b).
+
+Mirrors the paper's deployment: load balancers and subORAMs both run on
+DC4s_v2 instances, so they share a monthly price; only relative prices
+shape the planner output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PriceTable:
+    """Monthly USD prices per machine role."""
+
+    load_balancer: float = 292.0  # Azure DC4s_v2, ~$0.40/hr
+    suboram: float = 292.0
+
+    def monthly_cost(self, num_load_balancers: int, num_suborams: int) -> float:
+        """Eq. (3): C_sys = B*C_LB + S*C_S."""
+        return (
+            num_load_balancers * self.load_balancer
+            + num_suborams * self.suboram
+        )
+
+
+DEFAULT_PRICES = PriceTable()

@@ -1,0 +1,13 @@
+"""Executable security arguments: the Appendix B simulator programs."""
+
+from repro.security.simulator import (
+    simulate_batching_trace,
+    simulate_matching_trace,
+    simulate_suboram_store_sequence,
+)
+
+__all__ = [
+    "simulate_batching_trace",
+    "simulate_matching_trace",
+    "simulate_suboram_store_sequence",
+]

@@ -1,0 +1,167 @@
+"""Cluster-level figure series: the evaluation's machine sweeps (§8.2-8.3).
+
+Each function regenerates one figure's data from the calibrated cost
+model: Fig. 9a/9b machine sweeps, Fig. 10's Snoopy-Oblix hybrid,
+Fig. 11a/11b data-size and latency scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.analysis.balls_bins import batch_size
+from repro.sim.costmodel import (
+    best_split,
+    load_balancer_time,
+    mean_latency,
+    oblix_access_time,
+)
+from repro.sim.machines import DEFAULT_PROFILE, MachineProfile
+
+
+def throughput_scaling_series(
+    machine_counts: List[int],
+    num_objects: int,
+    max_latencies: List[float],
+    object_size: int = 160,
+    accesses_per_op: int = 1,
+    profile: MachineProfile = DEFAULT_PROFILE,
+) -> Dict[float, List[Tuple[int, int, int, float]]]:
+    """Fig. 9a / 9b data: best (machines, L, S, throughput) per latency cap."""
+    series: Dict[float, List[Tuple[int, int, int, float]]] = {}
+    for latency in max_latencies:
+        rows = []
+        for machines in machine_counts:
+            balancers, suborams, throughput = best_split(
+                machines,
+                num_objects,
+                latency,
+                object_size=object_size,
+                accesses_per_op=accesses_per_op,
+                profile=profile,
+            )
+            rows.append((machines, balancers, suborams, throughput))
+        series[latency] = rows
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10: Oblix as the subORAM behind Snoopy's load balancer
+# ---------------------------------------------------------------------------
+def snoopy_oblix_feasible(
+    throughput: float,
+    epoch: float,
+    num_load_balancers: int,
+    num_suborams: int,
+    num_objects: int,
+    security_parameter: int = 128,
+    profile: MachineProfile = DEFAULT_PROFILE,
+    object_size: int = 160,
+) -> bool:
+    """Eq. (1) with an Oblix subORAM: batch served by sequential accesses.
+
+    An Oblix subORAM has no batch amortization: each of the batch's ``B``
+    requests costs a full sequential recursive access over the shard
+    (Oblix "does not employ batching or parallelism", §8.1).  The hybrid
+    still wins by sharding — each access runs over ``N/S`` objects with
+    fewer recursion levels, which produces Fig. 10's step between 8 and 9
+    machines.
+    """
+    requests_per_balancer = int(math.ceil(throughput * epoch / num_load_balancers))
+    if requests_per_balancer == 0:
+        return True
+    lb_time = load_balancer_time(
+        requests_per_balancer, num_suborams, security_parameter, profile, object_size
+    )
+    shard = int(math.ceil(num_objects / num_suborams))
+    size = batch_size(requests_per_balancer, num_suborams, security_parameter)
+    so_time = num_load_balancers * size * oblix_access_time(shard, profile)
+    return max(lb_time, so_time) <= epoch
+
+
+def snoopy_oblix_max_throughput(
+    num_load_balancers: int,
+    num_suborams: int,
+    num_objects: int,
+    max_latency: float,
+    profile: MachineProfile = DEFAULT_PROFILE,
+) -> float:
+    """Binary-search the hybrid's sustainable throughput."""
+    epoch = 2.0 * max_latency / 5.0
+    lo, hi = 0.0, 1e7
+    for _ in range(50):
+        mid = (lo + hi) / 2.0
+        if snoopy_oblix_feasible(
+            mid, epoch, num_load_balancers, num_suborams, num_objects,
+            profile=profile,
+        ):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def snoopy_oblix_best_split(
+    num_machines: int,
+    num_objects: int,
+    max_latency: float,
+    profile: MachineProfile = DEFAULT_PROFILE,
+) -> Tuple[int, int, float]:
+    """Best (L, S, throughput) for the Snoopy-Oblix hybrid (Fig. 10)."""
+    best = (1, max(1, num_machines - 1), 0.0)
+    for balancers in range(1, num_machines):
+        suborams = num_machines - balancers
+        throughput = snoopy_oblix_max_throughput(
+            balancers, suborams, num_objects, max_latency, profile
+        )
+        if throughput > best[2]:
+            best = (balancers, suborams, throughput)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11: scaling for data size and latency under constant load
+# ---------------------------------------------------------------------------
+def max_objects_within_latency(
+    num_suborams: int,
+    latency_target: float = 0.160,
+    load: float = 500.0,
+    object_size: int = 160,
+    profile: MachineProfile = DEFAULT_PROFILE,
+) -> int:
+    """Fig. 11a: largest store keeping mean latency under the target.
+
+    One load balancer, constant offered load; answers "how much data can S
+    subORAMs hold at under 160 ms" (the US-Europe RTT the paper uses).
+    """
+    lo, hi = 0, 50_000_000
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        latency = mean_latency(
+            load, 1, num_suborams, mid, object_size=object_size, profile=profile
+        )
+        if latency <= latency_target:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def latency_vs_suborams(
+    suboram_counts: List[int],
+    num_objects: int = 2_000_000,
+    load: float = 500.0,
+    object_size: int = 160,
+    profile: MachineProfile = DEFAULT_PROFILE,
+) -> List[Tuple[int, float]]:
+    """Fig. 11b: mean latency as subORAMs parallelize the linear scan."""
+    return [
+        (
+            s,
+            mean_latency(
+                load, 1, s, num_objects, object_size=object_size, profile=profile
+            ),
+        )
+        for s in suboram_counts
+    ]

@@ -1,0 +1,68 @@
+"""Latency/throughput metric helpers for the simulators and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+
+class LatencyStats:
+    """Collects latency samples; reports mean and percentiles."""
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        """Record one latency sample."""
+        self.samples.append(latency)
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        """Record many latency samples."""
+        self.samples.extend(latencies)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency over all samples."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """p in [0, 100]; nearest-rank percentile."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, math.ceil(p / 100 * len(ordered)) - 1))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        """Median latency."""
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile latency."""
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency."""
+        return self.percentile(99)
+
+    @property
+    def maximum(self) -> float:
+        """Largest recorded latency."""
+        return max(self.samples) if self.samples else 0.0
+
+
+def throughput(num_requests: int, duration: float) -> float:
+    """Requests per second over a measurement window."""
+    if duration <= 0:
+        return 0.0
+    return num_requests / duration

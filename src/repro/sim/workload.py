@@ -1,0 +1,121 @@
+"""Workload generators: request distributions and arrival processes.
+
+The paper benchmarks with a uniform request distribution and notes that —
+because the system is oblivious — the distribution cannot affect
+performance (§8, "Experiment Setup"); the load balancer's deduplication
+specifically neutralizes skew (§4.1).  We therefore provide skewed (Zipf)
+and bursty generators too, so tests can *demonstrate* that insensitivity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.types import OpType, Request
+
+
+def uniform_requests(
+    count: int,
+    num_keys: int,
+    write_fraction: float = 0.5,
+    value_size: int = 160,
+    rng: Optional[random.Random] = None,
+) -> List[Request]:
+    """Uniformly distributed reads/writes over ``num_keys`` objects."""
+    rng = rng if rng is not None else random.Random()
+    requests = []
+    for seq in range(count):
+        key = rng.randrange(num_keys)
+        if rng.random() < write_fraction:
+            value = bytes(rng.getrandbits(8) for _ in range(value_size))
+            requests.append(Request(OpType.WRITE, key, value, seq=seq))
+        else:
+            requests.append(Request(OpType.READ, key, seq=seq))
+    return requests
+
+
+class ZipfSampler:
+    """Zipf(s) sampler over ``[0, n)`` via inverse-CDF binary search."""
+
+    def __init__(self, num_keys: int, exponent: float = 1.0,
+                 rng: Optional[random.Random] = None):
+        if num_keys < 1:
+            raise ValueError("num_keys must be >= 1")
+        self._rng = rng if rng is not None else random.Random()
+        weights = [1.0 / (rank**exponent) for rank in range(1, num_keys + 1)]
+        total = 0.0
+        self._cdf = []
+        for w in weights:
+            total += w
+            self._cdf.append(total)
+        self._total = total
+
+    def sample(self) -> int:
+        """Draw one Zipf-distributed key."""
+        target = self._rng.random() * self._total
+        lo, hi = 0, len(self._cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+def zipf_requests(
+    count: int,
+    num_keys: int,
+    exponent: float = 1.0,
+    write_fraction: float = 0.5,
+    value_size: int = 160,
+    rng: Optional[random.Random] = None,
+) -> List[Request]:
+    """Heavily skewed workload — the adversarial case for batch overflow."""
+    rng = rng if rng is not None else random.Random()
+    sampler = ZipfSampler(num_keys, exponent, rng)
+    requests = []
+    for seq in range(count):
+        key = sampler.sample()
+        if rng.random() < write_fraction:
+            value = bytes(rng.getrandbits(8) for _ in range(value_size))
+            requests.append(Request(OpType.WRITE, key, value, seq=seq))
+        else:
+            requests.append(Request(OpType.READ, key, seq=seq))
+    return requests
+
+
+def poisson_arrivals(
+    rate: float,
+    duration: float,
+    rng: Optional[random.Random] = None,
+) -> Iterator[float]:
+    """Arrival times of a Poisson process with ``rate`` events/second."""
+    rng = rng if rng is not None else random.Random()
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= duration:
+            return
+        yield t
+
+
+def bursty_arrivals(
+    base_rate: float,
+    burst_rate: float,
+    duration: float,
+    burst_every: float = 1.0,
+    burst_length: float = 0.2,
+    rng: Optional[random.Random] = None,
+) -> Iterator[float]:
+    """A Poisson process alternating base and burst rates (bursty epochs §4.1)."""
+    rng = rng if rng is not None else random.Random()
+    t = 0.0
+    while True:
+        in_burst = (t % burst_every) < burst_length
+        rate = burst_rate if in_burst else base_rate
+        t += rng.expovariate(rate)
+        if t >= duration:
+            return
+        yield t

@@ -1,0 +1,15 @@
+"""The throughput-optimized subORAM (§5, Figure 19).
+
+A subORAM stores one data partition and serves *batches of distinct
+requests*.  Each batch is processed by building a two-tier oblivious hash
+table over the requests and performing one linear scan over every stored
+object, doing an oblivious compare-and-set between the object and every
+slot of the object's two hash buckets.  The scan re-encrypts and rewrites
+every object, so the memory trace reveals neither which objects were
+requested nor which were written.
+"""
+
+from repro.suboram.store import EncryptedStore
+from repro.suboram.suboram import SubOram
+
+__all__ = ["EncryptedStore", "SubOram"]

@@ -1,0 +1,79 @@
+"""Encrypted, integrity-protected object storage outside the enclave (§7).
+
+The paper keeps bulk data in untrusted memory: "The enclave encrypts
+objects (for confidentiality) and stores digests of the contents inside
+the enclave (for integrity)."  :class:`EncryptedStore` models exactly
+that: a host-side array of AEAD ciphertexts plus an enclave-side digest
+per physical slot.  Reads authenticate; any host tampering raises
+:class:`~repro.errors.IntegrityError`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.crypto.aead import AeadKey, NONCE_LEN, digest
+from repro.errors import IntegrityError
+from repro.utils.validation import require
+
+
+class EncryptedStore:
+    """Fixed-slot encrypted store with per-slot in-enclave digests.
+
+    Slot payloads are ``(key, value)`` pairs serialized as
+    ``key(16 bytes, signed) || value``.  Every write re-encrypts under a
+    fresh nonce so ciphertexts never repeat even for unchanged plaintext —
+    this is what lets the subORAM's write-back scan hide which objects a
+    batch modified.
+    """
+
+    def __init__(self, encryption_key: bytes, num_slots: int, value_size: int):
+        require(num_slots >= 0, "num_slots must be >= 0")
+        require(value_size > 0, "value_size must be positive")
+        self._aead = AeadKey(encryption_key)
+        self.num_slots = num_slots
+        self.value_size = value_size
+        # Host-visible ciphertexts (nonce, blob) and enclave-held digests.
+        self._host: List[tuple] = [None] * num_slots
+        self._digests: List[bytes] = [b""] * num_slots
+
+    def put(self, slot: int, key: int, value: bytes) -> None:
+        """Encrypt and store an object, refreshing the slot digest."""
+        if len(value) != self.value_size:
+            raise ValueError(
+                f"value must be exactly {self.value_size} bytes, got {len(value)}"
+            )
+        plaintext = key.to_bytes(16, "big", signed=True) + value
+        nonce = os.urandom(NONCE_LEN)
+        blob = self._aead.seal(nonce, plaintext, aad=slot.to_bytes(8, "big"))
+        self._host[slot] = (nonce, blob)
+        self._digests[slot] = digest(blob)
+
+    def get(self, slot: int) -> tuple:
+        """Fetch, authenticate, and decrypt slot contents; returns (key, value)."""
+        stored = self._host[slot]
+        if stored is None:
+            raise IntegrityError(f"slot {slot} was never written")
+        nonce, blob = stored
+        if digest(blob) != self._digests[slot]:
+            raise IntegrityError(f"slot {slot} ciphertext digest mismatch")
+        plaintext = self._aead.open(nonce, blob, aad=slot.to_bytes(8, "big"))
+        key = int.from_bytes(plaintext[:16], "big", signed=True)
+        return key, plaintext[16:]
+
+    # ------------------------------------------------------------------
+    # Host-attack surface, used by integrity tests.
+    # ------------------------------------------------------------------
+    def host_ciphertext(self, slot: int) -> tuple:
+        """What the untrusted host sees for a slot."""
+        return self._host[slot]
+
+    def host_tamper(self, slot: int, blob: bytes) -> None:
+        """Simulate the host overwriting a ciphertext."""
+        nonce, _ = self._host[slot]
+        self._host[slot] = (nonce, blob)
+
+    def host_rollback(self, slot: int, old: tuple) -> None:
+        """Simulate the host replaying an old (nonce, blob) pair."""
+        self._host[slot] = old

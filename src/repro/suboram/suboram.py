@@ -1,0 +1,196 @@
+"""The subORAM batch-access protocol (Figure 19).
+
+``batch_access`` implements the three phases of Figure 7:
+
+➊ build a two-tier oblivious hash table over the (distinct) batch, keyed
+  by a *fresh* per-batch PRF key;
+➋ linearly scan every stored object; for each object, scan the object's
+  two hash buckets entirely, performing two oblivious compare-and-sets per
+  slot — one that captures the object's prior value into a matching
+  request, one that applies a matching write to the object.  Every object
+  is re-encrypted and rewritten whether or not it changed;
+➌ scan the table marking real entries, obliviously compact out the
+  fillers, and return the batch entries (now carrying response values).
+
+Security rests on Definition 2: the batch must contain *distinct* keys
+(the load balancer guarantees this; we enforce it loudly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.crypto.keys import KeyChain
+from repro.errors import DuplicateRequestError
+from repro.oblivious.hashtable import TwoTierHashTable, TwoTierParams
+from repro.oblivious.primitives import and_bit, eq_bit, o_select
+from repro.suboram.store import EncryptedStore
+from repro.types import BatchEntry, OpType
+from repro.utils.validation import require, require_positive
+
+
+class SubOram:
+    """One data partition plus the Figure 19 batch-access engine.
+
+    Args:
+        suboram_id: index of this partition.
+        value_size: fixed object size in bytes (160 in most experiments).
+        keychain: deployment keys (storage encryption, per-batch keys).
+        security_parameter: lambda for hash-table sizing.
+    """
+
+    def __init__(
+        self,
+        suboram_id: int,
+        value_size: int,
+        keychain: Optional[KeyChain] = None,
+        security_parameter: int = 128,
+    ):
+        require_positive(value_size, "value_size")
+        self.suboram_id = suboram_id
+        self.value_size = value_size
+        self.security_parameter = security_parameter
+        self._keychain = keychain if keychain is not None else KeyChain()
+        self._store: Optional[EncryptedStore] = None
+        self._keys: List[int] = []  # physical slot -> object key (scan order)
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+    # Initialization (Figure 19, Initialize)
+    # ------------------------------------------------------------------
+    def initialize(self, objects: Dict[int, bytes]) -> None:
+        """Load this partition's objects into the encrypted store."""
+        storage_key = self._keychain.subkey(f"suboram/{self.suboram_id}/storage")
+        self._keys = sorted(objects)
+        self._store = EncryptedStore(
+            storage_key, num_slots=len(self._keys), value_size=self.value_size
+        )
+        for slot, key in enumerate(self._keys):
+            value = objects[key]
+            require(
+                len(value) == self.value_size,
+                f"object {key} has size {len(value)}, expected {self.value_size}",
+            )
+            self._store.put(slot, key, value)
+
+    @property
+    def num_objects(self) -> int:
+        """Number of objects in this partition."""
+        return len(self._keys)
+
+    @property
+    def store(self) -> EncryptedStore:
+        """The encrypted backing store (raises if uninitialized)."""
+        if self._store is None:
+            raise RuntimeError("subORAM not initialized")
+        return self._store
+
+    # ------------------------------------------------------------------
+    # Batch access (Figure 19, BatchAccess)
+    # ------------------------------------------------------------------
+    def batch_access(
+        self,
+        batch: List[BatchEntry],
+        batch_key: Optional[bytes] = None,
+        table_params: Optional[TwoTierParams] = None,
+    ) -> List[BatchEntry]:
+        """Process one batch of distinct requests; returns response entries.
+
+        Each returned entry's ``value`` is the object's value *before* the
+        batch (read semantics for reads; prior value for writes, matching
+        the paper's ``OStoreBatchAccess`` contract).  Dummy entries come
+        back too — the load balancer filters them while matching responses.
+
+        Raises:
+            DuplicateRequestError: two batch entries share a key
+                (Definition 2 precondition violated — load-balancer bug).
+        """
+        if self._store is None:
+            raise RuntimeError("subORAM not initialized")
+        if not batch:
+            return []
+
+        keys = [entry.key for entry in batch]
+        if len(set(keys)) != len(keys):
+            raise DuplicateRequestError(
+                f"subORAM {self.suboram_id} received duplicate keys in batch"
+            )
+
+        self._epoch += 1
+        if batch_key is None:
+            batch_key = self._keychain.batch_key(self.suboram_id, self._epoch)
+
+        # ➊ Construct the oblivious hash table of requests (fresh key).
+        table = TwoTierHashTable.build(
+            batch,
+            key_fn=_entry_key,
+            prf_key=batch_key,
+            params=table_params,
+            security_parameter=self.security_parameter,
+        )
+
+        # ➋ Linear scan over every stored object, in fixed slot order.
+        # ``matched`` tracks, per entry, whether any stored object carried
+        # its key — updated through the same oblivious select on every
+        # slot comparison, and used at the end to null out responses for
+        # keys that do not exist in this partition.
+        matched: Dict[int, int] = {id(entry): 0 for entry in batch}
+        for slot in range(self.num_objects):
+            obj_key, obj_value = self._store.get(slot)
+            for table_slot in table.lookup_slots(obj_key):
+                entry = table_slot.item
+                if entry is None:
+                    # Filler slot: perform the same pair of selects against
+                    # a throwaway cell so the touched-slot count is uniform.
+                    _ = o_select(0, obj_value, obj_value)
+                    continue
+                match = and_bit(
+                    eq_bit(entry.key, obj_key), 1
+                )
+                matched[id(entry)] = o_select(match, matched[id(entry)], 1)
+                is_write = eq_bit(entry.op, OpType.WRITE)
+                prior = obj_value
+                # Write path: object takes the request's payload on match.
+                # Denied writes (§D access control) never apply; the extra
+                # `permitted` bit is checked inside the same oblivious
+                # compare-and-set so denial is invisible in the trace.
+                obj_value = o_select(
+                    and_bit(match, and_bit(is_write, entry.permitted)),
+                    obj_value,
+                    entry.value if entry.value is not None else obj_value,
+                )
+                # Response path: request captures the prior object value.
+                entry.value = o_select(match, entry.value, prior)
+            # Rewrite (re-encrypt) the object unconditionally: the host
+            # cannot tell written objects from untouched ones.
+            self._store.put(slot, obj_key, obj_value)
+
+        # ➌ Null responses whose key is absent from the partition (a write
+        # payload must not echo back as a phantom read value), then mark
+        # real entries and compact out table fillers.
+        for entry in batch:
+            entry.value = o_select(matched[id(entry)], None, entry.value)
+        return table.extract_real()
+
+    # ------------------------------------------------------------------
+    # Introspection for tests / tools
+    # ------------------------------------------------------------------
+    def peek(self, key: int) -> Optional[bytes]:
+        """Direct read for verification (bypasses obliviousness machinery)."""
+        if self._store is None:
+            return None
+        try:
+            slot = self._keys.index(key)
+        except ValueError:
+            return None
+        stored_key, value = self._store.get(slot)
+        assert stored_key == key
+        return value
+
+    def object_keys(self) -> Iterable[int]:
+        """Iterator over this partition's object keys, in scan order."""
+        return iter(self._keys)
+
+
+def _entry_key(entry: BatchEntry) -> int:
+    return entry.key

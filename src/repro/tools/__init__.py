@@ -1,0 +1,5 @@
+"""Operator tooling: ASCII rendering and the command-line interface."""
+
+from repro.tools.ascii import bar_chart, series_table
+
+__all__ = ["bar_chart", "series_table"]

@@ -1,0 +1,54 @@
+"""Terminal-friendly rendering of figure series.
+
+The CLI and examples print evaluation curves as labelled horizontal bar
+charts and aligned tables — close enough to eyeball the paper's figure
+shapes without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+BAR = "#"
+
+
+def bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render (label, value) rows as horizontal bars scaled to ``width``."""
+    if not rows:
+        return "(no data)"
+    peak = max(value for _, value in rows) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        bar = BAR * max(0, round(width * value / peak))
+        lines.append(f"{label:<{label_width}}  {bar} {value:,.0f}{unit}")
+    return "\n".join(lines)
+
+
+def series_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence],
+) -> str:
+    """Render rows under a header with aligned columns."""
+    cells = [list(map(_fmt, header))] + [list(map(_fmt, row)) for row in rows]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(cells[0]))
+    ]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        for row in cells
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.1f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

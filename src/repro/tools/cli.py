@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``plan``    — run the §6 planner for a throughput/latency/data-size SLO.
+* ``figures`` — print the modelled series behind the paper's figures.
+* ``demo``    — stand up a tiny in-process deployment and exercise it.
+* ``info``    — library version and default cost-model constants.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.core.config import SnoopyConfig
+from repro.core.snoopy import Snoopy
+from repro.planner.planner import Planner
+from repro.sim.cluster import (
+    latency_vs_suborams,
+    snoopy_oblix_best_split,
+    throughput_scaling_series,
+)
+from repro.sim.costmodel import obladi_throughput, oblix_throughput
+from repro.sim.machines import DEFAULT_PROFILE
+from repro.analysis.overhead import capacity_curve, dummy_overhead_percent
+from repro.tools.ascii import bar_chart, series_table
+from repro.types import OpType, Request
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Snoopy (SOSP 2021) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="run the configuration planner (§6)")
+    plan.add_argument("--spec", type=str, default=None,
+                      help="JSON spec file with an 'slo' section "
+                           "(overridden by explicit flags)")
+    plan.add_argument("--objects", type=int, default=None,
+                      help="number of stored objects")
+    plan.add_argument("--throughput", type=float, default=None,
+                      help="minimum sustained requests/second")
+    plan.add_argument("--latency", type=float, default=1.0,
+                      help="maximum mean latency in seconds (default 1.0)")
+    plan.add_argument("--object-size", type=int, default=160)
+    plan.add_argument("--budget", type=float, default=None,
+                      help="monthly budget; switches to latency-minimizing "
+                           "mode (§6 extension)")
+
+    figures = sub.add_parser(
+        "figures", help="print modelled series for the paper's figures"
+    )
+    figures.add_argument(
+        "which",
+        choices=["fig3", "fig4", "fig9a", "fig10", "fig11b", "all"],
+        nargs="?",
+        default="all",
+    )
+    figures.add_argument("--objects", type=int, default=2_000_000)
+
+    demo = sub.add_parser("demo", help="run a tiny live deployment")
+    demo.add_argument("--balancers", type=int, default=2)
+    demo.add_argument("--suborams", type=int, default=3)
+    demo.add_argument("--objects", type=int, default=500)
+    demo.add_argument("--requests", type=int, default=40)
+    demo.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("info", help="version and cost-model constants")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+def cmd_plan(args) -> int:
+    """``plan``: run the planner for an SLO."""
+    if args.spec is not None:
+        from repro.tools.config_file import load_spec
+
+        _, slo = load_spec(args.spec)
+        if args.objects is None:
+            args.objects = slo.get("num_objects")
+        if args.throughput is None:
+            args.throughput = slo.get("min_throughput")
+        args.latency = slo.get("max_latency", args.latency)
+        args.object_size = slo.get("object_size", args.object_size)
+        if args.budget is None:
+            args.budget = slo.get("max_monthly_cost")
+    if args.objects is None or args.throughput is None:
+        raise SystemExit("plan requires --objects and --throughput "
+                         "(directly or via --spec)")
+    planner = Planner(args.objects, object_size=args.object_size)
+    if args.budget is not None:
+        plan = planner.plan_min_latency(args.throughput, args.budget)
+        mode = f"min-latency within ${args.budget:,.0f}/month"
+    else:
+        plan = planner.plan(args.throughput, args.latency)
+        mode = f"min-cost at <= {args.latency * 1e3:.0f} ms"
+    print(f"planner ({mode}) for {args.objects:,} objects:")
+    print(f"  load balancers : {plan.num_load_balancers}")
+    print(f"  subORAMs       : {plan.num_suborams}")
+    print(f"  monthly cost   : ${plan.monthly_cost:,.0f}")
+    print(f"  predicted      : {plan.predicted_throughput:,.0f} reqs/s "
+          f"@ {plan.predicted_latency * 1e3:.0f} ms mean")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    """``figures``: print modelled figure series."""
+    which = args.which
+    if which in ("fig3", "all"):
+        print("== Fig 3: dummy overhead % (lambda=128) ==")
+        rows = [
+            (r, *(round(dummy_overhead_percent(r, s), 1) for s in (2, 10, 20)))
+            for r in (1000, 2000, 5000, 10_000)
+        ]
+        print(series_table(["R", "S=2", "S=10", "S=20"], rows))
+        print()
+    if which in ("fig4", "all"):
+        print("== Fig 4: real request capacity (1K/subORAM budget) ==")
+        curves = capacity_curve(20)
+        rows = [
+            (s, curves[0][s - 1], curves[80][s - 1], curves[128][s - 1])
+            for s in (1, 5, 10, 20)
+        ]
+        print(series_table(["S", "lambda=0", "lambda=80", "lambda=128"], rows))
+        print()
+    if which in ("fig9a", "all"):
+        print(f"== Fig 9a: throughput vs machines ({args.objects:,} objects, "
+              "500 ms) ==")
+        series = throughput_scaling_series(
+            list(range(4, 19, 2)), args.objects, [0.5]
+        )
+        print(
+            bar_chart(
+                [(f"{m} machines", x) for m, _, _, x in series[0.5]],
+                unit=" reqs/s",
+            )
+        )
+        print(f"Obladi: {obladi_throughput(args.objects):,.0f}  "
+              f"Oblix: {oblix_throughput(args.objects):,.0f}")
+        print()
+    if which in ("fig10", "all"):
+        print("== Fig 10: Snoopy-Oblix hybrid (500 ms) ==")
+        rows = []
+        for machines in (5, 9, 13, 17):
+            balancers, suborams, x = snoopy_oblix_best_split(
+                machines, args.objects, 0.5
+            )
+            rows.append((f"{machines} machines (L={balancers},S={suborams})", x))
+        print(bar_chart(rows, unit=" reqs/s"))
+        print()
+    if which in ("fig11b", "all"):
+        print(f"== Fig 11b: latency vs subORAMs ({args.objects:,} objects) ==")
+        rows = [
+            (f"S={s}", latency * 1e3)
+            for s, latency in latency_vs_suborams([1, 5, 10, 15], args.objects)
+        ]
+        print(bar_chart(rows, unit=" ms"))
+        print()
+    return 0
+
+
+def cmd_demo(args) -> int:
+    """``demo``: run a tiny in-process deployment."""
+    rng = random.Random(args.seed)
+    config = SnoopyConfig(
+        num_load_balancers=args.balancers,
+        num_suborams=args.suborams,
+        value_size=16,
+        security_parameter=32,
+    )
+    store = Snoopy(config, rng=random.Random(args.seed))
+    store.initialize({k: bytes(16) for k in range(args.objects)})
+    print(f"deployment: {args.balancers} LB + {args.suborams} subORAMs, "
+          f"{store.num_objects} objects (partitions {store.partition_sizes})")
+
+    requests = []
+    for i in range(args.requests):
+        key = rng.randrange(args.objects)
+        if rng.random() < 0.5:
+            requests.append(Request(OpType.WRITE, key, bytes([i % 256]) * 16, seq=i))
+        else:
+            requests.append(Request(OpType.READ, key, seq=i))
+    responses = store.batch(requests)
+    reads = sum(1 for r in requests if r.op is OpType.READ)
+    print(f"epoch served {len(responses)} requests "
+          f"({reads} reads, {len(requests) - reads} writes)")
+    print(f"trusted counter: {store.counter.value}")
+    return 0
+
+
+def cmd_info(_args) -> int:
+    """``info``: version and cost-model constants."""
+    profile = DEFAULT_PROFILE
+    print(f"snoopy-repro {__version__}")
+    print(f"cost-model profile (calibrated to the paper's anchors):")
+    print(f"  cores                : {profile.cores}")
+    print(f"  usable EPC           : {profile.epc_bytes / 1e6:.1f} MB")
+    print(f"  sort comparator      : {profile.sort_compare_s * 1e9:.0f} ns")
+    print(f"  scan per object      : {profile.scan_object_s * 1e9:.0f} ns + "
+          f"{profile.scan_byte_resident_s * 1e9:.1f}/"
+          f"{profile.scan_byte_paged_s * 1e9:.1f} ns/B (resident/paged)")
+    print(f"  Obladi access        : {profile.obladi_access_s * 1e6:.0f} us")
+    print(f"  Oblix block          : {profile.oblix_block_s * 1e6:.1f} us")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "plan": cmd_plan,
+        "figures": cmd_figures,
+        "demo": cmd_demo,
+        "info": cmd_info,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Rendering access traces for human inspection.
+
+Obliviousness proofs are about address sequences; seeing them makes the
+property tangible.  ``heatmap`` renders an :class:`AccessTrace` as an
+ASCII address-frequency map; ``diff_summary`` reports where two traces
+first diverge (or certifies equality) — the exact question the real-vs-
+ideal experiments ask.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.oblivious.memory import AccessTrace
+
+_SHADES = " .:-=+*#%@"
+
+
+def heatmap(trace: AccessTrace, buckets: int = 32, width: int = 50) -> str:
+    """Render address-access frequency as an ASCII bar heat map.
+
+    Addresses are grouped into ``buckets`` equal ranges; each row shows
+    the access count for that range with a shaded bar.
+    """
+    if not trace.events:
+        return "(empty trace)"
+    addresses = [index for _, index in trace.events]
+    top = max(addresses) + 1
+    bucket_span = max(1, (top + buckets - 1) // buckets)
+    counts = [0] * ((top + bucket_span - 1) // bucket_span)
+    for address in addresses:
+        counts[address // bucket_span] += 1
+    peak = max(counts) or 1
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * round(width * count / peak)
+        lines.append(
+            f"[{i * bucket_span:>6}-{min(top, (i + 1) * bucket_span) - 1:>6}] "
+            f"{bar} {count}"
+        )
+    return "\n".join(lines)
+
+
+def shade_strip(trace: AccessTrace, buckets: int = 64) -> str:
+    """A one-line density strip (darker = more accesses) for quick diffing."""
+    if not trace.events:
+        return "(empty)"
+    addresses = [index for _, index in trace.events]
+    top = max(addresses) + 1
+    bucket_span = max(1, (top + buckets - 1) // buckets)
+    counts = [0] * ((top + bucket_span - 1) // bucket_span)
+    for address in addresses:
+        counts[address // bucket_span] += 1
+    peak = max(counts) or 1
+    return "".join(
+        _SHADES[min(len(_SHADES) - 1, round((len(_SHADES) - 1) * c / peak))]
+        for c in counts
+    )
+
+
+def diff_summary(a: AccessTrace, b: AccessTrace) -> Tuple[bool, str]:
+    """(equal, human summary).  On divergence, reports the first index."""
+    if a.events == b.events:
+        return True, (
+            f"traces identical: {len(a.events)} events, "
+            "zero distinguishing advantage from access patterns"
+        )
+    if len(a.events) != len(b.events):
+        return False, (
+            f"traces differ in length: {len(a.events)} vs {len(b.events)}"
+        )
+    for i, (ea, eb) in enumerate(zip(a.events, b.events)):
+        if ea != eb:
+            return False, f"traces diverge at event {i}: {ea} vs {eb}"
+    return False, "unreachable"

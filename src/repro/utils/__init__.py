@@ -1,0 +1,6 @@
+"""Small shared utilities (bit tricks, validation helpers)."""
+
+from repro.utils.bits import ceil_log2, is_pow2, next_pow2
+from repro.utils.validation import require, require_positive
+
+__all__ = ["ceil_log2", "is_pow2", "next_pow2", "require", "require_positive"]

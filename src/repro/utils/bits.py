@@ -1,0 +1,26 @@
+"""Bit-twiddling helpers used by the oblivious networks.
+
+Bitonic sort and Goodrich compaction both operate on power-of-two sized
+arrays; these helpers compute padding sizes.
+"""
+
+from __future__ import annotations
+
+
+def is_pow2(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= ``n`` (and >= 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def ceil_log2(n: int) -> int:
+    """Ceiling of log2(n) for n >= 1."""
+    if n < 1:
+        raise ValueError(f"ceil_log2 requires n >= 1, got {n}")
+    return (n - 1).bit_length()

@@ -1,0 +1,21 @@
+"""Tiny argument-validation helpers.
+
+Systems code benefits from failing fast with a precise message; these wrap
+the common patterns so call sites stay one line.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value, name: str) -> None:
+    """Require ``value > 0``."""
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")

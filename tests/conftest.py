@@ -1,0 +1,35 @@
+"""Shared fixtures for the Snoopy reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import SnoopyConfig
+from repro.core.snoopy import Snoopy
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded RNG; reseed per test for reproducibility."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_store():
+    """A small 2-LB / 3-subORAM deployment over 100 8-byte objects."""
+    config = SnoopyConfig(
+        num_load_balancers=2,
+        num_suborams=3,
+        value_size=8,
+        security_parameter=32,
+    )
+    store = Snoopy(config, rng=random.Random(7))
+    store.initialize({key: key.to_bytes(8, "big") for key in range(100)})
+    return store
+
+
+def value_of(key: int, size: int = 8) -> bytes:
+    """The initial value convention used by small_store."""
+    return key.to_bytes(size, "big")

@@ -1,0 +1,107 @@
+"""Tests for adaptive mode switching (the paper's §1 future work)."""
+
+import pytest
+
+from repro.extensions.adaptive import AdaptivePolicy, Mode
+
+
+@pytest.fixture
+def policy():
+    return AdaptivePolicy(
+        num_load_balancers=1,
+        num_suborams=4,
+        num_objects=500_000,
+    )
+
+
+class TestModeSpecs:
+    def test_latency_mode_has_lower_idle_latency(self, policy):
+        assert (
+            policy.latency_mode.idle_latency
+            < policy.throughput_mode.idle_latency
+        )
+
+    def test_throughput_mode_has_higher_capacity(self, policy):
+        assert (
+            policy.throughput_mode.capacity > 3 * policy.latency_mode.capacity
+        )
+
+    def test_starts_in_latency_mode(self, policy):
+        assert policy.mode is Mode.LATENCY
+
+
+class TestSwitching:
+    def test_low_load_stays_latency(self, policy):
+        for _ in range(10):
+            policy.observe(requests=10, window=1.0)
+        assert policy.mode is Mode.LATENCY
+        assert policy.switches == []
+
+    def test_high_load_switches_to_throughput(self, policy):
+        heavy = int(policy.latency_mode.capacity * 3)
+        for _ in range(10):
+            policy.observe(requests=heavy, window=1.0)
+        assert policy.mode is Mode.THROUGHPUT
+        assert len(policy.switches) == 1
+
+    def test_switches_back_after_sustained_lull(self, policy):
+        heavy = int(policy.latency_mode.capacity * 3)
+        for _ in range(10):
+            policy.observe(requests=heavy, window=1.0)
+        for _ in range(30):
+            policy.observe(requests=1, window=1.0)
+        assert policy.mode is Mode.LATENCY
+
+    def test_hysteresis_prevents_flapping(self, policy):
+        """A rate between the down and up thresholds never causes a
+        switch in either direction."""
+        up = policy.headroom * policy.latency_mode.capacity
+        middle = int(up * 0.7)  # above down (0.5*up), below up
+        for _ in range(50):
+            policy.observe(requests=middle, window=1.0)
+        assert policy.mode is Mode.LATENCY
+        # Force into throughput mode, then feed the same middle rate.
+        for _ in range(10):
+            policy.observe(requests=int(up * 3), window=1.0)
+        assert policy.mode is Mode.THROUGHPUT
+        for _ in range(50):
+            policy.observe(requests=middle, window=1.0)
+        assert policy.mode is Mode.THROUGHPUT  # stays put
+        assert len(policy.switches) == 1
+
+    def test_ewma_smooths_spikes(self, policy):
+        """One spiky window does not flip the mode."""
+        spike = int(policy.latency_mode.capacity * 5)
+        policy.observe(requests=spike, window=1.0)
+        # One observation moves the EWMA only by `smoothing` fraction.
+        if policy.smoothing * spike <= policy.headroom * policy.latency_mode.capacity:
+            assert policy.mode is Mode.LATENCY
+
+
+class TestPredictions:
+    def test_overload_predicts_inf(self, policy):
+        rate = policy.latency_mode.capacity * 2
+        assert policy.predicted_latency(rate, Mode.LATENCY) == float("inf")
+        assert policy.predicted_latency(rate, Mode.THROUGHPUT) < float("inf")
+
+    def test_latency_mode_faster_when_feasible(self, policy):
+        rate = policy.latency_mode.capacity * 0.1
+        assert policy.predicted_latency(rate, Mode.LATENCY) < (
+            policy.predicted_latency(rate, Mode.THROUGHPUT)
+        )
+
+    def test_decision_matches_optimal_mode(self, policy):
+        """The policy picks whichever mode predicts lower latency."""
+        low = policy.latency_mode.capacity * 0.2
+        high = policy.latency_mode.capacity * 2
+        assert policy.decide(low) is Mode.LATENCY
+        policy.mode = Mode.LATENCY
+        assert policy.decide(high) is Mode.THROUGHPUT
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(Exception):
+            AdaptivePolicy(1, 1, 100, headroom=0)
+        with pytest.raises(Exception):
+            AdaptivePolicy(1, 1, 100, hysteresis=1.5)

@@ -1,0 +1,140 @@
+"""Tests for the §3.2 applications: Merkle trees, key transparency,
+contact discovery."""
+
+import pytest
+
+from repro.apps.contact_discovery import ContactDiscoveryService
+from repro.apps.key_transparency import KeyTransparencyLog
+from repro.apps.merkle import MerkleTree
+from repro.core.config import SnoopyConfig
+
+
+class TestMerkleTree:
+    def test_root_changes_with_leaves(self):
+        a = MerkleTree([b"a", b"b"])
+        b = MerkleTree([b"a", b"c"])
+        assert a.root != b.root
+
+    def test_proof_verifies(self):
+        leaves = [bytes([i]) * 4 for i in range(10)]
+        tree = MerkleTree(leaves)
+        for position in range(10):
+            siblings = [tree.nodes[i] for i in tree.proof_node_indices(position)]
+            assert MerkleTree.verify(leaves[position], position, siblings, tree.root)
+
+    def test_wrong_leaf_fails(self):
+        leaves = [bytes([i]) * 4 for i in range(8)]
+        tree = MerkleTree(leaves)
+        siblings = [tree.nodes[i] for i in tree.proof_node_indices(3)]
+        assert not MerkleTree.verify(b"forged", 3, siblings, tree.root)
+
+    def test_wrong_position_fails(self):
+        leaves = [bytes([i]) * 4 for i in range(8)]
+        tree = MerkleTree(leaves)
+        siblings = [tree.nodes[i] for i in tree.proof_node_indices(3)]
+        assert not MerkleTree.verify(leaves[3], 4, siblings, tree.root)
+
+    def test_proof_length_is_height(self):
+        tree = MerkleTree([b"x"] * 10)  # pads to 16 slots
+        assert tree.height == 4
+        assert len(tree.proof_node_indices(0)) == 4
+
+    def test_object_map_complete(self):
+        tree = MerkleTree([b"x"] * 4)
+        objects = tree.as_objects()
+        assert len(objects) == 2 * tree.num_slots - 1
+        assert objects[1] == tree.root
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MerkleTree([])
+
+
+class TestKeyTransparency:
+    @pytest.fixture
+    def log(self):
+        users = {u: bytes([u % 256]) * 32 for u in range(1, 30)}
+        return KeyTransparencyLog(users)
+
+    def test_lookup_returns_correct_key(self, log):
+        proof = log.lookup(7)
+        assert proof.public_key == bytes([7]) * 32
+
+    def test_proof_verifies(self, log):
+        assert log.verify_lookup(log.lookup(12))
+
+    def test_accesses_per_lookup_matches_fig9b_formula(self, log):
+        """log2(n slots) + 1 accesses per lookup."""
+        proof = log.lookup(3)
+        assert proof.accesses() == log.accesses_per_lookup()
+        assert log.accesses_per_lookup() == log.tree.height + 1
+
+    def test_unknown_user_rejected(self, log):
+        with pytest.raises(KeyError):
+            log.lookup(999)
+
+    def test_forged_root_fails(self, log):
+        proof = log.lookup(5)
+        forged = type(proof)(
+            user_id=proof.user_id,
+            public_key=proof.public_key,
+            siblings=proof.siblings,
+            root=proof.root,
+            signature=b"\x00" * 32,
+        )
+        assert not log.verify_lookup(forged)
+
+    def test_forged_key_fails(self, log):
+        proof = log.lookup(5)
+        forged = type(proof)(
+            user_id=proof.user_id,
+            public_key=b"\xff" * 32,
+            siblings=proof.siblings,
+            root=proof.root,
+            signature=proof.signature,
+        )
+        assert not log.verify_lookup(forged)
+
+    def test_rejects_bad_key_size(self):
+        with pytest.raises(ValueError):
+            KeyTransparencyLog({1: b"short"})
+
+    def test_rejects_wrong_config_value_size(self):
+        with pytest.raises(ValueError):
+            KeyTransparencyLog(
+                {1: bytes(32)},
+                config=SnoopyConfig(value_size=16),
+            )
+
+
+class TestContactDiscovery:
+    @pytest.fixture
+    def service(self):
+        svc = ContactDiscoveryService(key_space=128)
+        svc.initialize(["+15551111", "+15552222"])
+        return svc
+
+    def test_discovery(self, service):
+        result = service.discover(["+15551111", "+15553333"])
+        assert result["+15551111"] is True
+        assert result["+15553333"] is False
+
+    def test_duplicates_in_contact_list(self, service):
+        result = service.discover(["+15551111"] * 5 + ["+15559999"])
+        assert result["+15551111"] is True
+        assert result["+15559999"] is False
+
+    def test_register_unregister(self, service):
+        service.register("+15554444")
+        assert service.discover(["+15554444"])["+15554444"] is True
+        service.unregister("+15554444")
+        assert service.discover(["+15554444"])["+15554444"] is False
+
+    def test_requires_initialization(self):
+        svc = ContactDiscoveryService(key_space=16)
+        with pytest.raises(RuntimeError):
+            svc.discover(["+1555"])
+
+    def test_rejects_wrong_value_size(self):
+        with pytest.raises(ValueError):
+            ContactDiscoveryService(config=SnoopyConfig(value_size=4))

@@ -1,0 +1,72 @@
+"""Tests for the LoadBalancer entity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.loadbalancer.balancer import LoadBalancer
+from repro.suboram.suboram import SubOram
+from repro.types import OpType, Request
+
+KEY = b"sharding-key-0123456789abcdef..."
+
+
+def make_deployment(num_suborams=2, num_objects=30):
+    suborams = [
+        SubOram(suboram_id=s, value_size=4, security_parameter=16)
+        for s in range(num_suborams)
+    ]
+    from repro.crypto.prf import suboram_of
+
+    partitions = [{} for _ in range(num_suborams)]
+    for k in range(num_objects):
+        partitions[suboram_of(KEY, k, num_suborams)][k] = bytes([k % 256]) * 4
+    for so, part in zip(suborams, partitions):
+        so.initialize(part)
+    balancer = LoadBalancer(0, num_suborams, KEY, security_parameter=16)
+    return balancer, suborams
+
+
+class TestEpochs:
+    def test_empty_epoch(self):
+        balancer, suborams = make_deployment()
+        result = balancer.run_epoch(lambda s, b: suborams[s].batch_access(b))
+        assert result == []
+        assert balancer.epochs_processed == 1
+
+    def test_queue_drained_each_epoch(self):
+        balancer, suborams = make_deployment()
+        balancer.submit(Request(OpType.READ, 1, seq=0))
+        assert balancer.pending == 1
+        balancer.run_epoch(lambda s, b: suborams[s].batch_access(b))
+        assert balancer.pending == 0
+
+    def test_submit_returns_arrival_index(self):
+        balancer, _ = make_deployment()
+        assert balancer.submit(Request(OpType.READ, 1)) == 0
+        assert balancer.submit(Request(OpType.READ, 2)) == 1
+
+    def test_read_write_cycle(self):
+        balancer, suborams = make_deployment()
+        send = lambda s, b: suborams[s].batch_access(b)
+
+        balancer.submit(Request(OpType.WRITE, 5, b"abcd", seq=0))
+        [w] = balancer.run_epoch(send)
+        assert w.value == bytes([5]) * 4
+
+        balancer.submit(Request(OpType.READ, 5, seq=1))
+        [r] = balancer.run_epoch(send)
+        assert r.value == b"abcd"
+
+    def test_many_requests_one_epoch(self, rng):
+        balancer, suborams = make_deployment(num_suborams=3)
+        send = lambda s, b: suborams[s].batch_access(b)
+        keys = [rng.randrange(30) for _ in range(25)]
+        for i, k in enumerate(keys):
+            balancer.submit(Request(OpType.READ, k, seq=i))
+        results = balancer.run_epoch(send)
+        assert [r.key for r in results] == keys
+        assert all(r.value == bytes([r.key % 256]) * 4 for r in results)
+
+    def test_rejects_zero_suborams(self):
+        with pytest.raises(ConfigurationError):
+            LoadBalancer(0, 0, KEY)

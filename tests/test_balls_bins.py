@@ -1,0 +1,121 @@
+"""Tests for the Theorem 3 batch-size bound."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.balls_bins import (
+    batch_size,
+    log_overflow_probability,
+    overflow_probability,
+    security_bits,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBatchSize:
+    def test_zero_requests(self):
+        assert batch_size(0, 5) == 0
+
+    def test_single_bin_is_exact(self):
+        assert batch_size(1000, 1) == 1000
+
+    def test_lambda_zero_is_mean(self):
+        assert batch_size(1000, 10, security_parameter=0) == 100
+        assert batch_size(1001, 10, security_parameter=0) == 101
+
+    def test_never_exceeds_r(self):
+        for r in (1, 10, 100, 1000):
+            for s in (1, 2, 10, 20):
+                assert batch_size(r, s) <= r
+
+    def test_at_least_mean(self):
+        for r in (100, 1000, 10000):
+            for s in (2, 10, 20):
+                assert batch_size(r, s) >= math.ceil(r / s)
+
+    def test_monotone_in_requests(self):
+        sizes = [batch_size(r, 10) for r in range(100, 20000, 500)]
+        assert sizes == sorted(sizes)
+
+    def test_monotone_in_lambda(self):
+        for lam_lo, lam_hi in [(0, 80), (80, 128)]:
+            assert batch_size(10000, 10, lam_lo) <= batch_size(10000, 10, lam_hi)
+
+    def test_small_r_degenerates_to_r(self):
+        # Tiny workloads can't beat the trivial bound.
+        assert batch_size(5, 10, 128) == 5
+
+    def test_paper_overhead_anchor(self):
+        """Fig. 3: ~50% dummy overhead at R=10K, S=10, lambda=128."""
+        b = batch_size(10_000, 10, 128)
+        overhead = (10 * b - 10_000) / 10_000
+        assert 0.3 < overhead < 0.7
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            batch_size(10, 0)
+        with pytest.raises(ConfigurationError):
+            batch_size(-1, 5)
+        with pytest.raises(ConfigurationError):
+            batch_size(10, 5, security_parameter=-1)
+
+
+class TestOverflowProbability:
+    def test_bound_holds_at_batch_size(self):
+        """The defining property: P[overflow] <= 2^-lambda at B=f(R,S)."""
+        for r, s, lam in [(10_000, 10, 128), (5_000, 20, 80), (100_000, 16, 128)]:
+            b = batch_size(r, s, lam)
+            if b < r:  # non-degenerate regime
+                assert security_bits(r, s, b) >= lam
+
+    def test_capacity_at_r_is_impossible_overflow(self):
+        assert overflow_probability(100, 4, 100) == 0.0
+        assert log_overflow_probability(100, 4, 100) == float("-inf")
+
+    def test_capacity_at_mean_is_vacuous(self):
+        assert log_overflow_probability(1000, 10, 100) == 0.0
+
+    def test_monotone_decreasing_in_capacity(self):
+        probs = [
+            log_overflow_probability(10_000, 10, c) for c in range(1100, 2000, 100)
+        ]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_empirical_no_overflow(self):
+        """Simulated balls-into-bins never exceeds f(R,S) at lambda=40."""
+        rng = random.Random(123)
+        r, s = 2000, 8
+        b = batch_size(r, s, security_parameter=40)
+        for _ in range(200):
+            counts = [0] * s
+            for _ in range(r):
+                counts[rng.randrange(s)] += 1
+            assert max(counts) <= b
+
+    def test_empirical_quantile_below_bound(self):
+        """f(R,S) sits above the empirical maximum with margin."""
+        rng = random.Random(7)
+        r, s = 5000, 10
+        maxima = []
+        for _ in range(100):
+            counts = [0] * s
+            for _ in range(r):
+                counts[rng.randrange(s)] += 1
+            maxima.append(max(counts))
+        assert batch_size(r, s, 128) > max(maxima)
+        # ...but is not absurdly loose: within 2.5x of the mean load.
+        assert batch_size(r, s, 128) < 2.5 * (r / s)
+
+    @given(
+        st.integers(min_value=1, max_value=200_000),
+        st.integers(min_value=1, max_value=50),
+        st.sampled_from([0, 40, 80, 128]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_bounds(self, r, s, lam):
+        b = batch_size(r, s, lam)
+        assert math.ceil(r / s) <= b <= r

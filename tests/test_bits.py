@@ -1,0 +1,52 @@
+"""Unit tests for repro.utils.bits."""
+
+import pytest
+
+from repro.utils.bits import ceil_log2, is_pow2, next_pow2
+
+
+class TestIsPow2:
+    def test_powers(self):
+        for k in range(20):
+            assert is_pow2(1 << k)
+
+    def test_non_powers(self):
+        for n in (0, 3, 5, 6, 7, 9, 12, 100, 1023):
+            assert not is_pow2(n)
+
+    def test_negative(self):
+        assert not is_pow2(-4)
+
+
+class TestNextPow2:
+    def test_small(self):
+        assert next_pow2(0) == 1
+        assert next_pow2(1) == 1
+        assert next_pow2(2) == 2
+        assert next_pow2(3) == 4
+        assert next_pow2(4) == 4
+        assert next_pow2(5) == 8
+
+    def test_idempotent_on_powers(self):
+        for k in range(16):
+            assert next_pow2(1 << k) == 1 << k
+
+    def test_covers(self):
+        for n in range(1, 1000):
+            m = next_pow2(n)
+            assert m >= n
+            assert m < 2 * n or n == 1
+            assert is_pow2(m)
+
+
+class TestCeilLog2:
+    def test_values(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(8) == 3
+        assert ceil_log2(9) == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)

@@ -1,0 +1,95 @@
+"""Tests for the alternative balls-into-bins bounds (§10)."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.balls_bins import batch_size, security_bits
+from repro.analysis.bounds import (
+    berenbrink_bound,
+    bound_comparison,
+    exact_batch_size,
+    exact_union_bound,
+    raab_steger_bound,
+)
+
+
+class TestPolynomialBounds:
+    def test_berenbrink_above_mean(self):
+        assert berenbrink_bound(10_000, 10) > 1_000
+
+    def test_raab_steger_above_mean(self):
+        assert raab_steger_bound(10_000, 10) > 1_000
+
+    def test_zero_requests(self):
+        assert berenbrink_bound(0, 5) == 0
+        assert raab_steger_bound(0, 5) == 0
+
+    def test_polynomial_bounds_below_theorem3(self):
+        """Their failure probability is only n^-alpha, so the bounds are
+        smaller than a 2^-128 bound — the paper's point: they don't give
+        cryptographic security at comparable size."""
+        for r, s in [(10_000, 10), (50_000, 20)]:
+            t3 = batch_size(r, s, 128)
+            assert berenbrink_bound(r, s, 1.0) < t3
+            assert raab_steger_bound(r, s, 1.0) < t3
+
+    def test_polynomial_bounds_insufficient_security(self):
+        """At alpha=1 the capacity gives far fewer than 128 security bits."""
+        r, s = 10_000, 10
+        for bound in (berenbrink_bound(r, s), raab_steger_bound(r, s)):
+            assert security_bits(r, s, bound) < 64
+
+
+class TestExactBound:
+    def test_exact_tail_matches_known_value(self):
+        # Pr[Bin(10, 0.5) >= 5] = 0.623...
+        log_tail = exact_union_bound(10, 2, 4)  # n=2 bins adds log(2)
+        # union bound = 2 * Pr[Bin(10,1/2) >= 5]
+        assert math.exp(log_tail) == pytest.approx(2 * 0.623, rel=0.01) or (
+            log_tail == 0.0
+        )
+
+    def test_exact_never_exceeds_theorem3(self):
+        """The closed form is an upper bound on the exact requirement."""
+        for r, s in [(1_000, 4), (10_000, 10), (50_000, 20)]:
+            assert exact_batch_size(r, s, 128) <= batch_size(r, s, 128)
+
+    def test_theorem3_not_wildly_loose(self):
+        """Closed form within ~15% of the exact requirement at scale."""
+        for r, s in [(10_000, 10), (100_000, 16)]:
+            exact = exact_batch_size(r, s, 128)
+            closed = batch_size(r, s, 128)
+            assert closed / exact < 1.25
+
+    def test_exact_bound_reaches_high_lambda(self):
+        """Log-space evaluation clears the paper's lambda~44 float wall."""
+        b = exact_batch_size(10_000, 10, 128)
+        assert exact_union_bound(10_000, 10, b) <= -128 * math.log(2)
+
+    def test_capacity_at_or_above_requests_is_safe(self):
+        assert exact_union_bound(100, 4, 100) == float("-inf")
+
+    def test_empirical_validation(self):
+        """The exact bound also never overflows empirically."""
+        rng = random.Random(0)
+        r, s = 2_000, 8
+        b = exact_batch_size(r, s, 40)
+        for _ in range(100):
+            counts = [0] * s
+            for _ in range(r):
+                counts[rng.randrange(s)] += 1
+            assert max(counts) <= b
+
+
+class TestComparison:
+    def test_comparison_table(self):
+        table = bound_comparison(10_000, 10)
+        assert set(table) == {
+            "theorem3",
+            "exact",
+            "berenbrink(alpha=1)",
+            "raab_steger(alpha=1)",
+        }
+        assert table["exact"] <= table["theorem3"]

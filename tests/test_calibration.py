@@ -1,0 +1,75 @@
+"""Tests for cost-model calibration fitting."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    _comparators,
+    calibrate_profile,
+    fit_scan_constants,
+    fit_sort_constant,
+    measure_python_sort,
+)
+from repro.errors import ConfigurationError
+from repro.sim.machines import DEFAULT_PROFILE
+
+
+class TestSortFit:
+    def test_recovers_exact_constant(self):
+        c = 42e-9
+        samples = [(n, c * _comparators(n)) for n in (128, 512, 2048)]
+        assert fit_sort_constant(samples) == pytest.approx(c)
+
+    def test_robust_to_noise(self):
+        c = 100e-9
+        samples = [
+            (n, c * _comparators(n) * noise)
+            for n, noise in ((128, 1.05), (512, 0.95), (2048, 1.02))
+        ]
+        assert fit_sort_constant(samples) == pytest.approx(c, rel=0.1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            fit_sort_constant([])
+
+
+class TestScanFit:
+    def test_recovers_exact_constants(self):
+        a, b = 300e-9, 2e-9
+        samples = [
+            (n, size, n * (a + size * b))
+            for n, size in ((10_000, 64), (10_000, 512), (50_000, 160))
+        ]
+        fit_a, fit_b = fit_scan_constants(samples)
+        assert fit_a == pytest.approx(a, rel=1e-6)
+        assert fit_b == pytest.approx(b, rel=1e-6)
+
+    def test_rejects_degenerate_sizes(self):
+        samples = [(10, 64, 1.0), (20, 64, 2.0)]  # one size only
+        with pytest.raises(ConfigurationError):
+            fit_scan_constants(samples)
+
+    def test_rejects_too_few(self):
+        with pytest.raises(ConfigurationError):
+            fit_scan_constants([(10, 64, 1.0)])
+
+
+class TestCalibrateProfile:
+    def test_python_profile_slower_than_paper(self):
+        """The interpreter's sort constant exceeds the calibrated C++/SGX
+        one — why figure benches use the model, not wall clock."""
+        profile = calibrate_profile(sort_sizes=(128, 256, 512))
+        assert profile.sort_compare_s > DEFAULT_PROFILE.sort_compare_s
+        # Everything else carries over.
+        assert profile.scan_object_s == DEFAULT_PROFILE.scan_object_s
+
+    def test_custom_measurement_source(self):
+        def fake_measure(sizes):
+            return [(n, 5e-9 * _comparators(n)) for n in sizes]
+
+        profile = calibrate_profile(measure_sort=fake_measure)
+        assert profile.sort_compare_s == pytest.approx(5e-9)
+
+    def test_measure_python_sort_shape(self):
+        samples = measure_python_sort((64, 128))
+        assert [n for n, _ in samples] == [64, 128]
+        assert all(seconds > 0 for _, seconds in samples)

@@ -1,0 +1,79 @@
+"""Tests for the Circuit ORAM baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.circuitoram import CircuitOram
+
+
+class TestBasics:
+    def test_write_then_read(self):
+        oram = CircuitOram(16, rng=random.Random(1))
+        oram.write(3, b"x")
+        assert oram.read(3) == b"x"
+
+    def test_write_returns_prior(self):
+        oram = CircuitOram(16, rng=random.Random(1))
+        assert oram.write(3, b"a") is None
+        assert oram.write(3, b"b") == b"a"
+
+    def test_missing_key(self):
+        oram = CircuitOram(16, rng=random.Random(1))
+        assert oram.read(9) is None
+
+    def test_initialize(self):
+        oram = CircuitOram(32, rng=random.Random(2))
+        oram.initialize({k: bytes([k]) for k in range(32)})
+        for k in range(32):
+            assert oram.read(k) == bytes([k])
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("capacity", [8, 64, 200])
+    def test_matches_dict(self, capacity):
+        rng = random.Random(capacity)
+        oram = CircuitOram(capacity, rng=random.Random(capacity + 1))
+        model = {}
+        for _ in range(1500):
+            key = rng.randrange(capacity)
+            if rng.random() < 0.5:
+                value = bytes([rng.randrange(256)])
+                assert oram.write(key, value) == model.get(key)
+                model[key] = value
+            else:
+                assert oram.read(key) == model.get(key)
+
+
+class TestCircuitOramStructure:
+    def test_two_evictions_per_access(self):
+        oram = CircuitOram(64, rng=random.Random(3))
+        oram.read(1)
+        oram.read(2)
+        assert oram.evictions == 4
+
+    def test_constant_ish_stash(self):
+        """Circuit ORAM's signature: O(1) stash occupancy w.h.p."""
+        rng = random.Random(4)
+        oram = CircuitOram(256, rng=random.Random(5))
+        oram.initialize({k: bytes([k % 256]) for k in range(256)})
+        worst = 0
+        for _ in range(3000):
+            oram.access(rng.randrange(256))
+            worst = max(worst, oram.stash_size)
+        assert worst <= 12, f"stash grew to {worst}"
+
+    def test_bucket_capacity_respected(self):
+        rng = random.Random(6)
+        oram = CircuitOram(64, rng=random.Random(7))
+        oram.initialize({k: bytes([k]) for k in range(64)})
+        for _ in range(500):
+            oram.access(rng.randrange(64))
+        assert all(len(b) <= oram.bucket_size for b in oram._buckets)
+
+    def test_eviction_order_deterministic(self):
+        a = CircuitOram(32, rng=random.Random(8))
+        b = CircuitOram(32, rng=random.Random(9))
+        leaves_a = [a._reverse_lexicographic_leaf(i) for i in range(16)]
+        leaves_b = [b._reverse_lexicographic_leaf(i) for i in range(16)]
+        assert leaves_a == leaves_b  # public schedule, rng-independent

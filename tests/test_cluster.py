@@ -1,0 +1,79 @@
+"""Tests for the cluster-level figure series (Figs. 9-11)."""
+
+import pytest
+
+from repro.sim.cluster import (
+    latency_vs_suborams,
+    max_objects_within_latency,
+    snoopy_oblix_best_split,
+    throughput_scaling_series,
+)
+from repro.sim.costmodel import oblix_throughput
+
+
+class TestFig9Series:
+    def test_series_structure(self):
+        series = throughput_scaling_series([4, 8], 100_000, [0.5, 1.0])
+        assert set(series) == {0.5, 1.0}
+        for rows in series.values():
+            assert len(rows) == 2
+            machines, balancers, suborams, x = rows[0]
+            assert machines == balancers + suborams
+            assert x > 0
+
+    def test_monotone_in_machines(self):
+        series = throughput_scaling_series(
+            list(range(4, 13, 2)), 500_000, [1.0]
+        )
+        xs = [row[3] for row in series[1.0]]
+        assert all(b >= a for a, b in zip(xs, xs[1:]))
+
+    def test_key_transparency_slower_per_op(self):
+        """Fig. 9b: 24 accesses/op divides operation throughput."""
+        plain = throughput_scaling_series([10], 1_000_000, [1.0])[1.0][0][3]
+        kt = throughput_scaling_series(
+            [10], 1_000_000, [1.0], object_size=32, accesses_per_op=24
+        )[1.0][0][3]
+        assert kt < plain / 10
+
+
+class TestFig10:
+    def test_hybrid_scales_past_vanilla(self):
+        """Snoopy-Oblix at 17 machines is ~an order over 1-machine Oblix."""
+        vanilla = oblix_throughput(2_000_000)
+        _, _, hybrid = snoopy_oblix_best_split(17, 2_000_000, 0.5)
+        assert hybrid / vanilla > 5
+
+    def test_recursion_step_visible(self):
+        """The Fig. 10 spike: a recursion level drops crossing ~8 machines."""
+        per_machine = [
+            snoopy_oblix_best_split(m, 2_000_000, 0.5)[2] for m in (5, 7, 10, 12)
+        ]
+        assert all(b >= a for a, b in zip(per_machine, per_machine[1:]))
+        # Jump between 7 and 10 machines exceeds the 5->7 increment.
+        assert (per_machine[2] - per_machine[1]) > (per_machine[1] - per_machine[0])
+
+    def test_suboram_design_beats_oblix_suboram(self):
+        """§8.2: the linear-scan subORAM outperforms Oblix-as-subORAM."""
+        from repro.sim.costmodel import best_split
+
+        _, _, native = best_split(17, 2_000_000, 0.5)
+        _, _, hybrid = snoopy_oblix_best_split(17, 2_000_000, 0.5)
+        assert native / hybrid > 2  # paper: 4.85x
+
+
+class TestFig11:
+    def test_capacity_linear_in_suborams(self):
+        caps = [max_objects_within_latency(s) for s in (2, 6, 10)]
+        assert caps[0] < caps[1] < caps[2]
+        # Roughly linear: slope between consecutive points within 2x.
+        slope_a = (caps[1] - caps[0]) / 4
+        slope_b = (caps[2] - caps[1]) / 4
+        assert 0.4 < slope_b / slope_a < 2.5
+
+    def test_latency_decreases_with_diminishing_returns(self):
+        rows = latency_vs_suborams([1, 3, 6, 9, 12, 15])
+        latencies = [latency for _, latency in rows]
+        assert all(b < a for a, b in zip(latencies, latencies[1:]))
+        # Diminishing returns: the first tripling helps more than the last.
+        assert (latencies[0] - latencies[1]) > (latencies[3] - latencies[5])

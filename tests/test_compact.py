@@ -1,0 +1,105 @@
+"""Tests for Goodrich oblivious compaction."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oblivious.compact import goodrich_compact, ocompact
+from repro.oblivious.memory import TracedMemory
+
+
+class TestCorrectness:
+    def test_empty(self):
+        assert ocompact([], []) == []
+
+    def test_all_kept(self):
+        assert ocompact([1, 2, 3], [1, 1, 1]) == [1, 2, 3]
+
+    def test_none_kept(self):
+        assert ocompact([1, 2, 3], [0, 0, 0]) == []
+
+    def test_order_preserved(self):
+        items = list("abcdefg")
+        flags = [0, 1, 0, 1, 1, 0, 1]
+        assert ocompact(items, flags) == ["b", "d", "e", "g"]
+
+    def test_exhaustive_small(self):
+        """Every flag pattern up to n=10 — validates the routing network."""
+        for n in range(1, 11):
+            for bits in itertools.product([0, 1], repeat=n):
+                out = ocompact(list(range(n)), list(bits))
+                assert out == [i for i in range(n) if bits[i]], bits
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ocompact([1, 2], [1])
+
+    def test_goodrich_returns_full_length(self):
+        out = goodrich_compact([1, 2, 3, 4], [0, 1, 0, 1])
+        assert len(out) == 4
+        assert out[:2] == [2, 4]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(), st.integers(min_value=0, max_value=1)),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_matches_filter(self, tagged):
+        items = [t[0] for t in tagged]
+        flags = [t[1] for t in tagged]
+        assert ocompact(items, flags) == [
+            item for item, flag in zip(items, flags) if flag
+        ]
+
+
+class TestObliviousness:
+    def test_trace_independent_of_flags(self, rng):
+        n = 24
+        items = list(range(n))
+        flags_a = [rng.randrange(2) for _ in range(n)]
+        flags_b = [rng.randrange(2) for _ in range(n)]
+        traces = []
+
+        def factory(working):
+            mem = TracedMemory(working)
+            traces.append(mem.trace)
+            return mem
+
+        goodrich_compact(items, flags_a, mem_factory=factory)
+        goodrich_compact(items, flags_b, mem_factory=factory)
+        assert traces[0] == traces[1]
+        assert len(traces[0]) > 0
+
+
+class TestSortBasedOracle:
+    def test_oracle_matches_filter(self, rng):
+        from repro.oblivious.compact import ocompact_by_sort
+
+        for _ in range(20):
+            n = rng.randrange(0, 60)
+            items = [rng.randrange(1000) for _ in range(n)]
+            flags = [rng.randrange(2) for _ in range(n)]
+            assert ocompact_by_sort(items, flags) == [
+                item for item, flag in zip(items, flags) if flag
+            ]
+
+    def test_goodrich_agrees_with_oracle(self, rng):
+        from repro.oblivious.compact import ocompact_by_sort
+
+        for _ in range(30):
+            n = rng.randrange(1, 100)
+            items = list(range(n))
+            flags = [rng.randrange(2) for _ in range(n)]
+            assert ocompact(items, flags) == ocompact_by_sort(items, flags)
+
+    def test_oracle_rejects_length_mismatch(self):
+        from repro.oblivious.compact import ocompact_by_sort
+
+        import pytest
+
+        with pytest.raises(ValueError):
+            ocompact_by_sort([1], [1, 0])

@@ -1,0 +1,145 @@
+"""Tests for the calibrated cost model: anchors and structural properties."""
+
+import pytest
+
+from repro.sim.costmodel import (
+    adaptive_sort_time,
+    best_split,
+    compact_time,
+    epoch_feasible,
+    load_balancer_time,
+    max_throughput,
+    mean_latency,
+    oblix_access_time,
+    oblix_recursion_levels,
+    oblix_throughput,
+    obladi_throughput,
+    redis_throughput,
+    sort_time,
+    suboram_time,
+)
+from repro.sim.machines import DEFAULT_PROFILE
+
+
+class TestSortModel:
+    def test_single_thread_superlinear(self):
+        assert sort_time(2**14) > 2 * sort_time(2**13)
+
+    def test_threads_help_large_sorts(self):
+        assert sort_time(2**16, threads=3) < sort_time(2**16, threads=1)
+
+    def test_sync_overhead_hurts_small_sorts(self):
+        """Fig. 13a: below the crossover a single thread wins."""
+        assert sort_time(2**8, threads=3) > sort_time(2**8, threads=1)
+
+    def test_adaptive_is_min(self):
+        for n in (2**8, 2**12, 2**16):
+            assert adaptive_sort_time(n, 3) == min(
+                sort_time(n, t) for t in (1, 2, 3)
+            )
+
+    def test_degenerate_sizes(self):
+        assert sort_time(0) == 0.0
+        assert sort_time(1) == 0.0
+        assert compact_time(1) == 0.0
+
+
+class TestStageModels:
+    def test_lb_time_grows_with_requests(self):
+        assert load_balancer_time(10_000, 10) > load_balancer_time(1_000, 10)
+
+    def test_suboram_scan_linear_in_objects(self):
+        small = suboram_time(512, 100_000)
+        large = suboram_time(512, 200_000)
+        assert 1.5 < large / small < 2.5
+
+    def test_paging_knee(self):
+        """Fig. 12: marginal cost/object jumps past the EPC boundary.
+
+        Marginal (not average) cost isolates the scan from the fixed
+        hash-table construction, which dominates at small data sizes.
+        """
+        resident_marginal = (
+            suboram_time(512, 2**15) - suboram_time(512, 2**14)
+        ) / 2**14
+        paged_marginal = (
+            suboram_time(512, 2**22) - suboram_time(512, 2**21)
+        ) / 2**21
+        assert paged_marginal > resident_marginal
+
+    def test_zero_batch_free(self):
+        assert suboram_time(0, 100_000) == 0.0
+        assert load_balancer_time(0, 10) == 0.0
+
+
+class TestPaperAnchors:
+    """DESIGN.md §6: the model must land near the paper's headline numbers."""
+
+    def test_fig9a_500ms(self):
+        _, _, x = best_split(18, 2_000_000, 0.5)
+        assert 70_000 < x < 115_000  # paper: 92K
+
+    def test_fig9a_300ms(self):
+        _, _, x = best_split(18, 2_000_000, 0.3)
+        assert 45_000 < x < 90_000  # paper: 68K
+
+    def test_fig9a_1s(self):
+        _, _, x = best_split(18, 2_000_000, 1.0)
+        assert 100_000 < x < 165_000  # paper: 130K
+
+    def test_oblix_anchor(self):
+        assert 900 < oblix_throughput(2_000_000) < 1_400  # paper: 1,153
+
+    def test_obladi_anchor(self):
+        assert 5_500 < obladi_throughput(2_000_000) < 8_000  # paper: 6,716
+
+    def test_redis_dwarfs_snoopy(self):
+        """§8.2: Redis ~39x Snoopy at comparable machine counts."""
+        _, _, snoopy = best_split(18, 2_000_000, 1.0)
+        redis = redis_throughput(15)
+        assert 20 < redis / snoopy < 80
+
+    def test_snoopy_beats_obladi_at_scale(self):
+        """The headline: >10x Obladi with 18 machines at 500 ms."""
+        _, _, x = best_split(18, 2_000_000, 0.5)
+        assert x / obladi_throughput(2_000_000) > 10
+
+    def test_fig11b_single_suboram_latency(self):
+        latency = mean_latency(500, 1, 1, 2_000_000)
+        assert 0.6 < latency < 1.1  # paper: 847 ms
+
+    def test_fig11b_latency_improves_with_suborams(self):
+        latencies = [mean_latency(500, 1, s, 2_000_000) for s in (1, 5, 15)]
+        assert latencies[0] > latencies[1] > latencies[2]
+        assert latencies[2] < 0.15
+
+
+class TestScalingShape:
+    def test_throughput_increases_with_machines(self):
+        xs = [best_split(m, 2_000_000, 1.0)[2] for m in range(4, 19, 2)]
+        assert all(b >= a for a, b in zip(xs, xs[1:]))
+        assert xs[-1] > 2 * xs[0]
+
+    def test_relaxed_latency_increases_throughput(self):
+        """§8.2: longer epochs amortize dummies better."""
+        x_300 = best_split(18, 2_000_000, 0.3)[2]
+        x_1000 = best_split(18, 2_000_000, 1.0)[2]
+        assert x_1000 > x_300
+
+    def test_feasibility_brackets_max(self):
+        x = max_throughput(2, 4, 500_000, 1.0)
+        epoch = 0.4
+        assert epoch_feasible(x * 0.95, epoch, 2, 4, 500_000)
+        assert not epoch_feasible(x * 1.1, epoch, 2, 4, 500_000)
+
+    def test_infeasible_load_returns_inf_latency(self):
+        assert mean_latency(10**9, 1, 1, 2_000_000) == float("inf")
+
+
+class TestOblixModel:
+    def test_recursion_levels_monotone(self):
+        assert oblix_recursion_levels(500) == 1
+        assert oblix_recursion_levels(250_000) < oblix_recursion_levels(2_000_000)
+
+    def test_access_time_grows_with_size(self):
+        assert oblix_access_time(2_000_000) > oblix_access_time(10_000)

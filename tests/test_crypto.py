@@ -1,0 +1,162 @@
+"""Unit tests for repro.crypto: PRF, AEAD, channels, key chain."""
+
+import random
+
+import pytest
+
+from repro.crypto.aead import AeadKey, NONCE_LEN, SecureChannel, digest
+from repro.crypto.keys import KeyChain, derive_key, random_key
+from repro.crypto.prf import Prf, suboram_of
+from repro.errors import IntegrityError, ReplayError
+
+
+class TestPrf:
+    def test_deterministic(self):
+        prf = Prf(b"k" * 32)
+        assert prf.value(42) == prf.value(42)
+
+    def test_key_separation(self):
+        assert Prf(b"a" * 32).value(1) != Prf(b"b" * 32).value(1)
+
+    def test_range_bounds(self):
+        prf = Prf(b"k" * 32)
+        for x in range(200):
+            assert 0 <= prf.range(x, 7) < 7
+
+    def test_range_roughly_uniform(self):
+        prf = Prf(b"k" * 32)
+        counts = [0] * 4
+        for x in range(4000):
+            counts[prf.range(x, 4)] += 1
+        for c in counts:
+            assert 800 < c < 1200
+
+    def test_negative_inputs_ok(self):
+        prf = Prf(b"k" * 32)
+        assert prf.range(-5, 10) != prf.range(5, 10) or True  # no crash
+        assert 0 <= prf.range(-(2**61), 10) < 10
+
+    def test_rejects_bad_key(self):
+        with pytest.raises(ValueError):
+            Prf(b"")
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            Prf(b"k" * 32).range(1, 0)
+
+    def test_suboram_of_consistent(self):
+        key = b"s" * 32
+        assert suboram_of(key, 99, 5) == suboram_of(key, 99, 5)
+        assert 0 <= suboram_of(key, 99, 5) < 5
+
+
+class TestAead:
+    def test_roundtrip(self):
+        key = AeadKey(b"k" * 32)
+        nonce = bytes(NONCE_LEN)
+        ct = key.seal(nonce, b"hello", aad=b"ctx")
+        assert key.open(nonce, ct, aad=b"ctx") == b"hello"
+
+    def test_empty_plaintext(self):
+        key = AeadKey(b"k" * 32)
+        nonce = bytes(NONCE_LEN)
+        assert key.open(nonce, key.seal(nonce, b"")) == b""
+
+    def test_tamper_detected(self):
+        key = AeadKey(b"k" * 32)
+        nonce = bytes(NONCE_LEN)
+        ct = bytearray(key.seal(nonce, b"hello"))
+        ct[0] ^= 1
+        with pytest.raises(IntegrityError):
+            key.open(nonce, bytes(ct))
+
+    def test_wrong_aad_detected(self):
+        key = AeadKey(b"k" * 32)
+        nonce = bytes(NONCE_LEN)
+        ct = key.seal(nonce, b"hello", aad=b"a")
+        with pytest.raises(IntegrityError):
+            key.open(nonce, ct, aad=b"b")
+
+    def test_wrong_nonce_detected(self):
+        key = AeadKey(b"k" * 32)
+        ct = key.seal(bytes(NONCE_LEN), b"hello")
+        with pytest.raises(IntegrityError):
+            key.open(b"\x01" * NONCE_LEN, ct)
+
+    def test_ciphertext_differs_across_nonces(self):
+        key = AeadKey(b"k" * 32)
+        c1 = key.seal(bytes(NONCE_LEN), b"hello")
+        c2 = key.seal(b"\x01" * NONCE_LEN, b"hello")
+        assert c1 != c2
+
+    def test_rejects_short_key(self):
+        with pytest.raises(ValueError):
+            AeadKey(b"short")
+
+    def test_rejects_truncated_ciphertext(self):
+        key = AeadKey(b"k" * 32)
+        with pytest.raises(IntegrityError):
+            key.open(bytes(NONCE_LEN), b"tiny")
+
+
+class TestSecureChannel:
+    def test_roundtrip(self):
+        a = SecureChannel(b"k" * 32, "ab")
+        b = SecureChannel(b"k" * 32, "ab")
+        nonce, ct = a.send(b"msg")
+        assert b.receive(nonce, ct) == b"msg"
+
+    def test_replay_rejected(self):
+        a = SecureChannel(b"k" * 32, "ab")
+        b = SecureChannel(b"k" * 32, "ab")
+        nonce, ct = a.send(b"msg")
+        b.receive(nonce, ct)
+        with pytest.raises(ReplayError):
+            b.receive(nonce, ct)
+
+    def test_forgery_does_not_burn_nonce(self):
+        a = SecureChannel(b"k" * 32, "ab")
+        b = SecureChannel(b"k" * 32, "ab")
+        nonce, ct = a.send(b"msg")
+        with pytest.raises(IntegrityError):
+            b.receive(nonce, ct[:-1] + bytes([ct[-1] ^ 1]))
+        assert b.receive(nonce, ct) == b"msg"
+
+    def test_channel_name_binds(self):
+        a = SecureChannel(b"k" * 32, "ab")
+        c = SecureChannel(b"k" * 32, "other")
+        nonce, ct = a.send(b"msg")
+        with pytest.raises(IntegrityError):
+            c.receive(nonce, ct)
+
+
+class TestKeyChain:
+    def test_subkeys_stable(self):
+        chain = KeyChain(b"m" * 32)
+        assert chain.subkey("x") == chain.subkey("x")
+
+    def test_subkeys_independent(self):
+        chain = KeyChain(b"m" * 32)
+        assert chain.subkey("x") != chain.subkey("y")
+
+    def test_channel_key_symmetric(self):
+        chain = KeyChain(b"m" * 32)
+        assert chain.channel_key("lb0", "so1") == chain.channel_key("so1", "lb0")
+
+    def test_batch_keys_fresh_per_epoch(self):
+        chain = KeyChain(b"m" * 32)
+        assert chain.batch_key(0, 1) != chain.batch_key(0, 2)
+        assert chain.batch_key(0, 1) != chain.batch_key(1, 1)
+
+    def test_random_key_deterministic_with_rng(self):
+        assert random_key(random.Random(1)) == random_key(random.Random(1))
+        assert random_key(random.Random(1)) != random_key(random.Random(2))
+
+    def test_derive_key_depends_on_label(self):
+        assert derive_key(b"m" * 32, "a") != derive_key(b"m" * 32, "b")
+
+
+def test_digest_is_sha256_stable():
+    assert digest(b"abc") == digest(b"abc")
+    assert digest(b"abc") != digest(b"abd")
+    assert len(digest(b"")) == 32

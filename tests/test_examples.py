@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts run cleanly end to end.
+
+The slower examples (capacity_planning, paper_figures) exercise the same
+code paths as `tests/test_costmodel.py` / `tests/test_planner.py` and are
+exercised by the benchmark suite, so only the fast, functional-system
+examples are spawned here.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "key_transparency.py",
+    "contact_discovery.py",
+    "access_control.py",
+    "distributed_deployment.py",
+    "adaptive_switching.py",
+    "pir_store.py",
+    "obliviousness_demo.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_all_examples_exist():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    for script in FAST_EXAMPLES + ["capacity_planning.py", "paper_figures.py"]:
+        assert script in present

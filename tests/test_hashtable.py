@@ -1,0 +1,127 @@
+"""Tests for the two-tier oblivious hash table."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError
+from repro.oblivious.hashtable import TwoTierHashTable, TwoTierParams
+
+
+class Item:
+    def __init__(self, key):
+        self.key = key
+
+    def __repr__(self):
+        return f"Item({self.key})"
+
+
+def key_fn(item):
+    return item.key
+
+
+def build(keys, prf_key=b"table-key", **kwargs):
+    return TwoTierHashTable.build(
+        [Item(k) for k in keys], key_fn, prf_key, **kwargs
+    )
+
+
+class TestParams:
+    def test_all_dimensions_positive(self):
+        for n in (1, 2, 7, 100, 4096):
+            p = TwoTierParams.for_capacity(n)
+            assert p.tier1_buckets >= 1
+            assert p.tier1_bucket_size >= 1
+            assert p.tier2_buckets >= 1
+            assert p.tier2_bucket_size >= 1
+            assert p.tier2_capacity >= 1
+
+    def test_dimensions_public(self):
+        """Params depend only on capacity + lambda, never on contents."""
+        assert TwoTierParams.for_capacity(500) == TwoTierParams.for_capacity(500)
+
+    def test_lookup_cost_much_smaller_than_capacity(self):
+        p = TwoTierParams.for_capacity(4096)
+        assert p.lookup_scan_slots < 4096 / 10
+
+    def test_slots_properties(self):
+        p = TwoTierParams.for_capacity(64)
+        assert p.tier1_slots == p.tier1_buckets * p.tier1_bucket_size
+        assert p.total_slots == p.tier1_slots + p.tier2_slots
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            TwoTierParams.for_capacity(0)
+
+
+class TestBuildAndExtract:
+    @pytest.mark.parametrize("n", [1, 2, 5, 17, 64, 200])
+    def test_extract_returns_all_items(self, n, rng):
+        keys = rng.sample(range(10**6), n)
+        table = build(keys)
+        assert sorted(key_fn(i) for i in table.extract_real()) == sorted(keys)
+
+    def test_every_item_findable_in_its_buckets(self, rng):
+        keys = rng.sample(range(10**6), 80)
+        table = build(keys)
+        for k in keys:
+            slots = table.lookup_slots(k)
+            assert any(s.real and s.item.key == k for s in slots), k
+            assert len(slots) == table.params.lookup_scan_slots
+
+    def test_dummy_items_not_extracted(self, rng):
+        keys = rng.sample(range(10**6), 30)
+        table = TwoTierHashTable.build(
+            [Item(k) for k in keys],
+            key_fn,
+            b"table-key",
+            is_real_fn=lambda item: item.key % 2 == 0,
+        )
+        extracted = {key_fn(i) for i in table.extract_real()}
+        assert extracted == {k for k in keys if k % 2 == 0}
+
+    def test_capacity_enforced(self):
+        params = TwoTierParams.for_capacity(4)
+        with pytest.raises(CapacityError):
+            build(list(range(10)), params=params)
+
+    def test_key_changes_layout(self):
+        keys = list(range(50))
+        t1 = build(keys, prf_key=b"key-one")
+        t2 = build(keys, prf_key=b"key-two")
+        assert t1.bucket_slot_indices(0) != t2.bucket_slot_indices(0) or (
+            t1.params != t2.params
+        )
+
+    def test_total_slot_count_is_public(self, rng):
+        """Two tables with equal capacity have identical slot layouts."""
+        a = build(rng.sample(range(10**6), 40))
+        b = build(rng.sample(range(10**6), 40))
+        assert len(a.slots) == len(b.slots)
+        assert a.params == b.params
+
+    @given(st.sets(st.integers(min_value=0, max_value=10**9), max_size=120))
+    @settings(max_examples=25, deadline=None)
+    def test_property_roundtrip(self, keys):
+        if not keys:
+            return
+        table = build(sorted(keys))
+        assert sorted(key_fn(i) for i in table.extract_real()) == sorted(keys)
+        for k in list(keys)[:10]:
+            assert any(
+                s.real and s.item.key == k for s in table.lookup_slots(k)
+            )
+
+
+class TestRandomizedStress:
+    def test_many_batches_never_overflow(self):
+        """Tier-2 capacity bound holds over many random batches."""
+        rng = random.Random(42)
+        for trial in range(30):
+            n = rng.randrange(1, 300)
+            keys = rng.sample(range(10**9), n)
+            prf_key = bytes([rng.randrange(256) for _ in range(16)])
+            table = build(keys, prf_key=prf_key)
+            assert len(table.extract_real()) == n

@@ -1,0 +1,205 @@
+"""Tests for the linearizability checkers and Snoopy's guarantees (§C)."""
+
+import random
+
+import pytest
+
+from repro.core.client import Client
+from repro.core.config import SnoopyConfig
+from repro.core.linearizability import (
+    History,
+    LinearizabilityViolation,
+    Operation,
+    check_linearizable,
+    check_snoopy_history,
+    snoopy_linearization_order,
+)
+from repro.core.snoopy import Snoopy
+from repro.types import OpType
+
+
+def op(kind, key, result=None, written=None, start=0, end=0, lb=0, arrival=0,
+       client=0, seq=0):
+    return Operation(
+        client_id=client,
+        seq=seq,
+        op=kind,
+        key=key,
+        written=written,
+        result=result,
+        start_epoch=start,
+        end_epoch=end,
+        load_balancer=lb,
+        arrival=arrival,
+    )
+
+
+class TestOrder:
+    def test_orders_by_epoch_then_balancer(self):
+        ops = [
+            op(OpType.READ, 1, end=2, lb=0),
+            op(OpType.READ, 1, end=1, lb=1),
+            op(OpType.READ, 1, end=1, lb=0),
+        ]
+        ordered = snoopy_linearization_order(ops)
+        assert [(o.end_epoch, o.load_balancer) for o in ordered] == [
+            (1, 0),
+            (1, 1),
+            (2, 0),
+        ]
+
+    def test_reads_before_writes_within_group(self):
+        ops = [
+            op(OpType.WRITE, 1, end=1, arrival=0),
+            op(OpType.READ, 1, end=1, arrival=1),
+        ]
+        ordered = snoopy_linearization_order(ops)
+        assert ordered[0].op is OpType.READ
+
+
+class TestStrictChecker:
+    def test_accepts_simple_history(self):
+        history = History(
+            initial={1: b"a"},
+            operations=[
+                op(OpType.READ, 1, result=b"a", start=0, end=1),
+                op(OpType.WRITE, 1, written=b"b", result=b"a", start=1, end=2),
+                op(OpType.READ, 1, result=b"b", start=2, end=3),
+            ],
+        )
+        check_snoopy_history(history)
+
+    def test_rejects_stale_read(self):
+        history = History(
+            initial={1: b"a"},
+            operations=[
+                op(OpType.WRITE, 1, written=b"b", result=b"a", start=0, end=1),
+                op(OpType.READ, 1, result=b"a", start=1, end=2),  # stale!
+            ],
+        )
+        with pytest.raises(LinearizabilityViolation):
+            check_snoopy_history(history)
+
+    def test_rejects_wrong_write_prior(self):
+        history = History(
+            initial={1: b"a"},
+            operations=[
+                op(OpType.WRITE, 1, written=b"b", result=b"WRONG", start=0, end=1),
+            ],
+        )
+        with pytest.raises(LinearizabilityViolation):
+            check_snoopy_history(history)
+
+    def test_same_epoch_reads_see_epoch_start(self):
+        history = History(
+            initial={1: b"a"},
+            operations=[
+                op(OpType.WRITE, 1, written=b"b", result=b"a", end=1, arrival=0),
+                op(OpType.READ, 1, result=b"a", end=1, arrival=1),
+            ],
+        )
+        check_snoopy_history(history)
+
+    def test_cross_balancer_ordering_within_epoch(self):
+        """LB 1's batch sees LB 0's writes in the same epoch."""
+        history = History(
+            initial={1: b"a"},
+            operations=[
+                op(OpType.WRITE, 1, written=b"b", result=b"a", end=1, lb=0),
+                op(OpType.READ, 1, result=b"b", end=1, lb=1),
+            ],
+        )
+        check_snoopy_history(history)
+
+
+class TestExhaustiveChecker:
+    def test_accepts_concurrent_reordering(self):
+        # Two concurrent ops: read may see either side of the write.
+        history = History(
+            initial={1: b"a"},
+            operations=[
+                op(OpType.WRITE, 1, written=b"b", result=b"a", start=0, end=2),
+                op(OpType.READ, 1, result=b"b", start=0, end=2),
+            ],
+        )
+        assert check_linearizable(history)
+
+    def test_rejects_impossible(self):
+        history = History(
+            initial={1: b"a"},
+            operations=[
+                op(OpType.READ, 1, result=b"never-written", start=0, end=1),
+            ],
+        )
+        assert not check_linearizable(history)
+
+    def test_respects_real_time(self):
+        history = History(
+            initial={1: b"a"},
+            operations=[
+                op(OpType.WRITE, 1, written=b"b", result=b"a", start=0, end=1),
+                op(OpType.READ, 1, result=b"a", start=2, end=3),  # too late
+            ],
+        )
+        assert not check_linearizable(history)
+
+    def test_size_guard(self):
+        history = History(initial={}, operations=[op(OpType.READ, 1)] * 13)
+        with pytest.raises(ValueError):
+            check_linearizable(history)
+
+
+class TestSnoopyHistories:
+    @pytest.mark.parametrize("balancers,suborams", [(1, 2), (2, 2), (3, 3)])
+    def test_random_concurrent_history_linearizable(self, balancers, suborams):
+        rng = random.Random(balancers * 7 + suborams)
+        config = SnoopyConfig(
+            num_load_balancers=balancers,
+            num_suborams=suborams,
+            value_size=4,
+            security_parameter=16,
+        )
+        store = Snoopy(config, rng=random.Random(3))
+        initial = {k: bytes([k]) * 4 for k in range(15)}
+        store.initialize(dict(initial))
+        clients = [Client(store, client_id=i) for i in range(4)]
+
+        for _ in range(12):
+            for client in clients:
+                for _ in range(rng.randrange(3)):
+                    key = rng.randrange(15)
+                    if rng.random() < 0.5:
+                        client.submit_write(key, bytes([rng.randrange(256)]) * 4)
+                    else:
+                        client.submit_read(key)
+            responses = store.run_epoch()
+            for client in clients:
+                client.complete(responses)
+
+        operations = [o for c in clients for o in c.history]
+        assert operations, "history should be non-empty"
+        check_snoopy_history(History(initial=initial, operations=operations))
+
+    def test_small_history_cross_checked_exhaustively(self):
+        """The strict checker agrees with the exhaustive oracle."""
+        rng = random.Random(11)
+        config = SnoopyConfig(
+            num_load_balancers=2, num_suborams=2, value_size=4,
+            security_parameter=16,
+        )
+        store = Snoopy(config, rng=random.Random(5))
+        initial = {k: bytes([k]) * 4 for k in range(5)}
+        store.initialize(dict(initial))
+        client = Client(store, client_id=0)
+        for _ in range(4):
+            for _ in range(2):
+                key = rng.randrange(5)
+                if rng.random() < 0.5:
+                    client.submit_write(key, bytes([rng.randrange(256)]) * 4)
+                else:
+                    client.submit_read(key)
+            client.complete(store.run_epoch())
+
+        history = History(initial=initial, operations=client.history)
+        check_snoopy_history(history)
+        assert check_linearizable(history)

@@ -1,0 +1,75 @@
+"""Unit tests for TracedMemory / AccessTrace."""
+
+import pytest
+
+from repro.oblivious.memory import AccessTrace, TracedMemory
+
+
+class TestTracedMemory:
+    def test_reads_are_logged(self):
+        mem = TracedMemory([10, 20, 30])
+        _ = mem[1]
+        _ = mem[2]
+        assert mem.trace.events == [("R", 1), ("R", 2)]
+
+    def test_writes_are_logged(self):
+        mem = TracedMemory([10, 20])
+        mem[0] = 99
+        assert mem.trace.events == [("W", 0)]
+        assert mem.to_list() == [99, 20]
+
+    def test_negative_indices_normalized(self):
+        mem = TracedMemory([10, 20, 30])
+        assert mem[-1] == 30
+        assert mem.trace.events == [("R", 2)]
+
+    def test_slicing_rejected(self):
+        mem = TracedMemory([1, 2, 3])
+        with pytest.raises(TypeError):
+            _ = mem[0:2]
+
+    def test_append_logged(self):
+        mem = TracedMemory([1])
+        mem.append(2)
+        assert mem.trace.events == [("W", 1)]
+        assert len(mem) == 2
+
+    def test_iteration_traces_each_read(self):
+        mem = TracedMemory([1, 2, 3])
+        assert list(mem) == [1, 2, 3]
+        assert mem.trace.reads() == [0, 1, 2]
+
+    def test_shared_trace(self):
+        trace = AccessTrace()
+        a = TracedMemory([1], trace=trace)
+        b = TracedMemory([2], trace=trace)
+        _ = a[0]
+        _ = b[0]
+        assert len(trace) == 2
+
+
+class TestAccessTrace:
+    def test_equality(self):
+        t1, t2 = AccessTrace(), AccessTrace()
+        t1.record("R", 0)
+        t2.record("R", 0)
+        assert t1 == t2
+        t2.record("W", 1)
+        assert t1 != t2
+
+    def test_reads_writes_split(self):
+        t = AccessTrace()
+        t.record("R", 1)
+        t.record("W", 2)
+        assert t.reads() == [1]
+        assert t.writes() == [2]
+
+    def test_clear(self):
+        t = AccessTrace()
+        t.record("R", 1)
+        t.clear()
+        assert len(t) == 0
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(AccessTrace())

@@ -1,0 +1,93 @@
+"""Tests for the Obladi-lite trusted-proxy baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.obladi import ObladiProxy
+from repro.types import OpType, Request
+
+
+def make_proxy(capacity=32, batch_size=10, seed=1):
+    proxy = ObladiProxy(capacity, batch_size=batch_size, rng=random.Random(seed))
+    proxy.initialize({k: bytes([k]) for k in range(capacity)})
+    return proxy
+
+
+class TestSemantics:
+    def test_read(self):
+        proxy = make_proxy()
+        [resp] = proxy.batch([Request(OpType.READ, 5, seq=0)])
+        assert resp.value == bytes([5])
+
+    def test_write_visible_next_batch(self):
+        proxy = make_proxy()
+        proxy.batch([Request(OpType.WRITE, 5, b"z", seq=0)])
+        [resp] = proxy.batch([Request(OpType.READ, 5, seq=0)])
+        assert resp.value == b"z"
+
+    def test_delayed_visibility_within_batch(self):
+        """Reads in a batch see batch-start state (Obladi's semantics)."""
+        proxy = make_proxy()
+        responses = proxy.batch(
+            [
+                Request(OpType.WRITE, 5, b"z", seq=0),
+                Request(OpType.READ, 5, seq=1),
+            ]
+        )
+        assert all(r.value == bytes([5]) for r in responses)
+
+    def test_last_write_wins(self):
+        proxy = make_proxy()
+        proxy.batch(
+            [
+                Request(OpType.WRITE, 5, b"a", seq=0),
+                Request(OpType.WRITE, 5, b"b", seq=1),
+            ]
+        )
+        [resp] = proxy.batch([Request(OpType.READ, 5, seq=0)])
+        assert resp.value == b"b"
+
+    def test_dedup_single_oram_access_per_key(self):
+        proxy = make_proxy(batch_size=8)
+        before = proxy.oram.accesses
+        proxy.batch([Request(OpType.READ, 3, seq=i) for i in range(8)])
+        # 1 distinct read + 7 dummy pads = exactly batch_size accesses
+        # (plus zero winning writes).
+        assert proxy.oram.accesses - before == 8
+
+
+class TestBatchShape:
+    def test_fixed_accesses_per_batch(self):
+        """Every batch triggers exactly batch_size read accesses (padding)."""
+        proxy = make_proxy(batch_size=10)
+        before = proxy.oram.accesses
+        proxy.batch([Request(OpType.READ, k, seq=k) for k in range(3)])
+        assert proxy.oram.accesses - before == 10
+        assert proxy.dummy_accesses == 7
+
+    def test_queue_drains_in_multiple_batches(self):
+        proxy = make_proxy(batch_size=4)
+        responses = proxy.batch(
+            [Request(OpType.READ, k % 32, seq=k) for k in range(10)]
+        )
+        assert len(responses) == 10
+        assert proxy.batches_executed == 3
+
+    def test_randomized_against_model(self):
+        rng = random.Random(3)
+        proxy = make_proxy(capacity=24, batch_size=6, seed=4)
+        model = {k: bytes([k]) for k in range(24)}
+        for _ in range(10):
+            requests, writes = [], {}
+            keys = rng.sample(range(24), 6)
+            for i, k in enumerate(keys):
+                if rng.random() < 0.5:
+                    v = bytes([rng.randrange(256)])
+                    requests.append(Request(OpType.WRITE, k, v, seq=i))
+                    writes[k] = v
+                else:
+                    requests.append(Request(OpType.READ, k, seq=i))
+            for r in proxy.batch(requests):
+                assert r.value == model[r.key]
+            model.update(writes)

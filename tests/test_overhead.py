@@ -1,0 +1,73 @@
+"""Tests for the Fig. 3 / Fig. 4 analysis helpers."""
+
+from repro.analysis.overhead import (
+    capacity_curve,
+    dummy_overhead_percent,
+    overhead_curve,
+    real_request_capacity,
+)
+from repro.analysis.balls_bins import batch_size
+
+
+class TestDummyOverhead:
+    def test_decreases_with_requests(self):
+        """Fig. 3: more real requests -> lower % overhead."""
+        s = 10
+        overheads = [
+            dummy_overhead_percent(r, s) for r in (500, 2000, 5000, 10_000)
+        ]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_increases_with_suborams(self):
+        """Fig. 3: more subORAMs -> higher % overhead at fixed R."""
+        r = 10_000
+        assert (
+            dummy_overhead_percent(r, 2)
+            < dummy_overhead_percent(r, 10)
+            < dummy_overhead_percent(r, 20)
+        )
+
+    def test_zero_requests(self):
+        assert dummy_overhead_percent(0, 10) == 0.0
+
+    def test_curve_helper(self):
+        curve = overhead_curve([100, 1000], 10)
+        assert len(curve) == 2
+        assert curve[0] > curve[1]
+
+
+class TestCapacity:
+    def test_capacity_definition(self):
+        """Returned capacity is the largest R with f(R,S) within budget."""
+        s, budget = 10, 1000
+        r = real_request_capacity(s, budget)
+        assert batch_size(r, s) <= budget
+        assert batch_size(r + 1, s) > budget
+
+    def test_capacity_grows_with_suborams(self):
+        """Fig. 4: capacity increases with S..."""
+        caps = [real_request_capacity(s) for s in (2, 5, 10, 20)]
+        assert caps == sorted(caps)
+
+    def test_security_costs_capacity(self):
+        """...but lambda > 0 costs real capacity vs the insecure line."""
+        s = 10
+        assert real_request_capacity(s, security_parameter=128) < (
+            real_request_capacity(s, security_parameter=0)
+        )
+        assert real_request_capacity(s, security_parameter=0) == 10_000
+
+    def test_sublinear_scaling(self):
+        """Fig. 4: secure capacity grows sublinearly in S."""
+        c5 = real_request_capacity(5)
+        c20 = real_request_capacity(20)
+        assert c20 < 4 * c5
+
+    def test_capacity_curve_shape(self):
+        curves = capacity_curve(6)
+        assert set(curves) == {0, 80, 128}
+        for lam in (80, 128):
+            assert all(
+                a <= b for a, b in zip(curves[lam], curves[0])
+            ), "secure capacity never beats insecure"
+        assert curves[128][-1] <= curves[80][-1]

@@ -1,0 +1,84 @@
+"""Tests for the Path ORAM baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.pathoram import PathOram
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_read_before_write_is_none(self):
+        oram = PathOram(16, rng=random.Random(1))
+        assert oram.read(3) is None
+
+    def test_write_then_read(self):
+        oram = PathOram(16, rng=random.Random(1))
+        oram.write(3, b"x")
+        assert oram.read(3) == b"x"
+
+    def test_write_returns_prior(self):
+        oram = PathOram(16, rng=random.Random(1))
+        assert oram.write(3, b"a") is None
+        assert oram.write(3, b"b") == b"a"
+
+    def test_initialize_bulk(self):
+        oram = PathOram(32, rng=random.Random(1))
+        oram.initialize({k: bytes([k]) for k in range(32)})
+        for k in range(32):
+            assert oram.read(k) == bytes([k])
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            PathOram(0)
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("capacity", [8, 64, 200])
+    def test_matches_dict(self, capacity):
+        rng = random.Random(capacity)
+        oram = PathOram(capacity, rng=random.Random(capacity + 1))
+        model = {}
+        for _ in range(1500):
+            key = rng.randrange(capacity)
+            if rng.random() < 0.5:
+                value = bytes([rng.randrange(256)])
+                assert oram.write(key, value) == model.get(key)
+                model[key] = value
+            else:
+                assert oram.read(key) == model.get(key)
+
+
+class TestStructuralInvariants:
+    def test_stash_stays_bounded(self):
+        """Z=4 keeps the stash tiny w.h.p. — the classic Path ORAM result."""
+        rng = random.Random(9)
+        oram = PathOram(256, rng=random.Random(10))
+        oram.initialize({k: bytes([k % 256]) for k in range(256)})
+        worst = 0
+        for _ in range(3000):
+            oram.access(rng.randrange(256))
+            worst = max(worst, oram.stash_size)
+        assert worst < 64, f"stash grew to {worst}"
+
+    def test_bucket_capacity_respected(self):
+        rng = random.Random(11)
+        oram = PathOram(64, rng=random.Random(12))
+        oram.initialize({k: bytes([k]) for k in range(64)})
+        for _ in range(500):
+            oram.access(rng.randrange(64))
+        assert all(len(b) <= oram.bucket_size for b in oram._tree)
+
+    def test_position_remapped_every_access(self):
+        oram = PathOram(128, rng=random.Random(13))
+        oram.write(5, b"v")
+        positions = set()
+        for _ in range(50):
+            oram.read(5)
+            positions.add(oram._position[5])
+        assert len(positions) > 5, "positions should be re-randomized"
+
+    def test_path_length_blocks(self):
+        oram = PathOram(64)
+        assert oram.path_length_blocks() == oram.bucket_size * (oram.height + 1)

@@ -1,0 +1,90 @@
+"""Tests for the Waksman permutation network."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oblivious.memory import AccessTrace, TracedMemory
+from repro.oblivious.permutation import (
+    apply_permutation,
+    network_size,
+    route_permutation,
+)
+
+
+def expected(items, permutation):
+    out = [None] * len(items)
+    for i, p in enumerate(permutation):
+        out[p] = items[i]
+    return out
+
+
+class TestCorrectness:
+    def test_exhaustive_small(self):
+        for n in range(1, 7):
+            for perm in itertools.permutations(range(n)):
+                items = list(range(n))
+                assert apply_permutation(items, list(perm)) == expected(
+                    items, perm
+                ), (n, perm)
+
+    @pytest.mark.parametrize("n", [8, 13, 33, 100])
+    def test_random_large(self, n, rng):
+        perm = list(range(n))
+        rng.shuffle(perm)
+        items = [f"item-{i}" for i in range(n)]
+        assert apply_permutation(items, perm) == expected(items, perm)
+
+    def test_identity(self):
+        assert apply_permutation([1, 2, 3, 4], [0, 1, 2, 3]) == [1, 2, 3, 4]
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            apply_permutation([1, 2], [0, 0])
+
+    @given(st.permutations(list(range(12))))
+    @settings(max_examples=80, deadline=None)
+    def test_property(self, perm):
+        items = list(range(len(perm)))
+        assert apply_permutation(items, perm) == expected(items, perm)
+
+
+class TestObliviousness:
+    def test_schedule_topology_fixed(self, rng):
+        """Swap positions depend only on n, never on the permutation."""
+        n = 24
+        perms = []
+        for _ in range(2):
+            perm = list(range(n))
+            rng.shuffle(perm)
+            perms.append(perm)
+        shapes = [
+            [(i, j) for i, j, _ in route_permutation(perm)] for perm in perms
+        ]
+        assert shapes[0] == shapes[1]
+
+    def test_trace_independent_of_permutation(self, rng):
+        n = 20
+        traces = []
+        for _ in range(2):
+            perm = list(range(n))
+            rng.shuffle(perm)
+            trace = AccessTrace()
+            apply_permutation(
+                list(range(n)),
+                perm,
+                mem_factory=lambda items, t=trace: TracedMemory(items, trace=t),
+            )
+            traces.append(trace)
+        assert traces[0] == traces[1]
+        assert len(traces[0]) > 0
+
+    def test_network_size_nlogn(self):
+        """O(n log n) switches — asymptotically below bitonic's n log^2 n."""
+        assert network_size(2) == 1
+        assert network_size(4) <= 6
+        n = 256
+        assert network_size(n) < n * 9  # ~ n log2(n) = 2048

@@ -1,0 +1,105 @@
+"""Tests for the PIR extension (§9)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions.pir import PirServer, PirShardedStore, pir_fetch
+
+
+class TestPirServer:
+    def test_answer_is_xor(self):
+        server = PirServer([b"\x01", b"\x02", b"\x04"], 1)
+        assert server.answer(frozenset([0, 2])) == b"\x05"
+        assert server.answer(frozenset()) == b"\x00"
+
+    def test_rejects_bad_record_size(self):
+        with pytest.raises(Exception):
+            PirServer([b"xx", b"y"], 2)
+
+
+class TestTwoServerProtocol:
+    def test_fetch_correct(self):
+        rng = random.Random(1)
+        records = [bytes([i]) * 4 for i in range(16)]
+        a, b = PirServer(records, 4), PirServer(records, 4)
+        for index in range(16):
+            assert pir_fetch(a, b, index, rng) == records[index]
+
+    def test_single_server_view_uniform(self):
+        """Server A's subsets are independent of the retrieved index."""
+        records = [bytes([i]) for i in range(8)]
+        counts = {i: 0 for i in range(8)}
+        trials = 400
+        rng = random.Random(2)
+        a, b = PirServer(records, 1), PirServer(records, 1)
+        for _ in range(trials):
+            pir_fetch(a, b, 3, rng)  # always the same index
+        for subset in a.query_log:
+            for i in subset:
+                counts[i] += 1
+        # Every position (including 3) appears ~trials/2 times.
+        for i in range(8):
+            assert 0.35 * trials < counts[i] < 0.65 * trials
+
+
+class TestShardedStore:
+    @pytest.fixture
+    def store(self):
+        objects = {k: bytes([k % 256]) * 4 for k in range(60)}
+        return PirShardedStore(
+            objects, num_shards=3, record_size=4, rng=random.Random(3)
+        )
+
+    def test_batch_read_correct(self, store):
+        results = store.batch_read([3, 17, 42])
+        assert results == {
+            3: bytes([3]) * 4,
+            17: bytes([17]) * 4,
+            42: bytes([42]) * 4,
+        }
+
+    def test_unknown_key_none(self, store):
+        assert store.batch_read([9999])[9999] is None
+
+    def test_duplicates_deduplicated(self, store):
+        results = store.batch_read([5, 5, 5, 7])
+        assert results[5] == bytes([5]) * 4
+        assert results[7] == bytes([7]) * 4
+
+    def test_shard_query_counts_public(self, store):
+        """Each shard serves exactly 2*f(R,S) subset queries per batch
+        (two servers), regardless of which keys were requested."""
+        loads = []
+        for keys in ([1, 2, 3, 4], [50, 51, 52, 53]):
+            before = [
+                len(a.query_log) + len(b.query_log) for a, b in store.servers
+            ]
+            store.batch_read(keys)
+            after = [
+                len(a.query_log) + len(b.query_log) for a, b in store.servers
+            ]
+            loads.append([x - y for x, y in zip(after, before)])
+        assert loads[0] == loads[1]
+        expected = 2 * store.queries_per_shard(4)
+        assert all(load == expected for load in loads[0])
+
+    def test_empty_batch(self, store):
+        assert store.batch_read([]) == {}
+
+    def test_rejects_empty_store(self):
+        with pytest.raises(ConfigurationError):
+            PirShardedStore({}, num_shards=2, record_size=4)
+
+    def test_large_random_batches(self):
+        rng = random.Random(4)
+        objects = {k: bytes([k % 256]) * 8 for k in range(200)}
+        store = PirShardedStore(
+            objects, num_shards=4, record_size=8, rng=random.Random(5)
+        )
+        for _ in range(5):
+            keys = rng.sample(range(200), 25)
+            results = store.batch_read(keys)
+            for key in keys:
+                assert results[key] == objects[key]

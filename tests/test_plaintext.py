@@ -1,0 +1,49 @@
+"""Tests for the plaintext baseline — including its insecurity."""
+
+from repro.baselines.plaintext import PlaintextStore
+from repro.types import OpType, Request
+
+
+class TestFunctionality:
+    def test_read_write(self):
+        store = PlaintextStore(4)
+        store.initialize({1: b"a"})
+        assert store.read(1) == b"a"
+        assert store.write(1, b"b") == b"a"
+        assert store.read(1) == b"b"
+
+    def test_batch(self):
+        store = PlaintextStore(2)
+        store.initialize({k: bytes([k]) for k in range(10)})
+        responses = store.batch(
+            [Request(OpType.READ, k, seq=k) for k in range(5)]
+        )
+        assert [r.value for r in responses] == [bytes([k]) for k in range(5)]
+
+    def test_missing_key(self):
+        store = PlaintextStore()
+        store.initialize({})
+        assert store.read(42) is None
+
+
+class TestLeakage:
+    def test_access_pattern_fully_visible(self):
+        """The §3 'attempt #1' problem: sharding leaks which object is hit."""
+        store = PlaintextStore(4)
+        store.initialize({k: bytes([k]) for k in range(16)})
+        store.read(3)
+        store.read(3)
+        store.read(9)
+        log = store.access_log
+        # The server can tell the first two requests were for the same
+        # object and the third for a different one — exactly what an
+        # oblivious store must hide.
+        assert log[0] == log[1]
+        assert log[2] != log[0]
+
+    def test_shard_routing_visible(self):
+        store = PlaintextStore(8)
+        store.initialize({k: bytes([k]) for k in range(64)})
+        store.read(5)
+        shard, key, op = store.access_log[-1]
+        assert shard == store._shard_of(5)

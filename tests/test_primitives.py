@@ -1,0 +1,89 @@
+"""Unit tests for the oblivious compare-and-set/swap operators."""
+
+from repro.oblivious.memory import TracedMemory
+from repro.oblivious.primitives import (
+    and_bit,
+    eq_bit,
+    lt_bit,
+    not_bit,
+    o_counter_increment,
+    o_select,
+    ocmp_set,
+    ocmp_set_value,
+    ocmp_swap,
+    or_bit,
+)
+
+
+class TestOSelect:
+    def test_selects(self):
+        assert o_select(0, "a", "b") == "a"
+        assert o_select(1, "a", "b") == "b"
+
+    def test_preserves_identity(self):
+        x, y = object(), object()
+        assert o_select(1, x, y) is y
+
+
+class TestOcmpSwap:
+    def test_swaps_when_set(self):
+        mem = [1, 2]
+        ocmp_swap(mem, 1, 0, 1)
+        assert mem == [2, 1]
+
+    def test_noop_when_clear(self):
+        mem = [1, 2]
+        ocmp_swap(mem, 0, 0, 1)
+        assert mem == [1, 2]
+
+    def test_trace_independent_of_condition(self):
+        t0 = TracedMemory([1, 2])
+        t1 = TracedMemory([1, 2])
+        ocmp_swap(t0, 0, 0, 1)
+        ocmp_swap(t1, 1, 0, 1)
+        assert t0.trace == t1.trace
+
+
+class TestOcmpSet:
+    def test_sets_when_set(self):
+        mem = [1, 2]
+        ocmp_set(mem, 1, 0, 1)
+        assert mem == [2, 2]
+
+    def test_noop_when_clear(self):
+        mem = [1, 2]
+        ocmp_set(mem, 0, 0, 1)
+        assert mem == [1, 2]
+
+    def test_trace_independent_of_condition(self):
+        t0 = TracedMemory([1, 2])
+        t1 = TracedMemory([1, 2])
+        ocmp_set(t0, 0, 0, 1)
+        ocmp_set(t1, 1, 0, 1)
+        assert t0.trace == t1.trace
+
+    def test_set_value_variant(self):
+        mem = [1]
+        ocmp_set_value(mem, 1, 0, 9)
+        assert mem == [9]
+        ocmp_set_value(mem, 0, 0, 7)
+        assert mem == [9]
+
+
+class TestBitHelpers:
+    def test_eq_bit(self):
+        assert eq_bit(3, 3) == 1
+        assert eq_bit(3, 4) == 0
+
+    def test_lt_bit(self):
+        assert lt_bit(1, 2) == 1
+        assert lt_bit(2, 2) == 0
+
+    def test_logic(self):
+        assert and_bit(1, 1) == 1 and and_bit(1, 0) == 0
+        assert or_bit(0, 1) == 1 and or_bit(0, 0) == 0
+        assert not_bit(0) == 1 and not_bit(1) == 0
+
+    def test_counter(self):
+        assert o_counter_increment(5, 1) == 6
+        assert o_counter_increment(5, 0) == 5

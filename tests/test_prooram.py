@@ -1,0 +1,67 @@
+"""Tests for the PRO-ORAM-lite read-only baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.prooram import ProOram, ReadOnlyViolation
+from repro.errors import ReproError
+
+
+def make_oram(num_keys=64, workers=4, seed=1):
+    objects = {k: bytes([k % 256]) for k in range(num_keys)}
+    return ProOram(objects, workers=workers, rng=random.Random(seed))
+
+
+class TestReads:
+    def test_read_correct(self):
+        oram = make_oram()
+        for k in range(64):
+            assert oram.read(k) == bytes([k])
+
+    def test_repeated_reads_stable(self):
+        oram = make_oram()
+        for _ in range(200):
+            assert oram.read(7) == bytes([7])
+
+    def test_unknown_key(self):
+        oram = make_oram()
+        with pytest.raises(KeyError):
+            oram.read(9999)
+
+    def test_batch_read(self):
+        oram = make_oram()
+        assert oram.batch_read([1, 2, 3]) == [bytes([1]), bytes([2]), bytes([3])]
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(ReproError):
+            ProOram({})
+
+
+class TestReadOnly:
+    def test_writes_rejected(self):
+        oram = make_oram()
+        with pytest.raises(ReadOnlyViolation):
+            oram.write(1, b"x")
+
+
+class TestIncrementalShuffle:
+    def test_layout_refreshes_over_epochs(self):
+        rng = random.Random(2)
+        oram = make_oram(seed=3)
+        start = oram.background_shuffles
+        for _ in range(5 * oram.shelter_size):
+            oram.read(rng.randrange(64))
+        assert oram.background_shuffles > start
+
+    def test_more_workers_smaller_quantum(self):
+        slow = make_oram(workers=1)
+        fast = make_oram(workers=4)
+        assert fast.shuffle_quantum_per_access() < slow.shuffle_quantum_per_access()
+
+    def test_shelter_never_exceeds_sqrt(self):
+        rng = random.Random(4)
+        oram = make_oram(seed=5)
+        for _ in range(500):
+            oram.read(rng.randrange(64))
+            assert len(oram._sheltered) <= oram.shelter_size

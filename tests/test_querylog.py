@@ -1,0 +1,73 @@
+"""Tests for the query-log coordinated ORAM baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.querylog import QueryLogOram
+
+
+def make_oram(capacity=32, commit_every=6, seed=1):
+    oram = QueryLogOram(capacity, commit_every=commit_every,
+                        rng=random.Random(seed))
+    oram.initialize({k: bytes([k]) for k in range(capacity)})
+    return oram
+
+
+class TestSemantics:
+    def test_read(self):
+        oram = make_oram()
+        assert oram.read(5) == bytes([5])
+
+    def test_write_then_read_immediately(self):
+        """The log serves later requests before the commit lands."""
+        oram = make_oram(commit_every=100)
+        assert oram.write(5, b"x") == bytes([5])
+        assert oram.read(5) == b"x"
+        # The write is still only in the log.
+        assert oram.commits == 0
+
+    def test_commit_applies_latest_write(self):
+        oram = make_oram(commit_every=3)
+        oram.write(5, b"a")
+        oram.write(5, b"b")
+        oram.read(1)  # triggers commit
+        assert oram.commits == 1
+        assert oram.oram.read(5) == b"b"
+
+    def test_randomized_against_model(self):
+        rng = random.Random(2)
+        oram = make_oram(capacity=24, commit_every=5, seed=3)
+        model = {k: bytes([k]) for k in range(24)}
+        for _ in range(300):
+            key = rng.randrange(24)
+            if rng.random() < 0.5:
+                value = bytes([rng.randrange(256)])
+                assert oram.write(key, value) == model[key]
+                model[key] = value
+            else:
+                assert oram.read(key) == model[key]
+
+
+class TestBottleneckStructure:
+    def test_every_access_scans_the_log(self):
+        oram = make_oram()
+        for _ in range(10):
+            oram.read(1)
+        assert oram.log_scans == 10
+        assert oram.appends == 10
+
+    def test_pending_queries_coalesce_path_fetches(self):
+        """A second request for a logged key is served from the log."""
+        oram = make_oram(commit_every=100)
+        before = oram.oram.accesses
+        oram.read(7)
+        first_fetch = oram.oram.accesses - before
+        oram.read(7)  # coalesced
+        assert oram.oram.accesses - before == first_fetch
+
+    def test_commit_interval(self):
+        oram = make_oram(commit_every=4)
+        for i in range(12):
+            oram.read(i % 8)
+        assert oram.commits == 3

@@ -1,0 +1,110 @@
+"""Tests for quorum-replicated subORAMs with rollback detection (§9)."""
+
+import pytest
+
+from repro.errors import RollbackError
+from repro.extensions.replication import (
+    ReplicaUnavailableError,
+    ReplicatedSubOram,
+)
+from repro.types import BatchEntry, OpType
+
+
+def make_group(f=1, r=1):
+    group = ReplicatedSubOram(
+        suboram_id=0, value_size=4, crash_tolerance=f, rollback_tolerance=r
+    )
+    group.initialize({k: bytes([k]) * 4 for k in range(20)})
+    return group
+
+
+def read(key):
+    return BatchEntry(op=OpType.READ, key=key, is_dummy=False)
+
+
+def write(key, value):
+    return BatchEntry(op=OpType.WRITE, key=key, value=value, is_dummy=False)
+
+
+class TestHappyPath:
+    def test_group_size(self):
+        assert make_group(f=1, r=1).group_size == 3
+        assert make_group(f=2, r=0).group_size == 3
+        assert make_group(f=0, r=0).group_size == 1
+
+    def test_reads_and_writes(self):
+        group = make_group()
+        [r1] = group.batch_access([read(3)])
+        assert r1.value == bytes([3]) * 4
+        group.batch_access([write(3, b"zzzz")])
+        [r2] = group.batch_access([read(3)])
+        assert r2.value == b"zzzz"
+
+    def test_counter_once_per_batch(self):
+        group = make_group()
+        group.batch_access([read(1)])
+        group.batch_access([read(2)])
+        assert group.counter.value == 2
+
+    def test_replicas_stay_in_sync(self):
+        group = make_group()
+        group.batch_access([write(5, b"aaaa")])
+        for replica in group.replicas:
+            assert replica.suboram.peek(5) == b"aaaa"
+
+
+class TestCrashes:
+    def test_survives_f_crashes(self):
+        group = make_group(f=2, r=0)
+        group.crash(0)
+        group.crash(1)
+        [resp] = group.batch_access([read(4)])
+        assert resp.value == bytes([4]) * 4
+
+    def test_all_crashed_raises(self):
+        group = make_group(f=1, r=0)
+        group.crash(0)
+        group.crash(1)
+        with pytest.raises(ReplicaUnavailableError):
+            group.batch_access([read(1)])
+
+    def test_recovery_catches_up(self):
+        group = make_group(f=1, r=0)
+        group.crash(0)
+        group.batch_access([write(7, b"new!")])
+        group.recover_from_peer(0)
+        assert group.replicas[0].suboram.peek(7) == b"new!"
+        assert group.replicas[0].epoch == group.replicas[1].epoch
+        # Recovered replica serves correctly afterwards.
+        [resp] = group.batch_access([read(7)])
+        assert resp.value == b"new!"
+
+
+class TestRollbacks:
+    def test_rollback_of_one_replica_tolerated(self):
+        """Stale replica's reply is identified and ignored."""
+        group = make_group(f=0, r=1)
+        snapshot = group.snapshot(0)
+        group.batch_access([write(3, b"v2v2")])
+        group.rollback(0, snapshot)
+        [resp] = group.batch_access([read(3)])
+        assert resp.value == b"v2v2", "must come from the fresh replica"
+
+    def test_rollback_beyond_tolerance_detected(self):
+        """Rolling back every replica trips the trusted counter."""
+        group = make_group(f=0, r=1)
+        snapshots = [group.snapshot(i) for i in range(group.group_size)]
+        group.batch_access([write(3, b"v2v2")])
+        for i, snapshot in enumerate(snapshots):
+            group.rollback(i, snapshot)
+        with pytest.raises(RollbackError):
+            group.batch_access([read(3)])
+
+    def test_rollback_plus_crash_combined(self):
+        group = make_group(f=1, r=1)  # 3 replicas
+        snapshot = group.snapshot(0)
+        group.batch_access([write(9, b"good")])
+        group.rollback(0, snapshot)
+        group.crash(1)
+        [resp] = group.batch_access([read(9)])
+        assert resp.value == b"good"

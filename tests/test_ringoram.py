@@ -1,0 +1,82 @@
+"""Tests for the Ring ORAM baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.ringoram import RingOram
+
+
+class TestBasics:
+    def test_write_then_read(self):
+        oram = RingOram(16, rng=random.Random(1))
+        oram.write(3, b"x")
+        assert oram.read(3) == b"x"
+
+    def test_write_returns_prior(self):
+        oram = RingOram(16, rng=random.Random(1))
+        assert oram.write(3, b"a") is None
+        assert oram.write(3, b"b") == b"a"
+
+    def test_missing_key(self):
+        oram = RingOram(16, rng=random.Random(1))
+        assert oram.read(7) is None
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("capacity", [8, 64, 128])
+    def test_matches_dict(self, capacity):
+        rng = random.Random(capacity)
+        oram = RingOram(capacity, rng=random.Random(capacity + 1))
+        model = {}
+        for _ in range(1500):
+            key = rng.randrange(capacity)
+            if rng.random() < 0.5:
+                value = bytes([rng.randrange(256)])
+                assert oram.write(key, value) == model.get(key)
+                model[key] = value
+            else:
+                assert oram.read(key) == model.get(key)
+
+
+class TestProtocolStructure:
+    def test_evictions_follow_rate(self):
+        oram = RingOram(64, eviction_rate=3, rng=random.Random(2))
+        oram.initialize({k: bytes([k]) for k in range(30)})
+        accesses = oram.accesses
+        evictions = oram.evictions
+        for _ in range(30):
+            oram.read(5)
+        assert oram.evictions - evictions == (oram.accesses - accesses + accesses % 3) // 3
+
+    def test_reverse_lexicographic_cycle_covers_leaves(self):
+        oram = RingOram(16, rng=random.Random(3))
+        leaves = {
+            oram._reverse_lexicographic_leaf(i) for i in range(oram.num_leaves)
+        }
+        assert leaves == set(range(oram.num_leaves))
+
+    def test_stash_bounded(self):
+        rng = random.Random(4)
+        oram = RingOram(128, rng=random.Random(5))
+        oram.initialize({k: bytes([k % 256]) for k in range(128)})
+        worst = 0
+        for _ in range(2000):
+            oram.access(rng.randrange(128))
+            worst = max(worst, oram.stash_size)
+        assert worst < 80, f"stash grew to {worst}"
+
+    def test_bucket_real_capacity_respected(self):
+        rng = random.Random(6)
+        oram = RingOram(64, rng=random.Random(7))
+        oram.initialize({k: bytes([k]) for k in range(64)})
+        for _ in range(300):
+            oram.access(rng.randrange(64))
+        assert all(len(b.blocks) <= oram.bucket_size for b in oram._buckets)
+
+    def test_early_reshuffles_triggered_by_dummy_exhaustion(self):
+        oram = RingOram(32, num_dummies=2, rng=random.Random(8))
+        oram.initialize({k: bytes([k]) for k in range(32)})
+        for _ in range(100):
+            oram.read(0)
+        assert oram.early_reshuffles > 0

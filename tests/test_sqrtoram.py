@@ -1,0 +1,79 @@
+"""Tests for the square-root ORAM baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.sqrtoram import SqrtOram
+
+
+class TestBasics:
+    def test_write_then_read(self):
+        oram = SqrtOram(16, rng=random.Random(1))
+        oram.write(3, b"x")
+        assert oram.read(3) == b"x"
+
+    def test_write_returns_prior(self):
+        oram = SqrtOram(16, rng=random.Random(1))
+        assert oram.write(3, b"a") is None
+        assert oram.write(3, b"b") == b"a"
+
+    def test_initialize_bulk(self):
+        oram = SqrtOram(25, rng=random.Random(2))
+        oram.initialize({k: bytes([k]) for k in range(25)})
+        for k in range(25):
+            assert oram.read(k) == bytes([k])
+
+    def test_out_of_range_key(self):
+        oram = SqrtOram(8, rng=random.Random(3))
+        with pytest.raises(KeyError):
+            oram.read(8)
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("capacity", [4, 16, 100])
+    def test_matches_dict(self, capacity):
+        rng = random.Random(capacity)
+        oram = SqrtOram(capacity, rng=random.Random(capacity + 1))
+        model = {}
+        for _ in range(1000):
+            key = rng.randrange(capacity)
+            if rng.random() < 0.5:
+                value = bytes([rng.randrange(256)])
+                assert oram.write(key, value) == model.get(key)
+                model[key] = value
+            else:
+                assert oram.read(key) == model.get(key)
+
+
+class TestStructure:
+    def test_reshuffle_every_sqrt_accesses(self):
+        oram = SqrtOram(100, rng=random.Random(5))
+        start = oram.reshuffles
+        for i in range(oram.shelter_size):
+            oram.read(i % 100)
+        assert oram.reshuffles == start + 1
+
+    def test_shelter_bounded(self):
+        rng = random.Random(6)
+        oram = SqrtOram(64, rng=random.Random(7))
+        for _ in range(500):
+            oram.read(rng.randrange(64))
+            assert len(oram._shelter) <= oram.shelter_size
+
+    def test_repeated_access_consumes_dummies(self):
+        """Accessing the same key repeatedly touches dummy slots, not the
+        real slot again — the core hierarchical-ORAM trick."""
+        oram = SqrtOram(49, rng=random.Random(8))
+        oram.read(5)
+        before = oram._next_dummy
+        oram.read(5)  # sheltered now -> dummy touched
+        assert oram._next_dummy == (before + 1) % oram.num_dummies
+
+    def test_amortized_work_superlinear_in_sqrt(self):
+        small = SqrtOram(64, rng=random.Random(9))
+        large = SqrtOram(4096, rng=random.Random(10))
+        assert (
+            large.amortized_work_per_access()
+            > 4 * small.amortized_work_per_access()
+        )

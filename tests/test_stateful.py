@@ -1,0 +1,78 @@
+"""Hypothesis stateful testing: Snoopy as a linearizable key-value store.
+
+A RuleBasedStateMachine drives a live deployment with randomized
+single-balancer epochs (reads, writes, mixed batches, duplicates) and
+checks every response against a model dictionary.  Hypothesis shrinks any
+failing command sequence to a minimal reproducer.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.config import SnoopyConfig
+from repro.core.snoopy import Snoopy
+from repro.types import OpType, Request
+
+KEYS = st.integers(min_value=0, max_value=19)
+VALUES = st.binary(min_size=4, max_size=4)
+
+
+class SnoopyMachine(RuleBasedStateMachine):
+    """Model-based test: every epoch must agree with a dict."""
+
+    @initialize()
+    def setup(self):
+        self.store = Snoopy(
+            SnoopyConfig(
+                num_load_balancers=1,
+                num_suborams=2,
+                value_size=4,
+                security_parameter=16,
+            ),
+            rng=random.Random(0),
+        )
+        self.model = {k: bytes([k]) * 4 for k in range(20)}
+        self.store.initialize(dict(self.model))
+        self.epochs = 0
+
+    @rule(key=KEYS)
+    def read(self, key):
+        assert self.store.read(key) == self.model[key]
+        self.epochs += 1
+
+    @rule(key=KEYS, value=VALUES)
+    def write(self, key, value):
+        assert self.store.write(key, value) == self.model[key]
+        self.model[key] = value
+        self.epochs += 1
+
+    @rule(ops=st.lists(st.tuples(KEYS, st.one_of(st.none(), VALUES)),
+                       min_size=1, max_size=6))
+    def mixed_epoch(self, ops):
+        requests = []
+        writes = {}
+        for seq, (key, maybe_value) in enumerate(ops):
+            if maybe_value is None:
+                requests.append(Request(OpType.READ, key, seq=seq))
+            else:
+                requests.append(Request(OpType.WRITE, key, maybe_value, seq=seq))
+                writes[key] = maybe_value  # later write wins
+        responses = self.store.batch(requests)
+        for response in responses:
+            assert response.value == self.model[response.key]
+        self.model.update(writes)
+        self.epochs += 1
+
+    @invariant()
+    def counter_tracks_epochs(self):
+        if hasattr(self, "store"):
+            assert self.store.counter.value == self.epochs
+
+
+TestSnoopyStateful = SnoopyMachine.TestCase
+TestSnoopyStateful.settings = settings(
+    max_examples=12, stateful_step_count=12, deadline=None
+)

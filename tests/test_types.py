@@ -1,0 +1,70 @@
+"""Tests for core datatypes."""
+
+import pytest
+
+from repro.types import BatchEntry, DUMMY_KEY, OpType, Request, Response
+
+
+class TestRequest:
+    def test_read_write_predicates(self):
+        assert Request(OpType.READ, 1).is_read()
+        assert not Request(OpType.READ, 1).is_write()
+        assert Request(OpType.WRITE, 1, b"v").is_write()
+
+    def test_frozen(self):
+        request = Request(OpType.READ, 1)
+        with pytest.raises(AttributeError):
+            request.key = 2  # type: ignore[misc]
+
+    def test_defaults(self):
+        request = Request(OpType.READ, 5)
+        assert request.value is None
+        assert request.client_id == 0
+        assert request.seq == 0
+
+
+class TestBatchEntry:
+    def test_from_request_copies_fields(self):
+        request = Request(OpType.WRITE, 9, b"v", client_id=3, seq=7)
+        entry = BatchEntry.from_request(request)
+        assert entry.op is OpType.WRITE
+        assert entry.key == 9
+        assert entry.value == b"v"
+        assert entry.client_id == 3
+        assert entry.seq == 7
+        assert not entry.is_dummy
+        assert entry.permitted == 1
+
+    def test_default_is_dummy(self):
+        entry = BatchEntry()
+        assert entry.is_dummy
+        assert entry.key == DUMMY_KEY
+
+    def test_copy_independent(self):
+        entry = BatchEntry(op=OpType.WRITE, key=1, value=b"v", is_dummy=False)
+        clone = entry.copy()
+        clone.value = b"changed"
+        clone.permitted = 0
+        assert entry.value == b"v"
+        assert entry.permitted == 1
+
+    def test_copy_preserves_all_fields(self):
+        entry = BatchEntry(
+            op=OpType.WRITE, key=5, value=b"v", suboram=2, tag=9,
+            client_id=4, seq=6, is_dummy=False, permitted=0,
+        )
+        clone = entry.copy()
+        for field in ("op", "key", "value", "suboram", "tag", "client_id",
+                      "seq", "is_dummy", "permitted"):
+            assert getattr(clone, field) == getattr(entry, field), field
+
+
+class TestResponse:
+    def test_defaults(self):
+        response = Response(key=1, value=b"v")
+        assert response.ok
+        assert response.client_id == 0
+
+    def test_denied_response(self):
+        response = Response(key=1, value=None, ok=False)
+        assert not response.ok

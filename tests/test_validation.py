@@ -1,0 +1,26 @@
+"""Unit tests for repro.utils.validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import require, require_positive
+
+
+def test_require_passes():
+    require(True, "never raised")
+
+
+def test_require_raises_with_message():
+    with pytest.raises(ConfigurationError, match="bad thing"):
+        require(False, "bad thing")
+
+
+def test_require_positive_accepts():
+    require_positive(1, "x")
+    require_positive(0.5, "x")
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.5])
+def test_require_positive_rejects(value):
+    with pytest.raises(ConfigurationError, match="x must be positive"):
+        require_positive(value, "x")

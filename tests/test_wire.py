@@ -1,0 +1,174 @@
+"""Tests for the wire serialization format."""
+
+import pytest
+
+from repro.core.wire import (
+    WireError,
+    decode_batch,
+    decode_entry,
+    encode_batch,
+    encode_entry,
+)
+from repro.types import BatchEntry, OpType
+
+
+def entries_equal(a: BatchEntry, b: BatchEntry) -> bool:
+    return (
+        a.op == b.op
+        and a.key == b.key
+        and a.value == b.value
+        and a.suboram == b.suboram
+        and a.tag == b.tag
+        and a.client_id == b.client_id
+        and a.seq == b.seq
+        and a.is_dummy == b.is_dummy
+        and bool(a.permitted) == bool(b.permitted)
+    )
+
+
+class TestEntryRoundtrip:
+    def test_read_entry(self):
+        entry = BatchEntry(op=OpType.READ, key=42, is_dummy=False, seq=7)
+        decoded, offset = decode_entry(encode_entry(entry))
+        assert entries_equal(entry, decoded)
+
+    def test_write_entry_with_value(self):
+        entry = BatchEntry(
+            op=OpType.WRITE, key=1, value=b"payload", is_dummy=False,
+            client_id=9, seq=3, suboram=2, tag=5,
+        )
+        decoded, _ = decode_entry(encode_entry(entry))
+        assert entries_equal(entry, decoded)
+
+    def test_dummy_entry_negative_key(self):
+        entry = BatchEntry(op=OpType.READ, key=-(2**61 + 17), is_dummy=True)
+        decoded, _ = decode_entry(encode_entry(entry))
+        assert entries_equal(entry, decoded)
+
+    def test_denied_entry(self):
+        entry = BatchEntry(op=OpType.WRITE, key=3, value=b"x", is_dummy=False,
+                           permitted=0)
+        decoded, _ = decode_entry(encode_entry(entry))
+        assert decoded.permitted == 0
+
+    def test_none_vs_empty_value_distinguished(self):
+        none_entry = BatchEntry(op=OpType.READ, key=1, value=None, is_dummy=False)
+        empty_entry = BatchEntry(op=OpType.READ, key=1, value=b"", is_dummy=False)
+        assert decode_entry(encode_entry(none_entry))[0].value is None
+        assert decode_entry(encode_entry(empty_entry))[0].value == b""
+
+    def test_oversized_key_rejected(self):
+        entry = BatchEntry(op=OpType.READ, key=2**70, is_dummy=False)
+        with pytest.raises(WireError):
+            encode_entry(entry)
+
+
+class TestBatchRoundtrip:
+    def test_batch(self):
+        batch = [
+            BatchEntry(op=OpType.READ, key=k, is_dummy=False, seq=k)
+            for k in range(10)
+        ]
+        decoded = decode_batch(encode_batch(batch))
+        assert len(decoded) == 10
+        assert all(entries_equal(a, b) for a, b in zip(batch, decoded))
+
+    def test_empty_batch(self):
+        assert decode_batch(encode_batch([])) == []
+
+    def test_fixed_size_for_fixed_shape(self):
+        """Wire size depends only on batch size and value sizes (public)."""
+        def batch_bytes(keys):
+            return len(
+                encode_batch(
+                    [
+                        BatchEntry(op=OpType.READ, key=k, is_dummy=False)
+                        for k in keys
+                    ]
+                )
+            )
+
+        assert batch_bytes([1, 2, 3]) == batch_bytes([99, -5, 2**40])
+
+    def test_truncated_rejected(self):
+        data = encode_batch(
+            [BatchEntry(op=OpType.READ, key=1, is_dummy=False)]
+        )
+        with pytest.raises(WireError):
+            decode_batch(data[:-1])
+
+    def test_trailing_garbage_rejected(self):
+        data = encode_batch(
+            [BatchEntry(op=OpType.READ, key=1, is_dummy=False)]
+        )
+        with pytest.raises(WireError):
+            decode_batch(data + b"\x00")
+
+    def test_bad_op_rejected(self):
+        data = bytearray(
+            encode_batch([BatchEntry(op=OpType.READ, key=1, is_dummy=False)])
+        )
+        data[4] = 0xFF  # first entry's op byte
+        with pytest.raises(WireError):
+            decode_batch(bytes(data))
+
+
+class TestFuzz:
+    def test_random_bytes_never_crash_unexpectedly(self):
+        """Arbitrary bytes decode cleanly or raise WireError — nothing else."""
+        import random as _random
+
+        rng = _random.Random(0)
+        for _ in range(300):
+            blob = bytes(rng.getrandbits(8) for _ in range(rng.randrange(0, 200)))
+            try:
+                decode_batch(blob)
+            except WireError:
+                pass
+
+    def test_truncations_of_valid_batch(self):
+        batch = [
+            BatchEntry(op=OpType.WRITE, key=k, value=b"xy", is_dummy=False)
+            for k in range(5)
+        ]
+        data = encode_batch(batch)
+        for cut in range(len(data)):
+            try:
+                decoded = decode_batch(data[:cut])
+                # Only a shorter valid prefix could decode -- but the
+                # count header makes that impossible except cut == len.
+                assert False, f"truncation at {cut} decoded: {decoded}"
+            except WireError:
+                pass
+
+
+class TestPropertyRoundtrip:
+    def test_arbitrary_entries_roundtrip(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        entries_strategy = st.lists(
+            st.builds(
+                BatchEntry,
+                op=st.sampled_from([OpType.READ, OpType.WRITE]),
+                key=st.integers(min_value=-(2**62), max_value=2**62),
+                value=st.one_of(st.none(), st.binary(max_size=64)),
+                suboram=st.integers(min_value=0, max_value=2**31 - 1),
+                tag=st.integers(min_value=0, max_value=2**63 - 1),
+                client_id=st.integers(min_value=0, max_value=2**63 - 1),
+                seq=st.integers(min_value=0, max_value=2**63 - 1),
+                is_dummy=st.booleans(),
+                permitted=st.integers(min_value=0, max_value=1),
+            ),
+            max_size=12,
+        )
+
+        @given(entries_strategy)
+        @settings(max_examples=60, deadline=None)
+        def roundtrip(batch):
+            decoded = decode_batch(encode_batch(batch))
+            assert len(decoded) == len(batch)
+            for a, b in zip(batch, decoded):
+                assert entries_equal(a, b)
+
+        roundtrip()

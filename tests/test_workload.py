@@ -1,0 +1,75 @@
+"""Tests for workload generators."""
+
+import random
+
+import pytest
+
+from repro.sim.workload import (
+    ZipfSampler,
+    bursty_arrivals,
+    poisson_arrivals,
+    uniform_requests,
+    zipf_requests,
+)
+from repro.types import OpType
+
+
+class TestUniform:
+    def test_count_and_bounds(self):
+        requests = uniform_requests(100, 50, rng=random.Random(1))
+        assert len(requests) == 100
+        assert all(0 <= r.key < 50 for r in requests)
+
+    def test_write_fraction(self):
+        requests = uniform_requests(
+            400, 50, write_fraction=0.25, rng=random.Random(2)
+        )
+        writes = sum(1 for r in requests if r.op is OpType.WRITE)
+        assert 50 < writes < 150
+
+    def test_writes_carry_values_of_right_size(self):
+        requests = uniform_requests(
+            50, 10, write_fraction=1.0, value_size=16, rng=random.Random(3)
+        )
+        assert all(len(r.value) == 16 for r in requests)
+
+    def test_seq_assigned(self):
+        requests = uniform_requests(10, 5, rng=random.Random(4))
+        assert [r.seq for r in requests] == list(range(10))
+
+
+class TestZipf:
+    def test_skew_concentrates_on_low_ranks(self):
+        sampler = ZipfSampler(1000, exponent=1.2, rng=random.Random(5))
+        samples = [sampler.sample() for _ in range(2000)]
+        top_10 = sum(1 for s in samples if s < 10)
+        assert top_10 > 400  # heavy head
+
+    def test_bounds(self):
+        sampler = ZipfSampler(100, rng=random.Random(6))
+        assert all(0 <= sampler.sample() < 100 for _ in range(500))
+
+    def test_requests_wrapper(self):
+        requests = zipf_requests(50, 100, rng=random.Random(7))
+        assert len(requests) == 50
+
+    def test_rejects_empty_keyspace(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+
+class TestArrivals:
+    def test_poisson_rate(self):
+        times = list(poisson_arrivals(1000, 10.0, random.Random(8)))
+        assert 9000 < len(times) < 11000
+        assert all(0 <= t < 10.0 for t in times)
+        assert times == sorted(times)
+
+    def test_bursty_has_higher_peak_rate(self):
+        times = list(
+            bursty_arrivals(100, 5000, 10.0, rng=random.Random(9))
+        )
+        # Count arrivals inside vs outside burst windows.
+        in_burst = sum(1 for t in times if (t % 1.0) < 0.2)
+        out_burst = len(times) - in_burst
+        assert in_burst > 3 * out_burst
