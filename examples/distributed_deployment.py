@@ -17,23 +17,33 @@ from repro.core.deployment import DistributedSnoopy
 from repro.enclave.model import Enclave
 from repro.errors import AttestationError, IntegrityError, RollbackError
 from repro.extensions.replication import ReplicatedSubOram
-from repro.types import BatchEntry, OpType
+from repro.types import BatchEntry, OpType, Request
 
 
 def main() -> None:
     # --- attested, encrypted deployment ---------------------------------
+    # The thread backend runs the two subORAMs' sealed round trips
+    # concurrently (channel state stays in-process; a "process" backend
+    # would be rejected here).
     config = SnoopyConfig(
         num_load_balancers=2,
         num_suborams=2,
         value_size=8,
         security_parameter=32,
+        execution_backend="thread",
     )
     deployment = DistributedSnoopy(config, rng=random.Random(0))
     deployment.initialize({k: bytes([k]) * 8 for k in range(50)})
     print("deployment up: 2 load balancers + 2 subORAMs, channels "
-          "established via remote attestation")
+          "established via remote attestation "
+          f"(backend: {deployment.backend.name})")
 
     print("read(5) over encrypted transport ->", deployment.read(5))
+
+    # submit() hands back a Ticket that resolves when the epoch closes.
+    ticket = deployment.submit(Request(OpType.READ, 6))
+    deployment.run_epoch()
+    print("ticketed read(6) ->", ticket.result().value)
 
     # A rogue enclave (wrong measurement) cannot join.
     try:

@@ -13,11 +13,15 @@ def main() -> None:
     # A deployment with 2 load balancers and 3 subORAMs (5 "machines").
     # security_parameter=32 keeps the dummy padding small for a demo;
     # production would use 128 (the library default).
+    # execution_backend picks how epoch stages run: "serial" (reference),
+    # "thread[:N]" (overlap blocking work), "process[:N]" (multi-core).
+    # Results are byte-identical across backends.
     config = SnoopyConfig(
         num_load_balancers=2,
         num_suborams=3,
         value_size=16,
         security_parameter=32,
+        execution_backend="thread:4",
     )
     store = Snoopy(config, rng=random.Random(0))
 
@@ -25,13 +29,20 @@ def main() -> None:
     # keyed hash the cloud never sees.
     store.initialize({key: f"value-{key:06d}".ljust(16).encode() for key in range(1000)})
     print(f"initialized {store.num_objects} objects across "
-          f"{config.num_suborams} subORAMs")
+          f"{config.num_suborams} subORAMs (backend: {store.backend.name})")
 
     # Single-request epochs.
     print("read(7)      ->", store.read(7))
     prior = store.write(7, b"overwritten!!!!!")
     print("write(7)     -> prior value", prior)
     print("read(7)      ->", store.read(7))
+
+    # The asynchronous front door: submit() returns a Ticket immediately;
+    # the response exists once the epoch closes.
+    ticket = store.submit(Request(OpType.READ, 9))
+    print("submitted    ->", ticket)
+    store.run_epoch()
+    print("resolved     ->", ticket.result().value)
 
     # A realistic epoch: many clients, duplicate keys, mixed ops.  The
     # load balancer deduplicates, pads each subORAM batch to the same
@@ -56,6 +67,7 @@ def main() -> None:
 
     print(f"epochs executed: {store.counter.value} "
           "(one trusted-counter bump each)")
+    store.close()  # release the thread pool
 
 
 if __name__ == "__main__":

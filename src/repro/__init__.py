@@ -20,30 +20,55 @@ Quickstart::
     from repro import Snoopy, SnoopyConfig, Request, OpType
 
     store = Snoopy(SnoopyConfig(num_load_balancers=2, num_suborams=3,
-                                value_size=16))
+                                value_size=16, execution_backend="thread"))
     store.initialize({key: bytes(16) for key in range(1000)})
-    store.submit(Request(OpType.WRITE, 42, b"hello snoopy 42!"))
-    [response] = store.run_epoch()
+    ticket = store.submit(Request(OpType.WRITE, 42, b"hello snoopy 42!"))
+    store.run_epoch()
+    response = ticket.result()
 """
 
 from repro.types import OpType, Request, Response
 from repro.core.config import SnoopyConfig
 from repro.core.snoopy import Snoopy
 from repro.core.client import Client
+from repro.core.tickets import Ticket
 from repro.core.access_control import AccessControlledStore
+from repro.errors import (
+    CapacityError,
+    NotInitializedError,
+    ReproError,
+    TicketPendingError,
+)
+from repro.exec import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
 from repro.planner.planner import Plan, Planner
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AccessControlledStore",
+    "CapacityError",
     "Client",
+    "ExecutionBackend",
+    "NotInitializedError",
     "OpType",
     "Plan",
     "Planner",
+    "ProcessPoolBackend",
+    "ReproError",
     "Request",
     "Response",
+    "SerialBackend",
     "Snoopy",
     "SnoopyConfig",
+    "ThreadPoolBackend",
+    "Ticket",
+    "TicketPendingError",
+    "make_backend",
     "__version__",
 ]

@@ -21,6 +21,7 @@ import random
 from typing import Dict, List, Optional
 
 from repro.baselines.pathoram import PathOram
+from repro.errors import NotInitializedError
 from repro.utils.validation import require_positive
 
 # Below this many entries a position map fits in enclave memory directly.
@@ -150,7 +151,7 @@ class OblixSubOram:
         from repro.types import OpType
 
         if self._map is None:
-            raise RuntimeError("OblixSubOram not initialized")
+            raise NotInitializedError("OblixSubOram not initialized")
         for entry in batch:
             slot = self._key_to_slot.get(entry.key)
             if slot is None:

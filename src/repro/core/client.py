@@ -39,7 +39,7 @@ class Client:
     def submit_read(self, key: int, load_balancer: Optional[int] = None) -> int:
         """Queue a read; returns its sequence number."""
         seq = self._next_seq()
-        balancer, arrival = self.store.submit(
+        ticket = self.store.submit(
             Request(OpType.READ, key, client_id=self.client_id, seq=seq),
             load_balancer,
         )
@@ -49,8 +49,8 @@ class Client:
             op=OpType.READ,
             key=key,
             start_epoch=self.store.counter.value,
-            load_balancer=balancer,
-            arrival=arrival,
+            load_balancer=ticket.load_balancer,
+            arrival=ticket.arrival,
         )
         return seq
 
@@ -59,7 +59,7 @@ class Client:
     ) -> int:
         """Queue a write; returns its sequence number."""
         seq = self._next_seq()
-        balancer, arrival = self.store.submit(
+        ticket = self.store.submit(
             Request(OpType.WRITE, key, value, client_id=self.client_id, seq=seq),
             load_balancer,
         )
@@ -70,8 +70,8 @@ class Client:
             key=key,
             written=value,
             start_epoch=self.store.counter.value,
-            load_balancer=balancer,
-            arrival=arrival,
+            load_balancer=ticket.load_balancer,
+            arrival=ticket.arrival,
         )
         return seq
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.utils.validation import require, require_positive
 
@@ -18,6 +19,12 @@ class SnoopyConfig:
         security_parameter: lambda; overflow probability <= 2^-lambda.
         epoch_duration: epoch length T in seconds (used by the performance
             simulator; the functional core runs epochs on demand).
+        execution_backend: how epoch stages execute — an
+            :mod:`repro.exec` spec string (``"serial"``, ``"thread"``,
+            ``"thread:8"``, ``"process"``, ...).  Public information: the
+            attacker already sees the degree of physical parallelism.
+        max_workers: pool size for parallel backends (None = backend
+            default; a ``:N`` spec suffix takes precedence).
     """
 
     num_load_balancers: int = 1
@@ -25,6 +32,8 @@ class SnoopyConfig:
     value_size: int = 160
     security_parameter: int = 128
     epoch_duration: float = 0.2
+    execution_backend: str = "serial"
+    max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         require_positive(self.num_load_balancers, "num_load_balancers")
@@ -35,6 +44,14 @@ class SnoopyConfig:
             "security_parameter must be >= 0",
         )
         require(self.epoch_duration > 0, "epoch_duration must be positive")
+        if self.max_workers is not None:
+            require_positive(self.max_workers, "max_workers")
+        # Validate the spec eagerly so a typo fails at configuration time,
+        # not at the first epoch.  Imported here to keep repro.exec (which
+        # needs repro.errors only) free of import cycles with core.
+        from repro.exec import parse_spec
+
+        parse_spec(self.execution_backend)
 
     @property
     def num_machines(self) -> int:

@@ -25,10 +25,14 @@ import random
 from typing import Dict, List, Optional
 
 from repro.core.config import SnoopyConfig
+from repro.core.epoch import EpochDriver
+from repro.core.tickets import Ticket, TicketBook
 from repro.core.wire import decode_batch, encode_batch
 from repro.crypto.aead import SecureChannel
 from repro.crypto.keys import KeyChain
 from repro.enclave.attestation import AttestationService
+from repro.errors import NotInitializedError
+from repro.exec import BackendSpec, ExecutionBackend, make_backend
 from repro.loadbalancer.initialization import oblivious_shard
 from repro.enclave.model import Enclave
 from repro.enclave.sealed import MonotonicCounter
@@ -52,11 +56,29 @@ class DistributedSnoopy:
     """Snoopy with per-component enclaves and encrypted transport."""
 
     def __init__(self, config: SnoopyConfig, keychain: Optional[KeyChain] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 backend: Optional[BackendSpec] = None):
+        """Assemble the attested deployment.
+
+        Args:
+            config: public deployment parameters.
+            keychain: deployment secrets (generated if omitted).
+            rng: randomness for client load-balancer selection.
+            backend: execution backend for epoch stages (defaults to
+                ``config.execution_backend``).  Must keep shared state
+                in-process (``serial`` or ``thread``): the encrypted
+                channels hold live replay counters that cannot be shipped
+                across a process boundary.
+        """
         self.config = config
         self.keychain = keychain if keychain is not None else KeyChain()
         self._rng = rng if rng is not None else random.Random()
         self.counter = MonotonicCounter()
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = make_backend(
+            backend if backend is not None else config.execution_backend,
+            config.max_workers,
+        )
 
         # Provision the attestation service with the release measurements.
         self.attestation = AttestationService()
@@ -90,6 +112,7 @@ class DistributedSnoopy:
                 self._verify_peer(so_enclave)
                 key = self.keychain.channel_key(lb_enclave.name, so_enclave.name)
                 self._channels[(i, s)] = _ChannelPair(key, f"lb{i}-so{s}")
+        self._tickets = TicketBook(config.num_load_balancers)
         self._initialized = False
 
     def _verify_peer(self, enclave: Enclave) -> None:
@@ -109,38 +132,73 @@ class DistributedSnoopy:
             suboram.initialize(partition)
         self._initialized = True
 
-    def submit(self, request: Request, load_balancer: Optional[int] = None) -> tuple:
-        """Queue a request with a (randomly) chosen load balancer."""
+    def submit(
+        self, request: Request, load_balancer: Optional[int] = None
+    ) -> Ticket:
+        """Queue a request with a (randomly) chosen load balancer.
+
+        Returns a :class:`~repro.core.tickets.Ticket` that resolves when
+        ``run_epoch`` closes the epoch (same front-door contract as
+        :meth:`repro.core.snoopy.Snoopy.submit`).
+        """
         if load_balancer is None:
             load_balancer = self._rng.randrange(self.config.num_load_balancers)
         arrival = self.load_balancers[load_balancer].submit(request)
-        return load_balancer, arrival
+        return self._tickets.issue(load_balancer, arrival, request)
+
+    def _transport(self, balancer_index: int, suboram_index: int,
+                   suboram: SubOram, batch) -> list:
+        """Stage-➋ delivery: seal, cross the hostile network, execute, seal back."""
+        pair = self._channels[(balancer_index, suboram_index)]
+        # LB side: serialize + seal.
+        nonce, sealed = pair.to_suboram.send(encode_batch(batch))
+        # "Network" — the attacker may tamper here (tests do).
+        nonce, sealed = self.network_hook(
+            balancer_index, suboram_index, nonce, sealed
+        )
+        # SubORAM side: open + deserialize + execute.
+        wire_batch = decode_batch(pair.to_suboram_rx.receive(nonce, sealed))
+        results = suboram.batch_access(wire_batch)
+        # Response path back.
+        r_nonce, r_sealed = pair.to_balancer.send(encode_batch(results))
+        return decode_batch(pair.to_balancer_rx.receive(r_nonce, r_sealed))
 
     def run_epoch(self) -> List[Response]:
-        """One epoch over the encrypted transport."""
+        """One epoch over the encrypted transport.
+
+        Raises:
+            NotInitializedError: ``initialize`` has not been called.
+        """
         if not self._initialized:
-            raise RuntimeError("DistributedSnoopy.initialize must be called first")
+            raise NotInitializedError(
+                "DistributedSnoopy.initialize must be called first"
+            )
         self.counter.increment()
 
-        responses: List[Response] = []
-        for i, balancer in enumerate(self.load_balancers):
-            def send_batch(suboram_id: int, batch, balancer_index=i):
-                pair = self._channels[(balancer_index, suboram_id)]
-                # LB side: serialize + seal.
-                nonce, sealed = pair.to_suboram.send(encode_batch(batch))
-                # "Network" — the attacker may tamper here (tests do).
-                nonce, sealed = self.network_hook(
-                    balancer_index, suboram_id, nonce, sealed
-                )
-                # SubORAM side: open + deserialize + execute.
-                wire_batch = decode_batch(pair.to_suboram_rx.receive(nonce, sealed))
-                results = self.suborams[suboram_id].batch_access(wire_batch)
-                # Response path back.
-                r_nonce, r_sealed = pair.to_balancer.send(encode_batch(results))
-                return decode_batch(pair.to_balancer_rx.receive(r_nonce, r_sealed))
+        driver = EpochDriver(self.backend)
+        result = driver.run(
+            self.load_balancers, self.suborams, transport=self._transport
+        )
+        for balancer_index, responses in enumerate(
+            result.responses_per_balancer
+        ):
+            self._tickets.resolve(
+                balancer_index, responses, epoch=self.counter.value
+            )
+        return result.responses
 
-            responses.extend(balancer.run_epoch(send_batch))
-        return responses
+    def close(self) -> None:
+        """Release the execution backend's workers (no-op for serial)."""
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "DistributedSnoopy":
+        """Context-manager entry: returns self."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: closes the execution backend."""
+        self.close()
 
     # Overridable by tests to simulate an in-network attacker.
     def network_hook(self, balancer: int, suboram: int, nonce: bytes,

@@ -1,0 +1,205 @@
+"""The staged epoch driver: §6's parallel pipeline over a pluggable backend.
+
+One Snoopy epoch decomposes into three stages whose units are mutually
+independent (the structure behind equations (1)–(3) and Figures 11/13):
+
+* **build** — every load balancer turns its queued requests into S
+  fixed-size batches (one oblivious sort + compaction per balancer);
+  independent *across balancers*.
+* **execute** — every subORAM serves the L balancers' batches.  The
+  batches of one subORAM must run in fixed balancer order (LB 0 first —
+  the order Appendix C's linearization proof fixes), so each subORAM's
+  L-batch chain is a single ordered task; independent *across subORAMs*.
+* **match** — every balancer obliviously matches the returned entries to
+  its clients' requests; independent *across balancers*.
+
+:class:`EpochDriver` runs each stage as one
+:meth:`~repro.exec.backend.ExecutionBackend.map` call, so the same driver
+produces serial reference execution or a concurrent epoch depending only
+on the backend — with byte-identical responses either way.
+
+Stage functions are module-level and take plain picklable tuples so that
+:class:`~repro.exec.pools.ProcessPoolBackend` can ship them to workers;
+mutated subORAM state returns by value in :class:`EpochResult.suborams`
+and the deployment reinstalls it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.exec.backend import ExecutionBackend
+from repro.loadbalancer.batching import generate_batches
+from repro.loadbalancer.matching import match_responses
+from repro.types import BatchEntry, Response
+
+#: Delivery seam for stage ➋: ``(balancer_index, suboram_index, suboram,
+#: batch) -> response entries``.  ``None`` means a direct in-process
+#: ``suboram.batch_access(batch)`` call; a networked deployment supplies
+#: its sealed-channel round trip here.
+Transport = Callable[[int, int, object, List[BatchEntry]], List[BatchEntry]]
+
+
+@dataclass
+class EpochResult:
+    """Everything one driven epoch produced.
+
+    Attributes:
+        responses_per_balancer: matched responses, indexed by balancer;
+            empty list for balancers that had no queued requests.
+        suborams: the (possibly reinstalled-by-value) subORAM objects,
+            in partition order — identical objects under in-process
+            backends, shipped-back copies under process backends.
+    """
+
+    responses_per_balancer: List[List[Response]]
+    suborams: List[object]
+
+    @property
+    def responses(self) -> List[Response]:
+        """All responses flattened in balancer order (the legacy shape)."""
+        return [
+            response
+            for per_balancer in self.responses_per_balancer
+            for response in per_balancer
+        ]
+
+
+def _build_stage(task):
+    """Stage ➊ unit: one balancer's oblivious batch generation."""
+    requests, num_suborams, sharding_key, security_parameter, permissions = task
+    return generate_batches(
+        requests,
+        num_suborams,
+        sharding_key,
+        security_parameter,
+        permissions=permissions,
+    )
+
+
+def _execute_stage(task):
+    """Stage ➋ unit: one subORAM's L batches, in fixed balancer order."""
+    suboram_index, suboram, chain, transport = task
+    outputs = []
+    for balancer_index, batch in chain:
+        if transport is None:
+            entries = suboram.batch_access(batch)
+        else:
+            entries = transport(balancer_index, suboram_index, suboram, batch)
+        outputs.append((balancer_index, entries))
+    return suboram, outputs
+
+
+def _match_stage(task):
+    """Stage ➌ unit: one balancer's oblivious response matching."""
+    originals, responses = task
+    return match_responses(originals, responses)
+
+
+class EpochDriver:
+    """Drives one epoch's three stages over an execution backend."""
+
+    def __init__(self, backend: ExecutionBackend):
+        self.backend = backend
+
+    def run(
+        self,
+        load_balancers: Sequence,
+        suborams: Sequence,
+        permissions=None,
+        transport: Optional[Transport] = None,
+    ) -> EpochResult:
+        """Close the epoch: drain, build, execute, match.
+
+        Args:
+            load_balancers: the deployment's balancers; their queues are
+                drained (and epoch counters bumped) up front.
+            suborams: the deployment's partitions, in order.
+            permissions: optional §D access-control bits
+                ``{(client_id, seq): 0/1}``.
+            transport: optional delivery seam for stage ➋ (see
+                :data:`Transport`).  Requires an in-process backend:
+                closures over live channel state cannot cross a process
+                boundary.
+
+        Raises:
+            ConfigurationError: a transport was supplied on a backend
+                without shared state (e.g. ``process``).
+        """
+        if transport is not None and not self.backend.supports_shared_state:
+            raise ConfigurationError(
+                f"backend {self.backend.name!r} cannot run a custom "
+                "transport: channel state must stay in-process (use "
+                "'serial' or 'thread')"
+            )
+
+        drained = [balancer.drain() for balancer in load_balancers]
+        active = [index for index, requests in enumerate(drained) if requests]
+        if not active:
+            return EpochResult(
+                responses_per_balancer=[[] for _ in load_balancers],
+                suborams=list(suborams),
+            )
+
+        # Stage ➊ — per-balancer batch building, concurrent across L.
+        built = self.backend.map(
+            _build_stage,
+            [
+                (
+                    drained[index],
+                    load_balancers[index].num_suborams,
+                    load_balancers[index].sharding_key,
+                    load_balancers[index].security_parameter,
+                    permissions,
+                )
+                for index in active
+            ],
+        )
+
+        # Stage ➋ — per-subORAM chains, concurrent across S.  Each chain
+        # lists that subORAM's batches in ascending balancer order, the
+        # fixed order the linearizability argument requires.
+        executed = self.backend.map(
+            _execute_stage,
+            [
+                (
+                    suboram_index,
+                    suboram,
+                    [
+                        (balancer_index, built[j][0][suboram_index])
+                        for j, balancer_index in enumerate(active)
+                    ],
+                    transport,
+                )
+                for suboram_index, suboram in enumerate(suborams)
+            ],
+        )
+        new_suborams = [suboram for suboram, _ in executed]
+
+        # Regroup stage-➋ outputs by balancer, subORAMs in ascending
+        # order — the exact entry order serial execution produced.
+        entries_per_balancer = {index: [] for index in active}
+        for _, outputs in executed:
+            for balancer_index, entries in outputs:
+                entries_per_balancer[balancer_index].extend(entries)
+
+        # Stage ➌ — per-balancer response matching, concurrent across L.
+        matched = self.backend.map(
+            _match_stage,
+            [
+                (built[j][1], entries_per_balancer[balancer_index])
+                for j, balancer_index in enumerate(active)
+            ],
+        )
+
+        responses_per_balancer: List[List[Response]] = [
+            [] for _ in load_balancers
+        ]
+        for j, balancer_index in enumerate(active):
+            responses_per_balancer[balancer_index] = matched[j]
+        return EpochResult(
+            responses_per_balancer=responses_per_balancer,
+            suborams=new_suborams,
+        )

@@ -1,12 +1,18 @@
 """The assembled Snoopy system (Figure 21).
 
 ``Snoopy`` owns ``L`` load balancers and ``S`` subORAMs.  Clients submit
-requests to a load balancer of their choice (clients pick randomly, §4.3);
-``run_epoch`` closes the current epoch: every load balancer independently
-builds its batches, and every subORAM executes the load balancers' batches
-*in a fixed order* (LB 0 first, then LB 1, ...), which — together with
-last-write-wins within a balancer — yields the linearization order proved
-correct in Appendix C.
+requests to a load balancer of their choice (clients pick randomly, §4.3)
+and receive a :class:`~repro.core.tickets.Ticket`; ``run_epoch`` closes
+the current epoch through the staged :class:`~repro.core.epoch.EpochDriver`:
+every load balancer builds its batches (concurrently under a parallel
+backend), every subORAM executes the load balancers' batches *in a fixed
+order* (LB 0 first, then LB 1, ...), and every balancer matches responses
+back — which, together with last-write-wins within a balancer, yields the
+linearization order proved correct in Appendix C.  Each ticket resolves
+with its request's response when the epoch closes.
+
+The execution backend (:mod:`repro.exec`) decides whether those stages
+run serially or in parallel; responses are byte-identical either way.
 
 The trusted monotonic counter is bumped once per epoch (§9): state sealed
 at epoch ``e`` cannot be replayed at epoch ``e' > e``.
@@ -19,7 +25,11 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.crypto.keys import KeyChain
 from repro.core.config import SnoopyConfig
+from repro.core.epoch import EpochDriver
+from repro.core.tickets import Ticket, TicketBook
 from repro.enclave.sealed import MonotonicCounter
+from repro.errors import NotInitializedError
+from repro.exec import BackendSpec, ExecutionBackend, make_backend
 from repro.loadbalancer.balancer import LoadBalancer
 from repro.loadbalancer.initialization import oblivious_shard
 from repro.suboram.suboram import SubOram
@@ -35,12 +45,14 @@ class Snoopy:
         store = Snoopy(SnoopyConfig(num_load_balancers=2, num_suborams=3,
                                     value_size=16))
         store.initialize({k: bytes(16) for k in range(1000)})
-        store.submit(Request(OpType.WRITE, 7, b"x" * 16))
-        [response] = store.run_epoch()
+        ticket = store.submit(Request(OpType.WRITE, 7, b"x" * 16))
+        store.run_epoch()
+        response = ticket.result()
     """
 
     def __init__(self, config: SnoopyConfig, keychain: Optional[KeyChain] = None,
-                 rng: Optional[random.Random] = None, suboram_factory=None):
+                 rng: Optional[random.Random] = None, suboram_factory=None,
+                 backend: Optional[BackendSpec] = None):
         """Assemble the deployment.
 
         Args:
@@ -53,11 +65,19 @@ class Snoopy:
                 ``batch_access(batch)``), e.g. the Oblix adapter behind
                 Fig. 10.  Defaults to the paper's throughput-optimized
                 linear-scan subORAM (§5).
+            backend: execution backend for epoch stages — an
+                :class:`~repro.exec.ExecutionBackend` or a spec string;
+                defaults to ``config.execution_backend``.
         """
         self.config = config
         self.keychain = keychain if keychain is not None else KeyChain()
         self._rng = rng if rng is not None else random.Random()
         self.counter = MonotonicCounter()
+        self._owns_backend = not isinstance(backend, ExecutionBackend)
+        self.backend = make_backend(
+            backend if backend is not None else config.execution_backend,
+            config.max_workers,
+        )
 
         sharding_key = self.keychain.sharding_key()
         self.load_balancers = [
@@ -75,6 +95,7 @@ class Snoopy:
             suboram_factory(s, config, self.keychain)
             for s in range(config.num_suborams)
         ]
+        self._tickets = TicketBook(config.num_load_balancers)
         self._initialized = False
 
     # ------------------------------------------------------------------
@@ -114,64 +135,101 @@ class Snoopy:
     # ------------------------------------------------------------------
     def submit(
         self, request: Request, load_balancer: Optional[int] = None
-    ) -> tuple:
+    ) -> Ticket:
         """Queue a request; clients pick a random load balancer by default.
 
         Returns:
-            (load_balancer_index, arrival_index) — clients record these to
-            build linearizability histories.
+            A :class:`~repro.core.tickets.Ticket` naming where the
+            request went (``.load_balancer``, ``.arrival`` — the
+            coordinates linearizability histories are built from) and
+            resolving to its :class:`~repro.types.Response` when the
+            epoch closes (``.result()``).  For one deprecation cycle the
+            ticket still unpacks as the legacy ``(load_balancer,
+            arrival)`` tuple.
         """
         if load_balancer is None:
             load_balancer = self._rng.randrange(self.config.num_load_balancers)
         arrival = self.load_balancers[load_balancer].submit(request)
-        return load_balancer, arrival
+        return self._tickets.issue(load_balancer, arrival, request)
 
     # ------------------------------------------------------------------
     # Epoch execution
     # ------------------------------------------------------------------
-    def run_epoch(self, permissions=None) -> List[Response]:
+    def run_epoch(
+        self, permissions=None, backend: Optional[BackendSpec] = None
+    ) -> List[Response]:
         """Close the epoch: batch, execute, match; returns all responses.
 
         SubORAMs execute the load balancers' batches in fixed balancer
         order; each batch is processed in its own linear scan with a fresh
         hash-table key (§4.3: with L balancers each subORAM performs L
-        scans per epoch).
+        scans per epoch).  The configured execution backend decides how
+        much of that work overlaps; see :mod:`repro.core.epoch`.
 
         Args:
             permissions: optional §D access-control bits,
                 ``{(client_id, seq): 0/1}``; used by
                 :class:`repro.core.access_control.AccessControlledStore`.
+            backend: one-off backend override for this epoch.
+
+        Raises:
+            NotInitializedError: ``initialize`` has not been called.
         """
         if not self._initialized:
-            raise RuntimeError("Snoopy.initialize must be called first")
+            raise NotInitializedError("Snoopy.initialize must be called first")
         self.counter.increment()  # one trusted-counter bump per epoch (§9)
 
-        responses: List[Response] = []
-        for balancer in self.load_balancers:
-            responses.extend(
-                balancer.run_epoch(
-                    lambda suboram_id, batch: self.suborams[
-                        suboram_id
-                    ].batch_access(batch),
-                    permissions=permissions,
-                )
+        driver = EpochDriver(
+            make_backend(backend, self.config.max_workers)
+            if backend is not None
+            else self.backend
+        )
+        result = driver.run(
+            self.load_balancers, self.suborams, permissions=permissions
+        )
+        # Under a process backend the subORAMs mutated in workers; the
+        # driver ships the updated state back and we reinstall it.
+        self.suborams = result.suborams
+        for balancer_index, responses in enumerate(
+            result.responses_per_balancer
+        ):
+            self._tickets.resolve(
+                balancer_index, responses, epoch=self.counter.value
             )
-        return responses
+        return result.responses
+
+    def close(self) -> None:
+        """Release the execution backend's workers (no-op for serial).
+
+        Only closes backends this deployment constructed itself; a
+        backend instance passed in by the caller stays open (it may be
+        shared across deployments).
+        """
+        if self._owns_backend:
+            self.backend.close()
+
+    def __enter__(self) -> "Snoopy":
+        """Context-manager entry: returns self."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: closes the execution backend."""
+        self.close()
 
     # ------------------------------------------------------------------
     # One-shot conveniences (single-request epochs)
     # ------------------------------------------------------------------
     def read(self, key: int) -> Optional[bytes]:
         """Read one object in its own epoch."""
-        self.submit(Request(OpType.READ, key))
-        [response] = self.run_epoch()
-        return response.value
+        ticket = self.submit(Request(OpType.READ, key))
+        self.run_epoch()
+        return ticket.result().value
 
     def write(self, key: int, value: bytes) -> Optional[bytes]:
         """Write one object in its own epoch; returns the prior value."""
-        self.submit(Request(OpType.WRITE, key, value))
-        [response] = self.run_epoch()
-        return response.value
+        ticket = self.submit(Request(OpType.WRITE, key, value))
+        self.run_epoch()
+        return ticket.result().value
 
     def batch(self, requests: Sequence[Request]) -> List[Response]:
         """Submit a set of requests (random balancers) and run one epoch."""

@@ -1,0 +1,152 @@
+"""Tickets: the asynchronous front-door completion API.
+
+``submit`` hands a request to a load balancer *now*; the response only
+exists once that balancer's epoch closes.  A :class:`Ticket` is the
+receipt for that gap — it names where the request went
+(``.load_balancer``, ``.arrival``, the coordinates Appendix C's
+linearizability histories are built from) and, once the epoch has run,
+carries the response (``.result()``), TaoStore-style, instead of making
+clients keep tuple-index bookkeeping::
+
+    ticket = store.submit(Request(OpType.READ, 42))
+    store.run_epoch()
+    response = ticket.result()          # the Response for *this* request
+
+Calling ``result()`` before the epoch closed raises
+:class:`~repro.errors.TicketPendingError`; ``ticket.done`` tells you
+which side of the epoch boundary you are on.
+
+For one deprecation cycle a ticket still unpacks like the old bare
+``(load_balancer, arrival)`` tuple (``lb, arrival = store.submit(...)``),
+emitting a :class:`DeprecationWarning`.
+
+:class:`TicketBook` is the deployment-side ledger: it issues tickets at
+``submit`` time and resolves each balancer's tickets, in arrival order,
+against that balancer's matched responses when the epoch driver closes
+the epoch.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import TicketPendingError
+from repro.types import Request, Response
+
+
+class Ticket:
+    """A pending-request receipt with future-style completion.
+
+    Attributes:
+        load_balancer: index of the balancer the request was queued on.
+        arrival: arrival index within that balancer's current epoch.
+        request: the submitted request (kept for debugging/history).
+    """
+
+    __slots__ = ("load_balancer", "arrival", "request", "_response", "_epoch")
+
+    def __init__(
+        self,
+        load_balancer: int,
+        arrival: int,
+        request: Optional[Request] = None,
+    ):
+        self.load_balancer = load_balancer
+        self.arrival = arrival
+        self.request = request
+        self._response: Optional[Response] = None
+        self._epoch: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        """True once the ticket's epoch has closed and a response exists."""
+        return self._response is not None
+
+    @property
+    def epoch(self) -> Optional[int]:
+        """The trusted-counter value at which the ticket resolved (or None)."""
+        return self._epoch
+
+    def result(self) -> Response:
+        """The response for this request, once its epoch has closed.
+
+        Raises:
+            TicketPendingError: the epoch has not run yet.
+        """
+        if self._response is None:
+            raise TicketPendingError(
+                f"ticket (lb={self.load_balancer}, arrival={self.arrival}) "
+                "is still pending; run_epoch() has not closed its epoch"
+            )
+        return self._response
+
+    def _resolve(self, response: Response, epoch: int) -> None:
+        self._response = response
+        self._epoch = epoch
+
+    # -- tuple-compatibility shim (one deprecation cycle) ---------------
+    def __iter__(self) -> Iterator[int]:
+        """Unpack as the legacy ``(load_balancer, arrival)`` tuple."""
+        warnings.warn(
+            "unpacking submit()'s Ticket as a (load_balancer, arrival) "
+            "tuple is deprecated; use ticket.load_balancer / "
+            "ticket.arrival / ticket.result()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        yield self.load_balancer
+        yield self.arrival
+
+    def __repr__(self) -> str:
+        state = f"done@{self._epoch}" if self.done else "pending"
+        return (
+            f"Ticket(lb={self.load_balancer}, arrival={self.arrival}, "
+            f"{state})"
+        )
+
+
+class TicketBook:
+    """Per-deployment ledger of the current epoch's unresolved tickets."""
+
+    def __init__(self, num_load_balancers: int):
+        self._pending: List[List[Ticket]] = [
+            [] for _ in range(num_load_balancers)
+        ]
+
+    def issue(
+        self,
+        load_balancer: int,
+        arrival: int,
+        request: Optional[Request] = None,
+    ) -> Ticket:
+        """Create and track a ticket for a freshly queued request."""
+        ticket = Ticket(load_balancer, arrival, request)
+        self._pending[load_balancer].append(ticket)
+        return ticket
+
+    def pending(self, load_balancer: int) -> int:
+        """Unresolved tickets currently queued on one balancer."""
+        return len(self._pending[load_balancer])
+
+    def resolve(
+        self,
+        load_balancer: int,
+        responses: Sequence[Response],
+        epoch: int,
+    ) -> None:
+        """Resolve one balancer's tickets against its epoch responses.
+
+        Responses arrive in arrival order (the contract of
+        ``match_responses``), which is exactly the order tickets were
+        issued in, so the two sequences zip positionally.
+        """
+        tickets = self._pending[load_balancer]
+        self._pending[load_balancer] = []
+        if len(tickets) != len(responses):
+            raise AssertionError(
+                f"balancer {load_balancer}: {len(tickets)} tickets but "
+                f"{len(responses)} responses"
+            )
+        for ticket, response in zip(tickets, responses):
+            ticket._resolve(response, epoch)

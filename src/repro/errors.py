@@ -15,6 +15,22 @@ class ConfigurationError(ReproError):
     """A system was configured with invalid or inconsistent parameters."""
 
 
+class NotInitializedError(ReproError, RuntimeError):
+    """A component was used before ``initialize`` loaded its contents.
+
+    Subclasses :class:`RuntimeError` for one deprecation cycle so existing
+    ``except RuntimeError`` callers keep working.
+    """
+
+
+class TicketPendingError(ReproError):
+    """``Ticket.result()`` was called before the ticket's epoch closed.
+
+    Epochs in the functional system run on demand; call ``run_epoch`` on
+    the deployment first, then read the ticket.
+    """
+
+
 class SecurityError(ReproError):
     """A security invariant was violated (tampering, replay, overflow)."""
 
@@ -53,8 +69,13 @@ class DuplicateRequestError(ReproError):
     """
 
 
-class CapacityError(ReproError):
-    """An operation exceeded a fixed capacity (e.g. oblivious hash bucket)."""
+class CapacityError(ReproError, ValueError):
+    """An operation exceeded a fixed capacity (e.g. oblivious hash bucket).
+
+    Also raised for payloads that do not fit a store's fixed slot size.
+    Subclasses :class:`ValueError` for one deprecation cycle so existing
+    ``except ValueError`` callers keep working.
+    """
 
 
 class PlannerError(ReproError):

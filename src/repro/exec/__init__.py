@@ -1,0 +1,120 @@
+"""Execution backends: how a Snoopy epoch's independent work units run.
+
+The paper's scalability argument (§6, Figures 11/13) assumes the L load
+balancers and S subORAMs run *concurrently*: equation (1) takes the max,
+not the sum, of the pipeline stages.  This package supplies that
+concurrency as a pluggable layer so one functional codebase serves both
+purposes — auditable serial execution and parallel execution whose
+wall-clock actually exhibits the paper's scaling behaviour.
+
+Three backends implement the common :class:`ExecutionBackend` interface:
+
+* ``serial`` — :class:`SerialBackend`: run tasks inline, in order.  The
+  reference semantics; zero overhead.
+* ``thread`` — :class:`ThreadPoolBackend`: a shared-memory thread pool.
+  SubORAM state is mutated in place; blocking work (simulated network
+  latency, paging, real sockets) overlaps across components.
+* ``process`` — :class:`ProcessPoolBackend`: worker processes for true
+  multi-core execution; subORAM state is shipped to workers and back by
+  value.
+
+Every backend preserves the *fixed balancer order within each subORAM*
+that Appendix C's linearizability proof requires: the epoch driver hands
+each subORAM its L batches as one ordered task, and backends only
+parallelize *across* tasks, never within one.  Results are therefore
+byte-identical across backends (``tests/test_parallel_equivalence.py``).
+
+Backends are selected by spec string — ``"serial"``, ``"thread"``,
+``"thread:8"``, ``"process"``, ``"process:4"`` — via :func:`make_backend`,
+which is what :class:`~repro.core.config.SnoopyConfig.execution_backend`
+feeds.  Passing an :class:`ExecutionBackend` instance anywhere a spec is
+accepted also works::
+
+    from repro import Snoopy, SnoopyConfig
+
+    store = Snoopy(SnoopyConfig(num_suborams=4, execution_backend="thread"))
+    # ... or explicitly:
+    from repro.exec import ThreadPoolBackend
+    store = Snoopy(SnoopyConfig(num_suborams=4), backend=ThreadPoolBackend(8))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Type, Union
+
+from repro.errors import ConfigurationError
+from repro.exec.backend import ExecutionBackend, SerialBackend
+from repro.exec.pools import ProcessPoolBackend, ThreadPoolBackend
+
+#: Registry of spec name -> backend class (the BCache-style pluggable
+#: backend split: callers name a backend, the registry builds it).
+BACKENDS: dict = {
+    SerialBackend.name: SerialBackend,
+    ThreadPoolBackend.name: ThreadPoolBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+}
+
+BackendSpec = Union[str, ExecutionBackend]
+
+
+def parse_spec(spec: str) -> Tuple[Type[ExecutionBackend], Optional[int]]:
+    """Split a ``"name"`` / ``"name:workers"`` spec into (class, workers).
+
+    Raises:
+        ConfigurationError: unknown backend name or malformed worker count.
+    """
+    name, _, workers_part = str(spec).partition(":")
+    cls = BACKENDS.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown execution backend {name!r}; "
+            f"expected one of {sorted(BACKENDS)}"
+        )
+    workers: Optional[int] = None
+    if workers_part:
+        try:
+            workers = int(workers_part)
+        except ValueError:
+            raise ConfigurationError(
+                f"backend spec {spec!r}: worker count must be an integer"
+            ) from None
+        if workers <= 0:
+            raise ConfigurationError(
+                f"backend spec {spec!r}: worker count must be positive"
+            )
+    return cls, workers
+
+
+def make_backend(
+    spec: BackendSpec = "serial", max_workers: Optional[int] = None
+) -> ExecutionBackend:
+    """Build (or pass through) an execution backend.
+
+    Args:
+        spec: a spec string (``"serial"``, ``"thread"``, ``"thread:8"``,
+            ``"process"``, ``"process:4"``) or an already-constructed
+            :class:`ExecutionBackend`, returned unchanged.
+        max_workers: pool size; overridden by a ``:N`` suffix in the spec.
+
+    Raises:
+        ConfigurationError: the spec names no registered backend.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    cls, spec_workers = parse_spec(spec)
+    workers = spec_workers if spec_workers is not None else max_workers
+    if cls is SerialBackend:
+        return cls()
+    return cls(max_workers=workers)
+
+
+__all__ = [
+    "BACKENDS",
+    "BackendSpec",
+    "ExecutionBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "make_backend",
+    "parse_spec",
+]

@@ -1,0 +1,98 @@
+"""The execution-backend interface and the serial reference backend.
+
+An :class:`ExecutionBackend` answers one question for the epoch driver:
+*how do independent units of epoch work run?*  The driver expresses each
+pipeline stage as ``backend.map(stage_fn, tasks)`` where the tasks are
+mutually independent; the backend decides whether they run one after
+another (:class:`SerialBackend`), on a shared-memory thread pool
+(:class:`~repro.exec.pools.ThreadPoolBackend`), or on worker processes
+(:class:`~repro.exec.pools.ProcessPoolBackend`).
+
+Backends make two guarantees the driver relies on:
+
+* ``map`` returns results **in task order** (never completion order), so
+  the fixed balancer order of Appendix C's linearization proof survives
+  any scheduling;
+* the first task exception propagates to the caller, so security aborts
+  such as :class:`~repro.errors.BatchOverflowError` surface loudly no
+  matter where the task ran.
+
+``supports_shared_state`` distinguishes in-process backends (mutations a
+task makes are visible to the caller) from process backends (state must
+be shipped back by value); the driver uses it to route subORAM state and
+to reject transports that cannot cross a process boundary.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+
+class ExecutionBackend(ABC):
+    """How independent units of epoch work execute (§6's parallel pipeline).
+
+    Subclasses define :meth:`map`; everything else (context management,
+    idempotent :meth:`close`) is shared.  Backends are reusable across
+    epochs and deployments, and cheap to construct: pools are created
+    lazily on first use.
+    """
+
+    #: Registry/spec name of the backend (e.g. ``"serial"``, ``"thread"``).
+    name: str = "abstract"
+
+    #: True when a task's in-place mutations are visible to the caller
+    #: (serial and thread backends).  Process backends return state by
+    #: value instead, and cannot execute non-picklable closures.
+    supports_shared_state: bool = True
+
+    @abstractmethod
+    def map(
+        self,
+        fn: Callable[[_Task], _Result],
+        tasks: Sequence[_Task],
+    ) -> List[_Result]:
+        """Run ``fn`` over ``tasks``; results in task order.
+
+        Args:
+            fn: the stage function.  For process backends it must be a
+                picklable module-level callable.
+            tasks: independent work items (picklable for process backends).
+
+        Returns:
+            ``[fn(task) for task in tasks]`` — possibly computed
+            concurrently, but always returned in input order.
+        """
+
+    def close(self) -> None:
+        """Release pooled workers; idempotent.  No-op for serial."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        """Context-manager entry: returns self."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: closes the backend."""
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task inline, in order, on the calling thread.
+
+    The reference backend: zero concurrency, zero overhead, and the
+    behaviour every parallel backend must be byte-for-byte equivalent to
+    (``tests/test_parallel_equivalence.py`` enforces this).
+    """
+
+    name = "serial"
+    supports_shared_state = True
+
+    def map(self, fn, tasks) -> list:
+        """Apply ``fn`` to each task sequentially."""
+        return [fn(task) for task in tasks]

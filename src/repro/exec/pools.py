@@ -1,0 +1,119 @@
+"""Pooled execution backends: shared-memory threads and worker processes.
+
+Both pools are created lazily on first :meth:`~ExecutionBackend.map` call
+so that merely constructing a deployment never spawns workers, and both
+survive pickling (the pool itself is dropped and re-created on demand),
+which lets deployment objects holding a backend cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Optional
+
+from repro.exec.backend import ExecutionBackend
+from repro.utils.validation import require
+
+
+def _default_thread_workers() -> int:
+    """Threads for latency-bound epoch stages: several per core.
+
+    Epoch work on one box is dominated by blocking time (simulated
+    network/enclave latency, page faults) rather than GIL-bound compute,
+    so oversubscribing cores is the right default.
+    """
+    return min(32, 4 * (os.cpu_count() or 1))
+
+
+class _PooledBackend(ExecutionBackend):
+    """Common plumbing for executor-based backends (lazy pool, close)."""
+
+    name = "pooled"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None:
+            require(max_workers > 0, "max_workers must be positive")
+        self.max_workers = max_workers
+        self._executor: Optional[Executor] = None
+
+    def _make_executor(self) -> Executor:
+        raise NotImplementedError
+
+    def map(self, fn, tasks) -> list:
+        """Fan tasks out across the pool; gather results in task order."""
+        tasks = list(tasks)
+        if len(tasks) <= 1:
+            # One task gains nothing from the pool; run it inline (this
+            # also keeps single-balancer deployments allocation-free).
+            return [fn(task) for task in tasks]
+        if self._executor is None:
+            self._executor = self._make_executor()
+        # Executor.map preserves input order and re-raises the first
+        # failing task's exception at iteration time.
+        return list(self._executor.map(fn, tasks))
+
+    def close(self) -> None:
+        """Shut the pool down; safe to call repeatedly."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # Executors are neither picklable nor deepcopy-able; drop them and
+    # let the pool re-create itself lazily wherever the copy lands.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_executor"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
+class ThreadPoolBackend(_PooledBackend):
+    """Shared-memory thread pool: overlap blocking epoch work.
+
+    Tasks mutate shared objects in place (``supports_shared_state``), so
+    subORAM state stays where it is and transports holding live channel
+    state work unchanged.  On CPython the GIL serializes pure-Python
+    compute, but epoch stages that block — simulated network latency,
+    encrypted-store paging, real sockets in a networked deployment —
+    overlap fully, which is what Figure 13's wall-clock speedup measures.
+    """
+
+    name = "thread"
+    supports_shared_state = True
+
+    def _make_executor(self) -> Executor:
+        workers = (
+            self.max_workers
+            if self.max_workers is not None
+            else _default_thread_workers()
+        )
+        return ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-epoch"
+        )
+
+
+class ProcessPoolBackend(_PooledBackend):
+    """Worker-process pool: true multi-core epoch execution.
+
+    Stage functions and tasks are pickled to workers; mutated state
+    (each subORAM's encrypted store) is shipped back by value and
+    reinstalled by the epoch driver, so results remain byte-identical to
+    serial execution.  Closures over live channels cannot cross the
+    process boundary (``supports_shared_state`` is False); the driver
+    rejects such transports with a
+    :class:`~repro.errors.ConfigurationError`.
+    """
+
+    name = "process"
+    supports_shared_state = False
+
+    def _make_executor(self) -> Executor:
+        workers = (
+            self.max_workers
+            if self.max_workers is not None
+            else (os.cpu_count() or 1)
+        )
+        return ProcessPoolExecutor(max_workers=workers)

@@ -57,14 +57,45 @@ class LoadBalancer:
         return len(self._queue)
 
     # ------------------------------------------------------------------
-    # Epoch processing
+    # Epoch processing, as three separable pipeline stages.  The epoch
+    # driver (repro.core.epoch) runs the stages of different balancers
+    # concurrently; run_epoch below chains them serially for callers that
+    # own their own delivery loop.
     # ------------------------------------------------------------------
+    def drain(self) -> List[Request]:
+        """Take this epoch's queued requests and bump the epoch counter."""
+        requests, self._queue = self._queue, []
+        self.epochs_processed += 1
+        return requests
+
+    def build_batches(
+        self, requests: List[Request], permissions=None
+    ) -> tuple:
+        """Stage ➊: one fixed-size batch per subORAM from ``requests``.
+
+        Returns ``(batches, originals, batch_size)`` — see
+        :func:`~repro.loadbalancer.batching.generate_batches`.
+        """
+        return generate_batches(
+            requests,
+            self.num_suborams,
+            self.sharding_key,
+            self.security_parameter,
+            permissions=permissions,
+        )
+
+    def match(
+        self, originals: List[BatchEntry], responses: List[BatchEntry]
+    ) -> List[Response]:
+        """Stage ➌: obliviously map subORAM responses back to clients."""
+        return match_responses(originals, responses)
+
     def run_epoch(
         self,
         send_batch: Callable[[int, List[BatchEntry]], List[BatchEntry]],
         permissions=None,
     ) -> List[Response]:
-        """Process one epoch.
+        """Process one epoch serially (build ➊, deliver ➋, match ➌).
 
         Args:
             send_batch: callable ``(suboram_id, batch) -> responses``
@@ -77,19 +108,13 @@ class LoadBalancer:
         Returns:
             Responses for every queued request, in arrival order.
         """
-        requests, self._queue = self._queue, []
-        self.epochs_processed += 1
+        requests = self.drain()
         if not requests:
             return []
-
-        batches, originals, _ = generate_batches(
-            requests,
-            self.num_suborams,
-            self.sharding_key,
-            self.security_parameter,
-            permissions=permissions,
+        batches, originals, _ = self.build_batches(
+            requests, permissions=permissions
         )
         responses: List[BatchEntry] = []
         for suboram_id, batch in enumerate(batches):
             responses.extend(send_batch(suboram_id, batch))
-        return match_responses(originals, responses)
+        return self.match(originals, responses)

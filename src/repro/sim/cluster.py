@@ -2,13 +2,18 @@
 
 Each function regenerates one figure's data from the calibrated cost
 model: Fig. 9a/9b machine sweeps, Fig. 10's Snoopy-Oblix hybrid,
-Fig. 11a/11b data-size and latency scaling.
+Fig. 11a/11b data-size and latency scaling.  The one *measured* series
+lives here too: :func:`epoch_wallclock_series` times real epochs of the
+functional system under each execution backend (the engine half of
+Fig. 13).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+import random
+import time
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.balls_bins import batch_size
 from repro.sim.costmodel import (
@@ -146,6 +151,76 @@ def max_objects_within_latency(
         else:
             hi = mid - 1
     return lo
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 (engine half): measured epoch wall-clock per execution backend
+# ---------------------------------------------------------------------------
+def epoch_wallclock_series(
+    backends: List[str],
+    num_load_balancers: int = 2,
+    num_suborams: int = 4,
+    num_objects: int = 128,
+    requests_per_epoch: int = 32,
+    epochs: int = 3,
+    value_size: int = 16,
+    batch_delay: float = 0.01,
+    seed: int = 7,
+    max_workers: Optional[int] = None,
+) -> Dict[str, float]:
+    """Measured mean epoch wall-clock for each execution backend.
+
+    Builds one functional deployment per backend (identical object
+    contents and request schedule, latency-wrapped subORAMs charging
+    ``batch_delay`` per batch to model per-machine network/enclave time),
+    runs ``epochs`` epochs, and returns ``{backend_spec: mean epoch
+    seconds}``.  Serial execution pays ``L*S`` delays per epoch; a
+    parallel backend overlaps them — the measured counterpart of
+    equation (1)'s max-of-stages shape.
+
+    Backends that cannot run the latency wrapper in-process still work
+    (the wrapper pickles), so ``"process"`` specs are accepted.
+    """
+    from repro.core.config import SnoopyConfig
+    from repro.core.snoopy import Snoopy
+    from repro.sim.latency import latency_suboram_factory
+    from repro.types import OpType, Request
+
+    objects = {key: bytes(value_size) for key in range(num_objects)}
+    schedule_rng = random.Random(seed)
+    schedule = [
+        [
+            (
+                schedule_rng.randrange(num_objects),
+                schedule_rng.randrange(num_load_balancers),
+            )
+            for _ in range(requests_per_epoch)
+        ]
+        for _ in range(epochs)
+    ]
+
+    series: Dict[str, float] = {}
+    for spec in backends:
+        config = SnoopyConfig(
+            num_load_balancers=num_load_balancers,
+            num_suborams=num_suborams,
+            value_size=value_size,
+            execution_backend=spec,
+            max_workers=max_workers,
+        )
+        with Snoopy(
+            config, suboram_factory=latency_suboram_factory(batch_delay)
+        ) as store:
+            store.initialize(objects)
+            start = time.perf_counter()
+            for epoch_schedule in schedule:
+                for key, balancer in epoch_schedule:
+                    store.submit(
+                        Request(OpType.READ, key), load_balancer=balancer
+                    )
+                store.run_epoch()
+            series[spec] = (time.perf_counter() - start) / epochs
+    return series
 
 
 def latency_vs_suborams(

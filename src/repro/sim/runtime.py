@@ -19,11 +19,13 @@ semantics with modelled wall-clock behaviour.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.balls_bins import batch_size
 from repro.core.snoopy import Snoopy
+from repro.exec import BackendSpec, make_backend
 from repro.sim.costmodel import load_balancer_time, suboram_time
 from repro.sim.machines import DEFAULT_PROFILE, MachineProfile
 from repro.sim.metrics import LatencyStats
@@ -32,12 +34,18 @@ from repro.types import Request, Response
 
 @dataclass
 class RuntimeResult:
-    """Everything a timed run produced."""
+    """Everything a timed run produced.
+
+    ``virtual_duration`` is modelled time from the calibrated cost model;
+    ``wall_seconds`` is *measured* host time spent inside ``run_epoch``,
+    which is what changes when the execution backend changes.
+    """
 
     responses: List[Response] = field(default_factory=list)
     latency: LatencyStats = field(default_factory=LatencyStats)
     epochs: int = 0
     virtual_duration: float = 0.0
+    wall_seconds: float = 0.0
 
     @property
     def throughput(self) -> float:
@@ -48,15 +56,30 @@ class RuntimeResult:
 
 
 class SnoopyRuntime:
-    """Drives a functional Snoopy deployment on a virtual clock."""
+    """Drives a functional Snoopy deployment on a virtual clock.
+
+    Args:
+        store: the functional deployment to execute.
+        profile: machine profile for the virtual-time cost model.
+        backend: optional execution-backend override (spec string or
+            instance) applied to every epoch this runtime closes; defaults
+            to the store's own backend.
+    """
 
     def __init__(
         self,
         store: Snoopy,
         profile: MachineProfile = DEFAULT_PROFILE,
+        backend: Optional[BackendSpec] = None,
     ):
         self.store = store
         self.profile = profile
+        # Resolve a spec once so every epoch reuses one worker pool.
+        self.backend = (
+            None
+            if backend is None
+            else make_backend(backend, store.config.max_workers)
+        )
 
     def _epoch_processing_time(self, num_requests: int) -> float:
         """Virtual duration of one epoch's pipeline (Eq. 1 stages)."""
@@ -126,7 +149,9 @@ class SnoopyRuntime:
             for arrival, request in epoch_requests:
                 self.store.submit(request)
                 arrival_times[(request.client_id, request.seq)] = arrival
-            responses = self.store.run_epoch()
+            wall_start = time.perf_counter()
+            responses = self.store.run_epoch(backend=self.backend)
+            result.wall_seconds += time.perf_counter() - wall_start
 
             processing = self._epoch_processing_time(len(epoch_requests))
             complete = max(close, pipeline_free) + processing

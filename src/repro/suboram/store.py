@@ -14,7 +14,7 @@ import os
 from typing import List
 
 from repro.crypto.aead import AeadKey, NONCE_LEN, digest
-from repro.errors import IntegrityError
+from repro.errors import CapacityError, IntegrityError
 from repro.utils.validation import require
 
 
@@ -39,9 +39,15 @@ class EncryptedStore:
         self._digests: List[bytes] = [b""] * num_slots
 
     def put(self, slot: int, key: int, value: bytes) -> None:
-        """Encrypt and store an object, refreshing the slot digest."""
+        """Encrypt and store an object, refreshing the slot digest.
+
+        Raises:
+            CapacityError: ``value`` is not exactly ``value_size`` bytes
+                (fixed-size slots are what keep ciphertext lengths
+                uniform; a ``ValueError`` subclass for compatibility).
+        """
         if len(value) != self.value_size:
-            raise ValueError(
+            raise CapacityError(
                 f"value must be exactly {self.value_size} bytes, got {len(value)}"
             )
         plaintext = key.to_bytes(16, "big", signed=True) + value

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.crypto.keys import KeyChain
-from repro.errors import DuplicateRequestError
+from repro.errors import DuplicateRequestError, NotInitializedError
 from repro.oblivious.hashtable import TwoTierHashTable, TwoTierParams
 from repro.oblivious.primitives import and_bit, eq_bit, o_select
 from repro.suboram.store import EncryptedStore
@@ -82,7 +82,7 @@ class SubOram:
     def store(self) -> EncryptedStore:
         """The encrypted backing store (raises if uninitialized)."""
         if self._store is None:
-            raise RuntimeError("subORAM not initialized")
+            raise NotInitializedError("subORAM not initialized")
         return self._store
 
     # ------------------------------------------------------------------
@@ -102,11 +102,12 @@ class SubOram:
         back too — the load balancer filters them while matching responses.
 
         Raises:
+            NotInitializedError: ``initialize`` has not been called.
             DuplicateRequestError: two batch entries share a key
                 (Definition 2 precondition violated — load-balancer bug).
         """
         if self._store is None:
-            raise RuntimeError("subORAM not initialized")
+            raise NotInitializedError("subORAM not initialized")
         if not batch:
             return []
 

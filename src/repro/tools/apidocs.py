@@ -1,9 +1,10 @@
 """Generate a Markdown API index from the library's docstrings.
 
 ``python -m repro.tools.apidocs > docs/API.md`` (or the checked-in copy
-under ``docs/``) produces one section per module with the first docstring
-line of every public class, method, and function — a browsable map of
-the library without a docs toolchain.
+under ``docs/``) produces guide sections (full module docstrings for the
+subsystems that need narrative docs) followed by one section per module
+with the first docstring line of every public class, method, and
+function — a browsable map of the library without a docs toolchain.
 """
 
 from __future__ import annotations
@@ -12,6 +13,13 @@ import importlib
 import inspect
 import pkgutil
 from typing import Iterator, List
+
+#: Narrative guide sections: (heading, module whose full docstring is the
+#: guide text).  Kept as docstrings so the guides cannot drift from code.
+GUIDES = [
+    ("Execution backends", "repro.exec"),
+    ("Tickets", "repro.core.tickets"),
+]
 
 
 def _first_line(obj) -> str:
@@ -55,6 +63,12 @@ def generate() -> str:
         "Generated from docstrings by `python -m repro.tools.apidocs`.",
         "",
     ]
+    for title, module_name in GUIDES:
+        module = importlib.import_module(module_name)
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append(inspect.getdoc(module) or "")
+        lines.append("")
     for module in _iter_modules():
         entries = list(_public_defs(module))
         if not entries and module.__name__ != "repro":

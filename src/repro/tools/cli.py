@@ -20,6 +20,7 @@ from repro.core.config import SnoopyConfig
 from repro.core.snoopy import Snoopy
 from repro.planner.planner import Planner
 from repro.sim.cluster import (
+    epoch_wallclock_series,
     latency_vs_suborams,
     snoopy_oblix_best_split,
     throughput_scaling_series,
@@ -60,7 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figures.add_argument(
         "which",
-        choices=["fig3", "fig4", "fig9a", "fig10", "fig11b", "all"],
+        choices=["fig3", "fig4", "fig9a", "fig10", "fig11b", "fig13", "all"],
         nargs="?",
         default="all",
     )
@@ -72,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--objects", type=int, default=500)
     demo.add_argument("--requests", type=int, default=40)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--backend", type=str, default="serial",
+                      help="execution backend spec: serial, thread[:N], "
+                           "process[:N] (default serial)")
+    demo.add_argument("--workers", type=int, default=None,
+                      help="worker-pool size for parallel backends")
 
     sub.add_parser("info", help="version and cost-model constants")
     return parser
@@ -166,6 +172,14 @@ def cmd_figures(args) -> int:
         ]
         print(bar_chart(rows, unit=" ms"))
         print()
+    if which in ("fig13", "all"):
+        print("== Fig 13 (engine): measured epoch wall-clock per backend ==")
+        series = epoch_wallclock_series(["serial", "thread"])
+        rows = [(spec, seconds * 1e3) for spec, seconds in series.items()]
+        print(bar_chart(rows, unit=" ms"))
+        speedup = series["serial"] / max(series["thread"], 1e-9)
+        print(f"thread-backend speedup over serial: {speedup:.1f}x")
+        print()
     return 0
 
 
@@ -177,24 +191,32 @@ def cmd_demo(args) -> int:
         num_suborams=args.suborams,
         value_size=16,
         security_parameter=32,
+        execution_backend=args.backend,
+        max_workers=args.workers,
     )
-    store = Snoopy(config, rng=random.Random(args.seed))
-    store.initialize({k: bytes(16) for k in range(args.objects)})
-    print(f"deployment: {args.balancers} LB + {args.suborams} subORAMs, "
-          f"{store.num_objects} objects (partitions {store.partition_sizes})")
+    with Snoopy(config, rng=random.Random(args.seed)) as store:
+        store.initialize({k: bytes(16) for k in range(args.objects)})
+        print(f"deployment: {args.balancers} LB + {args.suborams} subORAMs, "
+              f"{store.num_objects} objects "
+              f"(partitions {store.partition_sizes}, "
+              f"backend {store.backend.name})")
 
-    requests = []
-    for i in range(args.requests):
-        key = rng.randrange(args.objects)
-        if rng.random() < 0.5:
-            requests.append(Request(OpType.WRITE, key, bytes([i % 256]) * 16, seq=i))
-        else:
-            requests.append(Request(OpType.READ, key, seq=i))
-    responses = store.batch(requests)
-    reads = sum(1 for r in requests if r.op is OpType.READ)
-    print(f"epoch served {len(responses)} requests "
-          f"({reads} reads, {len(requests) - reads} writes)")
-    print(f"trusted counter: {store.counter.value}")
+        requests = []
+        for i in range(args.requests):
+            key = rng.randrange(args.objects)
+            if rng.random() < 0.5:
+                requests.append(
+                    Request(OpType.WRITE, key, bytes([i % 256]) * 16, seq=i)
+                )
+            else:
+                requests.append(Request(OpType.READ, key, seq=i))
+        tickets = [store.submit(request) for request in requests]
+        store.run_epoch()
+        responses = [ticket.result() for ticket in tickets]
+        reads = sum(1 for r in requests if r.op is OpType.READ)
+        print(f"epoch served {len(responses)} requests "
+              f"({reads} reads, {len(requests) - reads} writes)")
+        print(f"trusted counter: {store.counter.value}")
     return 0
 
 

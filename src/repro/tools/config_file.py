@@ -36,6 +36,8 @@ _DEPLOYMENT_FIELDS = {
     "value_size",
     "security_parameter",
     "epoch_duration",
+    "execution_backend",
+    "max_workers",
 }
 _SLO_FIELDS = {"num_objects", "min_throughput", "max_latency", "object_size",
                "max_monthly_cost"}
@@ -83,8 +85,11 @@ def dump_spec(config: SnoopyConfig, slo: Optional[dict] = None) -> str:
             "value_size": config.value_size,
             "security_parameter": config.security_parameter,
             "epoch_duration": config.epoch_duration,
+            "execution_backend": config.execution_backend,
         }
     }
+    if config.max_workers is not None:
+        document["deployment"]["max_workers"] = config.max_workers
     if slo:
         document["slo"] = slo
     return json.dumps(document, indent=2)

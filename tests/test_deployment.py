@@ -8,7 +8,8 @@ from repro.core.config import SnoopyConfig
 from repro.core.deployment import DistributedSnoopy
 from repro.core.snoopy import Snoopy
 from repro.enclave.model import Enclave
-from repro.errors import AttestationError, IntegrityError, ReplayError
+from repro.errors import (AttestationError, IntegrityError,
+                          NotInitializedError, ReplayError)
 from repro.types import OpType, Request
 
 
@@ -64,7 +65,7 @@ class TestFunctionalEquivalence:
     def test_requires_initialization(self):
         config = SnoopyConfig(value_size=8, security_parameter=16)
         deployment = DistributedSnoopy(config)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(NotInitializedError):
             deployment.run_epoch()
 
 

@@ -1,0 +1,132 @@
+"""Unit tests for the execution-backend layer (repro.exec)."""
+
+import pickle
+
+import pytest
+
+from repro.core.config import SnoopyConfig
+from repro.errors import ConfigurationError
+from repro.exec import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+    parse_spec,
+)
+
+
+def square(x):
+    """Module-level so the process pool can pickle it."""
+    return x * x
+
+
+def boom(x):
+    """Module-level failing task."""
+    raise ValueError(f"boom {x}")
+
+
+class TestParseSpec:
+    def test_plain_names(self):
+        assert parse_spec("serial") == (SerialBackend, None)
+        assert parse_spec("thread") == (ThreadPoolBackend, None)
+        assert parse_spec("process") == (ProcessPoolBackend, None)
+
+    def test_worker_suffix(self):
+        assert parse_spec("thread:8") == (ThreadPoolBackend, 8)
+        assert parse_spec("process:2") == (ProcessPoolBackend, 2)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec("gpu")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_spec("thread:lots")
+        with pytest.raises(ConfigurationError):
+            parse_spec("thread:0")
+        with pytest.raises(ConfigurationError):
+            parse_spec("thread:-3")
+
+    def test_registry_covers_all_names(self):
+        assert set(BACKENDS) == {"serial", "thread", "process"}
+
+
+class TestMakeBackend:
+    def test_default_is_serial(self):
+        assert isinstance(make_backend(), SerialBackend)
+
+    def test_instance_passthrough(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        assert make_backend(backend) is backend
+        backend.close()
+
+    def test_spec_suffix_wins_over_max_workers(self):
+        backend = make_backend("thread:3", max_workers=7)
+        assert backend.max_workers == 3
+        backend.close()
+
+    def test_max_workers_used_without_suffix(self):
+        backend = make_backend("thread", max_workers=5)
+        assert backend.max_workers == 5
+        backend.close()
+
+
+class TestBackendsMap:
+    @pytest.mark.parametrize("spec", ["serial", "thread:4", "process:2"])
+    def test_map_preserves_order(self, spec):
+        with make_backend(spec) as backend:
+            assert backend.map(square, list(range(10))) == [
+                x * x for x in range(10)
+            ]
+
+    @pytest.mark.parametrize("spec", ["serial", "thread:4", "process:2"])
+    def test_map_empty(self, spec):
+        with make_backend(spec) as backend:
+            assert backend.map(square, []) == []
+
+    @pytest.mark.parametrize("spec", ["serial", "thread:4"])
+    def test_exceptions_propagate(self, spec):
+        with make_backend(spec) as backend:
+            with pytest.raises(ValueError, match="boom"):
+                backend.map(boom, [1, 2, 3])
+
+    def test_shared_state_flags(self):
+        assert SerialBackend().supports_shared_state
+        assert ThreadPoolBackend(max_workers=1).supports_shared_state
+        assert not ProcessPoolBackend(max_workers=1).supports_shared_state
+
+    def test_names(self):
+        assert SerialBackend().name == "serial"
+        assert ThreadPoolBackend(max_workers=1).name == "thread"
+        assert ProcessPoolBackend(max_workers=1).name == "process"
+
+    def test_pool_backend_survives_pickling(self):
+        backend = ThreadPoolBackend(max_workers=2)
+        backend.map(square, [1, 2, 3])  # force executor creation
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone.map(square, [4]) == [16]
+        backend.close()
+        clone.close()
+
+    def test_interface_is_abstract(self):
+        with pytest.raises(TypeError):
+            ExecutionBackend()  # map() is abstract
+
+
+class TestConfigIntegration:
+    def test_config_accepts_backend_specs(self):
+        config = SnoopyConfig(execution_backend="thread:4")
+        assert config.execution_backend == "thread:4"
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            SnoopyConfig(execution_backend="quantum")
+
+    def test_config_rejects_bad_max_workers(self):
+        with pytest.raises(Exception):
+            SnoopyConfig(max_workers=0)
+
+    def test_config_defaults_serial(self):
+        assert SnoopyConfig().execution_backend == "serial"

@@ -1,0 +1,217 @@
+"""Parallel backends must be byte-for-byte equivalent to serial execution.
+
+The tentpole guarantee of the execution engine: switching backends changes
+wall-clock, never results.  These tests run identical seeded workloads
+through ``serial``, ``thread``, and ``process`` backends and require
+
+* identical responses (same order, same bytes),
+* identical per-subORAM memory traces — each subORAM sees the same
+  batches in the same fixed balancer order and touches its encrypted
+  store's slots in the same sequence,
+* linearizable histories under the thread backend (Appendix C survives
+  real concurrency).
+"""
+
+import random
+
+import pytest
+
+from repro.core.client import Client
+from repro.core.config import SnoopyConfig
+from repro.core.linearizability import History, check_snoopy_history
+from repro.core.snoopy import Snoopy
+from repro.crypto.keys import KeyChain
+from repro.suboram.store import EncryptedStore
+from repro.suboram.suboram import SubOram
+from repro.types import OpType, Request
+
+MASTER = b"equivalence-test-master-key-....."[:32]
+BACKENDS = ["serial", "thread:4", "process:2"]
+
+
+class TracingStore(EncryptedStore):
+    """An encrypted store that logs every slot access.
+
+    The log rides on the instance, so under a process backend it is
+    pickled to the worker, extended there, and shipped back with the
+    subORAM — making traces comparable across all backends.
+    """
+
+    def __init__(self, encryption_key, num_slots, value_size):
+        super().__init__(encryption_key, num_slots, value_size)
+        self.access_log = []
+
+    def get(self, slot):
+        """Log a read access, then delegate."""
+        self.access_log.append(("R", slot))
+        return super().get(slot)
+
+    def put(self, slot, key, value):
+        """Log a write access, then delegate."""
+        self.access_log.append(("W", slot))
+        super().put(slot, key, value)
+
+
+class TracingSubOram(SubOram):
+    """A subORAM whose encrypted store records its slot-access trace."""
+
+    def initialize(self, objects):
+        """Load the partition into a tracing store (log starts empty)."""
+        super().initialize(objects)
+        tracing = TracingStore(
+            self._keychain.subkey(f"suboram/{self.suboram_id}/storage"),
+            num_slots=self._store.num_slots,
+            value_size=self.value_size,
+        )
+        for slot in range(self._store.num_slots):
+            key, value = self._store.get(slot)
+            tracing.put(slot, key, value)
+        tracing.access_log.clear()
+        self._store = tracing
+
+
+def tracing_factory(suboram_id, config, keychain):
+    """suboram_factory building trace-recording subORAMs."""
+    return TracingSubOram(
+        suboram_id=suboram_id,
+        value_size=config.value_size,
+        keychain=keychain,
+        security_parameter=config.security_parameter,
+    )
+
+
+def build_store(backend_spec):
+    """One deployment with fixed keys; identical across backend specs."""
+    config = SnoopyConfig(
+        num_load_balancers=2,
+        num_suborams=3,
+        value_size=8,
+        security_parameter=16,
+        execution_backend=backend_spec,
+    )
+    store = Snoopy(
+        config,
+        keychain=KeyChain(master=MASTER),
+        rng=random.Random(42),
+        suboram_factory=tracing_factory,
+    )
+    store.initialize({k: bytes([k % 256]) * 8 for k in range(60)})
+    return store
+
+
+def seeded_workload(num_epochs=3, per_epoch=12, seed=99):
+    """A deterministic multi-epoch schedule of reads and writes."""
+    rng = random.Random(seed)
+    epochs = []
+    for _ in range(num_epochs):
+        requests = []
+        for i in range(per_epoch):
+            key = rng.randrange(60)
+            balancer = rng.randrange(2)
+            if rng.random() < 0.5:
+                requests.append(
+                    (Request(OpType.WRITE, key, bytes([i]) * 8, seq=i), balancer)
+                )
+            else:
+                requests.append((Request(OpType.READ, key, seq=i), balancer))
+        epochs.append(requests)
+    return epochs
+
+
+def run_workload(store, epochs):
+    """Drive the workload; returns (responses per epoch, traces, tickets)."""
+    all_responses = []
+    tickets = []
+    for requests in epochs:
+        for request, balancer in requests:
+            tickets.append(store.submit(request, load_balancer=balancer))
+        all_responses.append(store.run_epoch())
+    traces = [list(s.store.access_log) for s in store.suborams]
+    return all_responses, traces, tickets
+
+
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        """The same workload executed once under each backend."""
+        epochs = seeded_workload()
+        results = {}
+        for spec in BACKENDS:
+            with build_store(spec) as store:
+                results[spec] = run_workload(store, epochs)
+        return results
+
+    @pytest.mark.parametrize("spec", BACKENDS[1:])
+    def test_responses_identical(self, runs, spec):
+        serial_responses = runs["serial"][0]
+        assert runs[spec][0] == serial_responses
+
+    @pytest.mark.parametrize("spec", BACKENDS[1:])
+    def test_memory_traces_identical(self, runs, spec):
+        serial_traces = runs["serial"][1]
+        assert runs[spec][1] == serial_traces
+        # Sanity: the traces are non-trivial.
+        assert all(len(trace) > 0 for trace in serial_traces)
+
+    @pytest.mark.parametrize("spec", BACKENDS)
+    def test_tickets_resolve_with_matching_responses(self, runs, spec):
+        responses_per_epoch, _, tickets = runs[spec]
+        flat = [r for epoch in responses_per_epoch for r in epoch]
+        assert len(tickets) == len(flat)
+        for ticket in tickets:
+            assert ticket.done
+            assert ticket.result() in flat
+
+    def test_process_backend_state_carries_across_epochs(self):
+        """Writes applied in a worker process persist into later epochs."""
+        config = SnoopyConfig(
+            num_load_balancers=2,
+            num_suborams=2,
+            value_size=4,
+            security_parameter=16,
+            execution_backend="process:2",
+        )
+        with Snoopy(
+            config, keychain=KeyChain(master=MASTER), rng=random.Random(1)
+        ) as store:
+            store.initialize({k: bytes(4) for k in range(20)})
+            store.write(7, b"AAAA")
+            assert store.read(7) == b"AAAA"
+
+
+class TestLinearizabilityUnderThreads:
+    @pytest.mark.parametrize("spec", ["thread:4", "process:2"])
+    def test_random_history_linearizable(self, spec):
+        """Appendix C's argument must survive a concurrent engine."""
+        rng = random.Random(13)
+        config = SnoopyConfig(
+            num_load_balancers=3,
+            num_suborams=3,
+            value_size=4,
+            security_parameter=16,
+            execution_backend=spec,
+        )
+        with Snoopy(config, rng=random.Random(3)) as store:
+            initial = {k: bytes([k]) * 4 for k in range(15)}
+            store.initialize(dict(initial))
+            clients = [Client(store, client_id=i) for i in range(4)]
+
+            for _ in range(10):
+                for client in clients:
+                    for _ in range(rng.randrange(3)):
+                        key = rng.randrange(15)
+                        if rng.random() < 0.5:
+                            client.submit_write(
+                                key, bytes([rng.randrange(256)]) * 4
+                            )
+                        else:
+                            client.submit_read(key)
+                responses = store.run_epoch()
+                for client in clients:
+                    client.complete(responses)
+
+            operations = [o for c in clients for o in c.history]
+            assert operations, "history should be non-empty"
+            check_snoopy_history(
+                History(initial=initial, operations=operations)
+            )

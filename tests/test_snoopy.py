@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.config import SnoopyConfig
 from repro.core.snoopy import Snoopy
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NotInitializedError
 from repro.types import OpType, Request
 
 
@@ -51,6 +51,12 @@ class TestBasicOperations:
         assert small_store.counter.value == before + 1
 
     def test_requires_initialization(self):
+        store = Snoopy(SnoopyConfig(value_size=8))
+        with pytest.raises(NotInitializedError):
+            store.run_epoch()
+
+    def test_not_initialized_error_is_still_a_runtime_error(self):
+        """Deprecation-cycle compatibility for legacy except clauses."""
         store = Snoopy(SnoopyConfig(value_size=8))
         with pytest.raises(RuntimeError):
             store.run_epoch()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import IntegrityError
+from repro.errors import CapacityError, IntegrityError
 from repro.suboram.store import EncryptedStore
 
 
@@ -31,8 +31,13 @@ class TestRoundtrip:
         assert s.get(0) == (-(2**61), b"ab")
 
     def test_wrong_value_size_rejected(self, store):
-        with pytest.raises(ValueError):
+        with pytest.raises(CapacityError):
             store.put(0, key=1, value=b"too-long-value")
+
+    def test_capacity_error_is_still_a_value_error(self, store):
+        """Deprecation-cycle compatibility for legacy except clauses."""
+        with pytest.raises(ValueError):
+            store.put(0, key=1, value=b"x")
 
     def test_unwritten_slot_rejected(self):
         s = EncryptedStore(b"k" * 32, num_slots=2, value_size=4)

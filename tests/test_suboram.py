@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.errors import DuplicateRequestError
+from repro.errors import DuplicateRequestError, NotInitializedError
 from repro.suboram.suboram import SubOram
 from repro.types import BatchEntry, OpType
 
@@ -109,7 +109,7 @@ class TestProtocolInvariants:
 
     def test_uninitialized_rejected(self):
         so = SubOram(suboram_id=0, value_size=4)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(NotInitializedError):
             so.batch_access([read_entry(1)])
 
     def test_every_object_reencrypted_even_without_writes(self):
