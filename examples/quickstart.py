@@ -15,13 +15,17 @@ def main() -> None:
     # production would use 128 (the library default).
     # execution_backend picks how epoch stages run: "serial" (reference),
     # "thread[:N]" (overlap blocking work), "process[:N]" (multi-core).
-    # Results are byte-identical across backends.
+    # kernel picks how each oblivious schedule executes: "python" (the
+    # traced scalar reference) or "numpy" (vectorized structure-of-arrays
+    # passes over the same schedule).  Results are byte-identical across
+    # backends and kernels.
     config = SnoopyConfig(
         num_load_balancers=2,
         num_suborams=3,
         value_size=16,
         security_parameter=32,
         execution_backend="thread:4",
+        kernel="numpy",
     )
     store = Snoopy(config, rng=random.Random(0))
 
@@ -29,7 +33,8 @@ def main() -> None:
     # keyed hash the cloud never sees.
     store.initialize({key: f"value-{key:06d}".ljust(16).encode() for key in range(1000)})
     print(f"initialized {store.num_objects} objects across "
-          f"{config.num_suborams} subORAMs (backend: {store.backend.name})")
+          f"{config.num_suborams} subORAMs "
+          f"(backend: {store.backend.name}, kernel: {config.kernel})")
 
     # Single-request epochs.
     print("read(7)      ->", store.read(7))

@@ -25,6 +25,12 @@ class SnoopyConfig:
             attacker already sees the degree of physical parallelism.
         max_workers: pool size for parallel backends (None = backend
             default; a ``:N`` spec suffix takes precedence).
+        kernel: oblivious-kernel selector, ``"python"`` (the scalar
+            reference oracle) or ``"numpy"`` (the vectorized
+            structure-of-arrays fast path).  Public information: the
+            kernel only changes how each fixed schedule level executes,
+            never which addresses it touches (see
+            :mod:`repro.oblivious.kernels`).
     """
 
     num_load_balancers: int = 1
@@ -34,6 +40,7 @@ class SnoopyConfig:
     epoch_duration: float = 0.2
     execution_backend: str = "serial"
     max_workers: Optional[int] = None
+    kernel: str = "python"
 
     def __post_init__(self) -> None:
         require_positive(self.num_load_balancers, "num_load_balancers")
@@ -52,6 +59,10 @@ class SnoopyConfig:
         from repro.exec import parse_spec
 
         parse_spec(self.execution_backend)
+
+        from repro.oblivious.kernels import validate_kernel_name
+
+        validate_kernel_name(self.kernel)
 
     @property
     def num_machines(self) -> int:

@@ -94,12 +94,12 @@ class DistributedSnoopy:
         sharding_key = self.keychain.sharding_key()
         self.load_balancers = [
             LoadBalancer(i, config.num_suborams, sharding_key,
-                         config.security_parameter)
+                         config.security_parameter, kernel=config.kernel)
             for i in range(config.num_load_balancers)
         ]
         self.suborams = [
             SubOram(s, config.value_size, self.keychain,
-                    config.security_parameter)
+                    config.security_parameter, kernel=config.kernel)
             for s in range(config.num_suborams)
         ]
 

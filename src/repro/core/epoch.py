@@ -69,13 +69,21 @@ class EpochResult:
 
 def _build_stage(task):
     """Stage ➊ unit: one balancer's oblivious batch generation."""
-    requests, num_suborams, sharding_key, security_parameter, permissions = task
+    (
+        requests,
+        num_suborams,
+        sharding_key,
+        security_parameter,
+        permissions,
+        kernel,
+    ) = task
     return generate_batches(
         requests,
         num_suborams,
         sharding_key,
         security_parameter,
         permissions=permissions,
+        kernel=kernel,
     )
 
 
@@ -92,10 +100,33 @@ def _execute_stage(task):
     return suboram, outputs
 
 
+def _execute_stateful(suboram, chain):
+    """Stage ➋ stateful unit: the direct-call path for ``map_stateful``.
+
+    Returns ``(new_state, result)`` as the stateful contract requires —
+    which here is exactly the ``(suboram, outputs)`` pair
+    :func:`_execute_stage` produces, so the driver handles both paths
+    uniformly.
+    """
+    outputs = []
+    for balancer_index, batch in chain:
+        outputs.append((balancer_index, suboram.batch_access(batch)))
+    return suboram, outputs
+
+
+def _suboram_state_token(suboram):
+    """Cache token for a subORAM's mutable state.
+
+    Returns ``None`` — meaning "never assume a cached copy is current" —
+    for subORAM implementations that do not expose ``state_token``.
+    """
+    return getattr(suboram, "state_token", None)
+
+
 def _match_stage(task):
     """Stage ➌ unit: one balancer's oblivious response matching."""
-    originals, responses = task
-    return match_responses(originals, responses)
+    originals, responses, kernel = task
+    return match_responses(originals, responses, kernel=kernel)
 
 
 class EpochDriver:
@@ -110,6 +141,7 @@ class EpochDriver:
         suborams: Sequence,
         permissions=None,
         transport: Optional[Transport] = None,
+        state_ns: str = "epoch",
     ) -> EpochResult:
         """Close the epoch: drain, build, execute, match.
 
@@ -123,6 +155,11 @@ class EpochDriver:
                 :data:`Transport`).  Requires an in-process backend:
                 closures over live channel state cannot cross a process
                 boundary.
+            state_ns: namespace for the backend's cross-epoch state cache
+                (stage ➋ runs through
+                :meth:`~repro.exec.backend.ExecutionBackend.map_stateful`);
+                deployments sharing one backend should pass distinct
+                namespaces so their subORAM caches never collide.
 
         Raises:
             ConfigurationError: a transport was supplied on a backend
@@ -153,6 +190,7 @@ class EpochDriver:
                     load_balancers[index].sharding_key,
                     load_balancers[index].security_parameter,
                     permissions,
+                    getattr(load_balancers[index], "kernel", None),
                 )
                 for index in active
             ],
@@ -160,22 +198,42 @@ class EpochDriver:
 
         # Stage ➋ — per-subORAM chains, concurrent across S.  Each chain
         # lists that subORAM's batches in ascending balancer order, the
-        # fixed order the linearizability argument requires.
-        executed = self.backend.map(
-            _execute_stage,
-            [
-                (
-                    suboram_index,
-                    suboram,
-                    [
-                        (balancer_index, built[j][0][suboram_index])
-                        for j, balancer_index in enumerate(active)
-                    ],
-                    transport,
-                )
-                for suboram_index, suboram in enumerate(suborams)
-            ],
-        )
+        # fixed order the linearizability argument requires.  The direct
+        # in-process path runs through ``map_stateful`` so process
+        # backends can keep each subORAM's state cached worker-side
+        # across epochs instead of re-shipping it every batch.
+        if transport is None:
+            executed = self.backend.map_stateful(
+                _execute_stateful,
+                [
+                    (
+                        (state_ns, suboram_index),
+                        suboram,
+                        [
+                            (balancer_index, built[j][0][suboram_index])
+                            for j, balancer_index in enumerate(active)
+                        ],
+                    )
+                    for suboram_index, suboram in enumerate(suborams)
+                ],
+                token=_suboram_state_token,
+            )
+        else:
+            executed = self.backend.map(
+                _execute_stage,
+                [
+                    (
+                        suboram_index,
+                        suboram,
+                        [
+                            (balancer_index, built[j][0][suboram_index])
+                            for j, balancer_index in enumerate(active)
+                        ],
+                        transport,
+                    )
+                    for suboram_index, suboram in enumerate(suborams)
+                ],
+            )
         new_suborams = [suboram for suboram, _ in executed]
 
         # Regroup stage-➋ outputs by balancer, subORAMs in ascending
@@ -189,7 +247,11 @@ class EpochDriver:
         matched = self.backend.map(
             _match_stage,
             [
-                (built[j][1], entries_per_balancer[balancer_index])
+                (
+                    built[j][1],
+                    entries_per_balancer[balancer_index],
+                    getattr(load_balancers[balancer_index], "kernel", None),
+                )
                 for j, balancer_index in enumerate(active)
             ],
         )

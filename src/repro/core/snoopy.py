@@ -20,6 +20,7 @@ at epoch ``e`` cannot be replayed at epoch ``e' > e``.
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import Dict, List, Optional, Sequence
 
@@ -79,6 +80,10 @@ class Snoopy:
             config.max_workers,
         )
 
+        # Distinct per-deployment namespace for the backend's cross-epoch
+        # subORAM state cache (deployments may share one backend).
+        self._state_ns = f"snoopy-{next(_DEPLOYMENT_COUNTER)}"
+
         sharding_key = self.keychain.sharding_key()
         self.load_balancers = [
             LoadBalancer(
@@ -86,6 +91,7 @@ class Snoopy:
                 num_suborams=config.num_suborams,
                 sharding_key=sharding_key,
                 security_parameter=config.security_parameter,
+                kernel=config.kernel,
             )
             for i in range(config.num_load_balancers)
         ]
@@ -185,7 +191,10 @@ class Snoopy:
             else self.backend
         )
         result = driver.run(
-            self.load_balancers, self.suborams, permissions=permissions
+            self.load_balancers,
+            self.suborams,
+            permissions=permissions,
+            state_ns=self._state_ns,
         )
         # Under a process backend the subORAMs mutated in workers; the
         # driver ships the updated state back and we reinstall it.
@@ -238,6 +247,10 @@ class Snoopy:
         return self.run_epoch()
 
 
+#: Monotonic id source for per-deployment state-cache namespaces.
+_DEPLOYMENT_COUNTER = itertools.count()
+
+
 def _default_suboram_factory(suboram_id: int, config: SnoopyConfig,
                              keychain: KeyChain) -> SubOram:
     """The paper's throughput-optimized linear-scan subORAM (§5)."""
@@ -246,4 +259,5 @@ def _default_suboram_factory(suboram_id: int, config: SnoopyConfig,
         value_size=config.value_size,
         keychain=keychain,
         security_parameter=config.security_parameter,
+        kernel=config.kernel,
     )

@@ -32,6 +32,12 @@ _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
 
 
+def _call_stateful(packed):
+    """Run one ``map_stateful`` unit inline: ``fn(state, args)``."""
+    fn, state, args = packed
+    return fn(state, args)
+
+
 class ExecutionBackend(ABC):
     """How independent units of epoch work execute (§6's parallel pipeline).
 
@@ -66,6 +72,28 @@ class ExecutionBackend(ABC):
             ``[fn(task) for task in tasks]`` — possibly computed
             concurrently, but always returned in input order.
         """
+
+    def map_stateful(self, fn, tasks, token=None) -> list:
+        """Run stateful units; results in task order.
+
+        Each task is a ``(key, state, args)`` triple: ``key`` identifies
+        the long-lived state across calls (e.g. ``(namespace,
+        suboram_index)``), ``state`` is the current state object, and
+        ``fn(state, args)`` must return ``(new_state, result)`` pairs —
+        which is also what this method returns, in task order.
+
+        ``token`` is an optional callable ``state -> hashable-or-None``
+        giving a cheap version of the state (``None`` means "not
+        cacheable").  Backends with worker-affinity caches (the process
+        backend) use it to skip re-shipping state whose token is
+        unchanged since the last call; shared-memory backends ignore it
+        — state never leaves the caller's address space, so there is
+        nothing to cache.
+        """
+        del token  # shared-memory default: nothing to cache
+        return self.map(
+            _call_stateful, [(fn, state, args) for (_key, state, args) in tasks]
+        )
 
     def close(self) -> None:
         """Release pooled workers; idempotent.  No-op for serial."""

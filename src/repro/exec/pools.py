@@ -8,9 +8,12 @@ which lets deployment objects holding a backend cross process boundaries.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import threading
+import zlib
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.exec.backend import ExecutionBackend
 from repro.utils.validation import require
@@ -95,6 +98,74 @@ class ThreadPoolBackend(_PooledBackend):
         )
 
 
+def _sticky_worker_main(conn) -> None:
+    """Loop of one long-lived stateful worker process.
+
+    Keeps a ``key -> (version, state)`` cache so the parent can send
+    version probes instead of full state.  Messages are
+    ``(fn, key, version, has_state, state, args)``; replies are
+    ``("ok", new_state, result)``, ``("miss", None, None)`` when a probe
+    finds no current cached state, or ``("error", exc, None)``.
+    """
+    cache: dict = {}
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        fn, key, version, has_state, state, args = message
+        try:
+            if not has_state:
+                cached = cache.get(key)
+                if cached is None or cached[0] != version:
+                    conn.send(("miss", None, None))
+                    continue
+                state = cached[1]
+            new_state, result = fn(state, args)
+            cache[key] = (version + 1, new_state)
+            reply = ("ok", new_state, result)
+        except BaseException as exc:  # propagate to the parent
+            reply = ("error", exc, None)
+        try:
+            conn.send(reply)
+        except Exception as exc:  # unpicklable state/result/exception
+            conn.send(("error", RuntimeError(repr(exc)), None))
+    conn.close()
+
+
+class _StickyWorker:
+    """Parent-side handle of one sticky worker: process + pipe + lock."""
+
+    def __init__(self, ctx):
+        self.conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_sticky_worker_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.lock = threading.Lock()
+
+    def request(self, message) -> tuple:
+        """Send one task message and wait for its reply (thread-safe)."""
+        with self.lock:
+            self.conn.send(message)
+            return self.conn.recv()
+
+    def stop(self) -> None:
+        """Ask the worker to exit and reap the process."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=5)
+        self.conn.close()
+
+
 class ProcessPoolBackend(_PooledBackend):
     """Worker-process pool: true multi-core epoch execution.
 
@@ -105,11 +176,30 @@ class ProcessPoolBackend(_PooledBackend):
     process boundary (``supports_shared_state`` is False); the driver
     rejects such transports with a
     :class:`~repro.errors.ConfigurationError`.
+
+    **Cross-epoch state cache.**  ``map_stateful`` runs on dedicated
+    *sticky* workers with per-key affinity: each worker keeps its keys'
+    latest state in memory, the parent tracks a cheap version token per
+    key, and an unchanged token turns the per-epoch state shipment into
+    a tiny version probe.  ``state_cache_stats`` counts the outcomes
+    (``hits`` — probe succeeded, nothing shipped; ``misses`` — probe
+    failed, full state re-shipped; ``full_ships`` — every transfer of
+    full state, including first sends).
     """
 
     name = "process"
     supports_shared_state = False
 
+    def __init__(self, max_workers: Optional[int] = None):
+        super().__init__(max_workers)
+        self._sticky: Dict[int, _StickyWorker] = {}
+        #: key -> (version, state object, token) from the previous call.
+        self._state_cache: Dict[object, tuple] = {}
+        self.state_cache_stats = {"hits": 0, "misses": 0, "full_ships": 0}
+
+    # ------------------------------------------------------------------
+    # Stateless map (unchanged): ordinary executor pool
+    # ------------------------------------------------------------------
     def _make_executor(self) -> Executor:
         workers = (
             self.max_workers
@@ -117,3 +207,133 @@ class ProcessPoolBackend(_PooledBackend):
             else (os.cpu_count() or 1)
         )
         return ProcessPoolExecutor(max_workers=workers)
+
+    # ------------------------------------------------------------------
+    # Stateful map: sticky workers + version-probe protocol
+    # ------------------------------------------------------------------
+    def _worker_count(self) -> int:
+        return (
+            self.max_workers
+            if self.max_workers is not None
+            else (os.cpu_count() or 1)
+        )
+
+    def _sticky_worker(self, slot: int) -> _StickyWorker:
+        worker = self._sticky.get(slot)
+        if worker is None or not worker.process.is_alive():
+            worker = _StickyWorker(multiprocessing.get_context())
+            self._sticky[slot] = worker
+        return worker
+
+    @staticmethod
+    def _slot_of(key, num_workers: int) -> int:
+        return zlib.crc32(repr(key).encode()) % num_workers
+
+    def map_stateful(self, fn, tasks, token=None) -> list:
+        """Run stateful units on sticky workers; results in task order.
+
+        See :meth:`ExecutionBackend.map_stateful` for the contract.  Keys
+        map deterministically to workers, so a key's cached state is
+        found again next epoch; tasks for different workers run
+        concurrently, tasks sharing a worker run in task order.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        num_workers = self._worker_count()
+        groups: Dict[int, List[int]] = {}
+        for index, task in enumerate(tasks):
+            slot = self._slot_of(task[0], num_workers)
+            groups.setdefault(slot, []).append(index)
+        # Spawn missing workers from the dispatching thread (forking from
+        # the per-group threads below would be fork-unsafe).
+        for slot in groups:
+            self._sticky_worker(slot)
+
+        results: list = [None] * len(tasks)
+        failures: Dict[int, BaseException] = {}
+
+        def run_group(slot: int, indices: List[int]) -> None:
+            for index in indices:
+                if failures:
+                    return
+                key, state, args = tasks[index]
+                try:
+                    results[index] = self._run_sticky_task(
+                        slot, fn, key, state, args, token
+                    )
+                except BaseException as exc:
+                    failures[index] = exc
+                    return
+
+        threads = [
+            threading.Thread(target=run_group, args=(slot, indices))
+            for slot, indices in groups.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[min(failures)]
+        return results
+
+    def _run_sticky_task(self, slot, fn, key, state, args, token) -> tuple:
+        worker = self._sticky_worker(slot)
+        current_token = token(state) if token is not None else None
+        cached = self._state_cache.get(key)
+        version = cached[0] if cached is not None else 0
+        probe = (
+            cached is not None
+            and cached[1] is state
+            and current_token is not None
+            and cached[2] == current_token
+        )
+        reply = None
+        if probe:
+            try:
+                reply = worker.request((fn, key, version, False, None, args))
+            except (EOFError, BrokenPipeError, OSError):
+                reply = ("miss", None, None)
+            if reply[0] == "miss":
+                self.state_cache_stats["misses"] += 1
+                reply = None
+            else:
+                self.state_cache_stats["hits"] += 1
+        if reply is None:
+            self.state_cache_stats["full_ships"] += 1
+            try:
+                reply = worker.request((fn, key, version, True, state, args))
+            except (EOFError, BrokenPipeError, OSError):
+                # Worker died mid-task (e.g. killed); respawn once and
+                # re-ship the full state.
+                self._sticky.pop(slot, None)
+                self._state_cache.pop(key, None)
+                worker = self._sticky_worker(slot)
+                reply = worker.request((fn, key, version, True, state, args))
+        status, new_state, result = reply
+        if status == "error":
+            self._state_cache.pop(key, None)
+            raise new_state if isinstance(new_state, BaseException) else (
+                RuntimeError(repr(new_state))
+            )
+        new_token = token(new_state) if token is not None else None
+        self._state_cache[key] = (version + 1, new_state, new_token)
+        return new_state, result
+
+    def close(self) -> None:
+        """Shut down the executor pool and every sticky worker."""
+        super().close()
+        sticky, self._sticky = self._sticky, {}
+        for worker in sticky.values():
+            worker.stop()
+        self._state_cache.clear()
+
+    # Sticky workers and their pipes cannot cross a process boundary;
+    # like the executor, they are dropped and lazily re-created.
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state["_sticky"] = {}
+        state["_state_cache"] = {}
+        state["state_cache_stats"] = {"hits": 0, "misses": 0, "full_ships": 0}
+        return state

@@ -13,6 +13,7 @@ from typing import Callable, List
 
 from repro.loadbalancer.batching import generate_batches
 from repro.loadbalancer.matching import match_responses
+from repro.oblivious.kernels import resolve_kernel
 from repro.types import BatchEntry, Request, Response
 from repro.utils.validation import require_positive
 
@@ -26,6 +27,9 @@ class LoadBalancer:
         sharding_key: the deployment-wide keyed-hash key (same on every
             load balancer; fixed across epochs, §4.1).
         security_parameter: lambda for batch sizing.
+        kernel: oblivious-kernel selector ("python" or "numpy") for the
+            batching/matching sorts and compactions (see
+            :mod:`repro.oblivious.kernels`).
     """
 
     def __init__(
@@ -34,12 +38,14 @@ class LoadBalancer:
         num_suborams: int,
         sharding_key: bytes,
         security_parameter: int = 128,
+        kernel=None,
     ):
         require_positive(num_suborams, "num_suborams")
         self.balancer_id = balancer_id
         self.num_suborams = num_suborams
         self.sharding_key = sharding_key
         self.security_parameter = security_parameter
+        self.kernel = resolve_kernel(kernel)
         self._queue: List[Request] = []
         self.epochs_processed = 0
 
@@ -82,13 +88,14 @@ class LoadBalancer:
             self.sharding_key,
             self.security_parameter,
             permissions=permissions,
+            kernel=self.kernel,
         )
 
     def match(
         self, originals: List[BatchEntry], responses: List[BatchEntry]
     ) -> List[Response]:
         """Stage ➌: obliviously map subORAM responses back to clients."""
-        return match_responses(originals, responses)
+        return match_responses(originals, responses, kernel=self.kernel)
 
     def run_epoch(
         self,

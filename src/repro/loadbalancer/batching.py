@@ -27,9 +27,8 @@ from typing import List, Sequence, Tuple
 from repro.analysis.balls_bins import batch_size
 from repro.crypto.prf import Prf
 from repro.errors import BatchOverflowError
-from repro.oblivious.compact import ocompact
+from repro.oblivious.kernels import resolve_kernel
 from repro.oblivious.primitives import and_bit, lt_bit, not_bit, o_select
-from repro.oblivious.sort import bitonic_sort
 from repro.types import BatchEntry, OpType, Request
 
 # Reserved id space for load-balancer dummy requests: far below any
@@ -49,6 +48,7 @@ def generate_batches(
     security_parameter: int = 128,
     mem_factory=None,
     permissions=None,
+    kernel=None,
 ) -> Tuple[List[List[BatchEntry]], List[BatchEntry], int]:
     """Build one fixed-size batch per subORAM from an epoch's requests.
 
@@ -56,6 +56,9 @@ def generate_batches(
         permissions: optional ``{(client_id, seq): 0/1}`` access-control
             bits from the §D recursive ACL lookup; missing pairs default
             to permitted.
+        kernel: oblivious-kernel selector for the sort and compaction
+            (see :mod:`repro.oblivious.kernels`); ``mem_factory`` forces
+            the python kernel.
 
     Returns:
         (batches, originals, batch_size) where ``batches[s]`` is subORAM
@@ -68,6 +71,7 @@ def generate_batches(
             subORAM (probability <= 2^-lambda by Theorem 3).
     """
     prf = Prf(sharding_key)
+    kern = resolve_kernel(kernel, mem_factory)
     num_requests = len(requests)
     size = batch_size(num_requests, num_suborams, security_parameter)
 
@@ -98,15 +102,15 @@ def generate_batches(
 
     # ➌ Oblivious sort: group by subORAM; reals before dummies; duplicate
     # keys adjacent with the last-write-wins representative sorting last.
-    working = bitonic_sort(
+    working = kern.sort(
         working,
-        key=lambda e: (
-            e.suboram,
-            int(e.is_dummy),
-            e.key,
-            int(e.op is OpType.WRITE),
-            e.tag,
-        ),
+        columns=[
+            [e.suboram for e in working],
+            [int(e.is_dummy) for e in working],
+            [e.key for e in working],
+            [int(e.op is OpType.WRITE) for e in working],
+            [e.tag for e in working],
+        ],
         mem_factory=mem_factory,
     )
 
@@ -148,7 +152,7 @@ def generate_batches(
             f"probability <= 2^-{security_parameter} under Theorem 3"
         )
 
-    compacted = ocompact(working, keep_flags, mem_factory=mem_factory)
+    compacted = kern.compact(working, keep_flags, mem_factory=mem_factory)
     assert len(compacted) == num_suborams * size
 
     batches = [

@@ -18,9 +18,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.oblivious.compact import ocompact
+from repro.oblivious.kernels import resolve_kernel
 from repro.oblivious.primitives import and_bit, eq_bit, o_select
-from repro.oblivious.sort import bitonic_sort
 from repro.types import BatchEntry, Response
 
 
@@ -28,6 +27,7 @@ def match_responses(
     originals: Sequence[BatchEntry],
     responses: Sequence[BatchEntry],
     mem_factory=None,
+    kernel=None,
 ) -> List[Response]:
     """Map subORAM responses back onto the epoch's client requests.
 
@@ -36,6 +36,9 @@ def match_responses(
             (``tag`` holds arrival order).
         responses: every entry returned by every subORAM (including dummy
             responses).
+        kernel: oblivious-kernel selector for the sort and compaction
+            (see :mod:`repro.oblivious.kernels`); ``mem_factory`` forces
+            the python kernel.
 
     Returns:
         One :class:`Response` per original request, in arrival order,
@@ -50,8 +53,15 @@ def match_responses(
         merged.append([entry.key, 1, None, entry, entry.tag])
 
     # ➋ Sort by object id, responses before requests.
-    merged = bitonic_sort(
-        merged, key=lambda r: (r[0], r[1], r[4]), mem_factory=mem_factory
+    kern = resolve_kernel(kernel, mem_factory)
+    merged = kern.sort(
+        merged,
+        columns=[
+            [r[0] for r in merged],
+            [r[1] for r in merged],
+            [r[4] for r in merged],
+        ],
+        mem_factory=mem_factory,
     )
 
     # ➌ Propagate response values forward (fixed scan).
@@ -67,7 +77,7 @@ def match_responses(
 
     # ➍ Keep only client requests.
     flags = [record[1] for record in merged]
-    kept = ocompact(merged, flags, mem_factory=mem_factory)
+    kept = kern.compact(merged, flags, mem_factory=mem_factory)
     assert len(kept) == len(originals)
 
     # Access control (§D): a denied request receives a null value; the

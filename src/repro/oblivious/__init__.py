@@ -9,7 +9,10 @@ These are the primitives Theorems 1 and 2 assume:
 * an oblivious, order-preserving compaction algorithm — Goodrich's routing
   network (:mod:`repro.oblivious.compact`),
 * a two-tier oblivious hash table — Chan et al.
-  (:mod:`repro.oblivious.hashtable`).
+  (:mod:`repro.oblivious.hashtable`),
+* interchangeable *kernels* executing sort/compaction/scan either as the
+  traced scalar reference or as NumPy structure-of-arrays passes over the
+  same fixed schedules (:mod:`repro.oblivious.kernels`).
 
 Obliviousness in our model means: the sequence of *memory addresses*
 touched depends only on public parameters (array length, capacity), never
@@ -19,19 +22,37 @@ the address trace so tests can assert this property directly.
 
 from repro.oblivious.memory import AccessTrace, TracedMemory
 from repro.oblivious.primitives import o_select, ocmp_set, ocmp_swap
-from repro.oblivious.sort import bitonic_sort, bitonic_sort_network_size
+from repro.oblivious.sort import (
+    bitonic_sort,
+    bitonic_sort_levels,
+    bitonic_sort_network_size,
+)
 from repro.oblivious.compact import goodrich_compact, ocompact
 from repro.oblivious.hashtable import TwoTierHashTable, TwoTierParams
+from repro.oblivious.kernels import (
+    KERNELS,
+    KernelTrace,
+    NumpyKernel,
+    PythonKernel,
+    ScanTable,
+    resolve_kernel,
+)
 from repro.oblivious.shuffle import oblivious_shuffle
 from repro.oblivious.permutation import apply_permutation, route_permutation
 
 __all__ = [
     "AccessTrace",
+    "KERNELS",
+    "KernelTrace",
+    "NumpyKernel",
+    "PythonKernel",
+    "ScanTable",
     "TracedMemory",
     "TwoTierHashTable",
     "TwoTierParams",
     "apply_permutation",
     "bitonic_sort",
+    "bitonic_sort_levels",
     "bitonic_sort_network_size",
     "goodrich_compact",
     "o_select",
@@ -39,5 +60,6 @@ __all__ = [
     "ocmp_set",
     "ocmp_swap",
     "ocompact",
+    "resolve_kernel",
     "route_permutation",
 ]

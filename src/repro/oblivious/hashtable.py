@@ -31,9 +31,8 @@ from typing import Callable, List, Optional, Sequence
 from repro.analysis.balls_bins import batch_size
 from repro.crypto.prf import Prf
 from repro.errors import CapacityError
-from repro.oblivious.compact import ocompact
+from repro.oblivious.kernels import resolve_kernel
 from repro.oblivious.primitives import o_select
-from repro.oblivious.sort import bitonic_sort
 
 
 @dataclass(frozen=True)
@@ -148,12 +147,14 @@ class TwoTierHashTable:
         prf2: Prf,
         slots: List[_Slot],
         key_fn: Callable,
+        kernel=None,
     ):
         self.params = params
         self._prf1 = prf1
         self._prf2 = prf2
         self._slots = slots
         self._key_fn = key_fn
+        self._kernel = resolve_kernel(kernel)
 
     # ------------------------------------------------------------------
     # Construction
@@ -168,6 +169,7 @@ class TwoTierHashTable:
         security_parameter: int = 128,
         is_real_fn: Optional[Callable] = None,
         mem_factory=None,
+        kernel=None,
     ) -> "TwoTierHashTable":
         """Obliviously construct the table from ``items``.
 
@@ -182,6 +184,10 @@ class TwoTierHashTable:
                 slots and are scanned, but ``extract_real`` drops them).
             mem_factory: optional traced-memory wrapper passed to the
                 internal oblivious sorts/compactions (security tests).
+                Forces the python kernel when given.
+            kernel: oblivious-kernel selector (name or instance, see
+                :mod:`repro.oblivious.kernels`) for the internal sorts
+                and compactions.
         """
         if params is None:
             params = TwoTierParams.for_capacity(
@@ -210,6 +216,7 @@ class TwoTierHashTable:
             params.tier1_bucket_size,
             spill_capacity=params.tier2_capacity,
             mem_factory=mem_factory,
+            kernel=kernel,
         )
         tier2, overflow = cls._build_tier(
             spill,
@@ -219,13 +226,14 @@ class TwoTierHashTable:
             params.tier2_bucket_size,
             spill_capacity=0,
             mem_factory=mem_factory,
+            kernel=kernel,
         )
         if overflow:
             raise CapacityError(
                 "tier-2 oblivious hash table overflowed; probability of this"
                 f" event is <= 2^-{params.security_parameter} under Theorem 3"
             )
-        return cls(params, prf1, prf2, tier1 + tier2, key_fn)
+        return cls(params, prf1, prf2, tier1 + tier2, key_fn, kernel=kernel)
 
     @staticmethod
     def _build_tier(
@@ -236,6 +244,7 @@ class TwoTierHashTable:
         bucket_size: int,
         spill_capacity: int,
         mem_factory=None,
+        kernel=None,
     ) -> tuple:
         """Build one tier; returns (slots, spill_entries).
 
@@ -246,6 +255,7 @@ class TwoTierHashTable:
         public.  When ``spill_capacity == 0`` the returned spill list
         contains only real entries; non-empty means overflow.
         """
+        kern = resolve_kernel(kernel, mem_factory)
         # Working records: [bucket, kind, within_bucket_index, item, real].
         # kind 0 = real/dummy payload entry, kind 1 = bucket filler.
         records = []
@@ -257,8 +267,10 @@ class TwoTierHashTable:
                 records.append([bucket, 1, 0, None, 0])
 
         # Oblivious sort groups buckets, payload entries before fillers.
-        records = bitonic_sort(
-            records, key=lambda r: (r[0], r[1]), mem_factory=mem_factory
+        records = kern.sort(
+            records,
+            columns=[[r[0] for r in records], [r[1] for r in records]],
+            mem_factory=mem_factory,
         )
 
         # Fixed scan: assign within-bucket indices.
@@ -277,7 +289,7 @@ class TwoTierHashTable:
         ]
         num_spilled = sum(spill_flags)
 
-        kept = ocompact(records, keep_flags, mem_factory=mem_factory)
+        kept = kern.compact(records, keep_flags, mem_factory=mem_factory)
         # Filler slots (bucket fillers and tier-2 spill fillers) normalize
         # to item=None so scans can treat every non-payload slot uniformly.
         slots = [
@@ -289,7 +301,7 @@ class TwoTierHashTable:
         ]
 
         if spill_capacity == 0:
-            spilled = ocompact(records, spill_flags, mem_factory=mem_factory)
+            spilled = kern.compact(records, spill_flags, mem_factory=mem_factory)
             return slots, [(r[3], r[4]) for r in spilled if r[4]]
 
         if num_spilled > spill_capacity:
@@ -308,7 +320,7 @@ class TwoTierHashTable:
             # computed by a fixed scan over public-length arrays; the flag
             # value itself is secret-dependent but never branches.
             padded_flags.append(int(i < spill_capacity - num_spilled))
-        spill_entries = ocompact(padded, padded_flags, mem_factory=mem_factory)
+        spill_entries = kern.compact(padded, padded_flags, mem_factory=mem_factory)
         return slots, [(r[3], r[4]) for r in spill_entries]
 
     # ------------------------------------------------------------------
@@ -344,7 +356,7 @@ class TwoTierHashTable:
     def extract_real(self) -> List:
         """Obliviously compact out dummies; returns the real items (§5 ➌)."""
         flags = [slot.real for slot in self._slots]
-        kept = ocompact(self._slots, flags)
+        kept = self._kernel.compact(self._slots, flags)
         return [slot.item for slot in kept]
 
 

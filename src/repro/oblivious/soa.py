@@ -1,0 +1,87 @@
+"""Structure-of-arrays codec for the vectorized oblivious kernels.
+
+The NumPy kernels in :mod:`repro.oblivious.kernels` operate on contiguous
+arrays instead of Python objects: sort/compaction keys become ``int64``
+columns, presence/route/match bits become boolean vectors, and
+fixed-width values (the subORAM's ``value_size``-byte objects) become a
+``uint8`` matrix with one row per value plus a companion "has" bit that
+preserves ``None``.  This module is the boundary where Python objects are
+packed into that layout and unpacked back out; everything in between is
+whole-array arithmetic.
+
+NumPy is an optional runtime dependency here: the module imports it
+guardedly and exposes :data:`HAS_NUMPY` / :func:`require_numpy` so the
+kernel registry can fall back to the pure-Python reference path with a
+warning instead of crashing when NumPy is absent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+try:  # pragma: no cover - exercised via HAS_NUMPY monkeypatching in tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: True when NumPy imported successfully; the kernel registry consults this
+#: to decide whether ``kernel="numpy"`` can be honoured.
+HAS_NUMPY = _np is not None
+
+
+def require_numpy():
+    """Return the numpy module or raise a friendly ImportError."""
+    if not HAS_NUMPY or _np is None:
+        raise ImportError(
+            "the 'numpy' kernel requires NumPy (>=1.22); install it or "
+            "select kernel='python'"
+        )
+    return _np
+
+
+def int_column(values: Sequence[int]):
+    """Pack a sequence of Python ints into an ``int64`` array."""
+    np = require_numpy()
+    return np.asarray(list(values), dtype=np.int64)
+
+
+def bit_column(values: Sequence[int]):
+    """Pack a sequence of 0/1 bits (or truthy values) into a boolean array."""
+    np = require_numpy()
+    return np.asarray([1 if v else 0 for v in values], dtype=bool)
+
+
+def values_to_matrix(values: Sequence[Optional[bytes]], value_size: int):
+    """Encode fixed-width optional byte strings as ``(matrix, has)``.
+
+    ``matrix`` is a writable ``uint8`` array of shape
+    ``(len(values), value_size)``; ``has`` is a boolean vector marking the
+    rows that held a real (non-``None``) value.  ``None`` rows are
+    all-zero, which is safe because the companion bit — not the byte
+    content — is what round-trips absence.
+    """
+    np = require_numpy()
+    n = len(values)
+    buf = bytearray(n * value_size)
+    has = np.zeros(n, dtype=bool)
+    for i, value in enumerate(values):
+        if value is None:
+            continue
+        if len(value) != value_size:
+            raise ValueError(
+                f"value at row {i} has {len(value)} bytes, expected {value_size}"
+            )
+        buf[i * value_size : (i + 1) * value_size] = value
+        has[i] = True
+    matrix = np.frombuffer(bytes(buf), dtype=np.uint8)
+    return matrix.reshape(n, value_size).copy(), has
+
+
+def matrix_to_values(matrix, has) -> List[Optional[bytes]]:
+    """Decode a ``(matrix, has)`` pair back into optional byte strings."""
+    n, value_size = matrix.shape
+    raw = matrix.tobytes()
+    return [
+        raw[i * value_size : (i + 1) * value_size] if has[i] else None
+        for i in range(n)
+    ]

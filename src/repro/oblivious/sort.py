@@ -48,6 +48,39 @@ def comparator_schedule(n: int) -> Iterator[Tuple[int, int, bool]]:
         k *= 2
 
 
+def bitonic_sort_levels(n: int) -> List[List[Tuple[int, int, bool]]]:
+    """The comparator schedule grouped into its depth levels.
+
+    Returns one list per network level, each holding that level's
+    ``(i, j, ascending)`` comparators.  ``n`` is padded to the next power
+    of two, mirroring :func:`bitonic_sort`.  Two properties make this the
+    unit the vectorized kernels consume:
+
+    * the comparators within one level touch pairwise-disjoint cells, so
+      a whole level can be applied as one masked whole-array min/max
+      operation without changing any outcome;
+    * concatenating the levels reproduces ``comparator_schedule`` exactly
+      (and ``len(bitonic_sort_levels(n)) == bitonic_sort_depth(n)``),
+      which is what makes the depth formula — and the vectorized
+      execution order — testable against the real schedule.
+    """
+    m = next_pow2(max(1, n))
+    levels: List[List[Tuple[int, int, bool]]] = []
+    k = 2
+    while k <= m:
+        j = k // 2
+        while j >= 1:
+            level = []
+            for i in range(m):
+                partner = i ^ j
+                if partner > i:
+                    level.append((i, partner, (i & k) == 0))
+            levels.append(level)
+            j //= 2
+        k *= 2
+    return levels
+
+
 def bitonic_sort_network_size(n: int) -> int:
     """Number of comparators for an ``n``-input network (n padded to pow2)."""
     m = next_pow2(max(1, n))

@@ -92,13 +92,25 @@ def simulate_matching_trace(
     return collector.trace
 
 
-def simulate_suboram_store_sequence(num_objects: int) -> List[tuple]:
+def simulate_suboram_store_sequence(
+    num_objects: int, kernel: str = "python"
+) -> List[tuple]:
     """Figure 20's scan: the subORAM's (get, put) slot sequence.
 
-    The real engine fetches and rewrites slots ``0..N-1`` in order —
-    entirely public — so the simulator just enumerates it.
+    Both kernels' store schedules are public functions of ``num_objects``
+    alone, so the simulator just enumerates them.  The scalar python
+    kernel interleaves: it fetches and rewrites each slot in turn.  The
+    vectorized numpy kernel reads every slot ``0..N-1``, runs the whole
+    scan as masked array operations, then rewrites every slot in the same
+    order — a get-phase followed by a put-phase.
     """
     sequence: List[tuple] = []
+    if kernel == "numpy":
+        for slot in range(num_objects):
+            sequence.append(("get", slot))
+        for slot in range(num_objects):
+            sequence.append(("put", slot))
+        return sequence
     for slot in range(num_objects):
         sequence.append(("get", slot))
         sequence.append(("put", slot))

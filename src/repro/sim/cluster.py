@@ -167,6 +167,7 @@ def epoch_wallclock_series(
     batch_delay: float = 0.01,
     seed: int = 7,
     max_workers: Optional[int] = None,
+    kernel: str = "python",
 ) -> Dict[str, float]:
     """Measured mean epoch wall-clock for each execution backend.
 
@@ -179,7 +180,10 @@ def epoch_wallclock_series(
     equation (1)'s max-of-stages shape.
 
     Backends that cannot run the latency wrapper in-process still work
-    (the wrapper pickles), so ``"process"`` specs are accepted.
+    (the wrapper pickles), so ``"process"`` specs are accepted.  The
+    ``kernel`` selector picks the oblivious-kernel implementation
+    (``"python"`` or ``"numpy"``) so backend speedups can be measured on
+    either data plane.
     """
     from repro.core.config import SnoopyConfig
     from repro.core.snoopy import Snoopy
@@ -207,6 +211,7 @@ def epoch_wallclock_series(
             value_size=value_size,
             execution_backend=spec,
             max_workers=max_workers,
+            kernel=kernel,
         )
         with Snoopy(
             config, suboram_factory=latency_suboram_factory(batch_delay)

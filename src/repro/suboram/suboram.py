@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.crypto.keys import KeyChain
 from repro.errors import DuplicateRequestError, NotInitializedError
 from repro.oblivious.hashtable import TwoTierHashTable, TwoTierParams
+from repro.oblivious.kernels import ScanTable, resolve_kernel
 from repro.oblivious.primitives import and_bit, eq_bit, o_select
 from repro.suboram.store import EncryptedStore
 from repro.types import BatchEntry, OpType
@@ -37,6 +38,10 @@ class SubOram:
         value_size: fixed object size in bytes (160 in most experiments).
         keychain: deployment keys (storage encryption, per-batch keys).
         security_parameter: lambda for hash-table sizing.
+        kernel: oblivious-kernel selector ("python" or "numpy", see
+            :mod:`repro.oblivious.kernels`).  The python kernel runs the
+            audited scalar Figure 19 loop; the numpy kernel runs the
+            structure-of-arrays scan with byte-identical results.
     """
 
     def __init__(
@@ -45,21 +50,25 @@ class SubOram:
         value_size: int,
         keychain: Optional[KeyChain] = None,
         security_parameter: int = 128,
+        kernel=None,
     ):
         require_positive(value_size, "value_size")
         self.suboram_id = suboram_id
         self.value_size = value_size
         self.security_parameter = security_parameter
+        self.kernel = resolve_kernel(kernel)
         self._keychain = keychain if keychain is not None else KeyChain()
         self._store: Optional[EncryptedStore] = None
         self._keys: List[int] = []  # physical slot -> object key (scan order)
         self._epoch = 0
+        self._state_version = 0
 
     # ------------------------------------------------------------------
     # Initialization (Figure 19, Initialize)
     # ------------------------------------------------------------------
     def initialize(self, objects: Dict[int, bytes]) -> None:
         """Load this partition's objects into the encrypted store."""
+        self._state_version += 1
         storage_key = self._keychain.subkey(f"suboram/{self.suboram_id}/storage")
         self._keys = sorted(objects)
         self._store = EncryptedStore(
@@ -84,6 +93,16 @@ class SubOram:
         if self._store is None:
             raise NotInitializedError("subORAM not initialized")
         return self._store
+
+    @property
+    def state_token(self) -> int:
+        """Monotonic version of this subORAM's mutable state.
+
+        Bumped by every state mutation (``initialize``, ``batch_access``),
+        so an execution backend can tell whether a worker-side cached copy
+        of this subORAM is still current without shipping the state.
+        """
+        return self._state_version
 
     # ------------------------------------------------------------------
     # Batch access (Figure 19, BatchAccess)
@@ -118,6 +137,7 @@ class SubOram:
             )
 
         self._epoch += 1
+        self._state_version += 1
         if batch_key is None:
             batch_key = self._keychain.batch_key(self.suboram_id, self._epoch)
 
@@ -128,13 +148,36 @@ class SubOram:
             prf_key=batch_key,
             params=table_params,
             security_parameter=self.security_parameter,
+            kernel=self.kernel,
         )
 
-        # ➋ Linear scan over every stored object, in fixed slot order.
-        # ``matched`` tracks, per entry, whether any stored object carried
-        # its key — updated through the same oblivious select on every
-        # slot comparison, and used at the end to null out responses for
-        # keys that do not exist in this partition.
+        # ➋ Linear scan over every stored object.  The scalar reference
+        # path interleaves get/compute/put per slot; the vectorized path
+        # reads every slot, runs the whole scan as masked array ops, then
+        # rewrites every slot.  Both schedules are public functions of
+        # ``num_objects`` alone (see repro.security.simulator).
+        if self.kernel.vectorized:
+            matched = self._scan_vectorized(table, batch)
+        else:
+            matched = self._scan_reference(table, batch)
+
+        # ➌ Null responses whose key is absent from the partition (a write
+        # payload must not echo back as a phantom read value), then mark
+        # real entries and compact out table fillers.
+        for entry in batch:
+            entry.value = o_select(matched[id(entry)], None, entry.value)
+        return table.extract_real()
+
+    def _scan_reference(
+        self, table: TwoTierHashTable, batch: List[BatchEntry]
+    ) -> Dict[int, int]:
+        """The audited scalar Figure 19 scan (python kernel).
+
+        ``matched`` tracks, per entry, whether any stored object carried
+        its key — updated through the same oblivious select on every
+        slot comparison, and used by the caller to null out responses for
+        keys that do not exist in this partition.
+        """
         matched: Dict[int, int] = {id(entry): 0 for entry in batch}
         for slot in range(self.num_objects):
             obj_key, obj_value = self._store.get(slot)
@@ -165,13 +208,52 @@ class SubOram:
             # Rewrite (re-encrypt) the object unconditionally: the host
             # cannot tell written objects from untouched ones.
             self._store.put(slot, obj_key, obj_value)
+        return matched
 
-        # ➌ Null responses whose key is absent from the partition (a write
-        # payload must not echo back as a phantom read value), then mark
-        # real entries and compact out table fillers.
-        for entry in batch:
-            entry.value = o_select(matched[id(entry)], None, entry.value)
-        return table.extract_real()
+    def _scan_vectorized(
+        self, table: TwoTierHashTable, batch: List[BatchEntry]
+    ) -> Dict[int, int]:
+        """The structure-of-arrays Figure 19 scan (numpy kernel).
+
+        Reads every slot in fixed order, packs the table into a
+        :class:`~repro.oblivious.kernels.ScanTable`, runs the kernel's
+        branchless masked scan across the whole batch dimension, then
+        rewrites (re-encrypts) every slot in fixed order.  Outputs are
+        byte-identical to :meth:`_scan_reference`.
+        """
+        obj_keys: List[int] = []
+        obj_values: List[bytes] = []
+        for slot in range(self.num_objects):
+            obj_key, obj_value = self._store.get(slot)
+            obj_keys.append(obj_key)
+            obj_values.append(obj_value)
+        lookup = [table.bucket_slot_indices(key) for key in obj_keys]
+        slots = table.slots
+        scan_table = ScanTable(
+            keys=[0 if s.item is None else s.item.key for s in slots],
+            occupied=[0 if s.item is None else 1 for s in slots],
+            is_write=[
+                0 if s.item is None else eq_bit(s.item.op, OpType.WRITE)
+                for s in slots
+            ],
+            permitted=[
+                0 if s.item is None else s.item.permitted for s in slots
+            ],
+            values=[None if s.item is None else s.item.value for s in slots],
+        )
+        new_values, slot_matched, responses = self.kernel.scan(
+            obj_keys, obj_values, self.value_size, lookup, scan_table
+        )
+        for slot in range(self.num_objects):
+            self._store.put(slot, obj_keys[slot], new_values[slot])
+        matched: Dict[int, int] = {id(entry): 0 for entry in batch}
+        for index, table_slot in enumerate(slots):
+            entry = table_slot.item
+            if entry is None:
+                continue
+            entry.value = responses[index]
+            matched[id(entry)] = slot_matched[index]
+        return matched
 
     # ------------------------------------------------------------------
     # Introspection for tests / tools

@@ -18,6 +18,7 @@ from typing import Iterator, List
 #: guide text).  Kept as docstrings so the guides cannot drift from code.
 GUIDES = [
     ("Execution backends", "repro.exec"),
+    ("Oblivious kernels", "repro.oblivious.kernels"),
     ("Tickets", "repro.core.tickets"),
 ]
 

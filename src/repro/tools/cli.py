@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "process[:N] (default serial)")
     demo.add_argument("--workers", type=int, default=None,
                       help="worker-pool size for parallel backends")
+    demo.add_argument("--kernel", type=str, default="python",
+                      choices=["python", "numpy"],
+                      help="oblivious-kernel implementation: the traced "
+                           "scalar reference or the vectorized NumPy "
+                           "fast path (default python)")
 
     sub.add_parser("info", help="version and cost-model constants")
     return parser
@@ -193,13 +198,14 @@ def cmd_demo(args) -> int:
         security_parameter=32,
         execution_backend=args.backend,
         max_workers=args.workers,
+        kernel=args.kernel,
     )
     with Snoopy(config, rng=random.Random(args.seed)) as store:
         store.initialize({k: bytes(16) for k in range(args.objects)})
         print(f"deployment: {args.balancers} LB + {args.suborams} subORAMs, "
               f"{store.num_objects} objects "
               f"(partitions {store.partition_sizes}, "
-              f"backend {store.backend.name})")
+              f"backend {store.backend.name}, kernel {config.kernel})")
 
         requests = []
         for i in range(args.requests):

@@ -130,3 +130,110 @@ class TestConfigIntegration:
 
     def test_config_defaults_serial(self):
         assert SnoopyConfig().execution_backend == "serial"
+
+
+# ---------------------------------------------------------------------------
+# map_stateful: the stateful-unit contract and the process backend's
+# sticky-worker state cache
+# ---------------------------------------------------------------------------
+def bump(state, args):
+    """Module-level stateful unit: count calls, echo args."""
+    return state + 1, (state, args)
+
+
+def version_of(state):
+    """Token for integer states: the state itself."""
+    return state
+
+
+class TestMapStatefulContract:
+    @pytest.mark.parametrize("backend_factory", [
+        SerialBackend,
+        lambda: ThreadPoolBackend(max_workers=2),
+        lambda: ProcessPoolBackend(max_workers=2),
+    ])
+    def test_returns_state_result_pairs_in_order(self, backend_factory):
+        with backend_factory() as backend:
+            tasks = [(("ns", i), 10 * i, i) for i in range(4)]
+            out = backend.map_stateful(bump, tasks, token=version_of)
+            assert out == [(10 * i + 1, (10 * i, i)) for i in range(4)]
+
+    def test_empty_tasks(self):
+        assert SerialBackend().map_stateful(bump, []) == []
+
+    def test_exception_propagates(self):
+        with ProcessPoolBackend(max_workers=1) as backend:
+            with pytest.raises(ValueError):
+                backend.map_stateful(raise_stateful, [("k", 0, 1)])
+
+
+def raise_stateful(state, args):
+    """Module-level failing stateful unit."""
+    raise ValueError(f"stateful boom {args}")
+
+
+class TestProcessStateCache:
+    def test_probe_hits_when_state_unchanged(self):
+        with ProcessPoolBackend(max_workers=2) as backend:
+            state = 5
+            for round_index in range(3):
+                [(state, _)] = backend.map_stateful(
+                    bump, [("key", state, round_index)], token=version_of
+                )
+            stats = backend.state_cache_stats
+            assert stats == {"hits": 2, "misses": 0, "full_ships": 1}
+
+    def test_changed_state_forces_full_ship(self):
+        with ProcessPoolBackend(max_workers=2) as backend:
+            [(state, _)] = backend.map_stateful(
+                bump, [("key", 0, "a")], token=version_of
+            )
+            # Replace the state object out-of-band: identity check fails,
+            # so the backend must ship the new state rather than probe.
+            [(state, result)] = backend.map_stateful(
+                bump, [("key", 99, "b")], token=version_of
+            )
+            assert result == (99, "b")
+            assert backend.state_cache_stats["full_ships"] == 2
+            assert backend.state_cache_stats["hits"] == 0
+
+    def test_no_token_always_ships(self):
+        with ProcessPoolBackend(max_workers=2) as backend:
+            state = 0
+            for _ in range(3):
+                [(state, _)] = backend.map_stateful(
+                    bump, [("key", state, None)]
+                )
+            assert backend.state_cache_stats["hits"] == 0
+            assert backend.state_cache_stats["full_ships"] == 3
+
+    def test_results_match_serial(self):
+        tasks = [(("so", i), 100 * i, ("args", i)) for i in range(5)]
+        serial = SerialBackend().map_stateful(bump, list(tasks),
+                                              token=version_of)
+        with ProcessPoolBackend(max_workers=2) as backend:
+            pooled = backend.map_stateful(bump, list(tasks),
+                                          token=version_of)
+        assert pooled == serial
+
+    def test_close_is_idempotent(self):
+        backend = ProcessPoolBackend(max_workers=1)
+        backend.map_stateful(bump, [("key", 0, 0)], token=version_of)
+        backend.close()
+        backend.close()
+        # A closed backend lazily respawns workers on the next call.
+        assert backend.map_stateful(bump, [("key", 7, 1)],
+                                    token=version_of) == [(8, (7, 1))]
+        backend.close()
+
+    def test_sticky_cache_dropped_on_pickle(self):
+        backend = ProcessPoolBackend(max_workers=1)
+        backend.map_stateful(bump, [("key", 0, 0)], token=version_of)
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone.state_cache_stats == {
+            "hits": 0, "misses": 0, "full_ships": 0
+        }
+        assert clone.map_stateful(bump, [("key", 3, 1)],
+                                  token=version_of) == [(4, (3, 1))]
+        clone.close()
+        backend.close()

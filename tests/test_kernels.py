@@ -1,0 +1,389 @@
+"""Equivalence tests for the vectorized oblivious kernels.
+
+The numpy kernel must be a *drop-in* replacement for the scalar python
+reference: byte-identical outputs and identical level-granular
+:class:`~repro.oblivious.kernels.KernelTrace` schedules for sort,
+compaction, and the subORAM scan — at every call site, from the raw
+kernel API up through a full deployment.
+"""
+
+import copy
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SnoopyConfig
+from repro.core.snoopy import Snoopy
+from repro.crypto.keys import KeyChain
+from repro.errors import ConfigurationError
+from repro.loadbalancer.batching import generate_batches
+from repro.loadbalancer.matching import match_responses
+from repro.oblivious import soa
+from repro.oblivious.compact import ocompact
+from repro.oblivious.kernels import (
+    KERNELS,
+    KernelTrace,
+    NumpyKernel,
+    PythonKernel,
+    ScanTable,
+    resolve_kernel,
+)
+from repro.oblivious.memory import TracedMemory
+from repro.oblivious.sort import (
+    bitonic_sort_depth,
+    bitonic_sort_levels,
+    comparator_schedule,
+)
+from repro.security.simulator import simulate_suboram_store_sequence
+from repro.suboram.suboram import SubOram
+from repro.types import BatchEntry, OpType, Request
+
+PY = KERNELS["python"]
+NP = KERNELS["numpy"]
+
+
+def _next_pow2(n: int) -> int:
+    m = 1
+    while m < n:
+        m *= 2
+    return m
+
+
+# ---------------------------------------------------------------------------
+# bitonic_sort_levels
+# ---------------------------------------------------------------------------
+class TestBitonicSortLevels:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 16, 33, 64])
+    def test_flatten_matches_schedule(self, n):
+        levels = bitonic_sort_levels(n)
+        flat = [comp for level in levels for comp in level]
+        assert flat == list(comparator_schedule(_next_pow2(n)))
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 16, 33])
+    def test_level_count_is_depth(self, n):
+        assert len(bitonic_sort_levels(n)) == bitonic_sort_depth(n)
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 33])
+    def test_levels_touch_disjoint_pairs(self, n):
+        for level in bitonic_sort_levels(n):
+            touched = [i for (i, j, _) in level] + [j for (i, j, _) in level]
+            assert len(touched) == len(set(touched))
+
+
+# ---------------------------------------------------------------------------
+# Sort equivalence
+# ---------------------------------------------------------------------------
+# Duplicate-heavy domain: collisions exercise the swap-on-equal rule.
+_sort_lists = st.lists(
+    st.tuples(st.integers(-4, 4), st.integers(-4, 4)), max_size=40
+)
+
+
+class TestSortEquivalence:
+    @given(items=_sort_lists, num_cols=st.integers(1, 2))
+    @settings(max_examples=120, deadline=None)
+    def test_outputs_and_traces_match(self, items, num_cols):
+        columns = [[item[c] for item in items] for c in range(num_cols)]
+        py_trace, np_trace = KernelTrace(), KernelTrace()
+        py_out = PY.sort(list(items), columns, trace=py_trace)
+        np_out = NP.sort(list(items), columns, trace=np_trace)
+        assert py_out == np_out
+        assert py_trace == np_trace
+
+    def test_empty(self):
+        assert NP.sort([], []) == PY.sort([], []) == []
+
+    def test_trace_depends_only_on_length(self):
+        t1, t2 = KernelTrace(), KernelTrace()
+        NP.sort([(9, 9)] * 7, [[9] * 7], trace=t1)
+        NP.sort([(0, 1)] * 7, [[0] * 7], trace=t2)
+        assert t1 == t2
+
+    def test_numpy_kernel_rejects_traced_memory(self):
+        with pytest.raises(ConfigurationError):
+            NP.sort([(1,)], [[1]], mem_factory=TracedMemory)
+
+
+# ---------------------------------------------------------------------------
+# Compaction equivalence
+# ---------------------------------------------------------------------------
+_flagged = st.lists(
+    st.tuples(st.integers(-100, 100), st.integers(0, 1)), max_size=60
+)
+
+
+class TestCompactEquivalence:
+    @given(tagged=_flagged)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_reference(self, tagged):
+        items = [t[0] for t in tagged]
+        flags = [t[1] for t in tagged]
+        py_trace, np_trace = KernelTrace(), KernelTrace()
+        py_out = PY.compact(list(items), list(flags), trace=py_trace)
+        np_out = NP.compact(list(items), list(flags), trace=np_trace)
+        assert py_out == np_out == ocompact(items, flags)
+        assert py_trace == np_trace
+
+    @pytest.mark.parametrize("flags", [[0, 0, 0, 0], [1, 1, 1, 1]])
+    def test_all_dummy_and_all_real(self, flags):
+        items = list("abcd")
+        assert NP.compact(items, flags) == PY.compact(items, flags)
+
+    def test_full_length_output(self):
+        items, flags = [1, 2, 3, 4, 5], [0, 1, 0, 1, 0]
+        assert NP.compact_full(items, flags)[:2] == [2, 4]
+        assert len(NP.compact_full(items, flags)) == 5
+
+
+# ---------------------------------------------------------------------------
+# Scan equivalence
+# ---------------------------------------------------------------------------
+def _random_scan_case(rng, num_objects, num_slots, value_size=4, lookups=2):
+    """A ScanTable + lookup rows honouring the real call-site contract.
+
+    Objects are the *store* side (distinct keys, values always bytes);
+    table slots are the *batch-entry* side (distinct keys among occupied
+    slots, ``None`` values for reads); lookup rows hold distinct slot
+    indices, as :meth:`TwoTierHashTable.bucket_slot_indices` guarantees.
+    """
+    pool = rng.sample(range(1, 500), num_slots + num_objects)
+    slot_keys, extra_keys = pool[:num_slots], pool[num_slots:]
+    occupied = [rng.randrange(2) for _ in range(num_slots)]
+    table = ScanTable(
+        keys=[k if occ else 0 for k, occ in zip(slot_keys, occupied)],
+        occupied=occupied,
+        is_write=[rng.randrange(2) if occ else 0 for occ in occupied],
+        permitted=[rng.randrange(2) if occ else 0 for occ in occupied],
+        values=[
+            bytes(rng.randrange(256) for _ in range(value_size))
+            if occ and rng.random() < 0.7
+            else None
+            for occ in occupied
+        ],
+    )
+    # Object keys: a mix of batch-entry keys and keys no entry asked for.
+    obj_keys = rng.sample(
+        [k for k, occ in zip(slot_keys, occupied) if occ] + extra_keys,
+        num_objects,
+    )
+    obj_values = [
+        bytes(rng.randrange(256) for _ in range(value_size))
+        for _ in range(num_objects)
+    ]
+    lookup = []
+    for key in obj_keys:
+        row = rng.sample(range(num_slots), min(lookups, num_slots))
+        if rng.random() < 0.8 and key in table.keys:
+            hit = table.keys.index(key)
+            if hit not in row:
+                row[rng.randrange(len(row))] = hit
+        lookup.append(row)
+    return obj_keys, obj_values, table, lookup
+
+
+class TestScanEquivalence:
+    def test_random_cases_match(self):
+        rng = random.Random(0x5EED)
+        for trial in range(60):
+            num_slots = rng.randrange(2, 20)
+            num_objects = rng.randrange(1, 8)
+            obj_keys, obj_values, table, lookup = _random_scan_case(
+                rng, num_objects, num_slots
+            )
+            t_py = copy.deepcopy(table)
+            t_np = copy.deepcopy(table)
+            py_trace, np_trace = KernelTrace(), KernelTrace()
+            py = PY.scan(obj_keys, list(obj_values), 4, lookup, t_py,
+                         trace=py_trace)
+            np_ = NP.scan(obj_keys, list(obj_values), 4, lookup, t_np,
+                          trace=np_trace)
+            assert py == np_, trial
+            assert t_py == t_np, trial
+            assert py_trace == np_trace, trial
+
+    def test_empty_batch(self):
+        table = ScanTable(keys=[1], occupied=[1], is_write=[0],
+                          permitted=[1], values=[b"abcd"])
+        assert NP.scan([], [], 4, [], table) == PY.scan([], [], 4, [], table)
+
+
+# ---------------------------------------------------------------------------
+# resolve_kernel / configuration plumbing
+# ---------------------------------------------------------------------------
+class TestResolveKernel:
+    def test_registry_shape(self):
+        assert isinstance(KERNELS["python"], PythonKernel)
+        assert isinstance(KERNELS["numpy"], NumpyKernel)
+        assert not PY.vectorized and NP.vectorized
+
+    def test_defaults_to_python(self):
+        assert resolve_kernel(None) is PY
+
+    def test_by_name_and_instance(self):
+        assert resolve_kernel("numpy") is NP
+        assert resolve_kernel(NP) is NP
+
+    def test_mem_factory_forces_python(self):
+        assert resolve_kernel("numpy", mem_factory=TracedMemory) is PY
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_kernel("fortran")
+        with pytest.raises(ConfigurationError):
+            SnoopyConfig(kernel="fortran")
+
+    def test_missing_numpy_falls_back(self, monkeypatch):
+        monkeypatch.setattr(soa, "HAS_NUMPY", False)
+        with pytest.warns(RuntimeWarning):
+            assert resolve_kernel("numpy") is PY
+
+    def test_soa_import_error_message(self, monkeypatch):
+        monkeypatch.setattr(soa, "HAS_NUMPY", False)
+        with pytest.raises(ImportError, match="numpy"):
+            soa.require_numpy()
+
+
+# ---------------------------------------------------------------------------
+# Load-balancer stages
+# ---------------------------------------------------------------------------
+KEY = b"\x07" * 32
+
+
+def _requests(n, rng):
+    out = []
+    for i in range(n):
+        if rng.random() < 0.5:
+            out.append(Request(OpType.WRITE, rng.randrange(30),
+                               bytes([i % 256]) * 4, seq=i))
+        else:
+            out.append(Request(OpType.READ, rng.randrange(30), seq=i))
+    return out
+
+
+class TestLoadBalancerStages:
+    def test_generate_batches_equivalent(self, rng):
+        requests = _requests(17, rng)
+        py = generate_batches([r for r in requests], 3, KEY, 16,
+                              kernel="python")
+        np_ = generate_batches([r for r in requests], 3, KEY, 16,
+                               kernel="numpy")
+        assert [[e.__dict__ for e in b] for b in py[0]] == (
+            [[e.__dict__ for e in b] for b in np_[0]]
+        )
+
+    def test_match_responses_equivalent(self, rng):
+        requests = _requests(11, rng)
+        batches, originals, _ = generate_batches(requests, 3, KEY, 16)
+        responses = []
+        for batch in batches:
+            for entry in batch:
+                answered = entry.copy()
+                answered.value = bytes([entry.key % 256]) * 4
+                responses.append(answered)
+        py = match_responses(list(originals), list(responses),
+                             kernel="python")
+        np_ = match_responses(list(originals), list(responses),
+                              kernel="numpy")
+        assert [r.__dict__ for r in py] == [r.__dict__ for r in np_]
+
+
+# ---------------------------------------------------------------------------
+# SubORAM and full-system equivalence
+# ---------------------------------------------------------------------------
+def _batch(rng, keys):
+    entries = []
+    for key in keys:
+        if rng.random() < 0.4:
+            entries.append(BatchEntry(op=OpType.WRITE, key=key,
+                                      value=bytes([key % 256]) * 4,
+                                      is_dummy=False))
+        else:
+            entries.append(BatchEntry(op=OpType.READ, key=key,
+                                      is_dummy=False))
+    return entries
+
+
+class TestSubOramEquivalence:
+    def test_batches_equivalent(self, rng):
+        results = {}
+        for kernel in ("python", "numpy"):
+            # Shared keychain: the hash-table layout (and so extract_real
+            # order) is keyed, and must match across the two runs.
+            suboram = SubOram(0, value_size=4,
+                              keychain=KeyChain(master=b"k" * 32),
+                              security_parameter=16, kernel=kernel)
+            suboram.initialize({k: bytes([k]) * 4 for k in range(25)})
+            local = random.Random(42)
+            outs = []
+            for _ in range(3):
+                keys = local.sample(range(40), 9)  # includes absent keys
+                outs.append([
+                    (e.key, e.value)
+                    for e in suboram.batch_access(_batch(local, keys))
+                ])
+            results[kernel] = outs
+        assert results["python"] == results["numpy"]
+
+    def test_store_sequence_matches_simulator(self):
+        ideal = simulate_suboram_store_sequence(20, kernel="numpy")
+        suboram = SubOram(0, value_size=4, security_parameter=16,
+                          kernel="numpy")
+        suboram.initialize({k: bytes([k]) * 4 for k in range(20)})
+        log = []
+        store = suboram.store
+        orig_get, orig_put = store.get, store.put
+        store.get = lambda slot, _o=orig_get: (
+            log.append(("get", slot)), _o(slot))[1]
+        store.put = lambda slot, key, value, _o=orig_put: (
+            log.append(("put", slot)), _o(slot, key, value))[1]
+        suboram.batch_access([
+            BatchEntry(op=OpType.READ, key=k, is_dummy=False)
+            for k in (3, 7, 11)
+        ])
+        assert log == ideal
+
+    def test_state_token_advances(self):
+        suboram = SubOram(0, value_size=4, security_parameter=16)
+        before = suboram.state_token
+        suboram.initialize({0: bytes(4)})
+        mid = suboram.state_token
+        suboram.batch_access([BatchEntry(op=OpType.READ, key=0,
+                                         is_dummy=False)])
+        assert before < mid < suboram.state_token
+
+
+class TestFullSystemEquivalence:
+    def _run(self, kernel):
+        keychain = KeyChain(master=b"e" * 32)
+        config = SnoopyConfig(num_load_balancers=2, num_suborams=3,
+                              value_size=8, security_parameter=32,
+                              kernel=kernel)
+        rng = random.Random(11)
+        epochs = []
+        with Snoopy(config, keychain=keychain) as store:
+            store.initialize({k: bytes([k % 256]) * 8 for k in range(40)})
+            for _ in range(2):
+                for _ in range(15):
+                    key = rng.randrange(55)
+                    if rng.random() < 0.5:
+                        store.submit(Request(OpType.WRITE, key,
+                                             bytes([key % 256]) * 8),
+                                     load_balancer=rng.randrange(2))
+                    else:
+                        store.submit(Request(OpType.READ, key),
+                                     load_balancer=rng.randrange(2))
+                epochs.append([(r.key, r.value)
+                               for r in store.run_epoch()])
+            # Read-back epoch: proves the stored state is identical too.
+            # Balancer choice is pinned — submit() without one draws from
+            # a nondeterministically seeded RNG.
+            for key in range(40):
+                store.submit(Request(OpType.READ, key),
+                             load_balancer=key % 2)
+            epochs.append([(r.key, r.value) for r in store.run_epoch()])
+        return epochs
+
+    def test_responses_and_state_identical(self):
+        assert self._run("python") == self._run("numpy")
