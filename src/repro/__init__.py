@@ -31,13 +31,20 @@ from repro.types import OpType, Request, Response
 from repro.core.config import SnoopyConfig
 from repro.core.snoopy import Snoopy
 from repro.core.client import Client
+from repro.core.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.core.resilience import EpochRetryController, RetryPolicy
 from repro.core.tickets import Ticket
 from repro.core.access_control import AccessControlledStore
 from repro.errors import (
     CapacityError,
+    EpochFailedError,
+    FaultError,
     NotInitializedError,
     ReproError,
+    TaskTimeoutError,
     TicketPendingError,
+    TransportError,
+    WorkerCrashError,
 )
 from repro.exec import (
     ExecutionBackend,
@@ -54,7 +61,13 @@ __all__ = [
     "AccessControlledStore",
     "CapacityError",
     "Client",
+    "EpochFailedError",
+    "EpochRetryController",
     "ExecutionBackend",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "NotInitializedError",
     "OpType",
     "Plan",
@@ -63,12 +76,16 @@ __all__ = [
     "ReproError",
     "Request",
     "Response",
+    "RetryPolicy",
     "SerialBackend",
     "Snoopy",
     "SnoopyConfig",
+    "TaskTimeoutError",
     "ThreadPoolBackend",
     "Ticket",
     "TicketPendingError",
+    "TransportError",
+    "WorkerCrashError",
     "make_backend",
     "__version__",
 ]

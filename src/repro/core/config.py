@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.utils.validation import require, require_positive
 
@@ -31,6 +31,24 @@ class SnoopyConfig:
             kernel only changes how each fixed schedule level executes,
             never which addresses it touches (see
             :mod:`repro.oblivious.kernels`).
+        task_timeout: per-task timeout in seconds for pooled backends
+            (None = unbounded).  An overrun raises
+            :class:`~repro.errors.TaskTimeoutError`, a retryable fault.
+        epoch_max_attempts: total attempts per epoch (1 = legacy
+            fail-fast; >1 enables atomic epoch retry — a failed attempt
+            requeues its requests and the epoch is re-run).
+        epoch_backoff_base: first retry delay in seconds (0 = no sleep).
+        epoch_backoff_factor: exponential multiplier per further retry.
+        epoch_backoff_jitter: relative jitter amplitude on each delay,
+            drawn deterministically from ``epoch_retry_seed``.
+        epoch_retry_seed: seed of the backoff jitter stream.
+        replication: §9 fault-tolerance parameters ``(f, r)`` — tolerate
+            ``f`` fail-stop crashes and ``r`` rollbacks per subORAM by
+            running each as a :class:`~repro.extensions.replication.\
+ReplicatedSubOram` group of ``f + r + 1`` replicas.  ``None`` (default)
+            deploys unreplicated subORAMs.  Public information: replica
+            counts and crash/recovery events are infrastructure facts the
+            cloud attacker already controls.
     """
 
     num_load_balancers: int = 1
@@ -41,6 +59,13 @@ class SnoopyConfig:
     execution_backend: str = "serial"
     max_workers: Optional[int] = None
     kernel: str = "python"
+    task_timeout: Optional[float] = None
+    epoch_max_attempts: int = 1
+    epoch_backoff_base: float = 0.0
+    epoch_backoff_factor: float = 2.0
+    epoch_backoff_jitter: float = 0.1
+    epoch_retry_seed: int = 0
+    replication: Optional[Tuple[int, int]] = None
 
     def __post_init__(self) -> None:
         require_positive(self.num_load_balancers, "num_load_balancers")
@@ -53,6 +78,41 @@ class SnoopyConfig:
         require(self.epoch_duration > 0, "epoch_duration must be positive")
         if self.max_workers is not None:
             require_positive(self.max_workers, "max_workers")
+        if self.task_timeout is not None:
+            require(self.task_timeout > 0, "task_timeout must be positive")
+        require(
+            self.epoch_max_attempts >= 1, "epoch_max_attempts must be >= 1"
+        )
+        require(
+            self.epoch_backoff_base >= 0,
+            "epoch_backoff_base must be >= 0",
+        )
+        require(
+            self.epoch_backoff_factor >= 1,
+            "epoch_backoff_factor must be >= 1",
+        )
+        require(
+            self.epoch_backoff_jitter >= 0,
+            "epoch_backoff_jitter must be >= 0",
+        )
+        if self.replication is not None:
+            require(
+                isinstance(self.replication, tuple)
+                and len(self.replication) == 2,
+                "replication must be an (f, r) tuple",
+            )
+            f, r = self.replication
+            require(
+                isinstance(f, int) and isinstance(r, int),
+                "replication (f, r) must be integers",
+            )
+            require(f >= 0, "replication f (crash failures) must be >= 0")
+            require(r >= 0, "replication r (rollbacks) must be >= 0")
+            require(
+                f + r >= 1,
+                "replication (0, 0) is a single unreplicated copy; "
+                "use replication=None instead",
+            )
         # Validate the spec eagerly so a typo fails at configuration time,
         # not at the first epoch.  Imported here to keep repro.exec (which
         # needs repro.errors only) free of import cycles with core.

@@ -21,17 +21,20 @@ raises :class:`~repro.errors.IntegrityError` /
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import Dict, List, Optional
 
 from repro.core.config import SnoopyConfig
 from repro.core.epoch import EpochDriver
+from repro.core.faults import FaultInjector, FaultPlan
+from repro.core.resilience import EpochRetryController, RetryPolicy
 from repro.core.tickets import Ticket, TicketBook
 from repro.core.wire import decode_batch, encode_batch
 from repro.crypto.aead import SecureChannel
 from repro.crypto.keys import KeyChain
 from repro.enclave.attestation import AttestationService
-from repro.errors import NotInitializedError
+from repro.errors import NotInitializedError, TransportError
 from repro.exec import BackendSpec, ExecutionBackend, make_backend
 from repro.loadbalancer.initialization import oblivious_shard
 from repro.enclave.model import Enclave
@@ -40,6 +43,9 @@ from repro.loadbalancer.balancer import LoadBalancer
 from repro.suboram.suboram import SubOram
 from repro.types import Request, Response
 from repro.utils.validation import require
+
+#: Monotonic id source for per-deployment state-cache namespaces.
+_DEPLOYMENT_COUNTER = itertools.count()
 
 
 class _ChannelPair:
@@ -57,7 +63,8 @@ class DistributedSnoopy:
 
     def __init__(self, config: SnoopyConfig, keychain: Optional[KeyChain] = None,
                  rng: Optional[random.Random] = None,
-                 backend: Optional[BackendSpec] = None):
+                 backend: Optional[BackendSpec] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         """Assemble the attested deployment.
 
         Args:
@@ -69,6 +76,11 @@ class DistributedSnoopy:
                 in-process (``serial`` or ``thread``): the encrypted
                 channels hold live replay counters that cannot be shipped
                 across a process boundary.
+            fault_plan: optional deterministic
+                :class:`~repro.core.faults.FaultPlan`; in addition to the
+                backend and replica seams this deployment injects
+                scheduled ``transport_error`` events into the sealed
+                LB <-> subORAM hop.
         """
         self.config = config
         self.keychain = keychain if keychain is not None else KeyChain()
@@ -78,6 +90,14 @@ class DistributedSnoopy:
         self.backend = make_backend(
             backend if backend is not None else config.execution_backend,
             config.max_workers,
+            task_timeout=config.task_timeout,
+        )
+        self._state_ns = f"distributed-{next(_DEPLOYMENT_COUNTER)}"
+        self._injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        self._retry = EpochRetryController(
+            RetryPolicy.from_config(config), injector=self._injector
         )
 
         # Provision the attestation service with the release measurements.
@@ -97,11 +117,29 @@ class DistributedSnoopy:
                          config.security_parameter, kernel=config.kernel)
             for i in range(config.num_load_balancers)
         ]
-        self.suborams = [
-            SubOram(s, config.value_size, self.keychain,
-                    config.security_parameter, kernel=config.kernel)
-            for s in range(config.num_suborams)
-        ]
+        if config.replication is not None:
+            # Lazy import: repro.extensions pulls in the simulator, which
+            # imports the core deployments — circular at module level.
+            from repro.extensions.replication import ReplicatedSubOram
+
+            crash_tolerance, rollback_tolerance = config.replication
+            self.suborams = [
+                ReplicatedSubOram(
+                    s, config.value_size,
+                    crash_tolerance=crash_tolerance,
+                    rollback_tolerance=rollback_tolerance,
+                    keychain=self.keychain,
+                    security_parameter=config.security_parameter,
+                    kernel=config.kernel,
+                )
+                for s in range(config.num_suborams)
+            ]
+        else:
+            self.suborams = [
+                SubOram(s, config.value_size, self.keychain,
+                        config.security_parameter, kernel=config.kernel)
+                for s in range(config.num_suborams)
+            ]
 
         # Attested channel establishment: each pair verifies the peer's
         # quote before deriving the channel key.
@@ -149,6 +187,18 @@ class DistributedSnoopy:
     def _transport(self, balancer_index: int, suboram_index: int,
                    suboram: SubOram, batch) -> list:
         """Stage-➋ delivery: seal, cross the hostile network, execute, seal back."""
+        if (
+            self._injector is not None
+            and self._injector.transport_fault(suboram_index)
+        ):
+            # Injected before any channel send so replay counters stay
+            # aligned and the retried hop is a clean re-delivery.
+            fault = TransportError(
+                f"injected transport failure on hop lb{balancer_index}-"
+                f"so{suboram_index}"
+            )
+            fault.unit = suboram_index
+            raise fault
         pair = self._channels[(balancer_index, suboram_index)]
         # LB side: serialize + seal.
         nonce, sealed = pair.to_suboram.send(encode_batch(batch))
@@ -166,6 +216,10 @@ class DistributedSnoopy:
     def run_epoch(self) -> List[Response]:
         """One epoch over the encrypted transport.
 
+        Failed attempts are atomic and retried per the config's
+        ``epoch_max_attempts`` / backoff policy, exactly as in
+        :meth:`repro.core.snoopy.Snoopy.run_epoch`.
+
         Raises:
             NotInitializedError: ``initialize`` has not been called.
         """
@@ -174,11 +228,25 @@ class DistributedSnoopy:
                 "DistributedSnoopy.initialize must be called first"
             )
         self.counter.increment()
+        self._retry.begin_epoch(self.counter.value, self.suborams)
 
         driver = EpochDriver(self.backend)
-        result = driver.run(
-            self.load_balancers, self.suborams, transport=self._transport
-        )
+
+        def attempt():
+            return driver.run(
+                self.load_balancers,
+                self.suborams,
+                transport=self._transport,
+                state_ns=self._state_ns,
+                injector=self._injector,
+                atomic=self._retry.armed,
+            )
+
+        result = self._retry.run_with_retry(attempt)
+        # Armed (atomic) epochs execute on deep copies; install them so
+        # the served state is the state we keep.
+        self.suborams = result.suborams
+        self._retry.end_epoch(self.suborams)
         for balancer_index, responses in enumerate(
             result.responses_per_balancer
         ):
@@ -186,6 +254,12 @@ class DistributedSnoopy:
                 balancer_index, responses, epoch=self.counter.value
             )
         return result.responses
+
+    @property
+    def fault_stats(self) -> Dict[str, int]:
+        """Fault-tolerance counters (public information); see
+        :attr:`repro.core.snoopy.Snoopy.fault_stats`."""
+        return self._retry.fault_stats
 
     def close(self) -> None:
         """Release the execution backend's workers (no-op for serial)."""

@@ -22,14 +22,35 @@ Stage functions are module-level and take plain picklable tuples so that
 :class:`~repro.exec.pools.ProcessPoolBackend` can ship them to workers;
 mutated subORAM state returns by value in :class:`EpochResult.suborams`
 and the deployment reinstalls it.
+
+**Atomic epochs.**  A failed stage unit must not strand the epoch's
+requests (the paper's no-drop guarantee) nor leave subORAM state half
+mutated (retrying a partially applied batch would change write-before
+values and break byte-equivalence with serial execution).  On any stage
+failure :meth:`EpochDriver.run` therefore rolls the whole epoch back —
+drained requests are requeued into their balancers in arrival order,
+subORAM state is not installed, pending tickets stay pending — and
+raises a typed :class:`~repro.errors.EpochFailedError` naming the stage
+and unit.  When the deployment arms atomicity (retry policy or a fault
+injector), stage ➋ additionally runs on deep copies under shared-state
+backends so a mid-stage crash cannot leak partial in-place mutations;
+process backends already mutate worker-side copies, so a failed attempt
+simply never installs them.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-from repro.errors import ConfigurationError
+from repro.core.faults import FaultInjector
+from repro.errors import (
+    ConfigurationError,
+    EpochFailedError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
 from repro.exec.backend import ExecutionBackend
 from repro.loadbalancer.batching import generate_batches
 from repro.loadbalancer.matching import match_responses
@@ -87,9 +108,26 @@ def _build_stage(task):
     )
 
 
+def _raise_injected(fault: Optional[str], unit: int) -> None:
+    """Fire an injected stage-➋ fault inside the executing worker.
+
+    The raise happens worker-side (also across a process boundary) so the
+    failure exercises the same propagation path a real crash would.
+    """
+    if fault == "worker_crash":
+        raise WorkerCrashError(
+            f"injected worker crash at subORAM {unit}", unit=unit
+        )
+    if fault == "task_timeout":
+        raise TaskTimeoutError(
+            f"injected task timeout at subORAM {unit}", unit=unit
+        )
+
+
 def _execute_stage(task):
     """Stage ➋ unit: one subORAM's L batches, in fixed balancer order."""
-    suboram_index, suboram, chain, transport = task
+    suboram_index, suboram, chain, transport, fault = task
+    _raise_injected(fault, suboram_index)
     outputs = []
     for balancer_index, batch in chain:
         if transport is None:
@@ -100,7 +138,7 @@ def _execute_stage(task):
     return suboram, outputs
 
 
-def _execute_stateful(suboram, chain):
+def _execute_stateful(suboram, args):
     """Stage ➋ stateful unit: the direct-call path for ``map_stateful``.
 
     Returns ``(new_state, result)`` as the stateful contract requires —
@@ -108,6 +146,8 @@ def _execute_stateful(suboram, chain):
     :func:`_execute_stage` produces, so the driver handles both paths
     uniformly.
     """
+    suboram_index, chain, fault = args
+    _raise_injected(fault, suboram_index)
     outputs = []
     for balancer_index, batch in chain:
         outputs.append((balancer_index, suboram.batch_access(batch)))
@@ -142,8 +182,10 @@ class EpochDriver:
         permissions=None,
         transport: Optional[Transport] = None,
         state_ns: str = "epoch",
+        injector: Optional[FaultInjector] = None,
+        atomic: bool = False,
     ) -> EpochResult:
-        """Close the epoch: drain, build, execute, match.
+        """Close the epoch: drain, build, execute, match — atomically.
 
         Args:
             load_balancers: the deployment's balancers; their queues are
@@ -160,16 +202,37 @@ class EpochDriver:
                 :meth:`~repro.exec.backend.ExecutionBackend.map_stateful`);
                 deployments sharing one backend should pass distinct
                 namespaces so their subORAM caches never collide.
+            injector: optional :class:`~repro.core.faults.FaultInjector`;
+                stage-➋ units with a scheduled worker-crash/timeout event
+                are armed to fail inside the executing worker.
+            atomic: run stage ➋ on deep copies under shared-state
+                backends so a failed attempt leaves the caller's subORAM
+                objects untouched.  Deployments arm this whenever a retry
+                policy or fault injector is active; the reinstalled
+                :attr:`EpochResult.suborams` then *are* the copies, as
+                they already are under process backends.
 
         Raises:
             ConfigurationError: a transport was supplied on a backend
                 without shared state (e.g. ``process``).
+            EpochFailedError: a stage unit failed.  The epoch was rolled
+                back first: every drained request is requeued into its
+                balancer (arrival order preserved), no subORAM state is
+                installed, and tickets stay pending for the retry.
         """
         if transport is not None and not self.backend.supports_shared_state:
+            from repro.exec import BACKENDS
+
+            shared = sorted(
+                name
+                for name, cls in BACKENDS.items()
+                if cls.supports_shared_state
+            )
             raise ConfigurationError(
                 f"backend {self.backend.name!r} cannot run a custom "
-                "transport: channel state must stay in-process (use "
-                "'serial' or 'thread')"
+                f"transport for state namespace {state_ns!r}: channel "
+                "state must stay in-process (shared-state backends: "
+                f"{', '.join(repr(name) for name in shared)})"
             )
 
         drained = [balancer.drain() for balancer in load_balancers]
@@ -179,22 +242,46 @@ class EpochDriver:
                 responses_per_balancer=[[] for _ in load_balancers],
                 suborams=list(suborams),
             )
+        try:
+            return self._run_stages(
+                load_balancers, suborams, drained, active,
+                permissions, transport, state_ns, injector, atomic,
+            )
+        except EpochFailedError:
+            self._rollback(load_balancers, drained)
+            raise
 
+    @staticmethod
+    def _rollback(load_balancers: Sequence, drained: List[list]) -> None:
+        """Requeue every drained request so the next epoch retries it."""
+        for balancer, requests in zip(load_balancers, drained):
+            balancer.requeue(requests)
+
+    def _run_stages(
+        self, load_balancers, suborams, drained, active,
+        permissions, transport, state_ns, injector, atomic,
+    ) -> EpochResult:
+        """The three pipeline stages; failures surface as EpochFailedError."""
         # Stage ➊ — per-balancer batch building, concurrent across L.
-        built = self.backend.map(
-            _build_stage,
-            [
-                (
-                    drained[index],
-                    load_balancers[index].num_suborams,
-                    load_balancers[index].sharding_key,
-                    load_balancers[index].security_parameter,
-                    permissions,
-                    getattr(load_balancers[index], "kernel", None),
-                )
-                for index in active
-            ],
-        )
+        try:
+            built = self.backend.map(
+                _build_stage,
+                [
+                    (
+                        drained[index],
+                        load_balancers[index].num_suborams,
+                        load_balancers[index].sharding_key,
+                        load_balancers[index].security_parameter,
+                        permissions,
+                        getattr(load_balancers[index], "kernel", None),
+                    )
+                    for index in active
+                ],
+            )
+        except BaseException as exc:
+            raise EpochFailedError(
+                "build", getattr(exc, "unit", None), exc
+            ) from exc
 
         # Stage ➋ — per-subORAM chains, concurrent across S.  Each chain
         # lists that subORAM's batches in ascending balancer order, the
@@ -202,38 +289,60 @@ class EpochDriver:
         # in-process path runs through ``map_stateful`` so process
         # backends can keep each subORAM's state cached worker-side
         # across epochs instead of re-shipping it every batch.
-        if transport is None:
-            executed = self.backend.map_stateful(
-                _execute_stateful,
-                [
-                    (
-                        (state_ns, suboram_index),
-                        suboram,
-                        [
-                            (balancer_index, built[j][0][suboram_index])
-                            for j, balancer_index in enumerate(active)
-                        ],
-                    )
-                    for suboram_index, suboram in enumerate(suborams)
-                ],
-                token=_suboram_state_token,
-            )
-        else:
-            executed = self.backend.map(
-                _execute_stage,
-                [
-                    (
-                        suboram_index,
-                        suboram,
-                        [
-                            (balancer_index, built[j][0][suboram_index])
-                            for j, balancer_index in enumerate(active)
-                        ],
-                        transport,
-                    )
-                    for suboram_index, suboram in enumerate(suborams)
-                ],
-            )
+        work_suborams = list(suborams)
+        if atomic and self.backend.supports_shared_state:
+            # Shared-state backends mutate in place; run on copies so a
+            # failed unit cannot leave the caller's state half-applied.
+            work_suborams = copy.deepcopy(work_suborams)
+        faults = [
+            injector.stage_fault(suboram_index)
+            if injector is not None
+            else None
+            for suboram_index in range(len(work_suborams))
+        ]
+        try:
+            if transport is None:
+                executed = self.backend.map_stateful(
+                    _execute_stateful,
+                    [
+                        (
+                            (state_ns, suboram_index),
+                            suboram,
+                            (
+                                suboram_index,
+                                [
+                                    (balancer_index,
+                                     built[j][0][suboram_index])
+                                    for j, balancer_index in enumerate(active)
+                                ],
+                                faults[suboram_index],
+                            ),
+                        )
+                        for suboram_index, suboram in enumerate(work_suborams)
+                    ],
+                    token=_suboram_state_token,
+                )
+            else:
+                executed = self.backend.map(
+                    _execute_stage,
+                    [
+                        (
+                            suboram_index,
+                            suboram,
+                            [
+                                (balancer_index, built[j][0][suboram_index])
+                                for j, balancer_index in enumerate(active)
+                            ],
+                            transport,
+                            faults[suboram_index],
+                        )
+                        for suboram_index, suboram in enumerate(work_suborams)
+                    ],
+                )
+        except BaseException as exc:
+            raise EpochFailedError(
+                "execute", getattr(exc, "unit", None), exc
+            ) from exc
         new_suborams = [suboram for suboram, _ in executed]
 
         # Regroup stage-➋ outputs by balancer, subORAMs in ascending
@@ -244,17 +353,24 @@ class EpochDriver:
                 entries_per_balancer[balancer_index].extend(entries)
 
         # Stage ➌ — per-balancer response matching, concurrent across L.
-        matched = self.backend.map(
-            _match_stage,
-            [
-                (
-                    built[j][1],
-                    entries_per_balancer[balancer_index],
-                    getattr(load_balancers[balancer_index], "kernel", None),
-                )
-                for j, balancer_index in enumerate(active)
-            ],
-        )
+        try:
+            matched = self.backend.map(
+                _match_stage,
+                [
+                    (
+                        built[j][1],
+                        entries_per_balancer[balancer_index],
+                        getattr(
+                            load_balancers[balancer_index], "kernel", None
+                        ),
+                    )
+                    for j, balancer_index in enumerate(active)
+                ],
+            )
+        except BaseException as exc:
+            raise EpochFailedError(
+                "match", getattr(exc, "unit", None), exc
+            ) from exc
 
         responses_per_balancer: List[List[Response]] = [
             [] for _ in load_balancers

@@ -1,0 +1,256 @@
+"""Deterministic chaos layer: seeded fault plans and their injector.
+
+Fault tolerance code is only trustworthy if its failure paths are
+exercised, and failure paths are only debuggable if the failures are
+reproducible.  A :class:`FaultPlan` is a *seeded, deterministic* schedule
+of infrastructure faults — worker crashes, task timeouts, replica
+crashes and rollbacks, transport errors — each pinned to an (epoch,
+unit) coordinate.  The same seed always produces the same plan, so a
+chaos run that fails in CI replays identically on a laptop
+(``python -m repro demo --faults SEED``).
+
+The plan is injected through the two seams the system already has:
+
+* the **backend seam** — :class:`~repro.core.epoch.EpochDriver` consults
+  the injector when building stage-➋ tasks and arms the scheduled unit
+  to raise :class:`~repro.errors.WorkerCrashError` /
+  :class:`~repro.errors.TaskTimeoutError`;
+* the **transport seam** — :class:`~repro.core.deployment.DistributedSnoopy`
+  consults it inside the sealed-channel round trip and raises
+  :class:`~repro.errors.TransportError` for the scheduled hop, while both
+  deployments apply replica crash/rollback events at epoch boundaries.
+
+Security note (mirrors the paper's §2.1 public-information model): a
+fault plan describes *public* events — which machine failed and when is
+exactly what a cloud attacker already observes and controls.  Injection
+never consults request contents or keys, failure handling is a function
+of the fault kind alone, and the access-pattern traces of the epochs
+that do complete are byte-identical to a fault-free run
+(``tests/test_chaos.py`` asserts this).
+
+:class:`FaultInjector` is the runtime cursor over a plan: it tracks the
+deployment's current epoch, hands out each event exactly once (retried
+epoch attempts do not re-fire a consumed event), and counts every fired
+event in :attr:`FaultInjector.stats` — the substrate of the deployment's
+``fault_stats`` surface.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.utils.validation import require
+
+#: Fault kinds a plan may schedule, and the ``stats`` counter each feeds.
+FAULT_KINDS: Dict[str, str] = {
+    "worker_crash": "worker_crashes",
+    "task_timeout": "tasks_timed_out",
+    "replica_crash": "replica_crashes",
+    "replica_rollback": "replica_rollbacks",
+    "transport_error": "transport_errors",
+}
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault: *kind* at epoch *epoch*, unit *unit*.
+
+    Attributes:
+        epoch: 1-based deployment epoch the fault fires in (the N-th
+            ``run_epoch`` call; retries of a failed epoch share its
+            number).
+        kind: one of :data:`FAULT_KINDS`.
+        unit: the stage unit hit — subORAM index for worker/timeout/
+            transport/replica faults.
+        replica: replica index within the unit's group, for
+            ``replica_crash`` / ``replica_rollback``.
+    """
+
+    epoch: int
+    kind: str
+    unit: int = 0
+    replica: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.kind in FAULT_KINDS,
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {sorted(FAULT_KINDS)}")
+        require(self.epoch >= 1, "fault epoch must be >= 1 (1-based)")
+        require(self.unit >= 0, "fault unit must be >= 0")
+        require(self.replica >= 0, "fault replica must be >= 0")
+
+
+class FaultPlan:
+    """An immutable, ordered schedule of :class:`FaultEvent`.
+
+    Build one explicitly for targeted tests, or derive one from a seed
+    with :meth:`generate` for soak runs::
+
+        plan = FaultPlan([
+            FaultEvent(epoch=2, kind="worker_crash", unit=1),
+            FaultEvent(epoch=4, kind="task_timeout", unit=0),
+        ])
+        store = Snoopy(config, fault_plan=plan)
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self.events: Tuple[FaultEvent, ...] = tuple(sorted(events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def for_epoch(self, epoch: int) -> List[FaultEvent]:
+        """All events scheduled for one epoch, in deterministic order."""
+        return [event for event in self.events if event.epoch == epoch]
+
+    def counts(self) -> Dict[str, int]:
+        """Scheduled events per kind (what ``fault_stats`` should reach)."""
+        counts = {kind: 0 for kind in FAULT_KINDS}
+        for event in self.events:
+            counts[event.kind] += 1
+        return counts
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        epochs: int,
+        num_suborams: int,
+        num_replicas: int = 0,
+        with_transport: bool = False,
+        intensity: int = 1,
+    ) -> "FaultPlan":
+        """Derive a deterministic plan from a seed (the chaos-soak entry).
+
+        Schedules ``intensity`` events of each applicable kind at
+        pseudo-random (epoch, unit) coordinates drawn from
+        ``random.Random(seed)``.  Replica faults are only generated when
+        ``num_replicas >= 2`` (a rollback needs a fresh peer to detect it
+        against), transport faults only when ``with_transport`` is set
+        (the in-process deployment has no network hop to fail).
+
+        Events never collide on the same (epoch, unit, kind) coordinate,
+        so ``fault_stats`` after the run equals :meth:`counts` exactly.
+        """
+        require(epochs >= 1, "epochs must be >= 1")
+        require(num_suborams >= 1, "num_suborams must be >= 1")
+        require(intensity >= 0, "intensity must be >= 0")
+        rng = random.Random(seed)
+        kinds = ["worker_crash", "task_timeout"]
+        if with_transport:
+            kinds.append("transport_error")
+        if num_replicas >= 2:
+            kinds.extend(["replica_crash", "replica_rollback"])
+        events: List[FaultEvent] = []
+        used = set()
+        for kind in kinds:
+            for _ in range(intensity):
+                for _attempt in range(64):
+                    # Rollbacks need a follow-up epoch in which the stale
+                    # reply is detected, so keep them off the last epoch.
+                    last = epochs - 1 if kind == "replica_rollback" else epochs
+                    if last < 1:
+                        break
+                    epoch = rng.randrange(1, last + 1)
+                    unit = rng.randrange(num_suborams)
+                    if (epoch, unit, kind) not in used:
+                        used.add((epoch, unit, kind))
+                        replica = (
+                            rng.randrange(num_replicas)
+                            if kind.startswith("replica")
+                            else 0
+                        )
+                        events.append(
+                            FaultEvent(epoch=epoch, kind=kind, unit=unit,
+                                       replica=replica)
+                        )
+                        break
+        return cls(events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan({list(self.events)!r})"
+
+
+class FaultInjector:
+    """Runtime cursor over a :class:`FaultPlan` plus fired-event counters.
+
+    The deployment calls :meth:`begin_epoch` once per user-visible epoch
+    (retry attempts share the epoch number); the driver and transport
+    seams then :meth:`take` events, each of which fires **at most once**
+    — a retried epoch does not replay the fault that failed it, which is
+    what makes a finite fault plan terminate.
+
+    Attributes:
+        stats: fired-event counters, keyed by the :data:`FAULT_KINDS`
+            counter names (``worker_crashes``, ``tasks_timed_out``, ...).
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan if plan is not None else FaultPlan()
+        self._pending: List[FaultEvent] = list(self.plan.events)
+        self._epoch = 0
+        self.stats: Dict[str, int] = {
+            counter: 0 for counter in FAULT_KINDS.values()
+        }
+
+    @property
+    def epoch(self) -> int:
+        """The current (1-based) deployment epoch."""
+        return self._epoch
+
+    @property
+    def pending(self) -> List[FaultEvent]:
+        """Events that have not fired yet (inspection/testing)."""
+        return list(self._pending)
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Advance the injector to a new deployment epoch."""
+        self._epoch = epoch
+
+    def take(self, kind: str, unit: Optional[int] = None) -> Optional[FaultEvent]:
+        """Fire (and consume) the next matching event for this epoch.
+
+        Returns the event, or ``None`` when nothing matching is
+        scheduled.  Matching is by kind, the current epoch, and — when
+        given — the unit index.
+        """
+        for index, event in enumerate(self._pending):
+            if event.kind != kind or event.epoch != self._epoch:
+                continue
+            if unit is not None and event.unit != unit:
+                continue
+            del self._pending[index]
+            self.stats[FAULT_KINDS[kind]] += 1
+            return event
+        return None
+
+    def stage_fault(self, unit: int) -> Optional[str]:
+        """Backend-seam probe: fault kind armed for stage-➋ unit ``unit``.
+
+        Consumed on return; the epoch driver embeds the kind into the
+        unit's task so the fault fires inside the executing worker.
+        """
+        for kind in ("worker_crash", "task_timeout"):
+            if self.take(kind, unit=unit) is not None:
+                return kind
+        return None
+
+    def transport_fault(self, unit: int) -> bool:
+        """Transport-seam probe: should this hop fail with TransportError?"""
+        return self.take("transport_error", unit=unit) is not None
+
+    def replica_faults(self, kind: str) -> List[FaultEvent]:
+        """Fire every ``replica_crash``/``replica_rollback`` event due now."""
+        require(kind in ("replica_crash", "replica_rollback"),
+                "replica_faults takes a replica fault kind")
+        fired = []
+        while True:
+            event = self.take(kind)
+            if event is None:
+                return fired
+            fired.append(event)

@@ -27,9 +27,11 @@ from typing import Dict, List, Optional, Sequence
 from repro.crypto.keys import KeyChain
 from repro.core.config import SnoopyConfig
 from repro.core.epoch import EpochDriver
+from repro.core.faults import FaultInjector, FaultPlan
+from repro.core.resilience import EpochRetryController, RetryPolicy
 from repro.core.tickets import Ticket, TicketBook
 from repro.enclave.sealed import MonotonicCounter
-from repro.errors import NotInitializedError
+from repro.errors import ConfigurationError, NotInitializedError
 from repro.exec import BackendSpec, ExecutionBackend, make_backend
 from repro.loadbalancer.balancer import LoadBalancer
 from repro.loadbalancer.initialization import oblivious_shard
@@ -53,7 +55,8 @@ class Snoopy:
 
     def __init__(self, config: SnoopyConfig, keychain: Optional[KeyChain] = None,
                  rng: Optional[random.Random] = None, suboram_factory=None,
-                 backend: Optional[BackendSpec] = None):
+                 backend: Optional[BackendSpec] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         """Assemble the deployment.
 
         Args:
@@ -65,10 +68,21 @@ class Snoopy:
                 designs (anything with ``initialize(objects)`` and
                 ``batch_access(batch)``), e.g. the Oblix adapter behind
                 Fig. 10.  Defaults to the paper's throughput-optimized
-                linear-scan subORAM (§5).
+                linear-scan subORAM (§5), or to §9
+                :class:`~repro.extensions.replication.ReplicatedSubOram`
+                groups when ``config.replication`` is set.
             backend: execution backend for epoch stages — an
                 :class:`~repro.exec.ExecutionBackend` or a spec string;
                 defaults to ``config.execution_backend``.
+            fault_plan: optional deterministic
+                :class:`~repro.core.faults.FaultPlan` (chaos testing);
+                scheduled faults are injected through the backend and
+                replica seams and counted in :attr:`fault_stats`.
+
+        Raises:
+            ConfigurationError: both a custom ``suboram_factory`` and
+                ``config.replication`` were given — the deployment cannot
+                know how to wrap an arbitrary subORAM in replica groups.
         """
         self.config = config
         self.keychain = keychain if keychain is not None else KeyChain()
@@ -78,6 +92,13 @@ class Snoopy:
         self.backend = make_backend(
             backend if backend is not None else config.execution_backend,
             config.max_workers,
+            task_timeout=config.task_timeout,
+        )
+        self._injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        self._retry = EpochRetryController(
+            RetryPolicy.from_config(config), injector=self._injector
         )
 
         # Distinct per-deployment namespace for the backend's cross-epoch
@@ -96,7 +117,17 @@ class Snoopy:
             for i in range(config.num_load_balancers)
         ]
         if suboram_factory is None:
-            suboram_factory = _default_suboram_factory
+            suboram_factory = (
+                _replicated_suboram_factory
+                if config.replication is not None
+                else _default_suboram_factory
+            )
+        elif config.replication is not None:
+            raise ConfigurationError(
+                "config.replication and a custom suboram_factory are "
+                "mutually exclusive: have the factory build "
+                "ReplicatedSubOram groups itself"
+            )
         self.suborams = [
             suboram_factory(s, config, self.keychain)
             for s in range(config.num_suborams)
@@ -172,6 +203,14 @@ class Snoopy:
         scans per epoch).  The configured execution backend decides how
         much of that work overlaps; see :mod:`repro.core.epoch`.
 
+        A failed epoch attempt (worker crash, task timeout, transport
+        fault) is atomic: its requests are requeued, no subORAM state is
+        installed, and — when ``config.epoch_max_attempts`` allows — the
+        epoch is retried with seeded exponential backoff.  Exhausted
+        retries (and non-retryable failures such as security aborts)
+        re-raise the underlying error; the requests stay queued for a
+        later ``run_epoch``.
+
         Args:
             permissions: optional §D access-control bits,
                 ``{(client_id, seq): 0/1}``; used by
@@ -184,21 +223,34 @@ class Snoopy:
         if not self._initialized:
             raise NotInitializedError("Snoopy.initialize must be called first")
         self.counter.increment()  # one trusted-counter bump per epoch (§9)
+        self._retry.begin_epoch(self.counter.value, self.suborams)
 
         driver = EpochDriver(
-            make_backend(backend, self.config.max_workers)
+            make_backend(
+                backend,
+                self.config.max_workers,
+                task_timeout=self.config.task_timeout,
+            )
             if backend is not None
             else self.backend
         )
-        result = driver.run(
-            self.load_balancers,
-            self.suborams,
-            permissions=permissions,
-            state_ns=self._state_ns,
-        )
+
+        def attempt():
+            return driver.run(
+                self.load_balancers,
+                self.suborams,
+                permissions=permissions,
+                state_ns=self._state_ns,
+                injector=self._injector,
+                atomic=self._retry.armed,
+            )
+
+        result = self._retry.run_with_retry(attempt)
         # Under a process backend the subORAMs mutated in workers; the
-        # driver ships the updated state back and we reinstall it.
+        # driver ships the updated state back and we reinstall it.  (The
+        # same applies to the atomic deep copies of an armed epoch.)
         self.suborams = result.suborams
+        self._retry.end_epoch(self.suborams)
         for balancer_index, responses in enumerate(
             result.responses_per_balancer
         ):
@@ -206,6 +258,18 @@ class Snoopy:
                 balancer_index, responses, epoch=self.counter.value
             )
         return result.responses
+
+    @property
+    def fault_stats(self) -> Dict[str, int]:
+        """Fault-tolerance counters (public information).
+
+        Controller counters (``epochs_failed``, ``epochs_retried``,
+        ``replicas_recovered``) plus, when a fault plan is attached, the
+        injector's fired-event counters (``worker_crashes``,
+        ``tasks_timed_out``, ``replica_crashes``, ``replica_rollbacks``,
+        ``transport_errors``).
+        """
+        return self._retry.fault_stats
 
     def close(self) -> None:
         """Release the execution backend's workers (no-op for serial).
@@ -257,6 +321,25 @@ def _default_suboram_factory(suboram_id: int, config: SnoopyConfig,
     return SubOram(
         suboram_id=suboram_id,
         value_size=config.value_size,
+        keychain=keychain,
+        security_parameter=config.security_parameter,
+        kernel=config.kernel,
+    )
+
+
+def _replicated_suboram_factory(suboram_id: int, config: SnoopyConfig,
+                                keychain: KeyChain):
+    """§9 quorum-replicated subORAM groups (``config.replication=(f, r)``)."""
+    # Lazy import: repro.extensions pulls in the simulator, which imports
+    # this module — a top-level import would be circular.
+    from repro.extensions.replication import ReplicatedSubOram
+
+    crash_tolerance, rollback_tolerance = config.replication
+    return ReplicatedSubOram(
+        suboram_id=suboram_id,
+        value_size=config.value_size,
+        crash_tolerance=crash_tolerance,
+        rollback_tolerance=rollback_tolerance,
         keychain=keychain,
         security_parameter=config.security_parameter,
         kernel=config.kernel,

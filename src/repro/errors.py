@@ -80,3 +80,91 @@ class CapacityError(ReproError, ValueError):
 
 class PlannerError(ReproError):
     """The planner could not find a configuration meeting the constraints."""
+
+
+class FaultError(ReproError):
+    """Base class for transient infrastructure faults (crash/timeout/network).
+
+    Fault errors describe *public* events — a worker died, a task took too
+    long, a network hop failed — never secret data.  They are the only
+    errors the epoch retry machinery considers retryable: retrying a
+    security abort (tampering, overflow) would re-run a deterministically
+    failing epoch, and making retry decisions depend on anything secret
+    would itself be a leak.
+    """
+
+
+class WorkerCrashError(FaultError):
+    """An execution-backend worker died before completing its task.
+
+    Attributes:
+        unit: index of the epoch unit (e.g. subORAM) the task belonged
+            to, when known.
+    """
+
+    def __init__(self, message: str, unit=None):
+        super().__init__(message)
+        self.unit = unit
+
+
+class TaskTimeoutError(FaultError):
+    """A backend task exceeded its configured per-task timeout.
+
+    Attributes:
+        unit: index of the epoch unit the task belonged to, when known.
+    """
+
+    def __init__(self, message: str, unit=None):
+        super().__init__(message)
+        self.unit = unit
+
+
+class TransportError(FaultError):
+    """A load-balancer <-> subORAM network hop failed (not tampering).
+
+    Distinct from :class:`IntegrityError`/:class:`ReplayError`: those are
+    *security* failures that must never be blindly retried, while a
+    dropped connection is a transient fault the epoch pipeline recovers
+    from by re-running the whole epoch.
+    """
+
+
+class EpochFailedError(ReproError):
+    """One epoch attempt failed; its requests were requeued, not dropped.
+
+    Raised by :meth:`repro.core.epoch.EpochDriver.run` when any stage unit
+    fails.  By the time it propagates the driver has already rolled the
+    epoch back: drained requests are back in their balancers (in arrival
+    order), subORAM state was not installed, and pending tickets remain
+    pending — the next ``run_epoch`` retries the same requests, which is
+    how the paper's no-drop guarantee (Theorem 3 / Appendix C: every
+    accepted request is eventually served in some epoch) survives faults.
+
+    Attributes:
+        stage: which pipeline stage failed (``"build"``, ``"execute"``,
+            ``"match"``).
+        unit: failing unit index within the stage, when known (balancer
+            index for build/match, subORAM index for execute).
+        cause: the underlying exception.
+    """
+
+    def __init__(self, stage: str, unit, cause: BaseException):
+        super().__init__(
+            f"epoch stage {stage!r} failed"
+            + (f" at unit {unit}" if unit is not None else "")
+            + f": {cause!r}"
+        )
+        self.stage = stage
+        self.unit = unit
+        self.cause = cause
+
+    @property
+    def retryable(self) -> bool:
+        """True when the cause is a transient fault worth retrying.
+
+        Only :class:`FaultError` subclasses (worker crash, task timeout,
+        transport failure) are retryable; security aborts and protocol
+        bugs deterministically recur, so retrying them would just repeat
+        the failure ``max_attempts`` times.
+        """
+        return isinstance(self.cause, FaultError)

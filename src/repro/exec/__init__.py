@@ -86,7 +86,9 @@ def parse_spec(spec: str) -> Tuple[Type[ExecutionBackend], Optional[int]]:
 
 
 def make_backend(
-    spec: BackendSpec = "serial", max_workers: Optional[int] = None
+    spec: BackendSpec = "serial",
+    max_workers: Optional[int] = None,
+    task_timeout: Optional[float] = None,
 ) -> ExecutionBackend:
     """Build (or pass through) an execution backend.
 
@@ -95,6 +97,10 @@ def make_backend(
             ``"process"``, ``"process:4"``) or an already-constructed
             :class:`ExecutionBackend`, returned unchanged.
         max_workers: pool size; overridden by a ``:N`` suffix in the spec.
+        task_timeout: per-task timeout in seconds for pooled backends; an
+            overrun raises :class:`~repro.errors.TaskTimeoutError`.
+            Ignored for ``serial`` (inline execution cannot be bounded)
+            and for an already-constructed backend instance.
 
     Raises:
         ConfigurationError: the spec names no registered backend.
@@ -105,7 +111,7 @@ def make_backend(
     workers = spec_workers if spec_workers is not None else max_workers
     if cls is SerialBackend:
         return cls()
-    return cls(max_workers=workers)
+    return cls(max_workers=workers, task_timeout=task_timeout)
 
 
 __all__ = [

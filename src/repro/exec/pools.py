@@ -4,6 +4,20 @@ Both pools are created lazily on first :meth:`~ExecutionBackend.map` call
 so that merely constructing a deployment never spawns workers, and both
 survive pickling (the pool itself is dropped and re-created on demand),
 which lets deployment objects holding a backend cross process boundaries.
+
+**Fault surface.**  Pools turn infrastructure failures into the typed
+errors the epoch retry machinery understands instead of hanging the
+driver:
+
+* ``task_timeout`` (seconds, per task) bounds how long any one task may
+  run; an overrun raises :class:`~repro.errors.TaskTimeoutError` and the
+  pool (or stuck sticky worker) is torn down so the late result can never
+  corrupt a retried epoch.
+* a worker process that dies mid-task (killed, OOM, segfault) raises
+  :class:`~repro.errors.WorkerCrashError`; for sticky ``map_stateful``
+  workers the parent additionally invalidates that key's state-cache
+  entry and respawns the worker, forcing a clean full state ship on the
+  retry.
 """
 
 from __future__ import annotations
@@ -13,10 +27,29 @@ import os
 import threading
 import zlib
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional
 
+from repro.errors import TaskTimeoutError, WorkerCrashError
 from repro.exec.backend import ExecutionBackend
 from repro.utils.validation import require
+
+
+def _unit_of(key) -> Optional[int]:
+    """Best-effort epoch unit index from a ``map_stateful`` key.
+
+    The epoch driver keys stateful tasks as ``(state_ns, suboram_index)``;
+    surfacing that index on fault errors lets ``EpochFailedError`` name
+    the failing unit without the backend knowing anything about epochs.
+    """
+    if (
+        isinstance(key, tuple)
+        and len(key) == 2
+        and isinstance(key[1], int)
+    ):
+        return key[1]
+    return None
 
 
 def _default_thread_workers() -> int:
@@ -34,14 +67,33 @@ class _PooledBackend(ExecutionBackend):
 
     name = "pooled"
 
-    def __init__(self, max_workers: Optional[int] = None):
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+    ):
         if max_workers is not None:
             require(max_workers > 0, "max_workers must be positive")
+        if task_timeout is not None:
+            require(task_timeout > 0, "task_timeout must be positive")
         self.max_workers = max_workers
+        self.task_timeout = task_timeout
         self._executor: Optional[Executor] = None
 
     def _make_executor(self) -> Executor:
         raise NotImplementedError
+
+    def _abandon_executor(self) -> None:
+        """Drop a pool whose workers can no longer be trusted.
+
+        Called after a timeout or worker crash: the stuck/late tasks are
+        cancelled where possible and the pool reference released without
+        waiting, so a straggler finishing later can never feed a result
+        into a retried epoch.  The next ``map`` call builds a fresh pool.
+        """
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
 
     def map(self, fn, tasks) -> list:
         """Fan tasks out across the pool; gather results in task order."""
@@ -52,9 +104,29 @@ class _PooledBackend(ExecutionBackend):
             return [fn(task) for task in tasks]
         if self._executor is None:
             self._executor = self._make_executor()
-        # Executor.map preserves input order and re-raises the first
-        # failing task's exception at iteration time.
-        return list(self._executor.map(fn, tasks))
+        try:
+            if self.task_timeout is None:
+                # Executor.map preserves input order and re-raises the
+                # first failing task's exception at iteration time.
+                return list(self._executor.map(fn, tasks))
+            futures = [self._executor.submit(fn, task) for task in tasks]
+            results = []
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result(timeout=self.task_timeout))
+                except FutureTimeoutError as exc:
+                    self._abandon_executor()
+                    raise TaskTimeoutError(
+                        f"task {index} exceeded the per-task timeout of "
+                        f"{self.task_timeout}s",
+                        unit=index,
+                    ) from exc
+            return results
+        except BrokenProcessPool as exc:
+            self._abandon_executor()
+            raise WorkerCrashError(
+                "a pool worker process died mid-task"
+            ) from exc
 
     def close(self) -> None:
         """Shut the pool down; safe to call repeatedly."""
@@ -147,10 +219,20 @@ class _StickyWorker:
         child_conn.close()
         self.lock = threading.Lock()
 
-    def request(self, message) -> tuple:
-        """Send one task message and wait for its reply (thread-safe)."""
+    def request(self, message, timeout: Optional[float] = None) -> tuple:
+        """Send one task message and wait for its reply (thread-safe).
+
+        Raises:
+            TaskTimeoutError: no reply arrived within ``timeout`` seconds.
+                The caller must :meth:`kill` this worker — a late reply
+                would desynchronize the request/reply protocol.
+        """
         with self.lock:
             self.conn.send(message)
+            if timeout is not None and not self.conn.poll(timeout):
+                raise TaskTimeoutError(
+                    f"sticky worker gave no reply within {timeout}s"
+                )
             return self.conn.recv()
 
     def stop(self) -> None:
@@ -164,6 +246,18 @@ class _StickyWorker:
             self.process.terminate()
             self.process.join(timeout=5)
         self.conn.close()
+
+    def kill(self) -> None:
+        """Forcefully terminate a stuck or crashed worker and reap it."""
+        try:
+            self.process.kill()
+        except Exception:  # pragma: no cover - already dead
+            pass
+        self.process.join(timeout=5)
+        try:
+            self.conn.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
 
 
 class ProcessPoolBackend(_PooledBackend):
@@ -190,8 +284,12 @@ class ProcessPoolBackend(_PooledBackend):
     name = "process"
     supports_shared_state = False
 
-    def __init__(self, max_workers: Optional[int] = None):
-        super().__init__(max_workers)
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+    ):
+        super().__init__(max_workers, task_timeout)
         self._sticky: Dict[int, _StickyWorker] = {}
         #: key -> (version, state object, token) from the previous call.
         self._state_cache: Dict[object, tuple] = {}
@@ -278,8 +376,23 @@ class ProcessPoolBackend(_PooledBackend):
             raise failures[min(failures)]
         return results
 
+    def _discard_worker(self, slot: int, key) -> None:
+        """Kill one sticky worker and drop the key's state-cache entry.
+
+        After a timeout or double crash nothing the worker later says can
+        be trusted (a late reply would desync the pipe protocol), so the
+        process is killed outright.  Dropping the parent's cache entry
+        forces a full state re-ship on the retry; other keys cached on
+        the same (now respawned) worker miss their probe and re-ship too.
+        """
+        worker = self._sticky.pop(slot, None)
+        if worker is not None:
+            worker.kill()
+        self._state_cache.pop(key, None)
+
     def _run_sticky_task(self, slot, fn, key, state, args, token) -> tuple:
         worker = self._sticky_worker(slot)
+        timeout = self.task_timeout
         current_token = token(state) if token is not None else None
         cached = self._state_cache.get(key)
         version = cached[0] if cached is not None else 0
@@ -292,9 +405,18 @@ class ProcessPoolBackend(_PooledBackend):
         reply = None
         if probe:
             try:
-                reply = worker.request((fn, key, version, False, None, args))
+                reply = worker.request(
+                    (fn, key, version, False, None, args), timeout=timeout
+                )
             except (EOFError, BrokenPipeError, OSError):
                 reply = ("miss", None, None)
+            except TaskTimeoutError as exc:
+                self._discard_worker(slot, key)
+                raise TaskTimeoutError(
+                    f"stateful task for key {key!r} exceeded the per-task "
+                    f"timeout of {timeout}s",
+                    unit=_unit_of(key),
+                ) from exc
             if reply[0] == "miss":
                 self.state_cache_stats["misses"] += 1
                 reply = None
@@ -303,14 +425,44 @@ class ProcessPoolBackend(_PooledBackend):
         if reply is None:
             self.state_cache_stats["full_ships"] += 1
             try:
-                reply = worker.request((fn, key, version, True, state, args))
+                reply = worker.request(
+                    (fn, key, version, True, state, args), timeout=timeout
+                )
+            except TaskTimeoutError as exc:
+                self._discard_worker(slot, key)
+                raise TaskTimeoutError(
+                    f"stateful task for key {key!r} exceeded the per-task "
+                    f"timeout of {timeout}s",
+                    unit=_unit_of(key),
+                ) from exc
             except (EOFError, BrokenPipeError, OSError):
                 # Worker died mid-task (e.g. killed); respawn once and
                 # re-ship the full state.
                 self._sticky.pop(slot, None)
                 self._state_cache.pop(key, None)
                 worker = self._sticky_worker(slot)
-                reply = worker.request((fn, key, version, True, state, args))
+                try:
+                    reply = worker.request(
+                        (fn, key, version, True, state, args),
+                        timeout=timeout,
+                    )
+                except TaskTimeoutError as exc:
+                    self._discard_worker(slot, key)
+                    raise TaskTimeoutError(
+                        f"stateful task for key {key!r} exceeded the "
+                        f"per-task timeout of {timeout}s",
+                        unit=_unit_of(key),
+                    ) from exc
+                except (EOFError, BrokenPipeError, OSError) as exc:
+                    # The respawned worker died too — give up loudly so
+                    # the epoch retry machinery (not this backend)
+                    # decides what happens next.
+                    self._discard_worker(slot, key)
+                    raise WorkerCrashError(
+                        f"sticky worker for key {key!r} died twice "
+                        "(respawn and retry also crashed)",
+                        unit=_unit_of(key),
+                    ) from exc
         status, new_state, result = reply
         if status == "error":
             self._state_cache.pop(key, None)

@@ -69,6 +69,7 @@ class ReplicatedSubOram:
         rollback_tolerance: int = 1,
         keychain: Optional[KeyChain] = None,
         security_parameter: int = 32,
+        kernel=None,
     ):
         require(crash_tolerance >= 0, "crash_tolerance must be >= 0")
         require(rollback_tolerance >= 0, "rollback_tolerance must be >= 0")
@@ -79,7 +80,13 @@ class ReplicatedSubOram:
         keychain = keychain if keychain is not None else KeyChain()
         self.replicas = [
             _Replica(
-                SubOram(suboram_id, value_size, keychain, security_parameter)
+                SubOram(
+                    suboram_id,
+                    value_size,
+                    keychain,
+                    security_parameter,
+                    kernel=kernel,
+                )
             )
             for _ in range(crash_tolerance + rollback_tolerance + 1)
         ]
@@ -88,6 +95,49 @@ class ReplicatedSubOram:
     def group_size(self) -> int:
         """Total replica count (f + r + 1)."""
         return len(self.replicas)
+
+    @property
+    def state_token(self) -> tuple:
+        """Version token over the whole group's mutable state.
+
+        Lets the group ride the process backend's cross-epoch state cache
+        (:meth:`~repro.exec.pools.ProcessPoolBackend.map_stateful`): the
+        token changes whenever the trusted counter, any replica's local
+        epoch or crash flag, or any replica's subORAM state changes — the
+        exact conditions under which a cached worker-side copy is stale.
+        """
+        return (
+            self.counter.value,
+            tuple(
+                (
+                    replica.epoch,
+                    replica.crashed,
+                    getattr(replica.suboram, "state_token", None),
+                )
+                for replica in self.replicas
+            ),
+        )
+
+    @property
+    def num_objects(self) -> int:
+        """Object count of the partition (taken from a live replica)."""
+        for replica in self.replicas:
+            if not replica.crashed:
+                return replica.suboram.num_objects
+        return 0
+
+    def peek(self, key: int) -> Optional[bytes]:
+        """Non-oblivious debug read from the freshest live replica."""
+        fresh = max(
+            (r for r in self.replicas if not r.crashed),
+            key=lambda r: r.epoch,
+            default=None,
+        )
+        if fresh is None:
+            raise ReplicaUnavailableError(
+                f"subORAM group {self.suboram_id}: all replicas crashed"
+            )
+        return fresh.suboram.peek(key)
 
     def initialize(self, objects: Dict[int, bytes]) -> None:
         """Load the partition contents onto every replica."""
@@ -101,12 +151,19 @@ class ReplicatedSubOram:
         """Execute on all live replicas; return a verified-fresh reply.
 
         Raises:
-            ReplicaUnavailableError: every replica has crashed.
+            ReplicaUnavailableError: every replica has crashed.  The
+                trusted counter is *not* advanced: no batch was served,
+                so after ``recover_from_peer`` the group resumes with
+                replica epochs still aligned to the counter.
             RollbackError: replies arrived but none matches the trusted
                 counter epoch (more than ``r`` rollbacks — the guarantee
                 is void and serving would return stale data).
         """
-        expected_epoch = self.counter.increment()
+        # The counter increment commits only once a fresh reply is in
+        # hand; incrementing up front would permanently desynchronize
+        # ``expected_epoch`` from the replica epochs whenever every
+        # replica was crashed (nothing executed, yet the counter moved).
+        expected_epoch = self.counter.value + 1
 
         replies = []
         for replica in self.replicas:
@@ -126,6 +183,7 @@ class ReplicatedSubOram:
             )
         for epoch, result in replies:
             if epoch == expected_epoch:
+                self.counter.increment()
                 return result
         raise RollbackError(
             f"subORAM group {self.suboram_id}: no reply matches trusted "

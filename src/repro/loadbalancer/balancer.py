@@ -74,6 +74,17 @@ class LoadBalancer:
         self.epochs_processed += 1
         return requests
 
+    def requeue(self, requests: List[Request]) -> None:
+        """Undo a :meth:`drain` after a failed epoch attempt.
+
+        The requests go back to the *front* of the queue (ahead of any
+        newly submitted ones) in their original arrival order, and the
+        epoch counter is rolled back — so a retried epoch is
+        indistinguishable from one that never failed.
+        """
+        self._queue = list(requests) + self._queue
+        self.epochs_processed -= 1
+
     def build_batches(
         self, requests: List[Request], permissions=None
     ) -> tuple:

@@ -14,12 +14,17 @@ import inspect
 import pkgutil
 from typing import Iterator, List
 
-#: Narrative guide sections: (heading, module whose full docstring is the
-#: guide text).  Kept as docstrings so the guides cannot drift from code.
+#: Narrative guide sections: (heading, module(s) whose full docstring is
+#: the guide text).  Kept as docstrings so the guides cannot drift from
+#: code.  A tuple of module names concatenates their docstrings.
 GUIDES = [
     ("Execution backends", "repro.exec"),
     ("Oblivious kernels", "repro.oblivious.kernels"),
     ("Tickets", "repro.core.tickets"),
+    (
+        "Fault tolerance & chaos testing",
+        ("repro.core.resilience", "repro.core.faults"),
+    ),
 ]
 
 
@@ -64,12 +69,15 @@ def generate() -> str:
         "Generated from docstrings by `python -m repro.tools.apidocs`.",
         "",
     ]
-    for title, module_name in GUIDES:
-        module = importlib.import_module(module_name)
+    for title, module_names in GUIDES:
+        if isinstance(module_names, str):
+            module_names = (module_names,)
         lines.append(f"## {title}")
         lines.append("")
-        lines.append(inspect.getdoc(module) or "")
-        lines.append("")
+        for module_name in module_names:
+            module = importlib.import_module(module_name)
+            lines.append(inspect.getdoc(module) or "")
+            lines.append("")
     for module in _iter_modules():
         entries = list(_public_defs(module))
         if not entries and module.__name__ != "repro":

@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="oblivious-kernel implementation: the traced "
                            "scalar reference or the vectorized NumPy "
                            "fast path (default python)")
+    demo.add_argument("--epochs", type=int, default=1,
+                      help="number of epochs to spread the requests over "
+                           "(default 1)")
+    demo.add_argument("--faults", type=int, default=None, metavar="SEED",
+                      help="inject a deterministic FaultPlan generated "
+                           "from SEED (worker crashes and task timeouts); "
+                           "epochs are retried atomically and fault_stats "
+                           "printed at the end")
 
     sub.add_parser("info", help="version and cost-model constants")
     return parser
@@ -190,7 +198,16 @@ def cmd_figures(args) -> int:
 
 def cmd_demo(args) -> int:
     """``demo``: run a tiny in-process deployment."""
+    from repro.core.faults import FaultPlan
+
     rng = random.Random(args.seed)
+    fault_plan = None
+    if args.faults is not None:
+        fault_plan = FaultPlan.generate(
+            seed=args.faults,
+            epochs=args.epochs,
+            num_suborams=args.suborams,
+        )
     config = SnoopyConfig(
         num_load_balancers=args.balancers,
         num_suborams=args.suborams,
@@ -199,13 +216,19 @@ def cmd_demo(args) -> int:
         execution_backend=args.backend,
         max_workers=args.workers,
         kernel=args.kernel,
+        epoch_max_attempts=4 if fault_plan is not None else 1,
     )
-    with Snoopy(config, rng=random.Random(args.seed)) as store:
+    with Snoopy(config, rng=random.Random(args.seed),
+                fault_plan=fault_plan) as store:
         store.initialize({k: bytes(16) for k in range(args.objects)})
         print(f"deployment: {args.balancers} LB + {args.suborams} subORAMs, "
               f"{store.num_objects} objects "
               f"(partitions {store.partition_sizes}, "
               f"backend {store.backend.name}, kernel {config.kernel})")
+        if fault_plan is not None:
+            print(f"fault plan (seed {args.faults}): "
+                  f"{len(fault_plan)} scheduled events over "
+                  f"{args.epochs} epochs")
 
         requests = []
         for i in range(args.requests):
@@ -216,13 +239,23 @@ def cmd_demo(args) -> int:
                 )
             else:
                 requests.append(Request(OpType.READ, key, seq=i))
-        tickets = [store.submit(request) for request in requests]
-        store.run_epoch()
+        epochs = max(1, args.epochs)
+        per_epoch = (len(requests) + epochs - 1) // epochs
+        tickets, served = [], 0
+        for start in range(0, len(requests), per_epoch):
+            for request in requests[start:start + per_epoch]:
+                tickets.append(store.submit(request))
+            served += len(store.run_epoch())
         responses = [ticket.result() for ticket in tickets]
+        assert served == len(responses)
         reads = sum(1 for r in requests if r.op is OpType.READ)
-        print(f"epoch served {len(responses)} requests "
+        print(f"{epochs} epoch(s) served {len(responses)} requests "
               f"({reads} reads, {len(requests) - reads} writes)")
         print(f"trusted counter: {store.counter.value}")
+        if fault_plan is not None:
+            print("fault_stats:")
+            for name, count in sorted(store.fault_stats.items()):
+                print(f"  {name:20s}: {count}")
     return 0
 
 

@@ -1,0 +1,355 @@
+"""Chaos tests: seeded fault plans must never change what the system serves.
+
+The acceptance bar for the fault-tolerance layer: a deterministic
+`FaultPlan` injecting worker crashes, task timeouts, and replica
+crash+rollback events across a 10-epoch run must yield **byte-identical
+responses** to the fault-free serial run — no request dropped, every
+ticket resolved — on the thread and process backends with both oblivious
+kernels, and `fault_stats` must report the injected events exactly.
+
+Failure handling is public information (SECURITY.md): the slot-access
+trace of the state the deployment *keeps* is also asserted identical to
+the fault-free run, because failed atomic attempts execute on discarded
+copies.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import SnoopyConfig
+from repro.core.deployment import DistributedSnoopy
+from repro.core.faults import FaultEvent, FaultPlan
+from repro.core.snoopy import Snoopy
+from repro.crypto.keys import KeyChain
+from repro.suboram.store import EncryptedStore
+from repro.suboram.suboram import SubOram
+from repro.types import OpType, Request
+
+
+class TracingStore(EncryptedStore):
+    """Encrypted store logging every slot access (rides pickling)."""
+
+    def __init__(self, encryption_key, num_slots, value_size):
+        super().__init__(encryption_key, num_slots, value_size)
+        self.access_log = []
+
+    def get(self, slot):
+        self.access_log.append(("R", slot))
+        return super().get(slot)
+
+    def put(self, slot, key, value):
+        self.access_log.append(("W", slot))
+        super().put(slot, key, value)
+
+
+class TracingSubOram(SubOram):
+    """A subORAM whose encrypted store records its slot-access trace."""
+
+    def initialize(self, objects):
+        super().initialize(objects)
+        tracing = TracingStore(
+            self._keychain.subkey(f"suboram/{self.suboram_id}/storage"),
+            num_slots=self._store.num_slots,
+            value_size=self.value_size,
+        )
+        for slot in range(self._store.num_slots):
+            key, value = self._store.get(slot)
+            tracing.put(slot, key, value)
+        tracing.access_log.clear()
+        self._store = tracing
+
+
+def tracing_factory(suboram_id, config, keychain):
+    return TracingSubOram(
+        suboram_id=suboram_id,
+        value_size=config.value_size,
+        keychain=keychain,
+        security_parameter=config.security_parameter,
+    )
+
+MASTER = b"chaos-test-master-key-0123456789"[:32]
+EPOCHS = 10
+NUM_KEYS = 48
+VALUE = 8
+
+#: The acceptance-criteria schedule: one worker crash, one task timeout,
+#: one replica crash, one replica rollback, spread over a 10-epoch run.
+ACCEPTANCE_PLAN = FaultPlan([
+    FaultEvent(epoch=2, kind="worker_crash", unit=1),
+    FaultEvent(epoch=3, kind="replica_crash", unit=2, replica=1),
+    FaultEvent(epoch=5, kind="task_timeout", unit=0),
+    FaultEvent(epoch=6, kind="replica_rollback", unit=1, replica=0),
+])
+
+#: Backend-seam-only schedule for deployments without replica groups.
+BACKEND_PLAN = FaultPlan([
+    FaultEvent(epoch=2, kind="worker_crash", unit=1),
+    FaultEvent(epoch=5, kind="task_timeout", unit=0),
+])
+
+
+def seeded_workload(num_epochs=EPOCHS, per_epoch=6, seed=7):
+    """Deterministic (request, balancer) schedule shared by every run."""
+    rng = random.Random(seed)
+    epochs = []
+    for _ in range(num_epochs):
+        requests = []
+        for i in range(per_epoch):
+            key = rng.randrange(NUM_KEYS)
+            balancer = rng.randrange(2)
+            if rng.random() < 0.5:
+                requests.append(
+                    (Request(OpType.WRITE, key, bytes([i + 1]) * VALUE,
+                             seq=i), balancer)
+                )
+            else:
+                requests.append((Request(OpType.READ, key, seq=i), balancer))
+        epochs.append(requests)
+    return epochs
+
+
+WORKLOAD = seeded_workload()
+
+
+def build_store(backend, kernel="python", plan=None, replication=None,
+                max_attempts=4, suboram_factory=None):
+    config = SnoopyConfig(
+        num_load_balancers=2,
+        num_suborams=3,
+        value_size=VALUE,
+        security_parameter=16,
+        execution_backend=backend,
+        kernel=kernel,
+        epoch_max_attempts=max_attempts,
+        replication=replication,
+    )
+    store = Snoopy(
+        config,
+        keychain=KeyChain(master=MASTER),
+        rng=random.Random(5),
+        fault_plan=plan,
+        suboram_factory=suboram_factory,
+    )
+    store.initialize({k: bytes([k % 251]) * VALUE for k in range(NUM_KEYS)})
+    return store
+
+
+def run_workload(store, epochs=WORKLOAD):
+    responses, tickets = [], []
+    for requests in epochs:
+        for request, balancer in requests:
+            tickets.append(store.submit(request, load_balancer=balancer))
+        responses.append(store.run_epoch())
+    return responses, tickets
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The fault-free, unreplicated, legacy-config serial run."""
+    store = build_store("serial", max_attempts=1)
+    responses, tickets = run_workload(store)
+    results = [ticket.result() for ticket in tickets]
+    store.close()
+    return responses, results
+
+
+class TestAcceptance:
+    """The ISSUE's acceptance criteria, verbatim."""
+
+    @pytest.mark.parametrize("backend", ["thread:4", "process:2"])
+    @pytest.mark.parametrize("kernel", ["python", "numpy"])
+    def test_fault_plan_is_byte_identical_to_fault_free_serial(
+        self, baseline, backend, kernel
+    ):
+        baseline_responses, baseline_results = baseline
+        store = build_store(
+            backend, kernel=kernel, plan=ACCEPTANCE_PLAN, replication=(1, 1)
+        )
+        responses, tickets = run_workload(store)
+
+        # Byte-identical responses, epoch by epoch: no request dropped.
+        assert responses == baseline_responses
+        # Every ticket resolves, with the same response the fault-free
+        # run produced.
+        results = [ticket.result() for ticket in tickets]
+        assert results == baseline_results
+
+        # fault_stats reports the injected events exactly.
+        stats = store.fault_stats
+        assert stats["worker_crashes"] == 1
+        assert stats["tasks_timed_out"] == 1
+        assert stats["replica_crashes"] == 1
+        assert stats["replica_rollbacks"] == 1
+        assert stats["transport_errors"] == 0
+        # The crash and the timeout each failed (and retried) one epoch;
+        # the crashed and the rolled-back replica were each healed at the
+        # next epoch boundary.
+        assert stats["epochs_failed"] == 2
+        assert stats["epochs_retried"] == 2
+        assert stats["replicas_recovered"] == 2
+        store.close()
+
+    def test_injector_consumed_every_scheduled_event(self):
+        store = build_store("serial", plan=ACCEPTANCE_PLAN,
+                            replication=(1, 1))
+        run_workload(store)
+        assert store._injector.pending == []
+        store.close()
+
+
+class TestGeneratedPlans:
+    def test_generate_is_deterministic(self):
+        a = FaultPlan.generate(seed=11, epochs=10, num_suborams=3,
+                               num_replicas=3)
+        b = FaultPlan.generate(seed=11, epochs=10, num_suborams=3,
+                               num_replicas=3)
+        assert a.events == b.events
+        c = FaultPlan.generate(seed=12, epochs=10, num_suborams=3,
+                               num_replicas=3)
+        assert a.events != c.events
+
+    def test_generated_plan_runs_clean(self):
+        plan = FaultPlan.generate(seed=11, epochs=EPOCHS, num_suborams=3,
+                                  num_replicas=3)
+        assert len(plan) == 4  # crash, timeout, replica crash + rollback
+        store = build_store("thread:4", plan=plan, replication=(1, 1))
+        responses, tickets = run_workload(store)
+        for ticket in tickets:
+            ticket.result()  # every ticket resolves
+        # Every scheduled event fired and was counted.
+        fired = {
+            kind: store.fault_stats[counter]
+            for kind, counter in (
+                ("worker_crash", "worker_crashes"),
+                ("task_timeout", "tasks_timed_out"),
+                ("replica_crash", "replica_crashes"),
+                ("replica_rollback", "replica_rollbacks"),
+                ("transport_error", "transport_errors"),
+            )
+        }
+        assert fired == plan.counts()
+        store.close()
+
+    def test_unreplicated_plans_skip_replica_faults(self):
+        plan = FaultPlan.generate(seed=3, epochs=5, num_suborams=2)
+        assert all(not e.kind.startswith("replica") for e in plan)
+        assert all(e.kind != "transport_error" for e in plan)
+
+
+class TestTraceUnderFaults:
+    """Obliviousness under faults: the kept state's access trace is the
+    fault-free trace — failed atomic attempts ran on discarded copies."""
+
+    def test_kept_trace_matches_fault_free_run(self):
+        quiet = build_store("serial", max_attempts=1,
+                            suboram_factory=tracing_factory)
+        quiet_responses, _ = run_workload(quiet)
+        quiet_traces = [list(s.store.access_log) for s in quiet.suborams]
+        quiet.close()
+
+        chaotic = build_store("thread:4", plan=BACKEND_PLAN,
+                              suboram_factory=tracing_factory)
+        chaotic_responses, _ = run_workload(chaotic)
+        chaotic_traces = [list(s.store.access_log) for s in chaotic.suborams]
+        chaotic.close()
+
+        assert chaotic_responses == quiet_responses
+        assert chaotic_traces == quiet_traces
+        assert all(len(trace) > 0 for trace in quiet_traces)
+
+
+class TestDistributedChaos:
+    def test_transport_faults_are_retried_transparently(self):
+        def build(plan, max_attempts):
+            config = SnoopyConfig(
+                num_load_balancers=2,
+                num_suborams=3,
+                value_size=VALUE,
+                security_parameter=16,
+                execution_backend="serial",
+                epoch_max_attempts=max_attempts,
+            )
+            store = DistributedSnoopy(
+                config, keychain=KeyChain(master=MASTER),
+                rng=random.Random(5), fault_plan=plan,
+            )
+            store.initialize(
+                {k: bytes([k % 251]) * VALUE for k in range(NUM_KEYS)}
+            )
+            return store
+
+        quiet = build(plan=None, max_attempts=1)
+        quiet_responses, _ = run_workload(quiet)
+        quiet.close()
+
+        plan = FaultPlan([
+            FaultEvent(epoch=2, kind="transport_error", unit=1),
+            FaultEvent(epoch=7, kind="transport_error", unit=0),
+        ])
+        chaotic = build(plan=plan, max_attempts=3)
+        chaotic_responses, tickets = run_workload(chaotic)
+        assert chaotic_responses == quiet_responses
+        for ticket in tickets:
+            ticket.result()
+        assert chaotic.fault_stats["transport_errors"] == 2
+        assert chaotic.fault_stats["epochs_failed"] == 2
+        assert chaotic.fault_stats["epochs_retried"] == 2
+        chaotic.close()
+
+    def test_distributed_replication_with_replica_faults(self):
+        config = SnoopyConfig(
+            num_load_balancers=2,
+            num_suborams=3,
+            value_size=VALUE,
+            security_parameter=16,
+            execution_backend="thread:4",
+            epoch_max_attempts=3,
+            replication=(1, 1),
+        )
+        plan = FaultPlan([
+            FaultEvent(epoch=2, kind="replica_crash", unit=0, replica=2),
+            FaultEvent(epoch=4, kind="replica_rollback", unit=1, replica=1),
+        ])
+        store = DistributedSnoopy(
+            config, keychain=KeyChain(master=MASTER),
+            rng=random.Random(5), fault_plan=plan,
+        )
+        store.initialize(
+            {k: bytes([k % 251]) * VALUE for k in range(NUM_KEYS)}
+        )
+        responses, tickets = run_workload(store)
+        assert [r for epoch in responses for r in epoch]  # served requests
+        for ticket in tickets:
+            ticket.result()
+        assert store.fault_stats["replica_crashes"] == 1
+        assert store.fault_stats["replica_rollbacks"] == 1
+        assert store.fault_stats["replicas_recovered"] == 2
+        store.close()
+
+
+class TestFaultStatsSurface:
+    def test_fault_free_run_reports_zero_everywhere(self):
+        store = build_store("serial", max_attempts=1)
+        run_workload(store)
+        assert store.fault_stats == {
+            "epochs_failed": 0,
+            "epochs_retried": 0,
+            "replicas_recovered": 0,
+        }
+        store.close()
+
+    def test_plan_without_faults_extends_stats_with_injector_counters(self):
+        store = build_store("serial", plan=FaultPlan())
+        run_workload(store)
+        assert store.fault_stats == {
+            "epochs_failed": 0,
+            "epochs_retried": 0,
+            "replicas_recovered": 0,
+            "worker_crashes": 0,
+            "tasks_timed_out": 0,
+            "replica_crashes": 0,
+            "replica_rollbacks": 0,
+            "transport_errors": 0,
+        }
+        store.close()

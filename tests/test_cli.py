@@ -61,7 +61,19 @@ class TestCli:
     def test_demo(self, capsys):
         assert main(["demo", "--objects", "60", "--requests", "10"]) == 0
         out = capsys.readouterr().out
-        assert "epoch served 10 requests" in out
+        assert "1 epoch(s) served 10 requests" in out
+        assert "fault_stats" not in out
+
+    def test_demo_with_faults(self, capsys):
+        assert main([
+            "demo", "--objects", "60", "--requests", "12",
+            "--epochs", "4", "--faults", "11",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan (seed 11)" in out
+        assert "4 epoch(s) served 12 requests" in out
+        assert "fault_stats:" in out
+        assert "epochs_retried" in out
 
     def test_figures_single(self, capsys):
         assert main(["figures", "fig3"]) == 0

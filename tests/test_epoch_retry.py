@@ -1,0 +1,296 @@
+"""Atomic epoch failure, rollback/requeue, and the retry policy."""
+
+import random
+
+import pytest
+
+from repro.core.client import Client
+from repro.core.config import SnoopyConfig
+from repro.core.epoch import EpochDriver
+from repro.core.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.core.linearizability import History, check_snoopy_history
+from repro.core.resilience import EpochRetryController, RetryPolicy
+from repro.core.snoopy import Snoopy
+from repro.crypto.keys import KeyChain
+from repro.errors import (
+    ConfigurationError,
+    EpochFailedError,
+    IntegrityError,
+    TaskTimeoutError,
+    TicketPendingError,
+    WorkerCrashError,
+)
+from repro.exec import SerialBackend, make_backend
+from repro.loadbalancer.balancer import LoadBalancer
+from repro.suboram.suboram import SubOram
+from repro.types import OpType, Request
+
+MASTER = b"epoch-retry-test-master-key-0123"[:32]
+
+
+def build_store(**config_overrides):
+    defaults = dict(
+        num_load_balancers=2,
+        num_suborams=2,
+        value_size=4,
+        security_parameter=16,
+    )
+    defaults.update(config_overrides)
+    fault_plan = defaults.pop("fault_plan", None)
+    store = Snoopy(
+        SnoopyConfig(**defaults),
+        keychain=KeyChain(master=MASTER),
+        rng=random.Random(1),
+        fault_plan=fault_plan,
+    )
+    store.initialize({k: bytes([k]) * 4 for k in range(20)})
+    return store
+
+
+def crash_plan(epoch=1, unit=0, kind="worker_crash"):
+    return FaultPlan([FaultEvent(epoch=epoch, kind=kind, unit=unit)])
+
+
+class TestEpochFailedError:
+    def test_carries_stage_unit_and_cause(self):
+        store = build_store(fault_plan=crash_plan(unit=1))
+        ticket = store.submit(Request(OpType.READ, 3))
+        with pytest.raises(WorkerCrashError) as excinfo:
+            store.run_epoch()
+        failure = excinfo.value.__cause__
+        assert isinstance(failure, EpochFailedError)
+        assert failure.stage == "execute"
+        assert failure.unit == 1
+        assert isinstance(failure.cause, WorkerCrashError)
+        assert failure.retryable
+        assert not ticket.done
+        store.close()
+
+    def test_security_abort_is_not_retryable(self):
+        err = EpochFailedError("execute", 0, IntegrityError("tampered"))
+        assert not err.retryable
+        assert EpochFailedError(
+            "execute", 0, TaskTimeoutError("slow")
+        ).retryable
+
+
+class TestRollbackAndRequeue:
+    def test_failed_epoch_requeues_requests_in_order(self):
+        store = build_store(fault_plan=crash_plan())
+        t1 = store.submit(Request(OpType.WRITE, 3, b"aaaa"), load_balancer=0)
+        t2 = store.submit(Request(OpType.READ, 3), load_balancer=0)
+        with pytest.raises(WorkerCrashError):
+            store.run_epoch()
+        # Requests back in their balancer, arrival order preserved;
+        # tickets still pending.
+        assert store.load_balancers[0].pending == 2
+        assert not t1.done and not t2.done
+        with pytest.raises(TicketPendingError):
+            t1.result()
+        # The next epoch serves them (plan's only event was consumed).
+        store.run_epoch()
+        assert t1.result().value == bytes([3]) * 4  # write: prior value
+        # Batch semantics: same-epoch requests observe the pre-epoch
+        # value; the write is visible from the next epoch on.
+        assert t2.result().value == bytes([3]) * 4
+        assert store.read(3) == b"aaaa"
+        store.close()
+
+    def test_failed_epoch_does_not_mutate_suboram_state(self):
+        store = build_store(fault_plan=crash_plan())
+        before = [s.state_token for s in store.suborams]
+        store.submit(Request(OpType.WRITE, 5, b"zzzz"))
+        with pytest.raises(WorkerCrashError):
+            store.run_epoch()
+        assert [s.state_token for s in store.suborams] == before
+        store.close()
+
+    def test_requeue_rolls_back_the_epoch_counter(self):
+        balancer = LoadBalancer(0, 2, b"k" * 16, security_parameter=16)
+        balancer.submit(Request(OpType.READ, 1))
+        drained = balancer.drain()
+        assert balancer.epochs_processed == 1
+        balancer.requeue(drained)
+        assert balancer.epochs_processed == 0
+        assert balancer.pending == 1
+
+    def test_requeued_requests_go_ahead_of_new_submissions(self):
+        balancer = LoadBalancer(0, 2, b"k" * 16, security_parameter=16)
+        balancer.submit(Request(OpType.READ, 1, seq=1))
+        drained = balancer.drain()
+        balancer.submit(Request(OpType.READ, 2, seq=2))
+        balancer.requeue(drained)
+        redrained = balancer.drain()
+        assert [r.seq for r in redrained] == [1, 2]
+
+
+class TestRetryLoop:
+    def test_retry_succeeds_within_budget(self):
+        store = build_store(
+            fault_plan=crash_plan(), epoch_max_attempts=2
+        )
+        ticket = store.submit(Request(OpType.READ, 4))
+        store.run_epoch()
+        assert ticket.result().value == bytes([4]) * 4
+        assert store.fault_stats["epochs_failed"] == 1
+        assert store.fault_stats["epochs_retried"] == 1
+        store.close()
+
+    def test_exhausted_retries_reraise_the_original_cause(self):
+        # Two crash events on the same (epoch, unit) coordinate: the
+        # retried attempt consumes the duplicate and fails again,
+        # exhausting the 2-attempt budget.
+        plan = FaultPlan([
+            FaultEvent(epoch=1, kind="worker_crash", unit=0),
+            FaultEvent(epoch=1, kind="worker_crash", unit=0),
+        ])
+        store = build_store(fault_plan=plan, epoch_max_attempts=2)
+        ticket = store.submit(Request(OpType.READ, 4))
+        with pytest.raises(WorkerCrashError):
+            store.run_epoch()
+        assert not ticket.done
+        # The requests survived both failures; a later epoch serves them.
+        store.run_epoch()
+        assert ticket.result().value == bytes([4]) * 4
+        store.close()
+
+    def test_retried_attempt_does_not_replay_consumed_faults(self):
+        injector = FaultInjector(crash_plan())
+        injector.begin_epoch(1)
+        assert injector.stage_fault(0) == "worker_crash"
+        assert injector.stage_fault(0) is None  # consumed exactly once
+        assert injector.stats["worker_crashes"] == 1
+
+    def test_backoff_sleeps_follow_the_seeded_schedule(self):
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.5, seed=9)
+        slept = []
+        controller = EpochRetryController(policy, sleep=slept.append)
+        calls = {"n": 0}
+
+        def attempt():
+            calls["n"] += 1
+            raise EpochFailedError(
+                "execute", 0, WorkerCrashError("injected")
+            )
+
+        with pytest.raises(WorkerCrashError):
+            controller.run_with_retry(attempt)
+        assert calls["n"] == 3
+        assert slept == [policy.delay(1), policy.delay(2)]
+        assert slept[1] > slept[0]  # exponential
+
+    def test_non_retryable_failure_stops_immediately(self):
+        controller = EpochRetryController(RetryPolicy(max_attempts=5))
+        calls = {"n": 0}
+
+        def attempt():
+            calls["n"] += 1
+            raise EpochFailedError("execute", 0, IntegrityError("tampered"))
+
+        with pytest.raises(IntegrityError):
+            controller.run_with_retry(attempt)
+        assert calls["n"] == 1
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic_per_seed(self):
+        a = RetryPolicy(max_attempts=4, backoff_base=0.1, seed=7)
+        b = RetryPolicy(max_attempts=4, backoff_base=0.1, seed=7)
+        assert [a.delay(i) for i in (1, 2, 3)] == [
+            b.delay(i) for i in (1, 2, 3)
+        ]
+        c = RetryPolicy(max_attempts=4, backoff_base=0.1, seed=8)
+        assert [a.delay(i) for i in (1, 2, 3)] != [
+            c.delay(i) for i in (1, 2, 3)
+        ]
+
+    def test_delay_grows_exponentially_within_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=1.0, backoff_factor=2.0,
+            jitter=0.1, seed=0,
+        )
+        for i in (1, 2, 3):
+            assert 2 ** (i - 1) <= policy.delay(i) <= 2 ** (i - 1) * 1.1
+
+    def test_zero_base_never_sleeps(self):
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.0)
+        assert policy.delay(1) == 0.0
+
+    def test_from_config_reads_the_epoch_fields(self):
+        config = SnoopyConfig(
+            epoch_max_attempts=3, epoch_backoff_base=0.25,
+            epoch_backoff_factor=3.0, epoch_backoff_jitter=0.2,
+            epoch_retry_seed=42,
+        )
+        policy = RetryPolicy.from_config(config)
+        assert policy == RetryPolicy(
+            max_attempts=3, backoff_base=0.25, backoff_factor=3.0,
+            jitter=0.2, seed=42,
+        )
+
+    def test_config_validates_retry_fields(self):
+        with pytest.raises(Exception):
+            SnoopyConfig(epoch_max_attempts=0)
+        with pytest.raises(Exception):
+            SnoopyConfig(epoch_backoff_base=-1.0)
+        with pytest.raises(Exception):
+            SnoopyConfig(replication=(0, 0))
+        with pytest.raises(Exception):
+            SnoopyConfig(replication=(1,))
+
+
+class TestTransportConfigurationError:
+    def test_names_namespace_and_lists_backends_dynamically(self):
+        driver = EpochDriver(make_backend("process:1"))
+        balancer = LoadBalancer(0, 1, b"k" * 16, security_parameter=16)
+        balancer.submit(Request(OpType.READ, 1))
+        suboram = SubOram(0, 4, KeyChain(master=MASTER), 16)
+        suboram.initialize({1: b"aaaa"})
+        with pytest.raises(ConfigurationError) as excinfo:
+            driver.run(
+                [balancer], [suboram],
+                transport=lambda *a: [],
+                state_ns="my-deployment-7",
+            )
+        message = str(excinfo.value)
+        assert "my-deployment-7" in message
+        # The supported list comes from the registry, not a hardcoded
+        # string, and only names shared-state backends.
+        assert "shared-state backends: 'serial', 'thread'" in message
+
+
+class TestLinearizabilityAcrossRetriedEpochs:
+    def test_history_with_a_failed_and_retried_epoch_is_linearizable(self):
+        """Appendix C must survive an epoch that fails and is retried."""
+        rng = random.Random(13)
+        plan = FaultPlan([
+            FaultEvent(epoch=2, kind="worker_crash", unit=0),
+            FaultEvent(epoch=4, kind="task_timeout", unit=1),
+        ])
+        store = build_store(
+            num_load_balancers=3,
+            num_suborams=2,
+            fault_plan=plan,
+            epoch_max_attempts=3,
+            execution_backend="thread:4",
+        )
+        initial = {k: bytes([k]) * 4 for k in range(20)}
+        clients = [Client(store, client_id=i) for i in range(4)]
+        for _ in range(6):
+            for client in clients:
+                for _ in range(rng.randrange(3)):
+                    key = rng.randrange(20)
+                    if rng.random() < 0.5:
+                        client.submit_write(
+                            key, bytes([rng.randrange(256)]) * 4
+                        )
+                    else:
+                        client.submit_read(key)
+            responses = store.run_epoch()
+            for client in clients:
+                client.complete(responses)
+        assert store.fault_stats["epochs_failed"] == 2
+        operations = [o for c in clients for o in c.history]
+        assert operations, "history should be non-empty"
+        check_snoopy_history(History(initial=initial, operations=operations))
+        store.close()

@@ -1,11 +1,14 @@
 """Unit tests for the execution-backend layer (repro.exec)."""
 
+import os
 import pickle
+import signal
+import time
 
 import pytest
 
 from repro.core.config import SnoopyConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TaskTimeoutError, WorkerCrashError
 from repro.exec import (
     BACKENDS,
     ExecutionBackend,
@@ -237,3 +240,111 @@ class TestProcessStateCache:
                                   token=version_of) == [(4, (3, 1))]
         clone.close()
         backend.close()
+
+
+# ---------------------------------------------------------------------------
+# Fault surface: per-task timeouts and worker-crash detection
+# ---------------------------------------------------------------------------
+def sleepy(x):
+    """Module-level task that hangs on negative inputs."""
+    if x < 0:
+        time.sleep(1.5)
+    return x * x
+
+
+def die(x):
+    """Module-level task killing its own worker process (SIGKILL)."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def sleepy_stateful(state, args):
+    """Module-level stateful unit that hangs."""
+    time.sleep(1.5)
+    return state, args
+
+
+def die_stateful(state, args):
+    """Module-level stateful unit killing its sticky worker."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestTaskTimeouts:
+    def test_thread_timeout_raises_and_names_the_unit(self):
+        with ThreadPoolBackend(max_workers=2, task_timeout=0.1) as backend:
+            with pytest.raises(TaskTimeoutError) as excinfo:
+                backend.map(sleepy, [1, -1, 2])
+            assert excinfo.value.unit == 1
+            # The abandoned pool is replaced; the backend stays usable.
+            assert backend.map(sleepy, [2, 3]) == [4, 9]
+
+    def test_process_timeout_raises(self):
+        with ProcessPoolBackend(max_workers=2, task_timeout=0.2) as backend:
+            with pytest.raises(TaskTimeoutError):
+                backend.map(sleepy, [-1, 1, 2])
+            assert backend.map(sleepy, [2, 3]) == [4, 9]
+
+    def test_no_timeout_by_default(self):
+        with ThreadPoolBackend(max_workers=2) as backend:
+            assert backend.task_timeout is None
+            assert backend.map(square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_make_backend_passes_task_timeout(self):
+        backend = make_backend("thread:2", task_timeout=1.5)
+        assert backend.task_timeout == 1.5
+        backend.close()
+        # Serial ignores it (inline execution cannot be bounded).
+        assert make_backend("serial", task_timeout=1.5).name == "serial"
+
+    def test_sticky_timeout_kills_worker_and_invalidates_cache(self):
+        with ProcessPoolBackend(max_workers=1, task_timeout=0.2) as backend:
+            [(state, _)] = backend.map_stateful(
+                bump, [(("ns", 3), 0, "a")], token=version_of
+            )
+            with pytest.raises(TaskTimeoutError) as excinfo:
+                backend.map_stateful(
+                    sleepy_stateful, [(("ns", 3), state, "b")],
+                    token=version_of,
+                )
+            assert excinfo.value.unit == 3  # from the (ns, index) key
+            # The stuck worker was killed and the cache entry dropped:
+            # the next call re-ships full state to a fresh worker.
+            ships_before = backend.state_cache_stats["full_ships"]
+            out = backend.map_stateful(
+                bump, [(("ns", 3), 7, "c")], token=version_of
+            )
+            assert out == [(8, (7, "c"))]
+            assert backend.state_cache_stats["full_ships"] == ships_before + 1
+
+
+class TestWorkerCrashes:
+    def test_process_pool_crash_raises_worker_crash_error(self):
+        with ProcessPoolBackend(max_workers=2) as backend:
+            with pytest.raises(WorkerCrashError):
+                backend.map(die, [1, 2, 3])
+            # Pool is rebuilt on the next call.
+            assert backend.map(square, [2, 3]) == [4, 9]
+
+    def test_sticky_worker_killed_once_recovers_transparently(self):
+        with ProcessPoolBackend(max_workers=1) as backend:
+            [(state, _)] = backend.map_stateful(
+                bump, [("key", 0, 0)], token=version_of
+            )
+            backend._sticky[0].process.kill()
+            backend._sticky[0].process.join(timeout=5)
+            # One crash is absorbed: respawn + full re-ship, same result.
+            out = backend.map_stateful(
+                bump, [("key", state, 1)], token=version_of
+            )
+            assert out == [(2, (1, 1))]
+
+    def test_sticky_worker_dying_twice_raises_worker_crash_error(self):
+        with ProcessPoolBackend(max_workers=1) as backend:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                backend.map_stateful(
+                    die_stateful, [(("ns", 1), 0, 0)], token=version_of
+                )
+            assert excinfo.value.unit == 1
+            # Even after a double crash the backend remains usable.
+            assert backend.map_stateful(
+                bump, [(("ns", 1), 5, "x")], token=version_of
+            ) == [(6, (5, "x"))]

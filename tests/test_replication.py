@@ -1,13 +1,20 @@
 """Tests for quorum-replicated subORAMs with rollback detection (§9)."""
 
+import random
+
 import pytest
 
+from repro.core.config import SnoopyConfig
+from repro.core.deployment import DistributedSnoopy
+from repro.core.snoopy import Snoopy
+from repro.crypto.keys import KeyChain
 from repro.errors import RollbackError
+from repro.exec import ProcessPoolBackend
 from repro.extensions.replication import (
     ReplicaUnavailableError,
     ReplicatedSubOram,
 )
-from repro.types import BatchEntry, OpType
+from repro.types import BatchEntry, OpType, Request
 
 
 def make_group(f=1, r=1):
@@ -108,3 +115,198 @@ class TestRollbacks:
         group.crash(1)
         [resp] = group.batch_access([read(9)])
         assert resp.value == b"good"
+
+
+class TestCounterStaysAligned:
+    """The trusted counter must only advance when a batch is served."""
+
+    def test_all_crashed_does_not_advance_counter(self):
+        group = make_group(f=1, r=0)
+        group.batch_access([read(1)])
+        group.crash(0)
+        group.crash(1)
+        with pytest.raises(ReplicaUnavailableError):
+            group.batch_access([read(1)])
+        assert group.counter.value == 1, (
+            "a batch no replica served must not bump the counter"
+        )
+
+    def test_group_recovers_after_total_crash(self):
+        """Post-recovery batches serve correctly: epochs stay in sync."""
+        group = make_group(f=1, r=0)
+        group.batch_access([write(2, b"keep")])
+        # recover_from_peer needs a live peer, so re-open one replica the
+        # way an operator restarting the process would, then heal the
+        # other from it.
+        group.crash(0)
+        group.crash(1)
+        with pytest.raises(ReplicaUnavailableError):
+            group.batch_access([read(2)])
+        group.replicas[0].crashed = False
+        group.recover_from_peer(1)
+        [resp] = group.batch_access([read(2)])
+        assert resp.value == b"keep"
+        assert group.counter.value == 2
+
+    def test_rollback_detection_still_works_after_crash_epoch(self):
+        group = make_group(f=1, r=0)
+        group.crash(0)
+        group.crash(1)
+        with pytest.raises(ReplicaUnavailableError):
+            group.batch_access([read(1)])
+        group.replicas[0].crashed = False
+        group.replicas[1].crashed = False
+        snapshots = [group.snapshot(i) for i in range(group.group_size)]
+        group.batch_access([write(3, b"newv")])
+        for i, snapshot in enumerate(snapshots):
+            group.rollback(i, snapshot)
+        with pytest.raises(RollbackError):
+            group.batch_access([read(3)])
+
+
+class TestStateToken:
+    def test_token_changes_with_state_and_membership(self):
+        group = make_group()
+        t0 = group.state_token
+        assert group.state_token == t0  # stable while nothing changes
+        group.batch_access([write(1, b"aaaa")])
+        t1 = group.state_token
+        assert t1 != t0
+        group.crash(0)
+        t2 = group.state_token
+        assert t2 != t1
+        group.recover_from_peer(0)
+        assert group.state_token != t2
+
+    def test_group_works_under_process_backend_state_cache(self):
+        """Replica groups ride map_stateful's cross-epoch cache."""
+        def run_batches(group, backend):
+            token = lambda g: g.state_token
+            for key in (3, 4):
+                [(group, [resp])] = backend.map_stateful(
+                    _group_batch, [("group", group, [read(key)])],
+                    token=token,
+                )
+                assert resp.value == bytes([key]) * 4
+            return group
+
+        with ProcessPoolBackend(max_workers=1) as backend:
+            group = run_batches(make_group(), backend)
+            # Second call probed the worker-side cached copy.
+            assert backend.state_cache_stats["hits"] == 1
+            assert group.counter.value == 2
+
+
+def _group_batch(group, batch):
+    """Module-level stateful unit executing one batch on a replica group."""
+    return group, group.batch_access(batch)
+
+
+MASTER = b"replication-test-master-key-0123"[:32]
+
+
+def _workload(num_epochs=5, per_epoch=5, seed=17):
+    rng = random.Random(seed)
+    epochs = []
+    for _ in range(num_epochs):
+        requests = []
+        for i in range(per_epoch):
+            key = rng.randrange(30)
+            if rng.random() < 0.5:
+                requests.append(
+                    Request(OpType.WRITE, key, bytes([i + 1]) * 4, seq=i)
+                )
+            else:
+                requests.append(Request(OpType.READ, key, seq=i))
+        epochs.append(requests)
+    return epochs
+
+
+def _drive(store, epochs):
+    responses, tickets = [], []
+    for requests in epochs:
+        for i, request in enumerate(requests):
+            tickets.append(store.submit(request, load_balancer=i % 2))
+        responses.append(store.run_epoch())
+    return responses, [t.result() for t in tickets]
+
+
+class TestDeploymentIntegration:
+    """config.replication=(f, r) drops replica groups into deployments."""
+
+    def _config(self, backend="serial", replication=(1, 1)):
+        return SnoopyConfig(
+            num_load_balancers=2,
+            num_suborams=2,
+            value_size=4,
+            security_parameter=16,
+            execution_backend=backend,
+            replication=replication,
+        )
+
+    def _build(self, cls, **kwargs):
+        store = cls(
+            self._config(**kwargs),
+            keychain=KeyChain(master=MASTER),
+            rng=random.Random(2),
+        )
+        store.initialize({k: bytes([k]) * 4 for k in range(30)})
+        return store
+
+    @pytest.fixture(scope="class")
+    def unreplicated_serial(self):
+        store = self._build(Snoopy, replication=None)
+        responses, results = _drive(store, _workload())
+        store.close()
+        return responses, results
+
+    def test_snoopy_builds_replica_groups(self):
+        store = self._build(Snoopy)
+        assert all(
+            isinstance(s, ReplicatedSubOram) and s.group_size == 3
+            for s in store.suborams
+        )
+        store.close()
+
+    @pytest.mark.parametrize("backend", ["serial", "thread:4", "process:2"])
+    def test_replicated_run_matches_unreplicated_serial(
+        self, unreplicated_serial, backend
+    ):
+        store = self._build(Snoopy, backend=backend)
+        responses, results = _drive(store, _workload())
+        assert (responses, results) == unreplicated_serial
+        store.close()
+
+    @pytest.mark.parametrize("backend", ["serial", "process:2"])
+    def test_crash_mid_run_recovers_and_stays_byte_identical(
+        self, unreplicated_serial, backend
+    ):
+        store = self._build(Snoopy, backend=backend)
+        epochs = _workload()
+        responses, tickets = [], []
+        for index, requests in enumerate(epochs):
+            if index == 2:  # crash a replica mid-run
+                store.suborams[0].crash(1)
+            for i, request in enumerate(requests):
+                tickets.append(store.submit(request, load_balancer=i % 2))
+            responses.append(store.run_epoch())
+            if index == 2:  # operator heals it before the next epoch
+                store.suborams[0].recover_from_peer(1)
+        results = [t.result() for t in tickets]
+        assert (responses, results) == unreplicated_serial
+        # The recovered replica is fully caught up.
+        group = store.suborams[0]
+        assert group.replicas[1].epoch == group.replicas[0].epoch
+        store.close()
+
+    def test_distributed_snoopy_with_replication(self, unreplicated_serial):
+        store = self._build(DistributedSnoopy)
+        responses, results = _drive(store, _workload())
+        assert (responses, results) == unreplicated_serial
+        store.close()
+
+    def test_custom_factory_conflicts_with_replication(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            Snoopy(self._config(), suboram_factory=lambda s, c, k: None)
