@@ -80,7 +80,9 @@ def test_fig13c_execution_backend_speedup():
     suboram_counts = [2, 4] if SMOKE else [2, 4, 8]
     epochs = 2 if SMOKE else 3
     rows = {}
+    stages = {}
     for suborams in suboram_counts:
+        stage_sink = {}
         series = epoch_wallclock_series(
             ["serial", "thread"],
             num_load_balancers=2,
@@ -89,12 +91,14 @@ def test_fig13c_execution_backend_speedup():
             requests_per_epoch=16 if SMOKE else 32,
             epochs=epochs,
             batch_delay=0.01,
+            stage_sink=stage_sink,
         )
         rows[suborams] = {
             "serial_s": series["serial"],
             "thread_s": series["thread"],
             "speedup": series["serial"] / max(series["thread"], 1e-9),
         }
+        stages[str(suborams)] = stage_sink
 
     lines = ["S     serial      thread      speedup"]
     for suborams, row in rows.items():
@@ -112,6 +116,7 @@ def test_fig13c_execution_backend_speedup():
             "epochs": epochs,
             "batch_delay_s": 0.01,
             "results": {str(s): row for s, row in rows.items()},
+            "stages": stages,
         },
         indent=2,
     ) + "\n")

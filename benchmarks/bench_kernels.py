@@ -155,7 +155,9 @@ def test_kernel_speedup():
 
     # Kernel x execution backend: the two speedups compose.
     combined = {}
+    stages = {}
     for kernel in ("python", "numpy"):
+        stage_sink = {}
         series = epoch_wallclock_series(
             ["serial", "thread"],
             num_load_balancers=2,
@@ -165,12 +167,14 @@ def test_kernel_speedup():
             epochs=2,
             batch_delay=0.01,
             kernel=kernel,
+            stage_sink=stage_sink,
         )
         combined[kernel] = {
             "serial_s": series["serial"],
             "thread_s": series["thread"],
             "thread_speedup": series["serial"] / max(series["thread"], 1e-9),
         }
+        stages[kernel] = stage_sink
 
     out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
     out.write_text(json.dumps(
@@ -182,6 +186,7 @@ def test_kernel_speedup():
             "value_size": VALUE_SIZE,
             "results": {str(s): row for s, row in results.items()},
             "kernel_x_backend": combined,
+            "stages": stages,
         },
         indent=2,
     ) + "\n")

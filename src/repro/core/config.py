@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.utils.validation import require, require_positive
@@ -49,6 +49,14 @@ ReplicatedSubOram` group of ``f + r + 1`` replicas.  ``None`` (default)
             deploys unreplicated subORAMs.  Public information: replica
             counts and crash/recovery events are infrastructure facts the
             cloud attacker already controls.
+        telemetry: optional :class:`~repro.telemetry.Telemetry` handle
+            the deployment wires through every layer (epoch driver,
+            backend, kernels, retry/fault machinery).  ``None`` (default)
+            means telemetry is off and every instrumentation point is a
+            shared no-op.  Excluded from equality/repr: a live handle is
+            runtime plumbing, not a public parameter — the quantities it
+            exports are (see SECURITY.md "Telemetry is public
+            information").
     """
 
     num_load_balancers: int = 1
@@ -66,6 +74,9 @@ ReplicatedSubOram` group of ``f + r + 1`` replicas.  ``None`` (default)
     epoch_backoff_jitter: float = 0.1
     epoch_retry_seed: int = 0
     replication: Optional[Tuple[int, int]] = None
+    telemetry: Optional[object] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         require_positive(self.num_load_balancers, "num_load_balancers")

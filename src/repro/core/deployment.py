@@ -41,6 +41,7 @@ from repro.enclave.model import Enclave
 from repro.enclave.sealed import MonotonicCounter
 from repro.loadbalancer.balancer import LoadBalancer
 from repro.suboram.suboram import SubOram
+from repro.telemetry import resolve_telemetry
 from repro.types import Request, Response
 from repro.utils.validation import require
 
@@ -64,7 +65,8 @@ class DistributedSnoopy:
     def __init__(self, config: SnoopyConfig, keychain: Optional[KeyChain] = None,
                  rng: Optional[random.Random] = None,
                  backend: Optional[BackendSpec] = None,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 telemetry=None):
         """Assemble the attested deployment.
 
         Args:
@@ -81,23 +83,35 @@ class DistributedSnoopy:
                 backend and replica seams this deployment injects
                 scheduled ``transport_error`` events into the sealed
                 LB <-> subORAM hop.
+            telemetry: optional :class:`~repro.telemetry.Telemetry`
+                handle; overrides ``config.telemetry`` (same wiring as
+                :class:`~repro.core.snoopy.Snoopy`).
         """
         self.config = config
         self.keychain = keychain if keychain is not None else KeyChain()
         self._rng = rng if rng is not None else random.Random()
         self.counter = MonotonicCounter()
+        self.telemetry = resolve_telemetry(
+            telemetry if telemetry is not None else config.telemetry
+        )
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = make_backend(
             backend if backend is not None else config.execution_backend,
             config.max_workers,
             task_timeout=config.task_timeout,
         )
+        if self.telemetry.enabled:
+            self.backend.attach_telemetry(self.telemetry)
         self._state_ns = f"distributed-{next(_DEPLOYMENT_COUNTER)}"
         self._injector = (
-            FaultInjector(fault_plan) if fault_plan is not None else None
+            FaultInjector(fault_plan, telemetry=self.telemetry)
+            if fault_plan is not None
+            else None
         )
         self._retry = EpochRetryController(
-            RetryPolicy.from_config(config), injector=self._injector
+            RetryPolicy.from_config(config),
+            injector=self._injector,
+            telemetry=self.telemetry,
         )
 
         # Provision the attestation service with the release measurements.
@@ -140,6 +154,10 @@ class DistributedSnoopy:
                         config.security_parameter, kernel=config.kernel)
                 for s in range(config.num_suborams)
             ]
+        if self.telemetry.enabled:
+            from repro.core.snoopy import attach_telemetry_to_suborams
+
+            attach_telemetry_to_suborams(self.suborams, self.telemetry)
 
         # Attested channel establishment: each pair verifies the peer's
         # quote before deriving the channel key.
@@ -181,6 +199,7 @@ class DistributedSnoopy:
         """
         if load_balancer is None:
             load_balancer = self._rng.randrange(self.config.num_load_balancers)
+        self.telemetry.counter("snoopy_requests_total").inc()
         arrival = self.load_balancers[load_balancer].submit(request)
         return self._tickets.issue(load_balancer, arrival, request)
 
@@ -230,7 +249,7 @@ class DistributedSnoopy:
         self.counter.increment()
         self._retry.begin_epoch(self.counter.value, self.suborams)
 
-        driver = EpochDriver(self.backend)
+        driver = EpochDriver(self.backend, telemetry=self.telemetry)
 
         def attempt():
             return driver.run(
@@ -242,17 +261,31 @@ class DistributedSnoopy:
                 atomic=self._retry.armed,
             )
 
-        result = self._retry.run_with_retry(attempt)
-        # Armed (atomic) epochs execute on deep copies; install them so
-        # the served state is the state we keep.
-        self.suborams = result.suborams
-        self._retry.end_epoch(self.suborams)
-        for balancer_index, responses in enumerate(
-            result.responses_per_balancer
-        ):
-            self._tickets.resolve(
-                balancer_index, responses, epoch=self.counter.value
-            )
+        with self.telemetry.span("epoch", epoch=self.counter.value), \
+                self.telemetry.time("snoopy_epoch_seconds"):
+            result = self._retry.run_with_retry(attempt)
+            # Armed (atomic) epochs execute on deep copies; install them
+            # so the served state is the state we keep.
+            self.suborams = result.suborams
+            if self.telemetry.enabled:
+                from repro.core.snoopy import attach_telemetry_to_suborams
+
+                attach_telemetry_to_suborams(self.suborams, self.telemetry)
+            self._retry.end_epoch(self.suborams)
+            with self.telemetry.span("stage", stage="respond"), \
+                    self.telemetry.time(
+                        "snoopy_epoch_stage_seconds", stage="respond"
+                    ):
+                for balancer_index, responses in enumerate(
+                    result.responses_per_balancer
+                ):
+                    self._tickets.resolve(
+                        balancer_index, responses, epoch=self.counter.value
+                    )
+        self.telemetry.counter("snoopy_epochs_total").inc()
+        self.telemetry.counter("snoopy_responses_total").inc(
+            len(result.responses)
+        )
         return result.responses
 
     @property

@@ -54,6 +54,7 @@ from repro.errors import (
 from repro.exec.backend import ExecutionBackend
 from repro.loadbalancer.batching import generate_batches
 from repro.loadbalancer.matching import match_responses
+from repro.telemetry import resolve_telemetry
 from repro.types import BatchEntry, Response
 
 #: Delivery seam for stage ➋: ``(balancer_index, suboram_index, suboram,
@@ -89,7 +90,12 @@ class EpochResult:
 
 
 def _build_stage(task):
-    """Stage ➊ unit: one balancer's oblivious batch generation."""
+    """Stage ➊ unit: one balancer's oblivious batch generation.
+
+    The trailing ``telemetry`` element is the deployment handle under
+    in-process backends and (because a live handle pickles to the null
+    one) the no-op handle inside process-pool workers.
+    """
     (
         requests,
         num_suborams,
@@ -97,6 +103,7 @@ def _build_stage(task):
         security_parameter,
         permissions,
         kernel,
+        telemetry,
     ) = task
     return generate_batches(
         requests,
@@ -105,6 +112,7 @@ def _build_stage(task):
         security_parameter,
         permissions=permissions,
         kernel=kernel,
+        telemetry=telemetry,
     )
 
 
@@ -126,14 +134,19 @@ def _raise_injected(fault: Optional[str], unit: int) -> None:
 
 def _execute_stage(task):
     """Stage ➋ unit: one subORAM's L batches, in fixed balancer order."""
-    suboram_index, suboram, chain, transport, fault = task
+    suboram_index, suboram, chain, transport, fault, telemetry = task
     _raise_injected(fault, suboram_index)
     outputs = []
     for balancer_index, batch in chain:
-        if transport is None:
-            entries = suboram.batch_access(batch)
-        else:
-            entries = transport(balancer_index, suboram_index, suboram, batch)
+        with telemetry.time(
+            "snoopy_suboram_batch_seconds", unit=suboram_index
+        ):
+            if transport is None:
+                entries = suboram.batch_access(batch)
+            else:
+                entries = transport(
+                    balancer_index, suboram_index, suboram, batch
+                )
         outputs.append((balancer_index, entries))
     return suboram, outputs
 
@@ -146,11 +159,14 @@ def _execute_stateful(suboram, args):
     :func:`_execute_stage` produces, so the driver handles both paths
     uniformly.
     """
-    suboram_index, chain, fault = args
+    suboram_index, chain, fault, telemetry = args
     _raise_injected(fault, suboram_index)
     outputs = []
     for balancer_index, batch in chain:
-        outputs.append((balancer_index, suboram.batch_access(batch)))
+        with telemetry.time(
+            "snoopy_suboram_batch_seconds", unit=suboram_index
+        ):
+            outputs.append((balancer_index, suboram.batch_access(batch)))
     return suboram, outputs
 
 
@@ -165,15 +181,29 @@ def _suboram_state_token(suboram):
 
 def _match_stage(task):
     """Stage ➌ unit: one balancer's oblivious response matching."""
-    originals, responses, kernel = task
-    return match_responses(originals, responses, kernel=kernel)
+    originals, responses, kernel, telemetry = task
+    return match_responses(
+        originals, responses, kernel=kernel, telemetry=telemetry
+    )
 
 
 class EpochDriver:
-    """Drives one epoch's three stages over an execution backend."""
+    """Drives one epoch's three stages over an execution backend.
 
-    def __init__(self, backend: ExecutionBackend):
+    Args:
+        backend: the execution backend the stages fan out over.
+        telemetry: optional :class:`~repro.telemetry.Telemetry` handle;
+            when given, each stage is wrapped in a trace span and timed
+            into ``snoopy_epoch_stage_seconds{stage=...}``, and the
+            handle is threaded into the stage tasks (batching, matching
+            and per-batch subORAM timings record through it on
+            in-process backends; it pickles to the no-op handle across
+            process boundaries).
+    """
+
+    def __init__(self, backend: ExecutionBackend, telemetry=None):
         self.backend = backend
+        self.telemetry = resolve_telemetry(telemetry)
 
     def run(
         self,
@@ -235,7 +265,11 @@ class EpochDriver:
                 f"{', '.join(repr(name) for name in shared)})"
             )
 
-        drained = [balancer.drain() for balancer in load_balancers]
+        with self.telemetry.span("stage", stage="collect"), \
+                self.telemetry.time(
+                    "snoopy_epoch_stage_seconds", stage="collect"
+                ):
+            drained = [balancer.drain() for balancer in load_balancers]
         active = [index for index, requests in enumerate(drained) if requests]
         if not active:
             return EpochResult(
@@ -264,20 +298,26 @@ class EpochDriver:
         """The three pipeline stages; failures surface as EpochFailedError."""
         # Stage ➊ — per-balancer batch building, concurrent across L.
         try:
-            built = self.backend.map(
-                _build_stage,
-                [
-                    (
-                        drained[index],
-                        load_balancers[index].num_suborams,
-                        load_balancers[index].sharding_key,
-                        load_balancers[index].security_parameter,
-                        permissions,
-                        getattr(load_balancers[index], "kernel", None),
-                    )
-                    for index in active
-                ],
-            )
+            with self.telemetry.span(
+                "stage", stage="build", tasks=len(active)
+            ), self.telemetry.time(
+                "snoopy_epoch_stage_seconds", stage="build"
+            ):
+                built = self.backend.map(
+                    _build_stage,
+                    [
+                        (
+                            drained[index],
+                            load_balancers[index].num_suborams,
+                            load_balancers[index].sharding_key,
+                            load_balancers[index].security_parameter,
+                            permissions,
+                            getattr(load_balancers[index], "kernel", None),
+                            self.telemetry,
+                        )
+                        for index in active
+                    ],
+                )
         except BaseException as exc:
             raise EpochFailedError(
                 "build", getattr(exc, "unit", None), exc
@@ -301,44 +341,58 @@ class EpochDriver:
             for suboram_index in range(len(work_suborams))
         ]
         try:
-            if transport is None:
-                executed = self.backend.map_stateful(
-                    _execute_stateful,
-                    [
-                        (
-                            (state_ns, suboram_index),
-                            suboram,
+            with self.telemetry.span(
+                "stage", stage="execute", tasks=len(work_suborams)
+            ), self.telemetry.time(
+                "snoopy_epoch_stage_seconds", stage="execute"
+            ):
+                if transport is None:
+                    executed = self.backend.map_stateful(
+                        _execute_stateful,
+                        [
+                            (
+                                (state_ns, suboram_index),
+                                suboram,
+                                (
+                                    suboram_index,
+                                    [
+                                        (balancer_index,
+                                         built[j][0][suboram_index])
+                                        for j, balancer_index in enumerate(
+                                            active
+                                        )
+                                    ],
+                                    faults[suboram_index],
+                                    self.telemetry,
+                                ),
+                            )
+                            for suboram_index, suboram in enumerate(
+                                work_suborams
+                            )
+                        ],
+                        token=_suboram_state_token,
+                    )
+                else:
+                    executed = self.backend.map(
+                        _execute_stage,
+                        [
                             (
                                 suboram_index,
+                                suboram,
                                 [
                                     (balancer_index,
                                      built[j][0][suboram_index])
                                     for j, balancer_index in enumerate(active)
                                 ],
+                                transport,
                                 faults[suboram_index],
-                            ),
-                        )
-                        for suboram_index, suboram in enumerate(work_suborams)
-                    ],
-                    token=_suboram_state_token,
-                )
-            else:
-                executed = self.backend.map(
-                    _execute_stage,
-                    [
-                        (
-                            suboram_index,
-                            suboram,
-                            [
-                                (balancer_index, built[j][0][suboram_index])
-                                for j, balancer_index in enumerate(active)
-                            ],
-                            transport,
-                            faults[suboram_index],
-                        )
-                        for suboram_index, suboram in enumerate(work_suborams)
-                    ],
-                )
+                                self.telemetry,
+                            )
+                            for suboram_index, suboram in enumerate(
+                                work_suborams
+                            )
+                        ],
+                    )
         except BaseException as exc:
             raise EpochFailedError(
                 "execute", getattr(exc, "unit", None), exc
@@ -354,19 +408,25 @@ class EpochDriver:
 
         # Stage ➌ — per-balancer response matching, concurrent across L.
         try:
-            matched = self.backend.map(
-                _match_stage,
-                [
-                    (
-                        built[j][1],
-                        entries_per_balancer[balancer_index],
-                        getattr(
-                            load_balancers[balancer_index], "kernel", None
-                        ),
-                    )
-                    for j, balancer_index in enumerate(active)
-                ],
-            )
+            with self.telemetry.span(
+                "stage", stage="match", tasks=len(active)
+            ), self.telemetry.time(
+                "snoopy_epoch_stage_seconds", stage="match"
+            ):
+                matched = self.backend.map(
+                    _match_stage,
+                    [
+                        (
+                            built[j][1],
+                            entries_per_balancer[balancer_index],
+                            getattr(
+                                load_balancers[balancer_index], "kernel", None
+                            ),
+                            self.telemetry,
+                        )
+                        for j, balancer_index in enumerate(active)
+                    ],
+                )
         except BaseException as exc:
             raise EpochFailedError(
                 "match", getattr(exc, "unit", None), exc

@@ -190,10 +190,15 @@ class FaultInjector:
             counter names (``worker_crashes``, ``tasks_timed_out``, ...).
     """
 
-    def __init__(self, plan: Optional[FaultPlan] = None):
+    def __init__(self, plan: Optional[FaultPlan] = None, telemetry=None):
+        # Local import: repro.telemetry is dependency-free, but keeping
+        # the import here mirrors how deployments attach the handle late.
+        from repro.telemetry import resolve_telemetry
+
         self.plan = plan if plan is not None else FaultPlan()
         self._pending: List[FaultEvent] = list(self.plan.events)
         self._epoch = 0
+        self.telemetry = resolve_telemetry(telemetry)
         self.stats: Dict[str, int] = {
             counter: 0 for counter in FAULT_KINDS.values()
         }
@@ -226,6 +231,7 @@ class FaultInjector:
                 continue
             del self._pending[index]
             self.stats[FAULT_KINDS[kind]] += 1
+            self.telemetry.counter("fault_injected_total", kind=kind).inc()
             return event
         return None
 

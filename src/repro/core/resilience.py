@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.faults import FaultInjector
 from repro.errors import EpochFailedError
+from repro.telemetry import resolve_telemetry
 from repro.utils.validation import require
 
 
@@ -130,10 +131,12 @@ class EpochRetryController:
         policy: RetryPolicy,
         injector: Optional[FaultInjector] = None,
         sleep: Callable[[float], None] = time.sleep,
+        telemetry=None,
     ):
         self.policy = policy
         self.injector = injector
         self._sleep = sleep
+        self.telemetry = resolve_telemetry(telemetry)
         self.stats: Dict[str, int] = {
             "epochs_failed": 0,
             "epochs_retried": 0,
@@ -167,7 +170,12 @@ class EpochRetryController:
         """Heal replica groups, then apply this epoch's replica faults."""
         if self.injector is not None:
             self.injector.begin_epoch(epoch)
-        self.stats["replicas_recovered"] += heal_replica_groups(suborams)
+        recovered = heal_replica_groups(suborams)
+        self.stats["replicas_recovered"] += recovered
+        if recovered:
+            self.telemetry.counter("replication_recoveries_total").inc(
+                recovered
+            )
         self._staged_rollbacks = []
         if self.injector is None:
             return
@@ -215,13 +223,24 @@ class EpochRetryController:
         for attempt_index in range(1, self.policy.max_attempts + 1):
             if attempt_index > 1:
                 self.stats["epochs_retried"] += 1
+                self.telemetry.counter("retry_epochs_retried_total").inc()
                 delay = self.policy.delay(attempt_index - 1)
                 if delay > 0:
+                    self.telemetry.counter(
+                        "retry_backoff_sleeps_total"
+                    ).inc()
+                    self.telemetry.counter(
+                        "retry_backoff_seconds_total"
+                    ).inc(delay)
                     self._sleep(delay)
             try:
                 return attempt()
             except EpochFailedError as exc:
                 self.stats["epochs_failed"] += 1
+                self.telemetry.counter(
+                    "retry_epochs_failed_total",
+                    stage=exc.stage if exc.stage else "unknown",
+                ).inc()
                 failure = exc
                 if not exc.retryable:
                     break

@@ -36,8 +36,26 @@ from repro.exec import BackendSpec, ExecutionBackend, make_backend
 from repro.loadbalancer.balancer import LoadBalancer
 from repro.loadbalancer.initialization import oblivious_shard
 from repro.suboram.suboram import SubOram
+from repro.telemetry import resolve_telemetry
 from repro.types import OpType, Request, Response
 from repro.utils.validation import require
+
+
+def attach_telemetry_to_suborams(suborams, telemetry) -> None:
+    """Point every subORAM (and replica) with a telemetry seam at ``telemetry``.
+
+    Attachment is attribute-based so custom subORAM implementations opt
+    in simply by defining a ``telemetry`` attribute; objects without the
+    seam (e.g. bare adapters) are left untouched.  Replica groups are
+    descended into via their ``replicas`` list.
+    """
+    for suboram in suborams:
+        if hasattr(suboram, "telemetry"):
+            suboram.telemetry = telemetry
+        for replica in getattr(suboram, "replicas", []):
+            inner = getattr(replica, "suboram", replica)
+            if hasattr(inner, "telemetry"):
+                inner.telemetry = telemetry
 
 
 class Snoopy:
@@ -56,7 +74,8 @@ class Snoopy:
     def __init__(self, config: SnoopyConfig, keychain: Optional[KeyChain] = None,
                  rng: Optional[random.Random] = None, suboram_factory=None,
                  backend: Optional[BackendSpec] = None,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 telemetry=None):
         """Assemble the deployment.
 
         Args:
@@ -78,6 +97,10 @@ class Snoopy:
                 :class:`~repro.core.faults.FaultPlan` (chaos testing);
                 scheduled faults are injected through the backend and
                 replica seams and counted in :attr:`fault_stats`.
+            telemetry: optional :class:`~repro.telemetry.Telemetry`
+                handle; overrides ``config.telemetry``.  When attached,
+                every pipeline layer records into its registry/tracer
+                (see :mod:`repro.telemetry`).
 
         Raises:
             ConfigurationError: both a custom ``suboram_factory`` and
@@ -88,17 +111,26 @@ class Snoopy:
         self.keychain = keychain if keychain is not None else KeyChain()
         self._rng = rng if rng is not None else random.Random()
         self.counter = MonotonicCounter()
+        self.telemetry = resolve_telemetry(
+            telemetry if telemetry is not None else config.telemetry
+        )
         self._owns_backend = not isinstance(backend, ExecutionBackend)
         self.backend = make_backend(
             backend if backend is not None else config.execution_backend,
             config.max_workers,
             task_timeout=config.task_timeout,
         )
+        if self.telemetry.enabled:
+            self.backend.attach_telemetry(self.telemetry)
         self._injector = (
-            FaultInjector(fault_plan) if fault_plan is not None else None
+            FaultInjector(fault_plan, telemetry=self.telemetry)
+            if fault_plan is not None
+            else None
         )
         self._retry = EpochRetryController(
-            RetryPolicy.from_config(config), injector=self._injector
+            RetryPolicy.from_config(config),
+            injector=self._injector,
+            telemetry=self.telemetry,
         )
 
         # Distinct per-deployment namespace for the backend's cross-epoch
@@ -132,6 +164,8 @@ class Snoopy:
             suboram_factory(s, config, self.keychain)
             for s in range(config.num_suborams)
         ]
+        if self.telemetry.enabled:
+            attach_telemetry_to_suborams(self.suborams, self.telemetry)
         self._tickets = TicketBook(config.num_load_balancers)
         self._initialized = False
 
@@ -186,6 +220,7 @@ class Snoopy:
         """
         if load_balancer is None:
             load_balancer = self._rng.randrange(self.config.num_load_balancers)
+        self.telemetry.counter("snoopy_requests_total").inc()
         arrival = self.load_balancers[load_balancer].submit(request)
         return self._tickets.issue(load_balancer, arrival, request)
 
@@ -232,7 +267,8 @@ class Snoopy:
                 task_timeout=self.config.task_timeout,
             )
             if backend is not None
-            else self.backend
+            else self.backend,
+            telemetry=self.telemetry,
         )
 
         def attempt():
@@ -245,18 +281,33 @@ class Snoopy:
                 atomic=self._retry.armed,
             )
 
-        result = self._retry.run_with_retry(attempt)
-        # Under a process backend the subORAMs mutated in workers; the
-        # driver ships the updated state back and we reinstall it.  (The
-        # same applies to the atomic deep copies of an armed epoch.)
-        self.suborams = result.suborams
-        self._retry.end_epoch(self.suborams)
-        for balancer_index, responses in enumerate(
-            result.responses_per_balancer
-        ):
-            self._tickets.resolve(
-                balancer_index, responses, epoch=self.counter.value
-            )
+        with self.telemetry.span("epoch", epoch=self.counter.value), \
+                self.telemetry.time("snoopy_epoch_seconds"):
+            result = self._retry.run_with_retry(attempt)
+            # Under a process backend the subORAMs mutated in workers; the
+            # driver ships the updated state back and we reinstall it.
+            # (The same applies to the atomic deep copies of an armed
+            # epoch.)
+            self.suborams = result.suborams
+            if self.telemetry.enabled:
+                # Process backends reinstall unpickled copies whose
+                # telemetry seam collapsed to the null handle; re-attach.
+                attach_telemetry_to_suborams(self.suborams, self.telemetry)
+            self._retry.end_epoch(self.suborams)
+            with self.telemetry.span("stage", stage="respond"), \
+                    self.telemetry.time(
+                        "snoopy_epoch_stage_seconds", stage="respond"
+                    ):
+                for balancer_index, responses in enumerate(
+                    result.responses_per_balancer
+                ):
+                    self._tickets.resolve(
+                        balancer_index, responses, epoch=self.counter.value
+                    )
+        self.telemetry.counter("snoopy_epochs_total").inc()
+        self.telemetry.counter("snoopy_responses_total").inc(
+            len(result.responses)
+        )
         return result.responses
 
     @property

@@ -28,6 +28,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable, Iterable, List, Sequence, TypeVar
 
+from repro.telemetry import NULL_TELEMETRY, resolve_telemetry
+
 _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
 
@@ -54,6 +56,18 @@ class ExecutionBackend(ABC):
     #: (serial and thread backends).  Process backends return state by
     #: value instead, and cannot execute non-picklable closures.
     supports_shared_state: bool = True
+
+    #: Telemetry handle, defaulting to the shared no-op; deployments call
+    #: :meth:`attach_telemetry` to wire in their live handle.  Pooled
+    #: backends record per-task queue-wait/run timings and fault counters
+    #: through it; the serial backend stays instrumentation-free (its
+    #: stage timings are exactly the driver's, so per-task metrics would
+    #: only duplicate them).
+    telemetry = NULL_TELEMETRY
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire a :class:`~repro.telemetry.Telemetry` handle (or None) in."""
+        self.telemetry = resolve_telemetry(telemetry)
 
     @abstractmethod
     def map(

@@ -25,6 +25,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 import zlib
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -50,6 +51,26 @@ def _unit_of(key) -> Optional[int]:
     ):
         return key[1]
     return None
+
+
+def _instrumented(fn, submitted: float, queue_hist, run_hist):
+    """Wrap a stage fn to record queue-wait and run time per task.
+
+    Only used on shared-memory pools (the closure cannot cross a process
+    boundary).  ``submitted`` is the fan-out instant — all of a stage's
+    tasks are submitted together, so ``start - submitted`` is how long
+    the task sat waiting for a free worker.
+    """
+
+    def wrapped(task):
+        start = time.monotonic()
+        queue_hist.observe(start - submitted)
+        try:
+            return fn(task)
+        finally:
+            run_hist.observe(time.monotonic() - start)
+
+    return wrapped
 
 
 def _default_thread_workers() -> int:
@@ -104,17 +125,49 @@ class _PooledBackend(ExecutionBackend):
             return [fn(task) for task in tasks]
         if self._executor is None:
             self._executor = self._make_executor()
+        telemetry = self.telemetry
+        if telemetry.enabled and self.supports_shared_state:
+            # Shared-memory pools can time inside the worker: split each
+            # task into queue wait (submit -> start) vs run time.
+            fn = _instrumented(
+                fn,
+                time.monotonic(),
+                telemetry.histogram(
+                    "exec_task_queue_seconds", backend=self.name
+                ),
+                telemetry.histogram(
+                    "exec_task_run_seconds", backend=self.name
+                ),
+            )
+        # Process pools cannot ship the timing closure; record each
+        # task's total submit-to-completion latency host-side instead
+        # (requires the futures path even without a timeout).
+        time_totals = telemetry.enabled and not self.supports_shared_state
         try:
-            if self.task_timeout is None:
+            if self.task_timeout is None and not time_totals:
                 # Executor.map preserves input order and re-raises the
                 # first failing task's exception at iteration time.
                 return list(self._executor.map(fn, tasks))
+            submitted = time.monotonic()
             futures = [self._executor.submit(fn, task) for task in tasks]
+            if time_totals:
+                total_hist = telemetry.histogram(
+                    "exec_task_total_seconds", backend=self.name
+                )
+                for future in futures:
+                    future.add_done_callback(
+                        lambda _f: total_hist.observe(
+                            time.monotonic() - submitted
+                        )
+                    )
             results = []
             for index, future in enumerate(futures):
                 try:
                     results.append(future.result(timeout=self.task_timeout))
                 except FutureTimeoutError as exc:
+                    telemetry.counter(
+                        "exec_task_timeouts_total", backend=self.name
+                    ).inc()
                     self._abandon_executor()
                     raise TaskTimeoutError(
                         f"task {index} exceeded the per-task timeout of "
@@ -123,6 +176,9 @@ class _PooledBackend(ExecutionBackend):
                     ) from exc
             return results
         except BrokenProcessPool as exc:
+            telemetry.counter(
+                "exec_worker_crashes_total", backend=self.name
+            ).inc()
             self._abandon_executor()
             raise WorkerCrashError(
                 "a pool worker process died mid-task"
@@ -357,9 +413,12 @@ class ProcessPoolBackend(_PooledBackend):
                     return
                 key, state, args = tasks[index]
                 try:
-                    results[index] = self._run_sticky_task(
-                        slot, fn, key, state, args, token
-                    )
+                    with self.telemetry.time(
+                        "exec_task_total_seconds", backend=self.name
+                    ):
+                        results[index] = self._run_sticky_task(
+                            slot, fn, key, state, args, token
+                        )
                 except BaseException as exc:
                     failures[index] = exc
                     return
@@ -375,6 +434,22 @@ class ProcessPoolBackend(_PooledBackend):
         if failures:
             raise failures[min(failures)]
         return results
+
+    #: state_cache_stats key -> ``exec_state_cache_total`` event label.
+    _CACHE_EVENTS = {"hits": "hit", "misses": "miss", "full_ships": "full_ship"}
+
+    def _note_cache(self, outcome: str) -> None:
+        """Count one state-cache outcome (dict stats + telemetry mirror)."""
+        self.state_cache_stats[outcome] += 1
+        self.telemetry.counter(
+            "exec_state_cache_total", event=self._CACHE_EVENTS[outcome]
+        ).inc()
+
+    def _note_timeout(self) -> None:
+        """Count one sticky-task timeout on the telemetry registry."""
+        self.telemetry.counter(
+            "exec_task_timeouts_total", backend=self.name
+        ).inc()
 
     def _discard_worker(self, slot: int, key) -> None:
         """Kill one sticky worker and drop the key's state-cache entry.
@@ -411,6 +486,7 @@ class ProcessPoolBackend(_PooledBackend):
             except (EOFError, BrokenPipeError, OSError):
                 reply = ("miss", None, None)
             except TaskTimeoutError as exc:
+                self._note_timeout()
                 self._discard_worker(slot, key)
                 raise TaskTimeoutError(
                     f"stateful task for key {key!r} exceeded the per-task "
@@ -418,17 +494,18 @@ class ProcessPoolBackend(_PooledBackend):
                     unit=_unit_of(key),
                 ) from exc
             if reply[0] == "miss":
-                self.state_cache_stats["misses"] += 1
+                self._note_cache("misses")
                 reply = None
             else:
-                self.state_cache_stats["hits"] += 1
+                self._note_cache("hits")
         if reply is None:
-            self.state_cache_stats["full_ships"] += 1
+            self._note_cache("full_ships")
             try:
                 reply = worker.request(
                     (fn, key, version, True, state, args), timeout=timeout
                 )
             except TaskTimeoutError as exc:
+                self._note_timeout()
                 self._discard_worker(slot, key)
                 raise TaskTimeoutError(
                     f"stateful task for key {key!r} exceeded the per-task "
@@ -438,15 +515,22 @@ class ProcessPoolBackend(_PooledBackend):
             except (EOFError, BrokenPipeError, OSError):
                 # Worker died mid-task (e.g. killed); respawn once and
                 # re-ship the full state.
+                self.telemetry.counter(
+                    "exec_worker_crashes_total", backend=self.name
+                ).inc()
                 self._sticky.pop(slot, None)
                 self._state_cache.pop(key, None)
                 worker = self._sticky_worker(slot)
+                self.telemetry.counter(
+                    "exec_worker_respawns_total", backend=self.name
+                ).inc()
                 try:
                     reply = worker.request(
                         (fn, key, version, True, state, args),
                         timeout=timeout,
                     )
                 except TaskTimeoutError as exc:
+                    self._note_timeout()
                     self._discard_worker(slot, key)
                     raise TaskTimeoutError(
                         f"stateful task for key {key!r} exceeded the "
@@ -457,6 +541,9 @@ class ProcessPoolBackend(_PooledBackend):
                     # The respawned worker died too — give up loudly so
                     # the epoch retry machinery (not this backend)
                     # decides what happens next.
+                    self.telemetry.counter(
+                        "exec_worker_crashes_total", backend=self.name
+                    ).inc()
                     self._discard_worker(slot, key)
                     raise WorkerCrashError(
                         f"sticky worker for key {key!r} died twice "

@@ -29,6 +29,8 @@ from repro.crypto.prf import Prf
 from repro.errors import BatchOverflowError
 from repro.oblivious.kernels import resolve_kernel
 from repro.oblivious.primitives import and_bit, lt_bit, not_bit, o_select
+from repro.telemetry import resolve_telemetry
+from repro.telemetry.kernelbridge import TimedKernelTrace, flush_kernel_trace
 from repro.types import BatchEntry, OpType, Request
 
 # Reserved id space for load-balancer dummy requests: far below any
@@ -49,6 +51,7 @@ def generate_batches(
     mem_factory=None,
     permissions=None,
     kernel=None,
+    telemetry=None,
 ) -> Tuple[List[List[BatchEntry]], List[BatchEntry], int]:
     """Build one fixed-size batch per subORAM from an epoch's requests.
 
@@ -59,6 +62,10 @@ def generate_batches(
         kernel: oblivious-kernel selector for the sort and compaction
             (see :mod:`repro.oblivious.kernels`); ``mem_factory`` forces
             the python kernel.
+        telemetry: optional :class:`~repro.telemetry.Telemetry` handle;
+            times the pipeline steps into
+            ``snoopy_lb_stage_seconds{stage=route|pad|sort|dedupe}`` and
+            records per-level kernel timings through the trace seam.
 
     Returns:
         (batches, originals, batch_size) where ``batches[s]`` is subORAM
@@ -72,87 +79,100 @@ def generate_batches(
     """
     prf = Prf(sharding_key)
     kern = resolve_kernel(kernel, mem_factory)
+    telemetry = resolve_telemetry(telemetry)
+    kernel_trace = TimedKernelTrace() if telemetry.enabled else None
     num_requests = len(requests)
     size = batch_size(num_requests, num_suborams, security_parameter)
 
     # ➊ Assign subORAMs (fixed scan over the request list).
-    originals: List[BatchEntry] = []
-    for arrival, request in enumerate(requests):
-        entry = BatchEntry.from_request(request)
-        entry.suboram = prf.range(request.key, num_suborams)
-        entry.tag = arrival  # remember arrival order for last-write-wins
-        if permissions is not None:
-            entry.permitted = int(
-                permissions.get((request.client_id, request.seq), 1)
-            )
-        originals.append(entry)
+    with telemetry.time("snoopy_lb_stage_seconds", stage="route"):
+        originals: List[BatchEntry] = []
+        for arrival, request in enumerate(requests):
+            entry = BatchEntry.from_request(request)
+            entry.suboram = prf.range(request.key, num_suborams)
+            entry.tag = arrival  # remember arrival order: last-write-wins
+            if permissions is not None:
+                entry.permitted = int(
+                    permissions.get((request.client_id, request.seq), 1)
+                )
+            originals.append(entry)
 
     # ➋ Append B dummies per subORAM.
-    working = [entry.copy() for entry in originals]
-    for suboram in range(num_suborams):
-        for index in range(size):
-            working.append(
-                BatchEntry(
-                    op=OpType.READ,
-                    key=dummy_key(suboram, index),
-                    suboram=suboram,
-                    is_dummy=True,
+    with telemetry.time("snoopy_lb_stage_seconds", stage="pad"):
+        working = [entry.copy() for entry in originals]
+        for suboram in range(num_suborams):
+            for index in range(size):
+                working.append(
+                    BatchEntry(
+                        op=OpType.READ,
+                        key=dummy_key(suboram, index),
+                        suboram=suboram,
+                        is_dummy=True,
+                    )
                 )
-            )
 
     # ➌ Oblivious sort: group by subORAM; reals before dummies; duplicate
     # keys adjacent with the last-write-wins representative sorting last.
-    working = kern.sort(
-        working,
-        columns=[
-            [e.suboram for e in working],
-            [int(e.is_dummy) for e in working],
-            [e.key for e in working],
-            [int(e.op is OpType.WRITE) for e in working],
-            [e.tag for e in working],
-        ],
-        mem_factory=mem_factory,
-    )
+    with telemetry.time("snoopy_lb_stage_seconds", stage="sort"):
+        working = kern.sort(
+            working,
+            columns=[
+                [e.suboram for e in working],
+                [int(e.is_dummy) for e in working],
+                [e.key for e in working],
+                [int(e.op is OpType.WRITE) for e in working],
+                [e.tag for e in working],
+            ],
+            mem_factory=mem_factory,
+            trace=kernel_trace,
+        )
 
     # ➍ Fixed scan marking keeps; compact.  An entry is the representative
     # of its key iff the next entry differs in (suboram, is_dummy, key).
-    keep_flags: List[int] = []
-    kept_in_suboram = 0
-    current_suboram = -1
-    dropped_real = 0
-    for i, entry in enumerate(working):
-        new_suboram = int(entry.suboram != current_suboram)
-        kept_in_suboram = o_select(new_suboram, kept_in_suboram, 0)
-        current_suboram = entry.suboram
+    with telemetry.time("snoopy_lb_stage_seconds", stage="dedupe"):
+        keep_flags: List[int] = []
+        kept_in_suboram = 0
+        current_suboram = -1
+        dropped_real = 0
+        for i, entry in enumerate(working):
+            new_suboram = int(entry.suboram != current_suboram)
+            kept_in_suboram = o_select(new_suboram, kept_in_suboram, 0)
+            current_suboram = entry.suboram
 
-        if i + 1 < len(working):
-            nxt = working[i + 1]
-            is_last_of_key = not_bit(
-                and_bit(
-                    int(nxt.suboram == entry.suboram),
+            if i + 1 < len(working):
+                nxt = working[i + 1]
+                is_last_of_key = not_bit(
                     and_bit(
-                        int(nxt.is_dummy == entry.is_dummy),
-                        int(nxt.key == entry.key),
-                    ),
+                        int(nxt.suboram == entry.suboram),
+                        and_bit(
+                            int(nxt.is_dummy == entry.is_dummy),
+                            int(nxt.key == entry.key),
+                        ),
+                    )
                 )
+            else:
+                is_last_of_key = 1
+
+            keep = and_bit(is_last_of_key, lt_bit(kept_in_suboram, size))
+            keep_flags.append(keep)
+            kept_in_suboram += keep
+            dropped_real += and_bit(
+                is_last_of_key,
+                and_bit(not_bit(keep), not_bit(int(entry.is_dummy))),
             )
-        else:
-            is_last_of_key = 1
 
-        keep = and_bit(is_last_of_key, lt_bit(kept_in_suboram, size))
-        keep_flags.append(keep)
-        kept_in_suboram += keep
-        dropped_real += and_bit(
-            is_last_of_key, and_bit(not_bit(keep), not_bit(int(entry.is_dummy)))
+        if dropped_real:
+            raise BatchOverflowError(
+                f"{dropped_real} distinct request(s) exceeded batch size "
+                f"{size}; probability <= 2^-{security_parameter} under "
+                "Theorem 3"
+            )
+
+        compacted = kern.compact(
+            working, keep_flags, mem_factory=mem_factory, trace=kernel_trace
         )
-
-    if dropped_real:
-        raise BatchOverflowError(
-            f"{dropped_real} distinct request(s) exceeded batch size {size}; "
-            f"probability <= 2^-{security_parameter} under Theorem 3"
-        )
-
-    compacted = kern.compact(working, keep_flags, mem_factory=mem_factory)
+    if kernel_trace is not None:
+        flush_kernel_trace(telemetry.registry, kernel_trace, kern.name)
     assert len(compacted) == num_suborams * size
 
     batches = [

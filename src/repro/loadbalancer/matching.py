@@ -20,6 +20,8 @@ from typing import List, Sequence
 
 from repro.oblivious.kernels import resolve_kernel
 from repro.oblivious.primitives import and_bit, eq_bit, o_select
+from repro.telemetry import resolve_telemetry
+from repro.telemetry.kernelbridge import TimedKernelTrace, flush_kernel_trace
 from repro.types import BatchEntry, Response
 
 
@@ -28,6 +30,7 @@ def match_responses(
     responses: Sequence[BatchEntry],
     mem_factory=None,
     kernel=None,
+    telemetry=None,
 ) -> List[Response]:
     """Map subORAM responses back onto the epoch's client requests.
 
@@ -39,11 +42,16 @@ def match_responses(
         kernel: oblivious-kernel selector for the sort and compaction
             (see :mod:`repro.oblivious.kernels`); ``mem_factory`` forces
             the python kernel.
+        telemetry: optional :class:`~repro.telemetry.Telemetry` handle;
+            records the matching sort/compaction per-level timings
+            through the kernel trace seam.
 
     Returns:
         One :class:`Response` per original request, in arrival order,
         carrying the object value prior to this epoch's writes.
     """
+    telemetry = resolve_telemetry(telemetry)
+    kernel_trace = TimedKernelTrace() if telemetry.enabled else None
     # ➊ Merge: responses get tag bit 0, requests tag bit 1.  We stash the
     # arrival order separately so sorting can't disturb it.
     merged: List[list] = []
@@ -62,6 +70,7 @@ def match_responses(
             [r[4] for r in merged],
         ],
         mem_factory=mem_factory,
+        trace=kernel_trace,
     )
 
     # ➌ Propagate response values forward (fixed scan).
@@ -77,7 +86,11 @@ def match_responses(
 
     # ➍ Keep only client requests.
     flags = [record[1] for record in merged]
-    kept = kern.compact(merged, flags, mem_factory=mem_factory)
+    kept = kern.compact(
+        merged, flags, mem_factory=mem_factory, trace=kernel_trace
+    )
+    if kernel_trace is not None:
+        flush_kernel_trace(telemetry.registry, kernel_trace, kern.name)
     assert len(kept) == len(originals)
 
     # Access control (§D): a denied request receives a null value; the

@@ -168,6 +168,7 @@ def epoch_wallclock_series(
     seed: int = 7,
     max_workers: Optional[int] = None,
     kernel: str = "python",
+    stage_sink: Optional[Dict[str, list]] = None,
 ) -> Dict[str, float]:
     """Measured mean epoch wall-clock for each execution backend.
 
@@ -184,6 +185,13 @@ def epoch_wallclock_series(
     ``kernel`` selector picks the oblivious-kernel implementation
     (``"python"`` or ``"numpy"``) so backend speedups can be measured on
     either data plane.
+
+    ``stage_sink``, when given a dict, receives a per-backend epoch-stage
+    timing breakdown: ``stage_sink[spec]`` becomes the
+    :func:`repro.telemetry.stage_breakdown` rows measured for that
+    backend's run (each run gets its own fresh
+    :class:`~repro.telemetry.Telemetry` handle, so rows never mix across
+    specs).  ``None`` (default) measures with telemetry off.
     """
     from repro.core.config import SnoopyConfig
     from repro.core.snoopy import Snoopy
@@ -205,6 +213,11 @@ def epoch_wallclock_series(
 
     series: Dict[str, float] = {}
     for spec in backends:
+        telemetry = None
+        if stage_sink is not None:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry()
         config = SnoopyConfig(
             num_load_balancers=num_load_balancers,
             num_suborams=num_suborams,
@@ -212,6 +225,7 @@ def epoch_wallclock_series(
             execution_backend=spec,
             max_workers=max_workers,
             kernel=kernel,
+            telemetry=telemetry,
         )
         with Snoopy(
             config, suboram_factory=latency_suboram_factory(batch_delay)
@@ -225,6 +239,10 @@ def epoch_wallclock_series(
                     )
                 store.run_epoch()
             series[spec] = (time.perf_counter() - start) / epochs
+        if stage_sink is not None:
+            from repro.telemetry import stage_breakdown
+
+            stage_sink[spec] = stage_breakdown(telemetry.registry)
     return series
 
 

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-import math
 from typing import Iterable, List
+
+from repro.telemetry.registry import nearest_rank_percentile
 
 
 class LatencyStats:
@@ -33,12 +34,14 @@ class LatencyStats:
         return sum(self.samples) / len(self.samples)
 
     def percentile(self, p: float) -> float:
-        """p in [0, 100]; nearest-rank percentile."""
-        if not self.samples:
-            return 0.0
-        ordered = sorted(self.samples)
-        rank = max(0, min(len(ordered) - 1, math.ceil(p / 100 * len(ordered)) - 1))
-        return ordered[rank]
+        """p in [0, 100]; nearest-rank percentile.
+
+        Delegates to the single shared implementation in
+        :func:`repro.telemetry.registry.nearest_rank_percentile`, so the
+        simulator and the telemetry histograms can never drift apart
+        (``tests/test_telemetry.py`` cross-checks them).
+        """
+        return nearest_rank_percentile(sorted(self.samples), p)
 
     @property
     def p50(self) -> float:

@@ -26,6 +26,8 @@ from repro.oblivious.hashtable import TwoTierHashTable, TwoTierParams
 from repro.oblivious.kernels import ScanTable, resolve_kernel
 from repro.oblivious.primitives import and_bit, eq_bit, o_select
 from repro.suboram.store import EncryptedStore
+from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry.kernelbridge import TimedKernelTrace, flush_kernel_trace
 from repro.types import BatchEntry, OpType
 from repro.utils.validation import require, require_positive
 
@@ -62,6 +64,10 @@ class SubOram:
         self._keys: List[int] = []  # physical slot -> object key (scan order)
         self._epoch = 0
         self._state_version = 0
+        #: Telemetry handle; the deployment attaches its live handle here.
+        #: A live handle pickles to the null one, so subORAMs shipped to
+        #: process-pool workers record nothing worker-side.
+        self.telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     # Initialization (Figure 19, Initialize)
@@ -142,31 +148,40 @@ class SubOram:
             batch_key = self._keychain.batch_key(self.suboram_id, self._epoch)
 
         # ➊ Construct the oblivious hash table of requests (fresh key).
-        table = TwoTierHashTable.build(
-            batch,
-            key_fn=_entry_key,
-            prf_key=batch_key,
-            params=table_params,
-            security_parameter=self.security_parameter,
-            kernel=self.kernel,
-        )
+        with self.telemetry.time(
+            "snoopy_suboram_phase_seconds", phase="table"
+        ):
+            table = TwoTierHashTable.build(
+                batch,
+                key_fn=_entry_key,
+                prf_key=batch_key,
+                params=table_params,
+                security_parameter=self.security_parameter,
+                kernel=self.kernel,
+            )
 
         # ➋ Linear scan over every stored object.  The scalar reference
         # path interleaves get/compute/put per slot; the vectorized path
         # reads every slot, runs the whole scan as masked array ops, then
         # rewrites every slot.  Both schedules are public functions of
         # ``num_objects`` alone (see repro.security.simulator).
-        if self.kernel.vectorized:
-            matched = self._scan_vectorized(table, batch)
-        else:
-            matched = self._scan_reference(table, batch)
+        with self.telemetry.time(
+            "snoopy_suboram_phase_seconds", phase="scan"
+        ):
+            if self.kernel.vectorized:
+                matched = self._scan_vectorized(table, batch)
+            else:
+                matched = self._scan_reference(table, batch)
 
         # ➌ Null responses whose key is absent from the partition (a write
         # payload must not echo back as a phantom read value), then mark
         # real entries and compact out table fillers.
-        for entry in batch:
-            entry.value = o_select(matched[id(entry)], None, entry.value)
-        return table.extract_real()
+        with self.telemetry.time(
+            "snoopy_suboram_phase_seconds", phase="extract"
+        ):
+            for entry in batch:
+                entry.value = o_select(matched[id(entry)], None, entry.value)
+            return table.extract_real()
 
     def _scan_reference(
         self, table: TwoTierHashTable, batch: List[BatchEntry]
@@ -241,9 +256,17 @@ class SubOram:
             ],
             values=[None if s.item is None else s.item.value for s in slots],
         )
-        new_values, slot_matched, responses = self.kernel.scan(
-            obj_keys, obj_values, self.value_size, lookup, scan_table
+        kernel_trace = (
+            TimedKernelTrace() if self.telemetry.enabled else None
         )
+        new_values, slot_matched, responses = self.kernel.scan(
+            obj_keys, obj_values, self.value_size, lookup, scan_table,
+            trace=kernel_trace,
+        )
+        if kernel_trace is not None:
+            flush_kernel_trace(
+                self.telemetry.registry, kernel_trace, self.kernel.name
+            )
         for slot in range(self.num_objects):
             self._store.put(slot, obj_keys[slot], new_values[slot])
         matched: Dict[int, int] = {id(entry): 0 for entry in batch}

@@ -1,0 +1,72 @@
+"""Pluggable telemetry sinks.
+
+A sink receives the finished state of a :class:`Telemetry` handle when
+``flush()`` is called: the metrics registry and the tracer's span trees.
+Three implementations ship:
+
+* :class:`InMemorySink` — keeps the flushed snapshots on the object;
+  what tests and the benchmarks use.
+* :class:`JsonLinesSink` — appends one JSON object per line to a file
+  (``kind: "metric"`` rows then ``kind: "span"`` rows per flush); the
+  chaos-soak CI job uploads these as artifacts.
+* :class:`PrometheusTextSink` — writes the registry's Prometheus text
+  exposition to a file, whole-file-replace per flush (the newest flush
+  wins, matching scrape semantics).  Behind the CLI's ``--metrics-out``.
+
+Sinks are deliberately dumb — all aggregation lives in the registry, so
+a sink never sees partial state.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .registry import MetricsRegistry
+from .spans import Span
+
+
+class InMemorySink:
+    """Accumulates flushed snapshots in memory for inspection."""
+
+    def __init__(self) -> None:
+        self.metric_rows: List[dict] = []
+        self.span_trees: List[dict] = []
+        self.flush_count = 0
+
+    def emit(self, registry: MetricsRegistry, roots: List[Span]) -> None:
+        """Record the registry snapshot and span trees of one flush."""
+        self.flush_count += 1
+        self.metric_rows = registry.snapshot()
+        self.span_trees = [root.to_dict() for root in roots]
+
+
+class JsonLinesSink:
+    """Appends metrics and spans as JSON-lines records to ``path``."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def emit(self, registry: MetricsRegistry, roots: List[Span]) -> None:
+        """Append one ``metric`` row per metric and one ``span`` row per
+        trace tree to the file."""
+        with open(self.path, "a", encoding="utf-8") as fh:
+            for row in registry.snapshot():
+                fh.write(json.dumps({"kind": "metric", **row}) + "\n")
+            for root in roots:
+                fh.write(
+                    json.dumps({"kind": "span", **root.to_dict()}) + "\n"
+                )
+
+
+class PrometheusTextSink:
+    """Writes the Prometheus text exposition of the registry to ``path``."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def emit(self, registry: MetricsRegistry, roots: List[Span]) -> None:
+        """Replace ``path`` with the current exposition (spans are not
+        part of the Prometheus data model and are ignored)."""
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write(registry.prometheus_text())

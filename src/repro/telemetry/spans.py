@@ -1,0 +1,148 @@
+"""Hierarchical trace spans with monotonic timing.
+
+A :class:`Span` is a named, timed region of work — an epoch, a pipeline
+stage inside it, a kernel pass inside that.  Spans nest: the tracer
+keeps a per-thread stack, so a span opened while another is active
+becomes its child, and the finished trace always forms a forest of
+trees (a property ``tests/test_telemetry_properties.py`` fuzzes).
+
+Timing uses ``time.monotonic()`` — wall-clock jumps (NTP, suspend)
+cannot produce negative durations.  Span *names and counts* are pure
+functions of configuration and batch shape and are safe to export; the
+durations are wall-clock measurements, public under the same argument
+as arrival timing (SECURITY.md).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class Span:
+    """One named, timed region in a trace tree.
+
+    Created via :meth:`Tracer.span`; ``duration`` is valid once the
+    span's ``with`` block exits.  ``attrs`` carries small public
+    annotations (e.g. ``stage="build"``, ``tasks=4``).
+    """
+
+    __slots__ = ("name", "attrs", "children", "start", "end", "_t0")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.attrs: Dict[str, object] = dict(attrs or {})
+        self.children: List["Span"] = []
+        self.start: float = 0.0
+        self.end: float = 0.0
+        self._t0: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Elapsed monotonic seconds between enter and exit."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """Recursive plain-dict form for the JSON-lines trace sink."""
+        return {
+            "name": self.name,
+            "attrs": self.attrs,
+            "start": self.start,
+            "duration": self.duration,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def walk(self):
+        """Yield this span then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _SpanContext:
+    """Context manager that opens ``span`` on enter and closes on exit."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._pop(self.span)
+
+
+class Tracer:
+    """Collects span trees, one stack per thread.
+
+    Thread-pool stages each build their own tree (their stacks are
+    thread-local), so concurrent stages never corrupt each other's
+    nesting; all finished roots land in one shared list.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: List[Span] = []
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a span named ``name``; use as ``with tracer.span(...)``.
+
+        The span becomes a child of the innermost open span on this
+        thread, or a new root if none is open.
+        """
+        return _SpanContext(self, Span(name, attrs))
+
+    def _push(self, span: Span) -> None:
+        span._t0 = time.monotonic()
+        span.start = span._t0
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.end = time.monotonic()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # mismatched exit: drop the span from wherever it sits
+            if span in stack:
+                stack.remove(span)
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
+    @property
+    def roots(self) -> List[Span]:
+        """Finished top-level spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def name_counts(self) -> Dict[str, int]:
+        """How many spans of each name finished, over all trees.
+
+        This is the public shape of a trace: two same-shape workloads
+        must produce identical name counts
+        (``tests/test_telemetry_obliviousness.py``).
+        """
+        counts: Dict[str, int] = {}
+        for root in self.roots:
+            for span in root.walk():
+                counts[span.name] = counts.get(span.name, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        """Drop all finished spans (open stacks are untouched)."""
+        with self._lock:
+            self._roots.clear()

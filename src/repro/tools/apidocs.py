@@ -25,6 +25,7 @@ GUIDES = [
         "Fault tolerance & chaos testing",
         ("repro.core.resilience", "repro.core.faults"),
     ),
+    ("Telemetry", "repro.telemetry"),
 ]
 
 

@@ -91,6 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "from SEED (worker crashes and task timeouts); "
                            "epochs are retried atomically and fault_stats "
                            "printed at the end")
+    demo.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
+                      help="write the final metrics registry to PATH in "
+                           "the Prometheus text exposition format")
+    demo.add_argument("--trace-out", type=str, default=None, metavar="PATH",
+                      help="append the metrics and finished trace-span "
+                           "trees to PATH as JSON lines")
 
     sub.add_parser("info", help="version and cost-model constants")
     return parser
@@ -199,6 +205,8 @@ def cmd_figures(args) -> int:
 def cmd_demo(args) -> int:
     """``demo``: run a tiny in-process deployment."""
     from repro.core.faults import FaultPlan
+    from repro.telemetry import Telemetry, stage_breakdown
+    from repro.telemetry.sinks import JsonLinesSink, PrometheusTextSink
 
     rng = random.Random(args.seed)
     fault_plan = None
@@ -208,6 +216,11 @@ def cmd_demo(args) -> int:
             epochs=args.epochs,
             num_suborams=args.suborams,
         )
+    telemetry = Telemetry()
+    if args.metrics_out is not None:
+        telemetry.add_sink(PrometheusTextSink(args.metrics_out))
+    if args.trace_out is not None:
+        telemetry.add_sink(JsonLinesSink(args.trace_out))
     config = SnoopyConfig(
         num_load_balancers=args.balancers,
         num_suborams=args.suborams,
@@ -217,6 +230,7 @@ def cmd_demo(args) -> int:
         max_workers=args.workers,
         kernel=args.kernel,
         epoch_max_attempts=4 if fault_plan is not None else 1,
+        telemetry=telemetry,
     )
     with Snoopy(config, rng=random.Random(args.seed),
                 fault_plan=fault_plan) as store:
@@ -256,6 +270,21 @@ def cmd_demo(args) -> int:
             print("fault_stats:")
             for name, count in sorted(store.fault_stats.items()):
                 print(f"  {name:20s}: {count}")
+
+        print("epoch-stage breakdown:")
+        rows = [
+            (row["stage"], row["count"], row["mean_s"] * 1e3,
+             row["p95_s"] * 1e3, row["total_s"] * 1e3)
+            for row in stage_breakdown(telemetry.registry)
+        ]
+        print(series_table(
+            ["stage", "epochs", "mean ms", "p95 ms", "total ms"], rows
+        ))
+    telemetry.flush()
+    if args.metrics_out is not None:
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out is not None:
+        print(f"trace written to {args.trace_out}")
     return 0
 
 

@@ -1,0 +1,344 @@
+"""Differential-equivalence harness: one driver for every configuration axis.
+
+The repo's strongest guarantee is *configuration transparency*: execution
+backend, oblivious kernel, and injected fault plans change wall-clock —
+never what the system serves, never its public shape.  Before this
+module, ``test_chaos.py`` and ``test_parallel_equivalence.py`` each
+carried a private copy of the same drivers (tracing stores, seeded
+workloads, store builders).  They now share this harness, and the
+matrix test (``test_harness.py``) runs the full cross product
+
+    {serial, thread, process} x {python, numpy} x {fault-free, FaultPlan}
+
+asserting byte-identical responses and identical workload-invariant
+public telemetry for every cell.
+
+Key pieces:
+
+* :class:`TracingStore` / :class:`TracingSubOram` / :func:`tracing_factory`
+  — slot-access-logging subORAMs (the access-pattern witness; the log
+  rides on the instance so process backends ship it back with the state);
+* :func:`seeded_workload` — a deterministic multi-epoch (request,
+  balancer) schedule, parameterized so both historical test suites'
+  schedules are instances of it;
+* :func:`build_store` — one fixed-key deployment for any (backend,
+  kernel, plan, replication) cell, with an optional telemetry handle;
+* :func:`run_workload` — drive a store through the schedule;
+* :func:`differential_run` / :func:`assert_equivalent` — execute a cell
+  matrix and check every cell against the reference cell (serial,
+  python, fault-free by construction: the first cell).
+
+**Which metrics must match across cells.**  Only metrics that are pure
+functions of the workload shape are compared across *different*
+configurations: :data:`INVARIANT_METRICS` (request/epoch/response
+counts).  Everything else is honestly configuration-dependent — backends
+record different ``exec_*`` series, fault plans add ``fault_*``/
+``retry_*`` counters, kernels differ in level counts — and the
+*same-configuration* obliviousness guarantee (identical metrics for
+same-shape different-content workloads) is asserted separately in
+``test_telemetry_obliviousness.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SnoopyConfig
+from repro.core.snoopy import Snoopy
+from repro.crypto.keys import KeyChain
+from repro.suboram.store import EncryptedStore
+from repro.suboram.suboram import SubOram
+from repro.telemetry import Telemetry
+from repro.types import OpType, Request
+
+#: Telemetry series that must be identical across *all* configurations
+#: of the same workload: pure functions of the request schedule.
+INVARIANT_METRICS = (
+    "snoopy_requests_total",
+    "snoopy_epochs_total",
+    "snoopy_responses_total",
+)
+
+
+class TracingStore(EncryptedStore):
+    """An encrypted store that logs every slot access.
+
+    The log rides on the instance, so under a process backend it is
+    pickled to the worker, extended there, and shipped back with the
+    subORAM — making traces comparable across all backends.
+    """
+
+    def __init__(self, encryption_key, num_slots, value_size):
+        super().__init__(encryption_key, num_slots, value_size)
+        self.access_log = []
+
+    def get(self, slot):
+        """Log a read access, then delegate."""
+        self.access_log.append(("R", slot))
+        return super().get(slot)
+
+    def put(self, slot, key, value):
+        """Log a write access, then delegate."""
+        self.access_log.append(("W", slot))
+        super().put(slot, key, value)
+
+
+class TracingSubOram(SubOram):
+    """A subORAM whose encrypted store records its slot-access trace."""
+
+    def initialize(self, objects):
+        """Load the partition into a tracing store (log starts empty)."""
+        super().initialize(objects)
+        tracing = TracingStore(
+            self._keychain.subkey(f"suboram/{self.suboram_id}/storage"),
+            num_slots=self._store.num_slots,
+            value_size=self.value_size,
+        )
+        for slot in range(self._store.num_slots):
+            key, value = self._store.get(slot)
+            tracing.put(slot, key, value)
+        tracing.access_log.clear()
+        self._store = tracing
+
+
+def tracing_factory(suboram_id, config, keychain):
+    """suboram_factory building trace-recording subORAMs."""
+    return TracingSubOram(
+        suboram_id=suboram_id,
+        value_size=config.value_size,
+        keychain=keychain,
+        security_parameter=config.security_parameter,
+    )
+
+
+def access_traces(store) -> List[list]:
+    """The per-subORAM slot-access logs of a tracing deployment."""
+    return [list(s.store.access_log) for s in store.suborams]
+
+
+def seeded_workload(
+    num_epochs: int,
+    per_epoch: int,
+    seed: int,
+    *,
+    num_keys: int,
+    value_size: int = 8,
+    num_balancers: int = 2,
+    value_offset: int = 0,
+) -> List[List[Tuple[Request, int]]]:
+    """A deterministic multi-epoch schedule of (request, balancer) pairs.
+
+    Roughly half the requests are writes of ``bytes([i + value_offset]) *
+    value_size`` (``i`` the within-epoch index), half reads, keys and
+    balancers drawn from ``random.Random(seed)``.  Both historical test
+    schedules are instances: equivalence used ``(3, 12, seed=99,
+    num_keys=60)``, chaos used ``(10, 6, seed=7, num_keys=48,
+    value_offset=1)``.
+    """
+    rng = random.Random(seed)
+    epochs = []
+    for _ in range(num_epochs):
+        requests = []
+        for i in range(per_epoch):
+            key = rng.randrange(num_keys)
+            balancer = rng.randrange(num_balancers)
+            if rng.random() < 0.5:
+                requests.append((
+                    Request(
+                        OpType.WRITE, key,
+                        bytes([(i + value_offset) % 256]) * value_size,
+                        seq=i,
+                    ),
+                    balancer,
+                ))
+            else:
+                requests.append((Request(OpType.READ, key, seq=i), balancer))
+        epochs.append(requests)
+    return epochs
+
+
+def build_store(
+    backend: str = "serial",
+    *,
+    master: bytes,
+    objects: Dict[int, bytes],
+    kernel: str = "python",
+    plan=None,
+    replication=None,
+    max_attempts: int = 1,
+    suboram_factory=None,
+    value_size: int = 8,
+    num_load_balancers: int = 2,
+    num_suborams: int = 3,
+    security_parameter: int = 16,
+    rng_seed: int = 5,
+    telemetry=None,
+) -> Snoopy:
+    """One initialized deployment with fixed keys and a fixed client RNG.
+
+    Identical arguments produce behaviourally identical deployments no
+    matter the (backend, kernel, plan) cell — the property every
+    differential test in this suite leans on.
+    """
+    config = SnoopyConfig(
+        num_load_balancers=num_load_balancers,
+        num_suborams=num_suborams,
+        value_size=value_size,
+        security_parameter=security_parameter,
+        execution_backend=backend,
+        kernel=kernel,
+        epoch_max_attempts=max_attempts,
+        replication=replication,
+        telemetry=telemetry,
+    )
+    store = Snoopy(
+        config,
+        keychain=KeyChain(master=master),
+        rng=random.Random(rng_seed),
+        fault_plan=plan,
+        suboram_factory=suboram_factory,
+    )
+    store.initialize(objects)
+    return store
+
+
+def run_workload(store, epochs) -> Tuple[list, list]:
+    """Drive the schedule; returns (responses per epoch, tickets)."""
+    responses, tickets = [], []
+    for requests in epochs:
+        for request, balancer in requests:
+            tickets.append(store.submit(request, load_balancer=balancer))
+        responses.append(store.run_epoch())
+    return responses, tickets
+
+
+@dataclass
+class RunResult:
+    """Everything one matrix cell produced, ready for comparison.
+
+    Attributes:
+        backend: the execution-backend spec of this cell.
+        kernel: the oblivious-kernel name of this cell.
+        plan_name: the fault-plan label (``"fault-free"`` or a label the
+            caller chose).
+        responses: per-epoch response lists, in epoch order.
+        results: every ticket's resolved response, in submission order.
+        invariant_metrics: rendered-series -> value for
+            :data:`INVARIANT_METRICS` (must match across all cells).
+        public_metrics: the full public snapshot (counter/gauge values
+            and histogram counts) of this cell's registry.
+        fault_stats: the deployment's fault counters.
+    """
+
+    backend: str
+    kernel: str
+    plan_name: str
+    responses: list
+    results: list
+    invariant_metrics: Dict[str, float]
+    public_metrics: Dict[str, float]
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """The cell's (backend, kernel, plan_name) matrix coordinate."""
+        return (self.backend, self.kernel, self.plan_name)
+
+
+def _invariant_subset(public: Dict[str, float]) -> Dict[str, float]:
+    """The workload-invariant slice of a public metrics snapshot."""
+    return {
+        series: value
+        for series, value in public.items()
+        if series.split("{")[0].split("#")[0] in INVARIANT_METRICS
+    }
+
+
+def differential_run(
+    workload,
+    objects: Dict[int, bytes],
+    *,
+    master: bytes,
+    backends: Sequence[str] = ("serial", "thread:4", "process:2"),
+    kernels: Sequence[str] = ("python", "numpy"),
+    fault_plans: Sequence[Tuple[str, object]] = (("fault-free", None),),
+    replication=None,
+    fault_max_attempts: int = 4,
+    value_size: int = 8,
+    **build_kwargs,
+) -> List[RunResult]:
+    """Execute the configuration matrix over one workload.
+
+    Each cell gets a fresh deployment (same master key, same client RNG
+    seed, same objects) and a fresh :class:`~repro.telemetry.Telemetry`
+    handle.  Fault-plan objects are built per cell by calling the given
+    value when it is callable (each cell must consume its own injector
+    cursor), or used as-is when it is a plain plan/None.
+
+    Returns the cells in matrix order — plans outermost, then kernels,
+    then backends — so ``results[0]`` is the fault-free reference cell
+    when ``backends``/``kernels``/``fault_plans`` keep their defaults.
+    """
+    results = []
+    for plan_name, plan_spec in fault_plans:
+        for kernel in kernels:
+            for backend in backends:
+                plan = plan_spec() if callable(plan_spec) else plan_spec
+                telemetry = Telemetry()
+                store = build_store(
+                    backend,
+                    master=master,
+                    objects=dict(objects),
+                    kernel=kernel,
+                    plan=plan,
+                    replication=replication if plan is not None else None,
+                    max_attempts=(
+                        fault_max_attempts if plan is not None else 1
+                    ),
+                    value_size=value_size,
+                    telemetry=telemetry,
+                    **build_kwargs,
+                )
+                try:
+                    responses, tickets = run_workload(store, workload)
+                    public = telemetry.registry.public_snapshot()
+                    results.append(RunResult(
+                        backend=backend,
+                        kernel=kernel,
+                        plan_name=plan_name,
+                        responses=responses,
+                        results=[ticket.result() for ticket in tickets],
+                        invariant_metrics=_invariant_subset(public),
+                        public_metrics=public,
+                        fault_stats=dict(store.fault_stats),
+                    ))
+                finally:
+                    store.close()
+    return results
+
+
+def assert_equivalent(
+    runs: Sequence[RunResult], reference: Optional[RunResult] = None
+) -> None:
+    """Every run must serve exactly what the reference run served.
+
+    Asserts, for each cell against the reference (default: the first
+    cell): byte-identical per-epoch responses, byte-identical resolved
+    ticket results, and identical workload-invariant public metrics.
+    """
+    assert runs, "differential_run produced no cells"
+    reference = reference if reference is not None else runs[0]
+    for run in runs:
+        assert run.responses == reference.responses, (
+            f"{run.key}: responses diverge from {reference.key}"
+        )
+        assert run.results == reference.results, (
+            f"{run.key}: ticket results diverge from {reference.key}"
+        )
+        assert run.invariant_metrics == reference.invariant_metrics, (
+            f"{run.key}: invariant telemetry diverges from "
+            f"{reference.key}: {run.invariant_metrics} != "
+            f"{reference.invariant_metrics}"
+        )

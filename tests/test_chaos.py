@@ -11,6 +11,9 @@ Failure handling is public information (SECURITY.md): the slot-access
 trace of the state the deployment *keeps* is also asserted identical to
 the fault-free run, because failed atomic attempts execute on discarded
 copies.
+
+The drivers (tracing subORAMs, seeded workload, store builder) are the
+shared ones from :mod:`tests.harness`.
 """
 
 import random
@@ -20,53 +23,15 @@ import pytest
 from repro.core.config import SnoopyConfig
 from repro.core.deployment import DistributedSnoopy
 from repro.core.faults import FaultEvent, FaultPlan
-from repro.core.snoopy import Snoopy
 from repro.crypto.keys import KeyChain
-from repro.suboram.store import EncryptedStore
-from repro.suboram.suboram import SubOram
-from repro.types import OpType, Request
 
-
-class TracingStore(EncryptedStore):
-    """Encrypted store logging every slot access (rides pickling)."""
-
-    def __init__(self, encryption_key, num_slots, value_size):
-        super().__init__(encryption_key, num_slots, value_size)
-        self.access_log = []
-
-    def get(self, slot):
-        self.access_log.append(("R", slot))
-        return super().get(slot)
-
-    def put(self, slot, key, value):
-        self.access_log.append(("W", slot))
-        super().put(slot, key, value)
-
-
-class TracingSubOram(SubOram):
-    """A subORAM whose encrypted store records its slot-access trace."""
-
-    def initialize(self, objects):
-        super().initialize(objects)
-        tracing = TracingStore(
-            self._keychain.subkey(f"suboram/{self.suboram_id}/storage"),
-            num_slots=self._store.num_slots,
-            value_size=self.value_size,
-        )
-        for slot in range(self._store.num_slots):
-            key, value = self._store.get(slot)
-            tracing.put(slot, key, value)
-        tracing.access_log.clear()
-        self._store = tracing
-
-
-def tracing_factory(suboram_id, config, keychain):
-    return TracingSubOram(
-        suboram_id=suboram_id,
-        value_size=config.value_size,
-        keychain=keychain,
-        security_parameter=config.security_parameter,
-    )
+from tests.harness import (
+    access_traces,
+    build_store as harness_build_store,
+    run_workload,
+    seeded_workload,
+    tracing_factory,
+)
 
 MASTER = b"chaos-test-master-key-0123456789"[:32]
 EPOCHS = 10
@@ -88,67 +53,32 @@ BACKEND_PLAN = FaultPlan([
     FaultEvent(epoch=5, kind="task_timeout", unit=0),
 ])
 
-
-def seeded_workload(num_epochs=EPOCHS, per_epoch=6, seed=7):
-    """Deterministic (request, balancer) schedule shared by every run."""
-    rng = random.Random(seed)
-    epochs = []
-    for _ in range(num_epochs):
-        requests = []
-        for i in range(per_epoch):
-            key = rng.randrange(NUM_KEYS)
-            balancer = rng.randrange(2)
-            if rng.random() < 0.5:
-                requests.append(
-                    (Request(OpType.WRITE, key, bytes([i + 1]) * VALUE,
-                             seq=i), balancer)
-                )
-            else:
-                requests.append((Request(OpType.READ, key, seq=i), balancer))
-        epochs.append(requests)
-    return epochs
-
-
-WORKLOAD = seeded_workload()
+WORKLOAD = seeded_workload(
+    EPOCHS, 6, seed=7, num_keys=NUM_KEYS, value_size=VALUE, value_offset=1
+)
 
 
 def build_store(backend, kernel="python", plan=None, replication=None,
                 max_attempts=4, suboram_factory=None):
-    config = SnoopyConfig(
-        num_load_balancers=2,
-        num_suborams=3,
-        value_size=VALUE,
-        security_parameter=16,
-        execution_backend=backend,
+    """The chaos-suite deployment: 2 LB x 3 subORAMs over 48 objects."""
+    return harness_build_store(
+        backend,
+        master=MASTER,
+        objects={k: bytes([k % 251]) * VALUE for k in range(NUM_KEYS)},
         kernel=kernel,
-        epoch_max_attempts=max_attempts,
+        plan=plan,
         replication=replication,
-    )
-    store = Snoopy(
-        config,
-        keychain=KeyChain(master=MASTER),
-        rng=random.Random(5),
-        fault_plan=plan,
+        max_attempts=max_attempts,
         suboram_factory=suboram_factory,
+        value_size=VALUE,
     )
-    store.initialize({k: bytes([k % 251]) * VALUE for k in range(NUM_KEYS)})
-    return store
-
-
-def run_workload(store, epochs=WORKLOAD):
-    responses, tickets = [], []
-    for requests in epochs:
-        for request, balancer in requests:
-            tickets.append(store.submit(request, load_balancer=balancer))
-        responses.append(store.run_epoch())
-    return responses, tickets
 
 
 @pytest.fixture(scope="module")
 def baseline():
     """The fault-free, unreplicated, legacy-config serial run."""
     store = build_store("serial", max_attempts=1)
-    responses, tickets = run_workload(store)
+    responses, tickets = run_workload(store, WORKLOAD)
     results = [ticket.result() for ticket in tickets]
     store.close()
     return responses, results
@@ -166,7 +96,7 @@ class TestAcceptance:
         store = build_store(
             backend, kernel=kernel, plan=ACCEPTANCE_PLAN, replication=(1, 1)
         )
-        responses, tickets = run_workload(store)
+        responses, tickets = run_workload(store, WORKLOAD)
 
         # Byte-identical responses, epoch by epoch: no request dropped.
         assert responses == baseline_responses
@@ -193,7 +123,7 @@ class TestAcceptance:
     def test_injector_consumed_every_scheduled_event(self):
         store = build_store("serial", plan=ACCEPTANCE_PLAN,
                             replication=(1, 1))
-        run_workload(store)
+        run_workload(store, WORKLOAD)
         assert store._injector.pending == []
         store.close()
 
@@ -214,7 +144,7 @@ class TestGeneratedPlans:
                                   num_replicas=3)
         assert len(plan) == 4  # crash, timeout, replica crash + rollback
         store = build_store("thread:4", plan=plan, replication=(1, 1))
-        responses, tickets = run_workload(store)
+        responses, tickets = run_workload(store, WORKLOAD)
         for ticket in tickets:
             ticket.result()  # every ticket resolves
         # Every scheduled event fired and was counted.
@@ -244,14 +174,14 @@ class TestTraceUnderFaults:
     def test_kept_trace_matches_fault_free_run(self):
         quiet = build_store("serial", max_attempts=1,
                             suboram_factory=tracing_factory)
-        quiet_responses, _ = run_workload(quiet)
-        quiet_traces = [list(s.store.access_log) for s in quiet.suborams]
+        quiet_responses, _ = run_workload(quiet, WORKLOAD)
+        quiet_traces = access_traces(quiet)
         quiet.close()
 
         chaotic = build_store("thread:4", plan=BACKEND_PLAN,
                               suboram_factory=tracing_factory)
-        chaotic_responses, _ = run_workload(chaotic)
-        chaotic_traces = [list(s.store.access_log) for s in chaotic.suborams]
+        chaotic_responses, _ = run_workload(chaotic, WORKLOAD)
+        chaotic_traces = access_traces(chaotic)
         chaotic.close()
 
         assert chaotic_responses == quiet_responses
@@ -280,7 +210,7 @@ class TestDistributedChaos:
             return store
 
         quiet = build(plan=None, max_attempts=1)
-        quiet_responses, _ = run_workload(quiet)
+        quiet_responses, _ = run_workload(quiet, WORKLOAD)
         quiet.close()
 
         plan = FaultPlan([
@@ -288,7 +218,7 @@ class TestDistributedChaos:
             FaultEvent(epoch=7, kind="transport_error", unit=0),
         ])
         chaotic = build(plan=plan, max_attempts=3)
-        chaotic_responses, tickets = run_workload(chaotic)
+        chaotic_responses, tickets = run_workload(chaotic, WORKLOAD)
         assert chaotic_responses == quiet_responses
         for ticket in tickets:
             ticket.result()
@@ -318,7 +248,7 @@ class TestDistributedChaos:
         store.initialize(
             {k: bytes([k % 251]) * VALUE for k in range(NUM_KEYS)}
         )
-        responses, tickets = run_workload(store)
+        responses, tickets = run_workload(store, WORKLOAD)
         assert [r for epoch in responses for r in epoch]  # served requests
         for ticket in tickets:
             ticket.result()
@@ -331,7 +261,7 @@ class TestDistributedChaos:
 class TestFaultStatsSurface:
     def test_fault_free_run_reports_zero_everywhere(self):
         store = build_store("serial", max_attempts=1)
-        run_workload(store)
+        run_workload(store, WORKLOAD)
         assert store.fault_stats == {
             "epochs_failed": 0,
             "epochs_retried": 0,
@@ -341,7 +271,7 @@ class TestFaultStatsSurface:
 
     def test_plan_without_faults_extends_stats_with_injector_counters(self):
         store = build_store("serial", plan=FaultPlan())
-        run_workload(store)
+        run_workload(store, WORKLOAD)
         assert store.fault_stats == {
             "epochs_failed": 0,
             "epochs_retried": 0,

@@ -1,0 +1,103 @@
+"""The differential matrix: every configuration serves identical bytes.
+
+Runs one seeded workload through the full cross product
+
+    {serial, thread, process} x {python, numpy} x {fault-free, FaultPlan}
+
+via :func:`tests.harness.differential_run` and asserts every cell's
+responses, resolved tickets, and workload-invariant public telemetry
+match the fault-free serial/python reference cell exactly.
+"""
+
+import pytest
+
+from repro.core.faults import FaultEvent, FaultPlan
+
+from tests.harness import (
+    INVARIANT_METRICS,
+    assert_equivalent,
+    differential_run,
+    seeded_workload,
+)
+
+MASTER = b"harness-test-master-key-01234567"[:32]
+NUM_KEYS = 40
+EPOCHS = 4
+
+WORKLOAD = seeded_workload(EPOCHS, 6, seed=21, num_keys=NUM_KEYS)
+OBJECTS = {k: bytes([k % 256]) * 8 for k in range(NUM_KEYS)}
+
+#: A backend-seam plan every backend (including serial) can absorb.
+CHAOS_PLAN = FaultPlan([
+    FaultEvent(epoch=2, kind="worker_crash", unit=1),
+    FaultEvent(epoch=3, kind="task_timeout", unit=0),
+])
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """All 12 cells of the (backend, kernel, plan) cross product."""
+    return differential_run(
+        WORKLOAD,
+        OBJECTS,
+        master=MASTER,
+        fault_plans=(
+            ("fault-free", None),
+            # Callable: each cell consumes its own injector cursor.
+            ("chaos", lambda: FaultPlan(CHAOS_PLAN.events)),
+        ),
+    )
+
+
+def test_matrix_covers_every_cell(matrix):
+    keys = {run.key for run in matrix}
+    assert len(keys) == len(matrix) == 12
+    backends = {backend for backend, _, _ in keys}
+    kernels = {kernel for _, kernel, _ in keys}
+    plans = {plan for _, _, plan in keys}
+    assert backends == {"serial", "thread:4", "process:2"}
+    assert kernels == {"python", "numpy"}
+    assert plans == {"fault-free", "chaos"}
+
+
+def test_all_cells_equivalent_to_reference(matrix):
+    reference = matrix[0]
+    assert reference.key == ("serial", "python", "fault-free")
+    assert_equivalent(matrix, reference)
+
+
+def test_invariant_metrics_are_populated(matrix):
+    """The compared metric slice is non-trivial in every cell."""
+    expected_requests = sum(len(epoch) for epoch in WORKLOAD)
+    for run in matrix:
+        assert run.invariant_metrics["snoopy_requests_total"] == (
+            expected_requests
+        )
+        assert run.invariant_metrics["snoopy_epochs_total"] == EPOCHS
+        assert run.invariant_metrics["snoopy_responses_total"] == (
+            expected_requests
+        )
+        # Every declared invariant series is present.
+        bases = {s.split("{")[0] for s in run.invariant_metrics}
+        assert bases == set(INVARIANT_METRICS)
+
+
+def test_chaos_cells_actually_injected_faults(matrix):
+    """The chaos half of the matrix is not silently fault-free."""
+    for run in matrix:
+        if run.plan_name != "chaos":
+            continue
+        assert run.fault_stats["worker_crashes"] == 1, run.key
+        assert run.fault_stats["tasks_timed_out"] == 1, run.key
+        assert run.fault_stats["epochs_failed"] == 2, run.key
+
+
+def test_divergence_is_detected(matrix):
+    """assert_equivalent must fail loudly when a cell diverges."""
+    import copy
+
+    broken = copy.copy(matrix[1])
+    broken.results = list(broken.results)
+    broken.results[0] = None
+    with pytest.raises(AssertionError, match="diverge"):
+        assert_equivalent([matrix[0], broken])

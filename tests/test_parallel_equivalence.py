@@ -10,6 +10,9 @@ through ``serial``, ``thread``, and ``process`` backends and require
   store's slots in the same sequence,
 * linearizable histories under the thread backend (Appendix C survives
   real concurrency).
+
+The drivers (tracing subORAMs, seeded workload, store builder) are the
+shared ones from :mod:`tests.harness`.
 """
 
 import random
@@ -21,124 +24,41 @@ from repro.core.config import SnoopyConfig
 from repro.core.linearizability import History, check_snoopy_history
 from repro.core.snoopy import Snoopy
 from repro.crypto.keys import KeyChain
-from repro.suboram.store import EncryptedStore
-from repro.suboram.suboram import SubOram
-from repro.types import OpType, Request
+
+from tests.harness import (
+    access_traces,
+    build_store,
+    run_workload,
+    seeded_workload,
+    tracing_factory,
+)
 
 MASTER = b"equivalence-test-master-key-....."[:32]
 BACKENDS = ["serial", "thread:4", "process:2"]
+NUM_KEYS = 60
 
 
-class TracingStore(EncryptedStore):
-    """An encrypted store that logs every slot access.
-
-    The log rides on the instance, so under a process backend it is
-    pickled to the worker, extended there, and shipped back with the
-    subORAM — making traces comparable across all backends.
-    """
-
-    def __init__(self, encryption_key, num_slots, value_size):
-        super().__init__(encryption_key, num_slots, value_size)
-        self.access_log = []
-
-    def get(self, slot):
-        """Log a read access, then delegate."""
-        self.access_log.append(("R", slot))
-        return super().get(slot)
-
-    def put(self, slot, key, value):
-        """Log a write access, then delegate."""
-        self.access_log.append(("W", slot))
-        super().put(slot, key, value)
-
-
-class TracingSubOram(SubOram):
-    """A subORAM whose encrypted store records its slot-access trace."""
-
-    def initialize(self, objects):
-        """Load the partition into a tracing store (log starts empty)."""
-        super().initialize(objects)
-        tracing = TracingStore(
-            self._keychain.subkey(f"suboram/{self.suboram_id}/storage"),
-            num_slots=self._store.num_slots,
-            value_size=self.value_size,
-        )
-        for slot in range(self._store.num_slots):
-            key, value = self._store.get(slot)
-            tracing.put(slot, key, value)
-        tracing.access_log.clear()
-        self._store = tracing
-
-
-def tracing_factory(suboram_id, config, keychain):
-    """suboram_factory building trace-recording subORAMs."""
-    return TracingSubOram(
-        suboram_id=suboram_id,
-        value_size=config.value_size,
-        keychain=keychain,
-        security_parameter=config.security_parameter,
-    )
-
-
-def build_store(backend_spec):
+def equivalence_store(backend_spec):
     """One deployment with fixed keys; identical across backend specs."""
-    config = SnoopyConfig(
-        num_load_balancers=2,
-        num_suborams=3,
-        value_size=8,
-        security_parameter=16,
-        execution_backend=backend_spec,
-    )
-    store = Snoopy(
-        config,
-        keychain=KeyChain(master=MASTER),
-        rng=random.Random(42),
+    return build_store(
+        backend_spec,
+        master=MASTER,
+        objects={k: bytes([k % 256]) * 8 for k in range(NUM_KEYS)},
         suboram_factory=tracing_factory,
+        rng_seed=42,
     )
-    store.initialize({k: bytes([k % 256]) * 8 for k in range(60)})
-    return store
-
-
-def seeded_workload(num_epochs=3, per_epoch=12, seed=99):
-    """A deterministic multi-epoch schedule of reads and writes."""
-    rng = random.Random(seed)
-    epochs = []
-    for _ in range(num_epochs):
-        requests = []
-        for i in range(per_epoch):
-            key = rng.randrange(60)
-            balancer = rng.randrange(2)
-            if rng.random() < 0.5:
-                requests.append(
-                    (Request(OpType.WRITE, key, bytes([i]) * 8, seq=i), balancer)
-                )
-            else:
-                requests.append((Request(OpType.READ, key, seq=i), balancer))
-        epochs.append(requests)
-    return epochs
-
-
-def run_workload(store, epochs):
-    """Drive the workload; returns (responses per epoch, traces, tickets)."""
-    all_responses = []
-    tickets = []
-    for requests in epochs:
-        for request, balancer in requests:
-            tickets.append(store.submit(request, load_balancer=balancer))
-        all_responses.append(store.run_epoch())
-    traces = [list(s.store.access_log) for s in store.suborams]
-    return all_responses, traces, tickets
 
 
 class TestBackendEquivalence:
     @pytest.fixture(scope="class")
     def runs(self):
         """The same workload executed once under each backend."""
-        epochs = seeded_workload()
+        epochs = seeded_workload(3, 12, seed=99, num_keys=NUM_KEYS)
         results = {}
         for spec in BACKENDS:
-            with build_store(spec) as store:
-                results[spec] = run_workload(store, epochs)
+            with equivalence_store(spec) as store:
+                responses, tickets = run_workload(store, epochs)
+                results[spec] = (responses, access_traces(store), tickets)
         return results
 
     @pytest.mark.parametrize("spec", BACKENDS[1:])

@@ -1,0 +1,187 @@
+"""Property-based tests for the telemetry primitives (seeded stdlib random).
+
+Randomized but fully deterministic: every case is drawn from a seeded
+``random.Random``, so a failure replays identically.  Three properties:
+
+* histogram percentiles agree with a brute-force sorted-list oracle for
+  every p and any sample multiset;
+* arbitrarily nested/overlapping span usage always yields a forest of
+  well-formed trees whose name counts match what was opened;
+* counter/registry merging is associative and order-insensitive —
+  merging worker registries in any grouping produces the same totals.
+"""
+
+import math
+import random
+import threading
+
+from repro.telemetry.registry import (
+    Histogram,
+    MetricsRegistry,
+    nearest_rank_percentile,
+)
+from repro.telemetry.spans import Tracer
+
+CASES = 50
+
+
+def oracle_percentile(samples, p):
+    """Brute-force nearest-rank percentile: the definition, verbatim."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = math.ceil(p / 100 * len(ordered))
+    return ordered[max(0, min(len(ordered) - 1, rank - 1))]
+
+
+class TestPercentileOracle:
+    def test_histogram_matches_oracle_on_random_samples(self):
+        rng = random.Random(0xA11CE)
+        for _ in range(CASES):
+            size = rng.randrange(1, 200)
+            # Mix of magnitudes, ties, and negatives.
+            samples = [
+                rng.choice([rng.random(), rng.randrange(5), -rng.random()])
+                for _ in range(size)
+            ]
+            hist = Histogram("t_seconds")
+            for sample in samples:
+                hist.observe(sample)
+            for _ in range(10):
+                p = rng.uniform(0, 100)
+                assert hist.percentile(p) == oracle_percentile(samples, p)
+            assert hist.p50 == oracle_percentile(samples, 50)
+            assert hist.p95 == oracle_percentile(samples, 95)
+            assert hist.p99 == oracle_percentile(samples, 99)
+
+    def test_empty_and_extreme_percentiles(self):
+        assert nearest_rank_percentile([], 50) == 0.0
+        rng = random.Random(7)
+        samples = sorted(rng.random() for _ in range(30))
+        assert nearest_rank_percentile(samples, 0) == samples[0]
+        assert nearest_rank_percentile(samples, 100) == samples[-1]
+
+    def test_percentile_is_monotone_in_p(self):
+        rng = random.Random(99)
+        for _ in range(CASES):
+            samples = sorted(
+                rng.random() for _ in range(rng.randrange(1, 60))
+            )
+            cuts = sorted(rng.uniform(0, 100) for _ in range(8))
+            values = [nearest_rank_percentile(samples, p) for p in cuts]
+            assert values == sorted(values)
+
+
+class TestSpanTreeProperty:
+    def test_random_nesting_forms_well_formed_forest(self):
+        rng = random.Random(0xBEEF)
+        for _ in range(CASES):
+            tracer = Tracer()
+            opened = []
+
+            def grow(depth):
+                count = rng.randrange(0, 4)
+                for _ in range(count):
+                    name = f"span-{rng.randrange(5)}"
+                    opened.append(name)
+                    with tracer.span(name, depth=depth):
+                        if depth < 4 and rng.random() < 0.6:
+                            grow(depth + 1)
+
+            grow(0)
+            # Every opened span appears exactly once in the forest.
+            walked = [
+                span.name
+                for root in tracer.roots
+                for span in root.walk()
+            ]
+            assert sorted(walked) == sorted(opened)
+            counts = tracer.name_counts()
+            assert sum(counts.values()) == len(opened)
+            # Parent intervals contain child intervals (monotonic clock).
+            for root in tracer.roots:
+                for span in root.walk():
+                    assert span.end >= span.start
+                    for child in span.children:
+                        assert child.start >= span.start
+                        assert child.end <= span.end
+
+    def test_spans_on_concurrent_threads_stay_separate_roots(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            tracer = Tracer()
+            num_threads = rng.randrange(2, 5)
+            spans_per_thread = rng.randrange(1, 4)
+
+            def work(tid):
+                for i in range(spans_per_thread):
+                    with tracer.span(f"t{tid}", index=i):
+                        pass
+
+            threads = [
+                threading.Thread(target=work, args=(tid,))
+                for tid in range(num_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(tracer.roots) == num_threads * spans_per_thread
+            assert all(not root.children for root in tracer.roots)
+
+
+class TestMergeAssociativity:
+    def _random_registry(self, rng):
+        registry = MetricsRegistry()
+        for _ in range(rng.randrange(1, 6)):
+            name = f"m{rng.randrange(3)}_total"
+            registry.counter(name, shard=str(rng.randrange(2))).inc(
+                rng.randrange(1, 10)
+            )
+        for _ in range(rng.randrange(0, 4)):
+            hist = registry.histogram(f"h{rng.randrange(2)}_seconds")
+            for _ in range(rng.randrange(1, 5)):
+                hist.observe(rng.random())
+        return registry
+
+    @staticmethod
+    def _totals(registry):
+        out = {}
+        for metric in registry.metrics():
+            key = (metric.name, metric.labels)
+            if hasattr(metric, "samples"):
+                out[key] = sorted(metric.samples)
+            else:
+                out[key] = metric.value
+        return out
+
+    def test_merge_grouping_and_order_do_not_matter(self):
+        rng = random.Random(0xF00D)
+        for _ in range(CASES):
+            seeds = [rng.randrange(2**30) for _ in range(3)]
+
+            def fresh(index):
+                return self._random_registry(random.Random(seeds[index]))
+
+            # (a + b) + c
+            left = fresh(0)
+            left.merge(fresh(1))
+            left.merge(fresh(2))
+            # a + (b + c)
+            bc = fresh(1)
+            bc.merge(fresh(2))
+            right = fresh(0)
+            right.merge(bc)
+            # c + b + a (order reversed)
+            rev = fresh(2)
+            rev.merge(fresh(1))
+            rev.merge(fresh(0))
+            assert self._totals(left) == self._totals(right)
+            assert self._totals(left) == self._totals(rev)
+
+    def test_merging_empty_is_identity(self):
+        rng = random.Random(12)
+        registry = self._random_registry(rng)
+        before = self._totals(registry)
+        registry.merge(MetricsRegistry())
+        assert self._totals(registry) == before
