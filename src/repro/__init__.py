@@ -33,6 +33,7 @@ from repro.core.snoopy import Snoopy
 from repro.core.client import Client
 from repro.core.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.core.resilience import EpochRetryController, RetryPolicy
+from repro.core.pipeline import EpochPipeline
 from repro.core.tickets import Ticket
 from repro.core.access_control import AccessControlledStore
 from repro.errors import (
@@ -62,6 +63,7 @@ __all__ = [
     "CapacityError",
     "Client",
     "EpochFailedError",
+    "EpochPipeline",
     "EpochRetryController",
     "ExecutionBackend",
     "FaultError",

@@ -28,23 +28,17 @@ DEFAULT_SECURITY_PARAMETER = 128
 
 
 @functools.lru_cache(maxsize=65536)
-def batch_size(num_requests: int, num_bins: int, security_parameter: int = DEFAULT_SECURITY_PARAMETER) -> int:
-    """The paper's ``f(R, S)``: per-bin capacity with negligible overflow.
+def _batch_size_bound(num_requests: int, num_bins: int, security_parameter: int) -> int:
+    """The memoized Lambert-W evaluation behind :func:`batch_size`.
 
-    Args:
-        num_requests: ``R`` — number of distinct balls (requests).
-        num_bins: ``S`` — number of bins (subORAMs or hash buckets).
-        security_parameter: ``lambda``; overflow probability <= 2^-lambda.
-            ``0`` means "no security margin": plain ``ceil(R/S)`` (the
-            paper's lambda=0 line in Fig. 4).
-
-    Returns:
-        The batch size ``B`` (an integer; the analytical bound is rounded
-        up).  Always ``<= R`` and ``>= ceil(R/S)``.
+    Arguments arrive pre-validated and pre-normalized (the public wrapper
+    substitutes the default ``lambda``), so a call spelled
+    ``batch_size(R, S)`` and one spelled ``batch_size(R, S, 128)`` share
+    a single cache entry.  The cache matters under the pipelined epoch
+    scheduler: every balancer recomputes ``f(R, S)`` each epoch with a
+    recurring handful of ``(R, S)`` shapes, and a hit skips the
+    ``scipy.special.lambertw`` evaluation entirely.
     """
-    require_positive(num_bins, "num_bins")
-    require(num_requests >= 0, f"num_requests must be >= 0, got {num_requests}")
-    require(security_parameter >= 0, "security_parameter must be >= 0")
     if num_requests == 0:
         return 0
     if security_parameter == 0:
@@ -63,6 +57,49 @@ def batch_size(num_requests: int, num_bins: int, security_parameter: int = DEFAU
     w = float(lambertw(argument, 0).real)
     bound = mu * math.exp(w + 1.0)
     return min(num_requests, math.ceil(bound))
+
+
+def batch_size(num_requests: int, num_bins: int, security_parameter: int = DEFAULT_SECURITY_PARAMETER) -> int:
+    """The paper's ``f(R, S)``: per-bin capacity with negligible overflow.
+
+    Memoized: results are served from an LRU cache keyed on the
+    normalized ``(R, S, lambda)`` triple (``batch_size(R, S)`` and
+    ``batch_size(R, S, 128)`` hit the same entry); see
+    :func:`batch_size_cache_info`.  Validation runs on every call — only
+    the Lambert-W evaluation is cached.
+
+    Args:
+        num_requests: ``R`` — number of distinct balls (requests).
+        num_bins: ``S`` — number of bins (subORAMs or hash buckets).
+        security_parameter: ``lambda``; overflow probability <= 2^-lambda.
+            ``0`` means "no security margin": plain ``ceil(R/S)`` (the
+            paper's lambda=0 line in Fig. 4).
+
+    Returns:
+        The batch size ``B`` (an integer; the analytical bound is rounded
+        up).  Always ``<= R`` and ``>= ceil(R/S)``.
+    """
+    require_positive(num_bins, "num_bins")
+    require(num_requests >= 0, f"num_requests must be >= 0, got {num_requests}")
+    require(security_parameter >= 0, "security_parameter must be >= 0")
+    return _batch_size_bound(int(num_requests), int(num_bins), int(security_parameter))
+
+
+def batch_size_cache_info():
+    """Hit/miss statistics of the :func:`batch_size` LRU cache.
+
+    Returns the standard :func:`functools.lru_cache` ``CacheInfo`` named
+    tuple (``hits``, ``misses``, ``maxsize``, ``currsize``).  Cache
+    occupancy is a function of the ``(R, S, lambda)`` shapes seen — all
+    public parameters — so exposing it leaks nothing about request
+    contents.
+    """
+    return _batch_size_bound.cache_info()
+
+
+def batch_size_cache_clear() -> None:
+    """Reset the :func:`batch_size` cache (benchmark/test isolation)."""
+    _batch_size_bound.cache_clear()
 
 
 def log_overflow_probability(num_requests: int, num_bins: int, capacity: int) -> float:

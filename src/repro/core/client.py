@@ -87,6 +87,27 @@ class Client:
             operation.end_epoch = self.store.counter.value
             self.history.append(operation)
 
+    def complete_ticket(self, ticket) -> None:
+        """Record one resolved ticket's response into the history.
+
+        The pipelined completion path: under the epoch pipeline the
+        trusted counter advances past an epoch before its responses are
+        matched, so :meth:`complete`'s "current counter value" would
+        overstate ``end_epoch``.  The ticket instead carries the exact
+        epoch it resolved in (:attr:`~repro.core.tickets.Ticket.epoch`),
+        keeping the recorded window tight for linearizability checking.
+        Tickets addressed to other clients are ignored.
+        """
+        request = ticket.request
+        if request is None or request.client_id != self.client_id:
+            return
+        operation = self._pending.pop(request.seq, None)
+        if operation is None:
+            return
+        operation.result = ticket.result().value
+        operation.end_epoch = ticket.epoch
+        self.history.append(operation)
+
     # ------------------------------------------------------------------
     # Synchronous conveniences (run an epoch per call).
     # ------------------------------------------------------------------

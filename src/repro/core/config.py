@@ -17,8 +17,20 @@ class SnoopyConfig:
         num_suborams: S.
         value_size: fixed object size in bytes.
         security_parameter: lambda; overflow probability <= 2^-lambda.
-        epoch_duration: epoch length T in seconds (used by the performance
-            simulator; the functional core runs epochs on demand).
+        epoch_duration: epoch length T in seconds.  Used by the
+            performance simulator, and — when the deployment runs
+            pipelined (:meth:`~repro.core.snoopy.Snoopy.start_pipeline`)
+            — as the period of the background epoch clock that closes
+            batches on the load balancers.  The sequential
+            ``run_epoch`` path still closes epochs on demand.
+        pipeline_depth: maximum in-flight epochs under the pipelined
+            scheduler (§6's double-buffering; default 2 matches the
+            paper's latency <= 2T claim).  An epoch is in flight from
+            close until its responses are matched back; when the limit
+            is reached the clock skips ticks and requests keep
+            accumulating on the balancers (backpressure).  Public
+            information: cadence and depth are scheduling facts the
+            attacker already observes.
         execution_backend: how epoch stages execute — an
             :mod:`repro.exec` spec string (``"serial"``, ``"thread"``,
             ``"thread:8"``, ``"process"``, ...).  Public information: the
@@ -64,6 +76,7 @@ ReplicatedSubOram` group of ``f + r + 1`` replicas.  ``None`` (default)
     value_size: int = 160
     security_parameter: int = 128
     epoch_duration: float = 0.2
+    pipeline_depth: int = 2
     execution_backend: str = "serial"
     max_workers: Optional[int] = None
     kernel: str = "python"
@@ -87,6 +100,7 @@ ReplicatedSubOram` group of ``f + r + 1`` replicas.  ``None`` (default)
             "security_parameter must be >= 0",
         )
         require(self.epoch_duration > 0, "epoch_duration must be positive")
+        require(self.pipeline_depth >= 1, "pipeline_depth must be >= 1")
         if self.max_workers is not None:
             require_positive(self.max_workers, "max_workers")
         if self.task_timeout is not None:

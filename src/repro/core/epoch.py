@@ -32,10 +32,21 @@ drained requests are requeued into their balancers in arrival order,
 subORAM state is not installed, pending tickets stay pending — and
 raises a typed :class:`~repro.errors.EpochFailedError` naming the stage
 and unit.  When the deployment arms atomicity (retry policy or a fault
-injector), stage ➋ additionally runs on deep copies under shared-state
-backends so a mid-stage crash cannot leak partial in-place mutations;
-process backends already mutate worker-side copies, so a failed attempt
-simply never installs them.
+injector with events still pending), stage ➋ additionally runs on deep
+copies under shared-state backends so a mid-stage crash cannot leak
+partial in-place mutations; process backends already mutate worker-side
+copies, so a failed attempt simply never installs them.
+
+**Stage methods.**  :meth:`EpochDriver.run_build`,
+:meth:`EpochDriver.run_execute` and :meth:`EpochDriver.run_match` expose
+the three stages individually so :class:`~repro.core.pipeline.\
+EpochPipeline` can run the build of epoch ``e+1`` concurrently with the
+execute of epoch ``e`` and the match of ``e-1``.  The stage methods
+raise :class:`~repro.errors.EpochFailedError` but do *not* requeue
+requests — under the pipeline a failed epoch keeps its drained requests
+on the in-flight job and is retried in place, so queued successor epochs
+are never reordered.  :meth:`EpochDriver.run` composes the same methods
+with the requeue rollback, preserving the sequential semantics exactly.
 """
 
 from __future__ import annotations
@@ -296,14 +307,44 @@ class EpochDriver:
         permissions, transport, state_ns, injector, atomic,
     ) -> EpochResult:
         """The three pipeline stages; failures surface as EpochFailedError."""
-        # Stage ➊ — per-balancer batch building, concurrent across L.
+        built = self.run_build(load_balancers, drained, active, permissions)
+        new_suborams, entries_per_balancer = self.run_execute(
+            suborams, built, active,
+            transport=transport, state_ns=state_ns,
+            injector=injector, atomic=atomic,
+        )
+        responses_per_balancer = self.run_match(
+            load_balancers, built, entries_per_balancer, active
+        )
+        return EpochResult(
+            responses_per_balancer=responses_per_balancer,
+            suborams=new_suborams,
+        )
+
+    # ------------------------------------------------------------------
+    # Individual stage methods (the pipeline's building blocks)
+    # ------------------------------------------------------------------
+    def run_build(
+        self, load_balancers, drained, active, permissions=None
+    ) -> list:
+        """Stage ➊ only: oblivious batch building for every active balancer.
+
+        ``generate_batches`` is a pure function of its inputs, so the
+        returned ``built`` list (one ``(batches, originals, batch_size)``
+        tuple per active balancer) can safely be reused across retry
+        attempts of the execute stage.
+
+        Raises:
+            EpochFailedError: ``stage="build"``.  No rollback is
+            performed — the caller owns the drained requests.
+        """
         try:
             with self.telemetry.span(
                 "stage", stage="build", tasks=len(active)
             ), self.telemetry.time(
                 "snoopy_epoch_stage_seconds", stage="build"
             ):
-                built = self.backend.map(
+                return self.backend.map(
                     _build_stage,
                     [
                         (
@@ -323,17 +364,54 @@ class EpochDriver:
                 "build", getattr(exc, "unit", None), exc
             ) from exc
 
-        # Stage ➋ — per-subORAM chains, concurrent across S.  Each chain
-        # lists that subORAM's batches in ascending balancer order, the
-        # fixed order the linearizability argument requires.  The direct
-        # in-process path runs through ``map_stateful`` so process
-        # backends can keep each subORAM's state cached worker-side
-        # across epochs instead of re-shipping it every batch.
+    def run_execute(
+        self,
+        suborams,
+        built,
+        active,
+        *,
+        transport: Optional[Transport] = None,
+        state_ns: str = "epoch",
+        injector: Optional[FaultInjector] = None,
+        atomic: bool = False,
+    ):
+        """Stage ➋ only: every subORAM serves its L-batch chain.
+
+        Each chain lists that subORAM's batches in ascending balancer
+        order, the fixed order the linearizability argument requires.
+        The direct in-process path runs through ``map_stateful`` so
+        process backends can keep each subORAM's state cached
+        worker-side across epochs instead of re-shipping it every batch.
+
+        Returns:
+            ``(new_suborams, entries_per_balancer)`` — the mutated (or
+            shipped-back / atomically copied) subORAM objects in
+            partition order, and a ``{balancer_index: entries}`` dict
+            regrouping the stage outputs for matching (subORAMs in
+            ascending order — the exact entry order serial execution
+            produced).
+
+        Raises:
+            EpochFailedError: ``stage="execute"``.  No rollback is
+            performed and — when ``atomic`` — the caller's subORAM
+            objects *and* ``built`` batches are untouched, so the caller
+            may simply call this method again with the same ``built``
+            batches to retry.
+        """
         work_suborams = list(suborams)
+        work_built = built
         if atomic and self.backend.supports_shared_state:
             # Shared-state backends mutate in place; run on copies so a
             # failed unit cannot leave the caller's state half-applied.
+            # Batches too: ``batch_access`` consumes entries in place
+            # (each entry's value is folded into its response), and a
+            # retried attempt — or the pipeline, which reuses one build
+            # across attempts — must re-execute pristine batches.
             work_suborams = copy.deepcopy(work_suborams)
+            work_built = [
+                (copy.deepcopy(batches), originals, size)
+                for (batches, originals, size) in built
+            ]
         faults = [
             injector.stage_fault(suboram_index)
             if injector is not None
@@ -357,7 +435,7 @@ class EpochDriver:
                                     suboram_index,
                                     [
                                         (balancer_index,
-                                         built[j][0][suboram_index])
+                                         work_built[j][0][suboram_index])
                                         for j, balancer_index in enumerate(
                                             active
                                         )
@@ -381,7 +459,7 @@ class EpochDriver:
                                 suboram,
                                 [
                                     (balancer_index,
-                                     built[j][0][suboram_index])
+                                     work_built[j][0][suboram_index])
                                     for j, balancer_index in enumerate(active)
                                 ],
                                 transport,
@@ -398,15 +476,24 @@ class EpochDriver:
                 "execute", getattr(exc, "unit", None), exc
             ) from exc
         new_suborams = [suboram for suboram, _ in executed]
-
-        # Regroup stage-➋ outputs by balancer, subORAMs in ascending
-        # order — the exact entry order serial execution produced.
         entries_per_balancer = {index: [] for index in active}
         for _, outputs in executed:
             for balancer_index, entries in outputs:
                 entries_per_balancer[balancer_index].extend(entries)
+        return new_suborams, entries_per_balancer
 
-        # Stage ➌ — per-balancer response matching, concurrent across L.
+    def run_match(
+        self, load_balancers, built, entries_per_balancer, active
+    ) -> List[List[Response]]:
+        """Stage ➌ only: oblivious response matching per active balancer.
+
+        Returns the full ``responses_per_balancer`` list (empty lists
+        for balancers that had no queued requests this epoch).
+
+        Raises:
+            EpochFailedError: ``stage="match"``.  No rollback is
+            performed.
+        """
         try:
             with self.telemetry.span(
                 "stage", stage="match", tasks=len(active)
@@ -437,7 +524,4 @@ class EpochDriver:
         ]
         for j, balancer_index in enumerate(active):
             responses_per_balancer[balancer_index] = matched[j]
-        return EpochResult(
-            responses_per_balancer=responses_per_balancer,
-            suborams=new_suborams,
-        )
+        return responses_per_balancer

@@ -213,6 +213,16 @@ class FaultInjector:
         """Events that have not fired yet (inspection/testing)."""
         return list(self._pending)
 
+    @property
+    def exhausted(self) -> bool:
+        """True once every scheduled event has fired.
+
+        An exhausted injector can never fail another epoch, so the
+        deployment drops back to the zero-copy fail-fast hot path (see
+        :attr:`~repro.core.resilience.EpochRetryController.armed`).
+        """
+        return not self._pending
+
     def begin_epoch(self, epoch: int) -> None:
         """Advance the injector to a new deployment epoch."""
         self._epoch = epoch

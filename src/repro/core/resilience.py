@@ -149,11 +149,18 @@ class EpochRetryController:
     def armed(self) -> bool:
         """True when epochs must be atomic (retry or chaos is active).
 
-        The epoch driver snapshots shared-state subORAMs only when armed:
-        with a single attempt and no injector the legacy fail-fast
-        semantics (and its zero-copy hot path) are preserved exactly.
+        The epoch driver deep-copies shared-state subORAMs only when
+        armed: with ``epoch_max_attempts == 1`` and fault injection off
+        (no injector, or an injector whose plan has fully fired) the
+        legacy fail-fast semantics — and the zero-copy hot path, which
+        skips a per-attempt ``copy.deepcopy`` of every subORAM — are
+        preserved exactly.  A deployment with a finite fault plan
+        therefore pays the copy only until the last scheduled event has
+        fired.
         """
-        return self.policy.max_attempts > 1 or self.injector is not None
+        if self.policy.max_attempts > 1:
+            return True
+        return self.injector is not None and not self.injector.exhausted
 
     @property
     def fault_stats(self) -> Dict[str, int]:

@@ -14,6 +14,12 @@ with its request's response when the epoch closes.
 The execution backend (:mod:`repro.exec`) decides whether those stages
 run serially or in parallel; responses are byte-identical either way.
 
+``run_epoch`` closes epochs on demand and strictly sequentially; for
+§6's pipelined schedule — a background epoch clock, the build of epoch
+``e+1`` overlapping the execute of ``e`` and the match of ``e-1`` —
+call :meth:`Snoopy.start_pipeline` (see :mod:`repro.core.pipeline`).
+Responses are byte-identical under either scheduler.
+
 The trusted monotonic counter is bumped once per epoch (§9): state sealed
 at epoch ``e`` cannot be replayed at epoch ``e' > e``.
 """
@@ -167,7 +173,31 @@ class Snoopy:
         if self.telemetry.enabled:
             attach_telemetry_to_suborams(self.suborams, self.telemetry)
         self._tickets = TicketBook(config.num_load_balancers)
+        self._pipeline = None
         self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Scheduler plumbing shared with the pipelined scheduler
+    # ------------------------------------------------------------------
+    @property
+    def tickets(self) -> TicketBook:
+        """The deployment's pending-ticket ledger."""
+        return self._tickets
+
+    @property
+    def retry_controller(self) -> EpochRetryController:
+        """The fault-tolerance controller consulted by every epoch."""
+        return self._retry
+
+    @property
+    def injector(self) -> Optional[FaultInjector]:
+        """The chaos injector, when a fault plan is attached."""
+        return self._injector
+
+    @property
+    def state_namespace(self) -> str:
+        """This deployment's backend state-cache namespace."""
+        return self._state_ns
 
     # ------------------------------------------------------------------
     # Initialization (Figure 23: shard objects by the keyed hash)
@@ -217,12 +247,85 @@ class Snoopy:
             epoch closes (``.result()``).  For one deprecation cycle the
             ticket still unpacks as the legacy ``(load_balancer,
             arrival)`` tuple.
+
+        While a pipeline is active (:meth:`start_pipeline`) the submit
+        is routed through it — fully non-blocking; the ticket resolves
+        when the pipeline's match thread closes the request's epoch.
         """
         if load_balancer is None:
             load_balancer = self._rng.randrange(self.config.num_load_balancers)
+        if self._pipeline is not None and self._pipeline.active:
+            return self._pipeline.submit(request, load_balancer)
         self.telemetry.counter("snoopy_requests_total").inc()
         arrival = self.load_balancers[load_balancer].submit(request)
         return self._tickets.issue(load_balancer, arrival, request)
+
+    # ------------------------------------------------------------------
+    # Pipelined epoch scheduling (§6)
+    # ------------------------------------------------------------------
+    def start_pipeline(
+        self,
+        depth: Optional[int] = None,
+        clock: bool = True,
+        epoch_duration: Optional[float] = None,
+    ):
+        """Switch to the pipelined epoch scheduler (§6).
+
+        Launches an :class:`~repro.core.pipeline.EpochPipeline` whose
+        stage threads overlap the build of epoch ``e+1`` with the
+        execute of ``e`` and the match of ``e-1`` over this deployment's
+        execution backend.  While the pipeline is active, :meth:`submit`
+        routes through it (non-blocking) and :meth:`run_epoch` is
+        unavailable; stop the pipeline (``pipeline.stop()`` or the
+        context manager) to return to sequential scheduling.
+
+        Args:
+            depth: max in-flight epochs (default
+                ``config.pipeline_depth``).
+            clock: run the background epoch clock (default).  Pass
+                ``False`` for manual ``pipeline.close_epoch()`` pacing —
+                what tests and benchmarks use for deterministic epoch
+                composition.
+            epoch_duration: clock period override in seconds (default
+                ``config.epoch_duration``).
+
+        Returns:
+            The running :class:`~repro.core.pipeline.EpochPipeline`
+            (also a context manager that stops itself on exit).
+
+        Raises:
+            NotInitializedError: ``initialize`` has not been called.
+            ConfigurationError: a pipeline is already active.
+        """
+        from repro.core.pipeline import EpochPipeline
+
+        if not self._initialized:
+            raise NotInitializedError("Snoopy.initialize must be called first")
+        if self._pipeline is not None and self._pipeline.active:
+            raise ConfigurationError(
+                "an epoch pipeline is already active; stop it before "
+                "starting another"
+            )
+        period = None
+        if clock:
+            period = (
+                epoch_duration
+                if epoch_duration is not None
+                else self.config.epoch_duration
+            )
+        self._pipeline = EpochPipeline(
+            self, depth=depth, clock_period=period
+        ).start()
+        return self._pipeline
+
+    @property
+    def pipeline(self):
+        """The current :class:`~repro.core.pipeline.EpochPipeline` (or None).
+
+        Kept after ``stop()`` so stats/occupancy stay inspectable; check
+        ``pipeline.active`` for whether it is still scheduling.
+        """
+        return self._pipeline
 
     # ------------------------------------------------------------------
     # Epoch execution
@@ -254,9 +357,17 @@ class Snoopy:
 
         Raises:
             NotInitializedError: ``initialize`` has not been called.
+            ConfigurationError: a pipeline is active — the pipelined and
+                sequential schedulers cannot share the epoch counter.
         """
         if not self._initialized:
             raise NotInitializedError("Snoopy.initialize must be called first")
+        if self._pipeline is not None and self._pipeline.active:
+            raise ConfigurationError(
+                "run_epoch is unavailable while the epoch pipeline is "
+                "active; use pipeline.close_epoch()/flush(), or stop the "
+                "pipeline first"
+            )
         self.counter.increment()  # one trusted-counter bump per epoch (§9)
         self._retry.begin_epoch(self.counter.value, self.suborams)
 
@@ -325,10 +436,14 @@ class Snoopy:
     def close(self) -> None:
         """Release the execution backend's workers (no-op for serial).
 
-        Only closes backends this deployment constructed itself; a
-        backend instance passed in by the caller stays open (it may be
-        shared across deployments).
+        Stops an active pipeline first (flushing in-flight epochs; a
+        poisoned pipeline's stored error stays retrievable via
+        ``pipeline.error``).  Only closes backends this deployment
+        constructed itself; a backend instance passed in by the caller
+        stays open (it may be shared across deployments).
         """
+        if self._pipeline is not None and self._pipeline.active:
+            self._pipeline.stop()
         if self._owns_backend:
             self.backend.close()
 

@@ -24,6 +24,15 @@ emitting a :class:`DeprecationWarning`.
 ``submit`` time and resolves each balancer's tickets, in arrival order,
 against that balancer's matched responses when the epoch driver closes
 the epoch.
+
+Under the pipelined scheduler (:mod:`repro.core.pipeline`) tickets for
+epoch ``e+1`` are issued *while* epoch ``e`` is still in flight, so the
+book additionally supports :meth:`TicketBook.cut` — snapshot-and-clear
+the pending tickets at epoch close, so each in-flight epoch carries
+exactly its own tickets — with :meth:`TicketBook.restore` putting a
+failed epoch's cut back at the front and
+:meth:`TicketBook.resolve_cut` resolving a cut against that epoch's
+matched responses.
 """
 
 from __future__ import annotations
@@ -150,3 +159,53 @@ class TicketBook:
             )
         for ticket, response in zip(tickets, responses):
             ticket._resolve(response, epoch)
+
+    def cut(self) -> List[List[Ticket]]:
+        """Snapshot-and-clear every balancer's pending tickets.
+
+        Called at epoch close (while holding the pipeline's intake lock)
+        so the in-flight epoch carries exactly the tickets of the
+        requests it drained; tickets issued afterwards accumulate for
+        the *next* epoch.  Returns one list per balancer, in arrival
+        order — positionally aligned with the drained request lists.
+        """
+        snapshot = self._pending
+        self._pending = [[] for _ in snapshot]
+        return snapshot
+
+    def restore(self, cut: Sequence[List[Ticket]]) -> None:
+        """Prepend a previously :meth:`cut` snapshot (epoch rollback).
+
+        When a pipelined epoch fails fatally its requests are requeued
+        at the front of their balancers; restoring the matching ticket
+        cut keeps the book positionally aligned with those queues so a
+        later sequential ``run_epoch`` resolves the same tickets.
+        """
+        for index, tickets in enumerate(cut):
+            self._pending[index] = list(tickets) + self._pending[index]
+
+    @staticmethod
+    def resolve_cut(
+        cut: Sequence[List[Ticket]],
+        responses_per_balancer: Sequence[Sequence[Response]],
+        epoch: int,
+    ) -> int:
+        """Resolve one epoch's ticket cut against its matched responses.
+
+        Both sequences are indexed by balancer and ordered by arrival,
+        so they zip positionally exactly like :meth:`resolve`.  Returns
+        the number of tickets resolved.
+        """
+        resolved = 0
+        for balancer, (tickets, responses) in enumerate(
+            zip(cut, responses_per_balancer)
+        ):
+            if len(tickets) != len(responses):
+                raise AssertionError(
+                    f"balancer {balancer}: {len(tickets)} tickets but "
+                    f"{len(responses)} responses in epoch {epoch}"
+                )
+            for ticket, response in zip(tickets, responses):
+                ticket._resolve(response, epoch)
+                resolved += 1
+        return resolved

@@ -15,7 +15,14 @@ Backends make two guarantees the driver relies on:
   any scheduling;
 * the first task exception propagates to the caller, so security aborts
   such as :class:`~repro.errors.BatchOverflowError` surface loudly no
-  matter where the task ran.
+  matter where the task ran;
+* ``map`` dispatch is **overlap-safe**: distinct threads may issue
+  ``map`` / ``map_stateful`` calls concurrently (the pipelined epoch
+  scheduler's builder and matcher threads do exactly that while the
+  executor thread runs ``map_stateful``).  The serial backend is
+  trivially reentrant; pooled backends guard their lazy pool/worker
+  creation with a lock, and the underlying executors accept concurrent
+  submissions.
 
 ``supports_shared_state`` distinguishes in-process backends (mutations a
 task makes are visible to the caller) from process backends (state must

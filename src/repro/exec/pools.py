@@ -100,9 +100,23 @@ class _PooledBackend(ExecutionBackend):
         self.max_workers = max_workers
         self.task_timeout = task_timeout
         self._executor: Optional[Executor] = None
+        # Guards lazy pool creation/teardown: the pipelined scheduler's
+        # stage threads issue overlapping map calls, and two of them
+        # racing the first call must not each build (and leak) a pool.
+        self._pool_lock = threading.Lock()
 
     def _make_executor(self) -> Executor:
         raise NotImplementedError
+
+    def _get_executor(self) -> Executor:
+        """The live pool, created on first use (double-checked lock)."""
+        executor = self._executor
+        if executor is None:
+            with self._pool_lock:
+                executor = self._executor
+                if executor is None:
+                    executor = self._executor = self._make_executor()
+        return executor
 
     def _abandon_executor(self) -> None:
         """Drop a pool whose workers can no longer be trusted.
@@ -112,19 +126,24 @@ class _PooledBackend(ExecutionBackend):
         waiting, so a straggler finishing later can never feed a result
         into a retried epoch.  The next ``map`` call builds a fresh pool.
         """
-        executor, self._executor = self._executor, None
+        with self._pool_lock:
+            executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
 
     def map(self, fn, tasks) -> list:
-        """Fan tasks out across the pool; gather results in task order."""
+        """Fan tasks out across the pool; gather results in task order.
+
+        Safe to call from multiple threads concurrently (the pipelined
+        scheduler overlaps stage dispatches); executors accept
+        concurrent submissions, and pool creation is lock-guarded.
+        """
         tasks = list(tasks)
         if len(tasks) <= 1:
             # One task gains nothing from the pool; run it inline (this
             # also keeps single-balancer deployments allocation-free).
             return [fn(task) for task in tasks]
-        if self._executor is None:
-            self._executor = self._make_executor()
+        executor = self._get_executor()
         telemetry = self.telemetry
         if telemetry.enabled and self.supports_shared_state:
             # Shared-memory pools can time inside the worker: split each
@@ -147,9 +166,9 @@ class _PooledBackend(ExecutionBackend):
             if self.task_timeout is None and not time_totals:
                 # Executor.map preserves input order and re-raises the
                 # first failing task's exception at iteration time.
-                return list(self._executor.map(fn, tasks))
+                return list(executor.map(fn, tasks))
             submitted = time.monotonic()
-            futures = [self._executor.submit(fn, task) for task in tasks]
+            futures = [executor.submit(fn, task) for task in tasks]
             if time_totals:
                 total_hist = telemetry.histogram(
                     "exec_task_total_seconds", backend=self.name
@@ -186,19 +205,23 @@ class _PooledBackend(ExecutionBackend):
 
     def close(self) -> None:
         """Shut the pool down; safe to call repeatedly."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        with self._pool_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
-    # Executors are neither picklable nor deepcopy-able; drop them and
-    # let the pool re-create itself lazily wherever the copy lands.
+    # Executors are neither picklable nor deepcopy-able (and neither are
+    # locks); drop them and let the pool re-create itself lazily
+    # wherever the copy lands.
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["_executor"] = None
+        state.pop("_pool_lock", None)
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        self._pool_lock = threading.Lock()
 
 
 class ThreadPoolBackend(_PooledBackend):
@@ -347,6 +370,9 @@ class ProcessPoolBackend(_PooledBackend):
     ):
         super().__init__(max_workers, task_timeout)
         self._sticky: Dict[int, _StickyWorker] = {}
+        # Guards the sticky-worker table so overlapping map_stateful
+        # dispatches never double-spawn (or leak) a slot's worker.
+        self._sticky_lock = threading.Lock()
         #: key -> (version, state object, token) from the previous call.
         self._state_cache: Dict[object, tuple] = {}
         self.state_cache_stats = {"hits": 0, "misses": 0, "full_ships": 0}
@@ -373,11 +399,12 @@ class ProcessPoolBackend(_PooledBackend):
         )
 
     def _sticky_worker(self, slot: int) -> _StickyWorker:
-        worker = self._sticky.get(slot)
-        if worker is None or not worker.process.is_alive():
-            worker = _StickyWorker(multiprocessing.get_context())
-            self._sticky[slot] = worker
-        return worker
+        with self._sticky_lock:
+            worker = self._sticky.get(slot)
+            if worker is None or not worker.process.is_alive():
+                worker = _StickyWorker(multiprocessing.get_context())
+                self._sticky[slot] = worker
+            return worker
 
     @staticmethod
     def _slot_of(key, num_workers: int) -> int:
@@ -460,7 +487,8 @@ class ProcessPoolBackend(_PooledBackend):
         forces a full state re-ship on the retry; other keys cached on
         the same (now respawned) worker miss their probe and re-ship too.
         """
-        worker = self._sticky.pop(slot, None)
+        with self._sticky_lock:
+            worker = self._sticky.pop(slot, None)
         if worker is not None:
             worker.kill()
         self._state_cache.pop(key, None)
@@ -518,7 +546,8 @@ class ProcessPoolBackend(_PooledBackend):
                 self.telemetry.counter(
                     "exec_worker_crashes_total", backend=self.name
                 ).inc()
-                self._sticky.pop(slot, None)
+                with self._sticky_lock:
+                    self._sticky.pop(slot, None)
                 self._state_cache.pop(key, None)
                 worker = self._sticky_worker(slot)
                 self.telemetry.counter(
@@ -563,7 +592,8 @@ class ProcessPoolBackend(_PooledBackend):
     def close(self) -> None:
         """Shut down the executor pool and every sticky worker."""
         super().close()
-        sticky, self._sticky = self._sticky, {}
+        with self._sticky_lock:
+            sticky, self._sticky = self._sticky, {}
         for worker in sticky.values():
             worker.stop()
         self._state_cache.clear()
@@ -573,6 +603,11 @@ class ProcessPoolBackend(_PooledBackend):
     def __getstate__(self) -> dict:
         state = super().__getstate__()
         state["_sticky"] = {}
+        state.pop("_sticky_lock", None)
         state["_state_cache"] = {}
         state["state_cache_stats"] = {"hits": 0, "misses": 0, "full_ships": 0}
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._sticky_lock = threading.Lock()

@@ -22,6 +22,10 @@ GUIDES = [
     ("Oblivious kernels", "repro.oblivious.kernels"),
     ("Tickets", "repro.core.tickets"),
     (
+        "Epoch pipelining",
+        ("repro.core.pipeline", "repro.telemetry.overlap"),
+    ),
+    (
         "Fault tolerance & chaos testing",
         ("repro.core.resilience", "repro.core.faults"),
     ),

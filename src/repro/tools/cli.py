@@ -86,6 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--epochs", type=int, default=1,
                       help="number of epochs to spread the requests over "
                            "(default 1)")
+    demo.add_argument("--pipelined", action="store_true",
+                      help="drive the epochs through the pipelined "
+                           "scheduler (build/execute/match overlap) and "
+                           "print its stage-occupancy table")
+    demo.add_argument("--pipeline-depth", type=int, default=None,
+                      metavar="N",
+                      help="max in-flight epochs for --pipelined "
+                           "(default: config pipeline_depth, 2)")
     demo.add_argument("--faults", type=int, default=None, metavar="SEED",
                       help="inject a deterministic FaultPlan generated "
                            "from SEED (worker crashes and task timeouts); "
@@ -255,17 +263,48 @@ def cmd_demo(args) -> int:
                 requests.append(Request(OpType.READ, key, seq=i))
         epochs = max(1, args.epochs)
         per_epoch = (len(requests) + epochs - 1) // epochs
-        tickets, served = [], 0
-        for start in range(0, len(requests), per_epoch):
-            for request in requests[start:start + per_epoch]:
-                tickets.append(store.submit(request))
-            served += len(store.run_epoch())
+        tickets = []
+        pipeline = None
+        if args.pipelined:
+            pipeline = store.start_pipeline(
+                depth=args.pipeline_depth, clock=False
+            )
+            for start in range(0, len(requests), per_epoch):
+                for request in requests[start:start + per_epoch]:
+                    tickets.append(store.submit(request))
+                pipeline.close_epoch()
+            pipeline.flush()
+            pipeline.stop()
+        else:
+            served = 0
+            for start in range(0, len(requests), per_epoch):
+                for request in requests[start:start + per_epoch]:
+                    tickets.append(store.submit(request))
+                served += len(store.run_epoch())
         responses = [ticket.result() for ticket in tickets]
-        assert served == len(responses)
+        if not args.pipelined:
+            assert served == len(responses)
         reads = sum(1 for r in requests if r.op is OpType.READ)
         print(f"{epochs} epoch(s) served {len(responses)} requests "
               f"({reads} reads, {len(requests) - reads} writes)")
         print(f"trusted counter: {store.counter.value}")
+        if pipeline is not None:
+            stats = pipeline.stats
+            print(f"pipeline: depth {stats['depth']}, "
+                  f"{stats['epochs_completed']} epochs completed, "
+                  f"max {stats['max_inflight']} in flight, "
+                  f"build/execute overlap "
+                  f"{pipeline.overlap() * 1e3:.1f} ms")
+            print("pipeline stage occupancy:")
+            occupancy_rows = [
+                (row["stage"], int(row["count"]), row["busy_s"] * 1e3,
+                 row["span_s"] * 1e3, f"{row['occupancy']:.0%}")
+                for row in pipeline.occupancy()
+            ]
+            print(series_table(
+                ["stage", "epochs", "busy ms", "span ms", "occupancy"],
+                occupancy_rows,
+            ))
         if fault_plan is not None:
             print("fault_stats:")
             for name, count in sorted(store.fault_stats.items()):

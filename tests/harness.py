@@ -204,13 +204,50 @@ def build_store(
     return store
 
 
-def run_workload(store, epochs) -> Tuple[list, list]:
-    """Drive the schedule; returns (responses per epoch, tickets)."""
-    responses, tickets = [], []
-    for requests in epochs:
-        for request, balancer in requests:
-            tickets.append(store.submit(request, load_balancer=balancer))
-        responses.append(store.run_epoch())
+def run_workload(
+    store, epochs, *, pipelined: bool = False, pipeline_depth: Optional[int] = None
+) -> Tuple[list, list]:
+    """Drive the schedule; returns (responses per epoch, tickets).
+
+    With ``pipelined=True`` the same schedule runs through the epoch
+    pipeline instead of ``run_epoch``: one ``close_epoch()`` per
+    schedule epoch (no wall-clock timer — tests stay deterministic),
+    then ``flush()``.  Per-epoch response lists are rebuilt from the
+    resolved tickets sorted by ``(load_balancer, arrival)``, which is
+    exactly ``run_epoch``'s flattened balancer-then-arrival order — so
+    pipelined and sequential runs are directly comparable.
+    """
+    if not pipelined:
+        responses, tickets = [], []
+        for requests in epochs:
+            for request, balancer in requests:
+                tickets.append(store.submit(request, load_balancer=balancer))
+            responses.append(store.run_epoch())
+        return responses, tickets
+
+    pipeline = store.start_pipeline(depth=pipeline_depth, clock=False)
+    epoch_tickets: List[list] = []
+    try:
+        for requests in epochs:
+            batch = [
+                store.submit(request, load_balancer=balancer)
+                for request, balancer in requests
+            ]
+            epoch_tickets.append(batch)
+            pipeline.close_epoch()
+        pipeline.flush()
+    finally:
+        pipeline.stop()
+    responses = [
+        [
+            ticket.result()
+            for ticket in sorted(
+                batch, key=lambda t: (t.load_balancer, t.arrival)
+            )
+        ]
+        for batch in epoch_tickets
+    ]
+    tickets = [ticket for batch in epoch_tickets for ticket in batch]
     return responses, tickets
 
 
@@ -267,6 +304,8 @@ def differential_run(
     replication=None,
     fault_max_attempts: int = 4,
     value_size: int = 8,
+    pipelined: bool = False,
+    pipeline_depth: Optional[int] = None,
     **build_kwargs,
 ) -> List[RunResult]:
     """Execute the configuration matrix over one workload.
@@ -275,7 +314,10 @@ def differential_run(
     seed, same objects) and a fresh :class:`~repro.telemetry.Telemetry`
     handle.  Fault-plan objects are built per cell by calling the given
     value when it is callable (each cell must consume its own injector
-    cursor), or used as-is when it is a plain plan/None.
+    cursor), or used as-is when it is a plain plan/None.  With
+    ``pipelined=True`` every cell runs through the epoch pipeline (see
+    :func:`run_workload`); cell results remain directly comparable to a
+    sequential run's.
 
     Returns the cells in matrix order — plans outermost, then kernels,
     then backends — so ``results[0]`` is the fault-free reference cell
@@ -302,7 +344,12 @@ def differential_run(
                     **build_kwargs,
                 )
                 try:
-                    responses, tickets = run_workload(store, workload)
+                    responses, tickets = run_workload(
+                        store,
+                        workload,
+                        pipelined=pipelined,
+                        pipeline_depth=pipeline_depth,
+                    )
                     public = telemetry.registry.public_snapshot()
                     results.append(RunResult(
                         backend=backend,

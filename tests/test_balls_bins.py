@@ -9,6 +9,8 @@ from hypothesis import strategies as st
 
 from repro.analysis.balls_bins import (
     batch_size,
+    batch_size_cache_clear,
+    batch_size_cache_info,
     log_overflow_probability,
     overflow_probability,
     security_bits,
@@ -62,6 +64,40 @@ class TestBatchSize:
             batch_size(-1, 5)
         with pytest.raises(ConfigurationError):
             batch_size(10, 5, security_parameter=-1)
+
+
+class TestBatchSizeCache:
+    def test_repeat_calls_hit_the_cache(self):
+        batch_size_cache_clear()
+        assert batch_size(10_000, 10) == batch_size(10_000, 10)
+        info = batch_size_cache_info()
+        assert info.misses == 1
+        assert info.hits == 1
+
+    def test_default_and_explicit_lambda_share_an_entry(self):
+        batch_size_cache_clear()
+        batch_size(10_000, 10)
+        batch_size(10_000, 10, 128)
+        batch_size(10_000, 10, security_parameter=128)
+        info = batch_size_cache_info()
+        assert info.misses == 1
+        assert info.hits == 2
+
+    def test_validation_still_raises_after_a_cached_hit(self):
+        batch_size_cache_clear()
+        batch_size(10_000, 10)
+        with pytest.raises(ConfigurationError):
+            batch_size(-1, 10)
+        with pytest.raises(ConfigurationError):
+            batch_size(10_000, 0)
+
+    def test_cache_clear_resets_counts(self):
+        batch_size(10_000, 10)
+        batch_size_cache_clear()
+        info = batch_size_cache_info()
+        assert info.hits == 0
+        assert info.misses == 0
+        assert info.currsize == 0
 
 
 class TestOverflowProbability:
