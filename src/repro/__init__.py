@@ -30,7 +30,7 @@ Quickstart::
 from repro.types import OpType, Request, Response
 from repro.core.config import SnoopyConfig
 from repro.core.snoopy import Snoopy
-from repro.core.client import Client
+from repro.core.client import Client, SnoopyClient
 from repro.core.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.core.resilience import EpochRetryController, RetryPolicy
 from repro.core.pipeline import EpochPipeline
@@ -81,6 +81,7 @@ __all__ = [
     "RetryPolicy",
     "SerialBackend",
     "Snoopy",
+    "SnoopyClient",
     "SnoopyConfig",
     "TaskTimeoutError",
     "ThreadPoolBackend",

@@ -1,17 +1,77 @@
-"""Client-side API and history recording.
+"""Client-side API: the ``SnoopyClient`` protocol and history recording.
 
-``Client`` issues reads/writes against a :class:`~repro.core.snoopy.Snoopy`
-deployment, assigns sequence numbers, and records an operation history
-(invocation/response epochs) suitable for the linearizability checker.
+:class:`SnoopyClient` is the one client-facing contract every transport
+implements — the in-process :class:`~repro.core.snoopy.Snoopy` facade,
+the sealed-channel :class:`~repro.core.deployment.DistributedSnoopy`,
+and the TCP :class:`~repro.serve.netclient.NetworkSnoopyClient` all
+satisfy it, so applications, examples, and the simulator swap transports
+without code changes::
+
+    def audit(store: SnoopyClient) -> None:
+        with store:
+            store.write(1, b"\\x01" * 4)
+            assert store.read(1) == b"\\x01" * 4
+
+The protocol is ``runtime_checkable``; ``isinstance(obj, SnoopyClient)``
+verifies structural conformance (method presence, not signatures).
+
+``Client`` issues reads/writes against a deployment, assigns sequence
+numbers, and records an operation history (invocation/response epochs)
+suitable for the linearizability checker.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import (
+    Dict, List, Optional, Protocol, Sequence, runtime_checkable,
+)
 
 from repro.core.linearizability import Operation
 from repro.core.snoopy import Snoopy
+from repro.core.tickets import Ticket
 from repro.types import OpType, Request, Response
+
+
+@runtime_checkable
+class SnoopyClient(Protocol):
+    """The transport-agnostic Snoopy client contract.
+
+    One surface, three transports: in-process (:class:`Snoopy`), sealed
+    in-process channels (:class:`~repro.core.deployment.DistributedSnoopy`),
+    and TCP (:class:`~repro.serve.netclient.NetworkSnoopyClient`).  The
+    asynchronous front door is :meth:`submit` → :class:`Ticket`; the
+    synchronous conveniences (:meth:`read` / :meth:`write` /
+    :meth:`batch`) block until the request's epoch has closed.  Every
+    client is a context manager whose exit releases its transport.
+    """
+
+    def submit(
+        self, request: Request, load_balancer: Optional[int] = None
+    ) -> Ticket:
+        """Queue a request now; the ticket resolves at its epoch close."""
+        ...
+
+    def read(self, key: int) -> Optional[bytes]:
+        """Read one object, blocking until its epoch closes."""
+        ...
+
+    def write(self, key: int, value: bytes) -> Optional[bytes]:
+        """Write one object, returning the prior value."""
+        ...
+
+    def batch(self, requests: Sequence[Request]) -> List[Response]:
+        """Submit a set of requests and collect their epoch's responses."""
+        ...
+
+    def close(self) -> None:
+        """Release the client's transport and any owned resources."""
+        ...
+
+    def __enter__(self) -> "SnoopyClient":
+        ...
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        ...
 
 
 class Client:

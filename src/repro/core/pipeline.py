@@ -154,6 +154,7 @@ class EpochPipeline:
         self._clock_thread: Optional[threading.Thread] = None
         self._started = False
         self._active = False
+        self._epoch_observers: List = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -252,6 +253,28 @@ class EpochPipeline:
             )
         self.telemetry.counter("snoopy_requests_total").inc()
         return ticket
+
+    def add_epoch_observer(self, observer) -> None:
+        """Register ``observer(epoch, resolved, latency_s)`` for epoch closes.
+
+        Called on the match thread after each epoch completes — the seam
+        the TCP service uses for service-level metrics.  Observer
+        exceptions are swallowed (counted in
+        ``pipeline_observer_errors_total``) so instrumentation can never
+        poison the pipeline.
+        """
+        self._epoch_observers.append(observer)
+
+    def _notify_epoch_observers(
+        self, epoch: int, resolved: int, latency_s: float
+    ) -> None:
+        for observer in self._epoch_observers:
+            try:
+                observer(epoch, resolved, latency_s)
+            except Exception:
+                self.telemetry.counter(
+                    "pipeline_observer_errors_total"
+                ).inc()
 
     def close_epoch(self, wait: bool = True) -> Optional[int]:
         """Close the current batch into an in-flight epoch.
@@ -440,11 +463,11 @@ class EpochPipeline:
                 self._abort(job)
                 continue
             job.responses = responses
+            latency = time.monotonic() - job.closed_at
             self.telemetry.counter("snoopy_epochs_total").inc()
             self.telemetry.counter("snoopy_responses_total").inc(resolved)
-            self.telemetry.histogram("snoopy_epoch_seconds").observe(
-                time.monotonic() - job.closed_at
-            )
+            self.telemetry.histogram("snoopy_epoch_seconds").observe(latency)
+            self._notify_epoch_observers(job.epoch, resolved, latency)
             self._finish(job)
 
     # ------------------------------------------------------------------

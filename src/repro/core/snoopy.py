@@ -244,9 +244,9 @@ class Snoopy:
             request went (``.load_balancer``, ``.arrival`` — the
             coordinates linearizability histories are built from) and
             resolving to its :class:`~repro.types.Response` when the
-            epoch closes (``.result()``).  For one deprecation cycle the
-            ticket still unpacks as the legacy ``(load_balancer,
-            arrival)`` tuple.
+            epoch closes (``.result()``), with
+            :meth:`~repro.core.tickets.Ticket.add_done_callback` for
+            asynchronous completion.
 
         While a pipeline is active (:meth:`start_pipeline`) the submit
         is routed through it — fully non-blocking; the ticket resolves

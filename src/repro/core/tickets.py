@@ -14,11 +14,20 @@ clients keep tuple-index bookkeeping::
 
 Calling ``result()`` before the epoch closed raises
 :class:`~repro.errors.TicketPendingError`; ``ticket.done`` tells you
-which side of the epoch boundary you are on.
+which side of the epoch boundary you are on.  (The legacy
+``(load_balancer, arrival)`` tuple-unpack shim from the first release
+has completed its deprecation cycle and is gone; tickets are plain
+objects now.)
 
-For one deprecation cycle a ticket still unpacks like the old bare
-``(load_balancer, arrival)`` tuple (``lb, arrival = store.submit(...)``),
-emitting a :class:`DeprecationWarning`.
+**Asynchronous completion.**  Under the pipelined scheduler — and the
+TCP service built on it (:mod:`repro.serve`) — tickets resolve on the
+pipeline's match thread, not the submitting thread, so polling ``done``
+is the wrong shape for a server.  :meth:`Ticket.add_done_callback`
+registers a callable invoked exactly once with the ticket as soon as it
+resolves (immediately, if it already has); the asyncio service bridges
+each callback onto its event loop with ``call_soon_threadsafe``.
+Callbacks run on the resolving thread and must not block — hand off, do
+not work.
 
 :class:`TicketBook` is the deployment-side ledger: it issues tickets at
 ``submit`` time and resolves each balancer's tickets, in arrival order,
@@ -37,11 +46,17 @@ matched responses.
 
 from __future__ import annotations
 
-import warnings
-from typing import Iterator, List, Optional, Sequence
+import threading
+from typing import Callable, List, Optional, Sequence
 
 from repro.errors import TicketPendingError
 from repro.types import Request, Response
+
+#: Guards the resolve/add_done_callback race.  One shared lock (instead
+#: of a lock per ticket) keeps tickets at five slots — a service holds
+#: hundreds of thousands of them open — and the critical sections are a
+#: few pointer operations, so contention is negligible.
+_COMPLETION_LOCK = threading.Lock()
 
 
 class Ticket:
@@ -53,7 +68,10 @@ class Ticket:
         request: the submitted request (kept for debugging/history).
     """
 
-    __slots__ = ("load_balancer", "arrival", "request", "_response", "_epoch")
+    __slots__ = (
+        "load_balancer", "arrival", "request", "_response", "_epoch",
+        "_callbacks",
+    )
 
     def __init__(
         self,
@@ -66,6 +84,7 @@ class Ticket:
         self.request = request
         self._response: Optional[Response] = None
         self._epoch: Optional[int] = None
+        self._callbacks: Optional[List[Callable[["Ticket"], None]]] = None
 
     @property
     def done(self) -> bool:
@@ -90,22 +109,32 @@ class Ticket:
             )
         return self._response
 
-    def _resolve(self, response: Response, epoch: int) -> None:
-        self._response = response
-        self._epoch = epoch
+    def add_done_callback(self, callback: Callable[["Ticket"], None]) -> None:
+        """Invoke ``callback(ticket)`` exactly once when the ticket resolves.
 
-    # -- tuple-compatibility shim (one deprecation cycle) ---------------
-    def __iter__(self) -> Iterator[int]:
-        """Unpack as the legacy ``(load_balancer, arrival)`` tuple."""
-        warnings.warn(
-            "unpacking submit()'s Ticket as a (load_balancer, arrival) "
-            "tuple is deprecated; use ticket.load_balancer / "
-            "ticket.arrival / ticket.result()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        yield self.load_balancer
-        yield self.arrival
+        The asynchronous completion seam: the epoch pipeline resolves
+        tickets on its match thread, so a server cannot poll ``done`` —
+        it registers a callback and bridges onto its own event loop.
+        If the ticket already resolved, the callback runs immediately on
+        the calling thread; otherwise it runs on the resolving thread.
+        Callbacks must not block and must not raise (an exception would
+        propagate into the resolving epoch's match stage).
+        """
+        with _COMPLETION_LOCK:
+            if self._response is None:
+                if self._callbacks is None:
+                    self._callbacks = []
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def _resolve(self, response: Response, epoch: int) -> None:
+        with _COMPLETION_LOCK:
+            self._response = response
+            self._epoch = epoch
+            callbacks, self._callbacks = self._callbacks, None
+        for callback in callbacks or ():
+            callback(self)
 
     def __repr__(self) -> str:
         state = f"done@{self._epoch}" if self.done else "pending"

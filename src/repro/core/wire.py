@@ -1,10 +1,10 @@
-"""Wire serialization for load-balancer <-> subORAM traffic.
+"""Wire serialization for Snoopy's networked hops.
 
 The in-process :class:`~repro.core.snoopy.Snoopy` passes Python objects
-directly; the distributed deployment
-(:mod:`repro.core.deployment`) sends real bytes over AEAD channels, so
-batches and responses need a stable encoding.  The format is fixed-size
-headers plus a length-prefixed value:
+directly; the distributed deployment (:mod:`repro.core.deployment`) and
+the TCP service layer (:mod:`repro.serve`) send real bytes, so batches,
+requests, and responses need a stable encoding.  The format is
+fixed-size headers plus a length-prefixed value:
 
     entry := op(1) | flags(1) | key(16, signed) | suboram(4) | tag(8)
              | client_id(8) | seq(8) | value_len(4) | value(value_len)
@@ -12,15 +12,43 @@ headers plus a length-prefixed value:
 Every real/dummy entry of a batch serializes to the same header size, so
 message sizes depend only on batch size and object size — public
 quantities — preserving the obliviousness of the transport.
+
+**Versioned handshake.**  Every Snoopy TCP connection opens with one
+fixed-size hello frame from each side:
+
+    hello := magic(4 = "SNPY") | version(1) | role(1) | reserved(10)
+
+The hello is 16 bytes for every client, server, and worker, regardless
+of configuration or payload sizes, so the handshake itself leaks nothing
+beyond the fact of a connection (already host-visible).  A peer speaking
+a different :data:`WIRE_VERSION` is rejected with
+:class:`VersionMismatchError` before any request bytes flow.
+
+**Frames.**  After the handshake, every message is a framed unit:
+
+    frame := kind(1) | payload_len(4) | payload(payload_len)
+
+Frame kinds are the :class:`FrameKind` constants.  Payload sizes are
+functions of public quantities only (request counts, the configured
+value size, batch sizes), preserving obliviousness end to end:
+
+* ``REQUEST``/``RESPONSE`` — one client operation and its completion
+  (:func:`encode_request` / :func:`encode_response`); every request of
+  a given value size is byte-for-byte the same length whether it is a
+  read or a write of any key (reads carry a zero-filled value slot).
+* ``BATCH``/``BATCH_REPLY``/``INIT`` — load-balancer <-> subORAM worker
+  traffic, reusing :func:`encode_batch` payloads.
+* ``TXN_BEGIN``/``TXN_ACK``/``CLOSE_EPOCH``/``EPOCH_CLOSED``/``ERROR``
+  — control frames with fixed-size payloads.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List
+from typing import List, Tuple
 
 from repro.errors import ReproError
-from repro.types import BatchEntry, OpType
+from repro.types import BatchEntry, OpType, Request, Response
 
 _HEADER = struct.Struct(">BBq8xIQQQI")
 # op, flags, key(int64 -- see _encode_key), pad, suboram, tag, client, seq, vlen
@@ -40,6 +68,23 @@ INT64_MAX = 2**63 - 1
 
 class WireError(ReproError):
     """Malformed or out-of-range wire data."""
+
+
+class VersionMismatchError(WireError):
+    """A peer's hello frame advertised an unsupported wire version.
+
+    Attributes:
+        offered: the version byte the peer sent.
+        supported: the version this library speaks.
+    """
+
+    def __init__(self, offered: int, supported: int):
+        super().__init__(
+            f"peer speaks wire version {offered}, this library speaks "
+            f"{supported}"
+        )
+        self.offered = offered
+        self.supported = supported
 
 
 def _check_key(key: int) -> int:
@@ -119,3 +164,298 @@ def decode_batch(data: bytes) -> List[BatchEntry]:
     if offset != len(data):
         raise WireError("trailing bytes after batch")
     return batch
+
+
+# ---------------------------------------------------------------------------
+# Versioned handshake
+# ---------------------------------------------------------------------------
+#: Protocol version this library speaks.  Bump on any incompatible frame
+#: or encoding change; peers with a different version are rejected at
+#: handshake time instead of failing mid-stream.
+WIRE_VERSION = 1
+
+#: Connection magic: the first four bytes of every Snoopy TCP stream.
+WIRE_MAGIC = b"SNPY"
+
+_HELLO = struct.Struct(">4sBB10x")
+#: Size in bytes of the (fixed-size) hello frame.
+HELLO_SIZE = _HELLO.size
+
+
+class Role:
+    """Peer roles carried in the hello frame (public deployment facts)."""
+
+    CLIENT = 1
+    SERVER = 2
+    BALANCER = 3
+    WORKER = 4
+
+    _VALID = frozenset((CLIENT, SERVER, BALANCER, WORKER))
+
+
+def encode_hello(role: int, version: int = WIRE_VERSION) -> bytes:
+    """The fixed-size hello frame opening every connection.
+
+    Always exactly :data:`HELLO_SIZE` bytes regardless of role, version,
+    or deployment parameters — the handshake's shape is constant.
+    """
+    if role not in Role._VALID:
+        raise WireError(f"unknown hello role {role}")
+    if not 0 <= version <= 255:
+        raise WireError(f"version {version} does not fit the version byte")
+    return _HELLO.pack(WIRE_MAGIC, version, role)
+
+
+def decode_hello(data: bytes) -> Tuple[int, int]:
+    """Validate a peer's hello; returns ``(version, role)``.
+
+    Raises:
+        WireError: short frame, bad magic, or unknown role.
+        VersionMismatchError: the peer speaks a different
+            :data:`WIRE_VERSION` (checked *after* the magic so garbage
+            connections fail as malformed, not as version skew).
+    """
+    if len(data) < HELLO_SIZE:
+        raise WireError("truncated hello frame")
+    magic, version, role = _HELLO.unpack_from(data, 0)
+    if magic != WIRE_MAGIC:
+        raise WireError(f"bad connection magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise VersionMismatchError(version, WIRE_VERSION)
+    if role not in Role._VALID:
+        raise WireError(f"unknown hello role {role}")
+    return version, role
+
+
+# ---------------------------------------------------------------------------
+# Frames
+# ---------------------------------------------------------------------------
+_FRAME_HEADER = struct.Struct(">BI")
+#: Size in bytes of every frame header: kind(1) | payload_len(4).
+FRAME_HEADER_SIZE = _FRAME_HEADER.size
+
+#: Ceiling on a single frame payload (a protocol sanity bound, far above
+#: any real batch; prevents a corrupt length field from allocating GiBs).
+MAX_FRAME_PAYLOAD = 1 << 30
+
+
+class FrameKind:
+    """Frame type constants for the post-handshake stream."""
+
+    REQUEST = 1        # client -> server: one submitted operation
+    RESPONSE = 2       # server -> client: one resolved ticket
+    CLOSE_EPOCH = 3    # client -> server: close the current epoch (admin)
+    EPOCH_CLOSED = 4   # server -> client: epoch number (or 0) that closed
+    ERROR = 5          # either direction: fatal protocol error text
+    INIT = 6           # balancer -> worker: load a partition
+    INIT_ACK = 7       # worker -> balancer: partition loaded (num objects)
+    BATCH = 8          # balancer -> worker: execute one batch
+    BATCH_REPLY = 9    # worker -> balancer: the batch's response entries
+    TXN_BEGIN = 10     # balancer -> worker: start an atomic epoch attempt
+    TXN_ACK = 11       # worker -> balancer: attempt state staged
+    PING = 12          # liveness probe
+    PONG = 13          # liveness reply
+
+    _VALID = frozenset(range(1, 14))
+
+
+def encode_frame(kind: int, payload: bytes = b"") -> bytes:
+    """One framed message: kind byte, payload length, payload."""
+    if kind not in FrameKind._VALID:
+        raise WireError(f"unknown frame kind {kind}")
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise WireError(f"frame payload of {len(payload)} bytes exceeds cap")
+    return _FRAME_HEADER.pack(kind, len(payload)) + payload
+
+
+def decode_frame_header(data: bytes) -> Tuple[int, int]:
+    """Parse a frame header; returns ``(kind, payload_len)``."""
+    if len(data) < FRAME_HEADER_SIZE:
+        raise WireError("truncated frame header")
+    kind, length = _FRAME_HEADER.unpack_from(data, 0)
+    if kind not in FrameKind._VALID:
+        raise WireError(f"unknown frame kind {kind}")
+    if length > MAX_FRAME_PAYLOAD:
+        raise WireError(f"frame payload of {length} bytes exceeds cap")
+    return kind, length
+
+
+# ---------------------------------------------------------------------------
+# Client requests and responses
+# ---------------------------------------------------------------------------
+_REQUEST = struct.Struct(">QBBhq8xQQI")
+# req_id(8) | op(1) | flags(1) | load_balancer(2, signed; -1 = random)
+# | key(8) | pad(8) | client_id(8) | seq(8) | vlen(4)
+_RESPONSE = struct.Struct(">QBBhIq8xQQQI")
+# req_id(8) | ok(1) | flags(1) | load_balancer(2) | arrival(4) | key(8)
+# | pad(8) | client_id(8) | seq(8) | epoch(8) | vlen(4)
+
+
+def request_size(value_size: int) -> int:
+    """Byte length of every request of a store's value size (public)."""
+    return _REQUEST.size + value_size
+
+
+def encode_request(
+    req_id: int,
+    request: Request,
+    value_size: int,
+    load_balancer: int = -1,
+) -> bytes:
+    """Serialize one client operation for the service front door.
+
+    Reads and writes of any key produce the same number of bytes for a
+    given ``value_size``: reads (and short write payloads) are padded
+    with zeros to the store's fixed value slot, so the wire length of a
+    request depends only on the public object size.
+    """
+    value = request.value if request.value is not None else b""
+    if len(value) > value_size:
+        raise WireError(
+            f"request value of {len(value)} bytes exceeds the store's "
+            f"value_size {value_size}"
+        )
+    flags = _FLAG_HAS_VALUE if request.value is not None else 0
+    header = _REQUEST.pack(
+        req_id,
+        _OPS[request.op],
+        flags,
+        load_balancer,
+        _check_key(request.key),
+        request.client_id,
+        request.seq,
+        len(value),
+    )
+    return header + value + bytes(value_size - len(value))
+
+
+def decode_request(data: bytes, value_size: int):
+    """Deserialize one request; returns ``(req_id, request, load_balancer)``."""
+    if len(data) != _REQUEST.size + value_size:
+        raise WireError("request frame has the wrong size")
+    (
+        req_id, op, flags, load_balancer, key, client_id, seq, vlen
+    ) = _REQUEST.unpack_from(data, 0)
+    if op not in _OPS_INV:
+        raise WireError(f"unknown op code {op}")
+    if vlen > value_size:
+        raise WireError("request value length exceeds the value slot")
+    value = (
+        bytes(data[_REQUEST.size:_REQUEST.size + vlen])
+        if flags & _FLAG_HAS_VALUE
+        else None
+    )
+    request = Request(
+        op=_OPS_INV[op], key=key, value=value, client_id=client_id, seq=seq
+    )
+    return req_id, request, (load_balancer if load_balancer >= 0 else None)
+
+
+def response_size(value_size: int) -> int:
+    """Byte length of every response of a store's value size (public)."""
+    return _RESPONSE.size + value_size
+
+
+def encode_response(
+    req_id: int,
+    response: Response,
+    value_size: int,
+    *,
+    load_balancer: int,
+    arrival: int,
+    epoch: int,
+) -> bytes:
+    """Serialize one resolved ticket back to its client.
+
+    Like requests, every response of a given value size is the same
+    length: absent values (``None``) are flagged and zero-padded.
+    """
+    value = response.value if response.value is not None else b""
+    if len(value) > value_size:
+        raise WireError(
+            f"response value of {len(value)} bytes exceeds the store's "
+            f"value_size {value_size}"
+        )
+    flags = _FLAG_HAS_VALUE if response.value is not None else 0
+    header = _RESPONSE.pack(
+        req_id,
+        1 if response.ok else 0,
+        flags,
+        load_balancer,
+        arrival,
+        _check_key(response.key),
+        response.client_id,
+        response.seq,
+        epoch,
+        len(value),
+    )
+    return header + value + bytes(value_size - len(value))
+
+
+def decode_response(data: bytes, value_size: int):
+    """Deserialize one response frame.
+
+    Returns ``(req_id, response, placement)`` where ``placement`` is a
+    ``(load_balancer, arrival, epoch)`` tuple.
+    """
+    if len(data) != _RESPONSE.size + value_size:
+        raise WireError("response frame has the wrong size")
+    (
+        req_id, ok, flags, load_balancer, arrival, key,
+        client_id, seq, epoch, vlen,
+    ) = _RESPONSE.unpack_from(data, 0)
+    if vlen > value_size:
+        raise WireError("response value length exceeds the value slot")
+    value = (
+        bytes(data[_RESPONSE.size:_RESPONSE.size + vlen])
+        if flags & _FLAG_HAS_VALUE
+        else None
+    )
+    response = Response(
+        key=key, value=value, client_id=client_id, seq=seq, ok=bool(ok)
+    )
+    return req_id, response, (load_balancer, arrival, epoch)
+
+
+# ---------------------------------------------------------------------------
+# Worker control payloads
+# ---------------------------------------------------------------------------
+_TXN = struct.Struct(">QQ")
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+
+
+def encode_txn(parent_version: int, new_version: int) -> bytes:
+    """TXN_BEGIN payload: clone ``parent_version`` state as ``new_version``."""
+    return _TXN.pack(parent_version, new_version)
+
+
+def decode_txn(data: bytes) -> Tuple[int, int]:
+    """Parse a TXN_BEGIN payload; returns ``(parent, new)`` version ids."""
+    if len(data) != _TXN.size:
+        raise WireError("txn payload has the wrong size")
+    return _TXN.unpack(data)
+
+
+def encode_u64(value: int) -> bytes:
+    """Fixed 8-byte unsigned payload (version ids, epoch numbers)."""
+    return _U64.pack(value)
+
+
+def decode_u64(data: bytes) -> int:
+    """Parse a fixed 8-byte unsigned payload."""
+    if len(data) != _U64.size:
+        raise WireError("u64 payload has the wrong size")
+    return _U64.unpack(data)[0]
+
+
+def encode_u32(value: int) -> bytes:
+    """Fixed 4-byte unsigned payload (counts)."""
+    return _U32.pack(value)
+
+
+def decode_u32(data: bytes) -> int:
+    """Parse a fixed 4-byte unsigned payload."""
+    if len(data) != _U32.size:
+        raise WireError("u32 payload has the wrong size")
+    return _U32.unpack(data)[0]

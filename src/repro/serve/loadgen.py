@@ -1,0 +1,184 @@
+"""Asyncio load generator for the Snoopy front door.
+
+Drives a live :class:`~repro.serve.server.SnoopyServer` over real TCP
+with a fleet of connections, each keeping a fixed window of requests in
+flight — the closed-loop-per-connection / open-loop-in-aggregate shape
+the paper's throughput experiments use (§8: saturate the epoch batches,
+then measure sustained throughput and the latency the batching costs).
+
+The generator measures from the client side of the wire: a request's
+latency is first-byte-sent to response-frame-decoded, so it includes
+framing, the kernel socket path, epoch queueing, and the oblivious
+batch itself.  Results feed ``BENCH_serve.json`` via the bench harness
+and the ``python -m repro loadgen`` CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Dict, List, Optional
+
+from repro.core.wire import (
+    FrameKind,
+    Role,
+    WireError,
+    decode_response,
+    decode_u32,
+    encode_request,
+)
+from repro.serve.protocol import (
+    handshake_async,
+    read_frame_async,
+    write_frame,
+)
+from repro.types import OpType, Request
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0.0 for an empty list)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[rank]
+
+
+async def _run_connection(
+    host: str,
+    port: int,
+    *,
+    requests: int,
+    window: int,
+    num_keys: int,
+    write_fraction: float,
+    rng: random.Random,
+    client_id: int,
+    latencies: List[float],
+) -> int:
+    """One connection's closed loop; returns responses received."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await handshake_async(reader, writer, Role.CLIENT)
+        kind, payload = await read_frame_async(reader)
+        if kind == FrameKind.ERROR:
+            raise WireError(payload.decode("utf-8", "replace"))
+        if kind != FrameKind.INIT:
+            raise WireError(f"expected INIT, got frame kind {kind}")
+        value_size = decode_u32(payload[:4])
+
+        sent_at: Dict[int, float] = {}
+        completed = 0
+        next_req = 0
+
+        def send_one() -> None:
+            nonlocal next_req
+            req_id = next_req
+            next_req += 1
+            if rng.random() < write_fraction:
+                request = Request(
+                    op=OpType.WRITE,
+                    key=rng.randrange(num_keys),
+                    value=rng.getrandbits(8 * value_size).to_bytes(
+                        value_size, "big"
+                    ),
+                    client_id=client_id,
+                    seq=req_id,
+                )
+            else:
+                request = Request(
+                    op=OpType.READ,
+                    key=rng.randrange(num_keys),
+                    client_id=client_id,
+                    seq=req_id,
+                )
+            sent_at[req_id] = time.monotonic()
+            write_frame(
+                writer,
+                FrameKind.REQUEST,
+                encode_request(req_id, request, value_size),
+            )
+
+        # Prime the window, then keep it full: every response frees a
+        # slot that is immediately refilled until the quota is sent.
+        for _ in range(min(window, requests)):
+            send_one()
+        await writer.drain()
+
+        while completed < requests:
+            kind, payload = await read_frame_async(reader)
+            if kind == FrameKind.ERROR:
+                raise WireError(payload.decode("utf-8", "replace"))
+            if kind != FrameKind.RESPONSE:
+                raise WireError(f"unexpected frame kind {kind}")
+            req_id, _response, _coords = decode_response(payload, value_size)
+            latencies.append(time.monotonic() - sent_at.pop(req_id))
+            completed += 1
+            if next_req < requests:
+                send_one()
+                await writer.drain()
+        return completed
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_loadgen_async(
+    host: str,
+    port: int,
+    *,
+    requests: int = 10_000,
+    connections: int = 4,
+    window: int = 256,
+    num_keys: int = 1024,
+    write_fraction: float = 0.5,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Drive the server with ``requests`` total operations; return stats.
+
+    The quota is split evenly across ``connections``, each running the
+    closed window loop above concurrently on one event loop.  The
+    aggregate open-ticket count is ``connections * window`` — the knob
+    the 100K-open-ticket soak turns up.
+    """
+    per_connection = max(1, requests // connections)
+    latencies: List[float] = []
+    started = time.monotonic()
+    totals = await asyncio.gather(*[
+        _run_connection(
+            host, port,
+            requests=per_connection,
+            window=window,
+            num_keys=num_keys,
+            write_fraction=write_fraction,
+            rng=random.Random(seed * 7919 + index),
+            client_id=1000 + index,
+            latencies=latencies,
+        )
+        for index in range(connections)
+    ])
+    elapsed = time.monotonic() - started
+    total = sum(totals)
+    return {
+        "requests": total,
+        "connections": connections,
+        "window": window,
+        "open_tickets": connections * window,
+        "write_fraction": write_fraction,
+        "elapsed_s": elapsed,
+        "rps": total / elapsed if elapsed > 0 else 0.0,
+        "latency_p50_ms": percentile(latencies, 0.50) * 1e3,
+        "latency_p99_ms": percentile(latencies, 0.99) * 1e3,
+        "latency_mean_ms": (
+            sum(latencies) / len(latencies) * 1e3 if latencies else 0.0
+        ),
+    }
+
+
+def run_loadgen(host: str, port: int, **kwargs) -> Dict[str, object]:
+    """Blocking wrapper around :func:`run_loadgen_async`."""
+    return asyncio.run(run_loadgen_async(host, port, **kwargs))

@@ -1,0 +1,358 @@
+"""``NetworkSnoopyClient`` — the TCP implementation of ``SnoopyClient``.
+
+The in-process :class:`~repro.core.snoopy.Snoopy` deployment and this
+client expose the same surface (the :class:`~repro.core.client.SnoopyClient`
+protocol): ``submit`` returns a ticket that resolves when the request's
+epoch closes, and ``read``/``write``/``batch`` wrap it synchronously.
+Code written against the protocol runs unchanged against either.
+
+A background reader thread owns the receive side of the socket and
+resolves :class:`NetworkTicket` objects as RESPONSE frames arrive, so
+``submit`` never blocks on the epoch cadence — mirroring how the
+in-process pipeline resolves tickets from its match thread.
+
+Two epoch modes, matching the server's:
+
+* Against a clocked server (the production default) tickets resolve on
+  the server's fixed epoch period; ``read``/``write`` simply wait.
+* Against an unclocked server, pass ``manual_epochs=True`` and the
+  synchronous helpers drive the CLOSE_EPOCH admin frame themselves —
+  the deterministic mode the differential tests rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import socket
+import threading
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.wire import (
+    FrameKind,
+    Role,
+    WireError,
+    decode_response,
+    decode_u32,
+    decode_u64,
+    encode_request,
+    encode_u32,
+)
+from repro.errors import (
+    ReproError,
+    TaskTimeoutError,
+    TransportError,
+)
+from repro.serve.protocol import handshake, recv_frame, send_frame
+from repro.types import OpType, Request, Response
+
+_CLIENT_IDS = itertools.count(1)
+
+
+class NetworkTicket:
+    """Client-side handle for one in-flight request.
+
+    Mirrors :class:`~repro.core.tickets.Ticket`: ``result()`` blocks
+    until the epoch containing the request closes, ``done()`` polls, and
+    ``add_done_callback`` fires on the reader thread at resolution.  The
+    server's RESPONSE frame carries the authoritative linearizability
+    coordinates, so :attr:`load_balancer`, :attr:`arrival`, and
+    :attr:`epoch` are ``None`` until the ticket resolves.
+    """
+
+    __slots__ = (
+        "request", "req_id", "load_balancer", "arrival", "epoch",
+        "_response", "_error", "_event", "_callbacks", "_lock",
+    )
+
+    def __init__(self, req_id: int, request: Request):
+        self.req_id = req_id
+        self.request = request
+        self.load_balancer: Optional[int] = None
+        self.arrival: Optional[int] = None
+        self.epoch: Optional[int] = None
+        self._response: Optional[Response] = None
+        self._error: Optional[BaseException] = None
+        self._event = threading.Event()
+        self._callbacks: Optional[List[Callable]] = []
+        self._lock = threading.Lock()
+
+    def done(self) -> bool:
+        """True once a RESPONSE arrived (or the connection failed)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block up to ``timeout`` seconds; True if the ticket settled."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Response:
+        """The response, blocking until the request's epoch closes.
+
+        Raises:
+            TaskTimeoutError: ``timeout`` elapsed first.  The ticket
+                stays pending — the request is still queued server-side
+                and the ticket resolves normally if the epoch later
+                closes (the client-timeout fault semantics).
+            TransportError: the connection died before resolution.
+        """
+        if not self._event.wait(timeout):
+            raise TaskTimeoutError(
+                f"request {self.req_id} unresolved after {timeout}s "
+                "(still queued for a future epoch)"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._response
+
+    def add_done_callback(self, callback: Callable[["NetworkTicket"], None]) -> None:
+        """Run ``callback(ticket)`` at settlement (reader thread), or now."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def _settle(
+        self,
+        response: Optional[Response],
+        coords: Optional[Tuple[int, int, int]],
+        error: Optional[BaseException],
+    ) -> None:
+        with self._lock:
+            self._response = response
+            self._error = error
+            if coords is not None:
+                self.load_balancer, self.arrival, self.epoch = coords
+            callbacks, self._callbacks = self._callbacks, None
+            self._event.set()
+        for callback in callbacks or ():
+            callback(self)
+
+
+class NetworkSnoopyClient:
+    """Blocking TCP client for a :class:`~repro.serve.server.SnoopyServer`.
+
+    Implements the :class:`~repro.core.client.SnoopyClient` protocol over
+    the versioned wire format.  The deployment's geometry (object size,
+    balancer count) is learned from the server's INIT frame right after
+    the handshake, so construction needs only an address.
+
+    Args:
+        host / port: server address.
+        timeout: default seconds the synchronous helpers wait for a
+            response (``None`` waits forever).  The connect itself uses
+            the same bound.
+        manual_epochs: drive epochs with CLOSE_EPOCH from the
+            synchronous helpers (for servers started with ``clock=False``).
+        client_id: id stamped into generated requests; unique per client
+            by default so responses are attributable.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: Optional[float] = 30.0,
+        manual_epochs: bool = False,
+        client_id: Optional[int] = None,
+    ):
+        self.timeout = timeout
+        self.manual_epochs = manual_epochs
+        self.client_id = (
+            client_id if client_id is not None else next(_CLIENT_IDS)
+        )
+        self._seq = itertools.count()
+        self._req_ids = itertools.count()
+        self._pending = {}
+        self._send_lock = threading.Lock()
+        self._admin_lock = threading.Lock()
+        self._admin_replies = queue.Queue()
+        self._closed = False
+        self._conn_error: Optional[BaseException] = None
+
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except OSError as exc:
+            raise TransportError(f"connect to {host}:{port} failed: {exc}") from exc
+        self._sock.settimeout(None)
+        handshake(self._sock, Role.CLIENT)
+        kind, payload = recv_frame(self._sock)
+        if kind == FrameKind.ERROR:
+            raise WireError(payload.decode("utf-8", "replace"))
+        if kind != FrameKind.INIT:
+            raise WireError(f"expected INIT after handshake, got kind {kind}")
+        self.value_size = decode_u32(payload[:4])
+        self.num_load_balancers = decode_u32(payload[4:8])
+
+        self._reader = threading.Thread(
+            target=self._read_loop, name="snoopy-netclient-reader", daemon=True
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------
+    # SnoopyClient protocol
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: Request, load_balancer: Optional[int] = None
+    ) -> NetworkTicket:
+        """Send one request; returns a ticket resolving at epoch close.
+
+        ``load_balancer`` pins the request to a specific balancer (the
+        differential tests need submission order to fix balancer
+        assignment); by default the server's deployment picks one.
+        """
+        if self._conn_error is not None:
+            raise self._conn_error
+        if self._closed:
+            raise TransportError("client is closed")
+        with self._send_lock:
+            req_id = next(self._req_ids)
+            ticket = NetworkTicket(req_id, request)
+            self._pending[req_id] = ticket
+            try:
+                send_frame(
+                    self._sock,
+                    FrameKind.REQUEST,
+                    encode_request(
+                        req_id,
+                        request,
+                        self.value_size,
+                        load_balancer=(
+                            load_balancer if load_balancer is not None else -1
+                        ),
+                    ),
+                )
+            except TransportError as exc:
+                self._pending.pop(req_id, None)
+                raise exc
+        return ticket
+
+    def read(self, key: int) -> Optional[bytes]:
+        """Read one object (one request, one epoch round trip)."""
+        return self._sync_op(Request(
+            op=OpType.READ, key=key,
+            client_id=self.client_id, seq=next(self._seq),
+        ))
+
+    def write(self, key: int, value: bytes) -> Optional[bytes]:
+        """Write one object; returns the prior contents."""
+        return self._sync_op(Request(
+            op=OpType.WRITE, key=key, value=value,
+            client_id=self.client_id, seq=next(self._seq),
+        ))
+
+    def batch(self, requests: Sequence[Request]) -> List[Response]:
+        """Submit ``requests`` together and wait for all responses."""
+        tickets = [self.submit(request) for request in requests]
+        if self.manual_epochs and tickets:
+            self.close_epoch()
+        return [t.result(self.timeout) for t in tickets]
+
+    def close(self) -> None:
+        """Close the connection; unresolved tickets fail with TransportError."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        if threading.current_thread() is not self._reader:
+            self._reader.join(timeout=10)
+
+    def __enter__(self) -> "NetworkSnoopyClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Admin frames
+    # ------------------------------------------------------------------
+    def close_epoch(self, flush: bool = False) -> int:
+        """Ask the server to close the current epoch; returns its number.
+
+        With ``flush`` the server also drains every in-flight pipeline
+        epoch before replying, so all earlier tickets are resolved.
+        """
+        return decode_u64(
+            self._admin_round_trip(
+                FrameKind.CLOSE_EPOCH,
+                encode_u32(1 if flush else 0),
+                FrameKind.EPOCH_CLOSED,
+            )
+        )
+
+    def ping(self) -> None:
+        """Liveness round trip."""
+        self._admin_round_trip(FrameKind.PING, b"", FrameKind.PONG)
+
+    def _admin_round_trip(
+        self, kind: int, payload: bytes, expect: int
+    ) -> bytes:
+        with self._admin_lock:
+            if self._conn_error is not None:
+                raise self._conn_error
+            with self._send_lock:
+                send_frame(self._sock, kind, payload)
+            try:
+                reply_kind, reply = self._admin_replies.get(
+                    timeout=self.timeout
+                )
+            except queue.Empty:
+                raise TaskTimeoutError(
+                    f"no reply to admin frame {kind} within {self.timeout}s"
+                ) from None
+            if isinstance(reply, BaseException):
+                raise reply
+            if reply_kind != expect:
+                raise WireError(
+                    f"expected admin reply {expect}, got {reply_kind}"
+                )
+            return reply
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _sync_op(self, request: Request) -> Optional[bytes]:
+        ticket = self.submit(request)
+        if self.manual_epochs:
+            self.close_epoch()
+        return ticket.result(self.timeout).value
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                kind, payload = recv_frame(self._sock)
+                if kind == FrameKind.RESPONSE:
+                    req_id, response, coords = decode_response(
+                        payload, self.value_size
+                    )
+                    ticket = self._pending.pop(req_id, None)
+                    if ticket is not None:
+                        ticket._settle(response, coords, None)
+                elif kind in (FrameKind.EPOCH_CLOSED, FrameKind.PONG):
+                    self._admin_replies.put((kind, payload))
+                elif kind == FrameKind.ERROR:
+                    raise ReproError(
+                        "server error: "
+                        + payload.decode("utf-8", "replace")
+                    )
+                else:
+                    raise WireError(f"unexpected frame kind {kind}")
+        except BaseException as exc:
+            if self._closed and isinstance(exc, (TransportError, OSError)):
+                exc = TransportError("client closed with requests in flight")
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        """Connection is gone: settle every outstanding wait with ``exc``."""
+        self._conn_error = exc
+        pending, self._pending = dict(self._pending), {}
+        for ticket in pending.values():
+            ticket._settle(None, None, exc)
+        self._admin_replies.put((FrameKind.ERROR, exc))

@@ -1,0 +1,396 @@
+"""The asyncio load-balancer front door: ``SnoopyServer``.
+
+One server process hosts a full :class:`~repro.core.snoopy.Snoopy`
+deployment behind TCP.  Client connections speak the versioned
+:mod:`repro.core.wire` protocol: a fixed-size hello handshake, then a
+stream of fixed-size REQUEST frames in and RESPONSE frames out.  Every
+request becomes a non-blocking ``submit()`` into the deployment's
+:class:`~repro.core.pipeline.EpochPipeline`; the pipeline's match thread
+resolves the ticket and the completion bridges back onto the event loop
+through :meth:`Ticket.add_done_callback
+<repro.core.tickets.Ticket.add_done_callback>` +
+``loop.call_soon_threadsafe`` — the server never blocks on an epoch.
+
+**Epoch pacing.**  In production mode (``clock=True``) the pipeline's
+background clock closes epochs on the fixed public period
+``epoch_duration`` — arrival timing never shapes when traffic flows,
+the property Cloak-style timing leakage arguments require.  Tests and
+differential runs pass ``clock=False`` and drive epochs explicitly with
+the CLOSE_EPOCH admin frame, keeping epoch composition deterministic.
+
+**Backpressure.**  Each connection carries an
+``asyncio.Semaphore(max_pending_per_connection)``: a REQUEST frame is
+only read off the socket after acquiring a slot, and the slot frees when
+its RESPONSE is written.  A client that outruns the epoch pipeline
+therefore stops being *read* — TCP flow control pushes back to the
+sender — while the pipeline's own :class:`~threading.BoundedSemaphore`
+depth cap independently skips clock ticks and lets batches grow (§6's
+backpressure-by-bigger-batches, not queueing).
+
+**What the network layer makes public** (see SECURITY.md): connection
+counts and lifetimes, the fixed epoch cadence, and message sizes — all
+of which are functions of public configuration, never of keys or values
+(request/response frames are fixed-size per the store's value size).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.core.wire import (
+    FrameKind,
+    Role,
+    VersionMismatchError,
+    WireError,
+    decode_request,
+    decode_u32,
+    encode_response,
+    encode_u32,
+    encode_u64,
+)
+from repro.errors import ConfigurationError, TransportError
+from repro.serve.protocol import (
+    handshake_async,
+    read_frame_async,
+    write_frame,
+)
+
+
+class SnoopyServer:
+    """Serve a :class:`~repro.core.snoopy.Snoopy` deployment over TCP.
+
+    Args:
+        store: an initialized deployment.  Its backend must support
+            shared state (``serial``/``thread``) — the pipeline and any
+            :class:`~repro.serve.workers.RemoteSubOram` proxies live in
+            this process.
+        host / port: bind address (port 0 picks a free port; the bound
+            port is on :attr:`port` after :meth:`start`).
+        clock: run the pipeline's background epoch clock (production).
+            With ``False``, epochs close only on CLOSE_EPOCH admin
+            frames — the deterministic mode tests use.
+        epoch_duration: clock period override in seconds.
+        pipeline_depth: max in-flight epochs (default from config).
+        max_pending_per_connection: per-connection open-ticket cap; the
+            backpressure window described in the module docstring.
+    """
+
+    def __init__(
+        self,
+        store,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        clock: bool = True,
+        epoch_duration: Optional[float] = None,
+        pipeline_depth: Optional[int] = None,
+        max_pending_per_connection: int = 1024,
+    ):
+        if not store.backend.supports_shared_state:
+            raise ConfigurationError(
+                "SnoopyServer needs a shared-state backend "
+                "(serial/thread): the epoch pipeline, ticket callbacks "
+                "and worker sockets all live in the server process"
+            )
+        if max_pending_per_connection < 1:
+            raise ConfigurationError(
+                "max_pending_per_connection must be >= 1"
+            )
+        self._store = store
+        self._host = host
+        self._requested_port = port
+        self._clock = clock
+        self._epoch_duration = epoch_duration
+        self._pipeline_depth = pipeline_depth
+        self.max_pending_per_connection = max_pending_per_connection
+        self.telemetry = store.telemetry
+        self.pipeline = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._open_tickets = 0
+        self.stats = {
+            "connections": 0,
+            "requests": 0,
+            "responses": 0,
+            "epochs": 0,
+            "version_mismatches": 0,
+            "peak_open_tickets": 0,
+        }
+
+    @property
+    def value_size(self) -> int:
+        """The store's fixed object size (sets every frame's length)."""
+        return self._store.config.value_size
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "SnoopyServer":
+        """Start the epoch pipeline and begin accepting connections."""
+        self._loop = asyncio.get_running_loop()
+        self.pipeline = self._store.start_pipeline(
+            depth=self._pipeline_depth,
+            clock=self._clock,
+            epoch_duration=self._epoch_duration,
+        )
+        self.pipeline.add_epoch_observer(self._observe_epoch)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled/closed."""
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, then stop the pipeline (flushing in-flight epochs)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.pipeline is not None and self.pipeline.active:
+            # stop() flushes; run it off-loop so pending ticket
+            # callbacks can still land on the loop while it drains.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.pipeline.stop
+            )
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                _version, role = await handshake_async(
+                    reader, writer, Role.SERVER
+                )
+            except VersionMismatchError as exc:
+                self.stats["version_mismatches"] += 1
+                self.telemetry.counter(
+                    "serve_version_mismatches_total"
+                ).inc()
+                await self._send_error(writer, str(exc))
+                return
+            except (TransportError, WireError):
+                return
+            if role != Role.CLIENT:
+                await self._send_error(
+                    writer, f"unexpected peer role {role} on the front door"
+                )
+                return
+            self.stats["connections"] += 1
+            self.telemetry.counter("serve_connections_total").inc()
+            self.telemetry.gauge("serve_connections_open").inc()
+            # Public deployment shape, so clients need no out-of-band
+            # configuration: value size (frame geometry) + balancer count.
+            write_frame(
+                writer, FrameKind.INIT,
+                encode_u32(self.value_size)
+                + encode_u32(self._store.config.num_load_balancers),
+            )
+            await writer.drain()
+            try:
+                await self._serve_frames(reader, writer)
+            finally:
+                self.telemetry.gauge("serve_connections_open").inc(-1)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_frames(self, reader, writer) -> None:
+        """The per-connection frame loop (post-handshake)."""
+        pending = asyncio.Semaphore(self.max_pending_per_connection)
+        value_size = self.value_size
+        while True:
+            try:
+                kind, payload = await read_frame_async(reader)
+            except TransportError:
+                return  # client went away; its submitted epochs still run
+            except WireError as exc:
+                await self._send_error(writer, str(exc))
+                return
+            if kind == FrameKind.REQUEST:
+                try:
+                    req_id, request, balancer = decode_request(
+                        payload, value_size
+                    )
+                except WireError as exc:
+                    await self._send_error(writer, str(exc))
+                    return
+                # Backpressure: stop reading this socket until a
+                # response slot frees up.
+                await pending.acquire()
+                try:
+                    ticket = self._store.submit(request, balancer)
+                except Exception as exc:
+                    pending.release()
+                    await self._send_error(writer, repr(exc))
+                    return
+                self.stats["requests"] += 1
+                self._open_tickets += 1
+                if self._open_tickets > self.stats["peak_open_tickets"]:
+                    self.stats["peak_open_tickets"] = self._open_tickets
+                self.telemetry.counter("serve_requests_total").inc()
+                self.telemetry.gauge("serve_open_tickets").set(
+                    self._open_tickets
+                )
+                ticket.add_done_callback(
+                    lambda t, w=writer, p=pending, r=req_id:
+                        self._loop.call_soon_threadsafe(
+                            self._complete_on_loop, w, p, r, t
+                        )
+                )
+            elif kind == FrameKind.CLOSE_EPOCH:
+                flush = bool(payload and decode_u32(payload) & 1)
+                try:
+                    epoch = await self._loop.run_in_executor(
+                        None, self._close_epoch_blocking, flush
+                    )
+                except Exception as exc:
+                    await self._send_error(writer, repr(exc))
+                    return
+                write_frame(
+                    writer, FrameKind.EPOCH_CLOSED,
+                    encode_u64(epoch if epoch is not None else 0),
+                )
+                await writer.drain()
+            elif kind == FrameKind.PING:
+                write_frame(writer, FrameKind.PONG)
+                await writer.drain()
+            else:
+                await self._send_error(
+                    writer, f"unexpected frame kind {kind} on the front door"
+                )
+                return
+
+    def _close_epoch_blocking(self, flush: bool) -> Optional[int]:
+        """CLOSE_EPOCH admin path (runs in the default executor)."""
+        epoch = self.pipeline.close_epoch(wait=True)
+        if flush:
+            self.pipeline.flush()
+        return epoch
+
+    def _complete_on_loop(self, writer, pending, req_id, ticket) -> None:
+        """Write one resolved ticket's RESPONSE frame (event-loop thread)."""
+        self._open_tickets -= 1
+        self.telemetry.gauge("serve_open_tickets").set(self._open_tickets)
+        pending.release()
+        if writer.is_closing():
+            return  # client disconnected mid-epoch; response has no home
+        # Count before writing: the transport may flush synchronously, so
+        # a counter bumped after the send could still read one short when
+        # the client reacts to the final response.
+        self.stats["responses"] += 1
+        self.telemetry.counter("serve_responses_total").inc()
+        write_frame(
+            writer,
+            FrameKind.RESPONSE,
+            encode_response(
+                req_id,
+                ticket.result(),
+                self.value_size,
+                load_balancer=ticket.load_balancer,
+                arrival=ticket.arrival,
+                epoch=ticket.epoch,
+            ),
+        )
+
+    async def _send_error(self, writer, message: str) -> None:
+        """Best-effort ERROR frame (error text is public protocol state)."""
+        if writer.is_closing():
+            return
+        try:
+            write_frame(
+                writer, FrameKind.ERROR, message.encode("utf-8", "replace")
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    def _observe_epoch(self, epoch, resolved, latency_s) -> None:
+        """Pipeline epoch observer: service-level epoch accounting."""
+        self.stats["epochs"] += 1
+        self.telemetry.counter("serve_epochs_total").inc()
+
+
+class ServerThread:
+    """Host a :class:`SnoopyServer` on a background event-loop thread.
+
+    The shape tests, benchmarks, and the load generator need: start the
+    server, learn its bound port, drive it from ordinary blocking code,
+    and tear it down deterministically::
+
+        handle = ServerThread(store, clock=False).start()
+        client = NetworkSnoopyClient("127.0.0.1", handle.port)
+        ...
+        handle.stop()
+
+    ``stop()`` closes the listener and stops the pipeline; the store
+    itself stays open (the caller owns it).
+    """
+
+    def __init__(self, store, **server_kwargs):
+        self._store = store
+        self._server_kwargs = server_kwargs
+        self.server: Optional[SnoopyServer] = None
+        self.port: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._stop_requested: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> "ServerThread":
+        """Launch the loop thread; returns once the port is bound."""
+        self._thread = threading.Thread(
+            target=self._main, name="snoopy-serve", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join the loop thread; idempotent."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._stop_requested.set)
+        self._thread.join(timeout=30)
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _main(self) -> None:
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_requested = asyncio.Event()
+        try:
+            self.server = SnoopyServer(self._store, **self._server_kwargs)
+            await self.server.start()
+            self.port = self.server.port
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self._stop_requested.wait()
+        finally:
+            await self.server.aclose()

@@ -1,0 +1,540 @@
+"""Out-of-process subORAM workers and their balancer-side proxies.
+
+The paper's deployment runs each subORAM on its own machine; this module
+reproduces that boundary with real OS processes and TCP sockets while
+keeping the epoch driver unchanged: a :class:`RemoteSubOram` is a
+duck-typed subORAM (``initialize`` / ``batch_access`` / ``num_objects``)
+whose method calls are framed round trips to a :func:`worker_main`
+process owning the real :class:`~repro.suboram.suboram.SubOram`.
+
+**Atomic epochs across the process boundary.**  The epoch driver's
+atomicity seam is ``copy.deepcopy`` of the subORAM list before each
+attempt; :class:`RemoteSubOram` turns that deepcopy into a versioned
+transaction: ``__deepcopy__`` allocates a fresh version id and sends
+``TXN_BEGIN(parent, new)`` — the worker clones its ``parent`` state as
+``new``, *commits* ``parent`` (seals it to disk, drops superseded
+versions), and the returned proxy addresses ``new``.  A failed attempt
+simply abandons its version: the retry deep-copies the pristine proxies
+again, beginning a fresh clone of the same committed parent.
+
+**Crash recovery.**  The worker seals its live version table (pickle +
+atomic rename) at initialization, at every transaction boundary, and
+after every batch, so a worker killed at *any* point is respawned by
+:class:`WorkerCluster` with every version id the balancer might still
+reference — in particular the pre-epoch parent a retried attempt clones
+from.  Mid-flight socket failures surface as
+:class:`~repro.errors.TransportError`, the retryable fault class, so
+the existing :class:`~repro.core.resilience.EpochRetryController` and
+:class:`~repro.core.pipeline.EpochPipeline` machinery recovers (or, with
+retries disabled, rolls the epoch back and requeues its requests)
+without any serve-specific code.
+
+Remote proxies hold live sockets, so deployments using them must run on
+a shared-state execution backend (``serial`` or ``thread``) — the same
+constraint the driver already enforces for custom transports.
+
+**What crosses this wire.**  INIT and BATCH payloads reuse
+:func:`~repro.core.wire.encode_batch`, so message sizes depend only on
+partition/batch sizes and the value size — public quantities.  Version
+ids and commit points are epoch-schedule facts, also public.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+import pickle
+import shutil
+import socket
+import tempfile
+import threading
+from typing import Dict, List, Optional
+
+from repro.core.wire import (
+    FrameKind,
+    Role,
+    WireError,
+    decode_batch,
+    decode_txn,
+    decode_u32,
+    encode_batch,
+    encode_txn,
+    encode_u32,
+    encode_u64,
+    decode_u64,
+)
+from repro.errors import ConfigurationError, TransportError
+from repro.serve.protocol import handshake, recv_frame, send_frame
+from repro.telemetry import NULL_TELEMETRY, resolve_telemetry
+from repro.types import BatchEntry, OpType
+
+
+def _seal(snapshot_path: str, versions: Dict[int, object]) -> None:
+    """Persist the live version table: pickle then atomic rename.
+
+    Sealing the *whole* table (committed parent and working clone) after
+    every mutation means any version id the balancer can still reference
+    — the pre-epoch parent during a retried attempt, or a freshly
+    installed version the next epoch has not yet committed — survives a
+    crash.  Sealing only commit points would lose an installed version
+    that crashes before its commit-by-next-transaction.
+    """
+    tmp_path = snapshot_path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        pickle.dump(versions, handle)
+    os.replace(tmp_path, snapshot_path)
+
+
+def _load_seal(snapshot_path: str) -> Dict[int, object]:
+    """Load the sealed version table, or an empty one."""
+    if not os.path.exists(snapshot_path):
+        return {}
+    with open(snapshot_path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def worker_main(
+    worker_id: int,
+    value_size: int,
+    security_parameter: int,
+    kernel: Optional[str],
+    port_pipe,
+    snapshot_path: str,
+    crash_after: Optional[int] = None,
+) -> None:
+    """One subORAM worker process: accept, handshake, serve frames.
+
+    Single-threaded by design — a subORAM's batches execute in fixed
+    balancer order anyway, so one connection at a time is the natural
+    concurrency.  When the balancer's connection drops the worker loops
+    back to ``accept`` and waits for a reconnect; its versioned state
+    survives in memory (and the committed version on disk).
+
+    ``crash_after`` is the deterministic chaos seam: after serving that
+    many BATCH frames the process exits *after applying and sealing*
+    the batch but *before replying* — the worst-case crash point, where
+    the balancer cannot know whether the batch landed and must retry
+    the epoch on a fresh clone of the committed parent.
+    """
+    from repro.suboram.suboram import SubOram
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port_pipe.send(listener.getsockname()[1])
+    port_pipe.close()
+
+    versions: Dict[int, object] = _load_seal(snapshot_path)
+    batches_served = 0
+
+    while True:
+        conn, _ = listener.accept()
+        try:
+            handshake(conn, Role.WORKER)
+            while True:
+                kind, payload = recv_frame(conn)
+                if kind == FrameKind.INIT:
+                    suboram = SubOram(
+                        worker_id,
+                        value_size,
+                        security_parameter=security_parameter,
+                        kernel=kernel,
+                    )
+                    suboram.initialize({
+                        entry.key: entry.value
+                        for entry in decode_batch(payload)
+                    })
+                    versions = {0: suboram}
+                    _seal(snapshot_path, versions)
+                    send_frame(
+                        conn, FrameKind.INIT_ACK,
+                        encode_u32(suboram.num_objects),
+                    )
+                elif kind == FrameKind.BATCH:
+                    version = decode_u64(payload[:8])
+                    if version not in versions:
+                        raise WireError(
+                            f"worker {worker_id} has no state "
+                            f"version {version}"
+                        )
+                    entries = versions[version].batch_access(
+                        decode_batch(payload[8:])
+                    )
+                    _seal(snapshot_path, versions)
+                    batches_served += 1
+                    if crash_after is not None and batches_served >= crash_after:
+                        os._exit(1)  # chaos: die with the reply unsent
+                    send_frame(
+                        conn, FrameKind.BATCH_REPLY, encode_batch(entries)
+                    )
+                elif kind == FrameKind.TXN_BEGIN:
+                    parent, new = decode_txn(payload)
+                    if parent not in versions:
+                        raise WireError(
+                            f"worker {worker_id} has no state "
+                            f"version {parent} to clone"
+                        )
+                    committed_suboram = versions[parent]
+                    # parent is now the committed state; superseded
+                    # versions are dropped.
+                    versions = {
+                        parent: committed_suboram,
+                        new: copy.deepcopy(committed_suboram),
+                    }
+                    _seal(snapshot_path, versions)
+                    send_frame(conn, FrameKind.TXN_ACK)
+                elif kind == FrameKind.PING:
+                    send_frame(conn, FrameKind.PONG)
+                else:
+                    raise WireError(f"unexpected worker frame kind {kind}")
+        except TransportError:
+            pass  # balancer went away; await a reconnect
+        except Exception as exc:
+            # Protocol or application bug (bad frame, capacity abort):
+            # report it — non-retryable on the balancer side — and drop
+            # the connection, but keep the worker and its state alive.
+            try:
+                send_frame(
+                    conn, FrameKind.ERROR,
+                    f"{type(exc).__name__}: {exc}".encode("utf-8"),
+                )
+            except TransportError:
+                pass
+        finally:
+            conn.close()
+
+
+class RemoteSubOram:
+    """Balancer-side proxy for one worker's subORAM (duck-typed).
+
+    The epoch driver cannot tell this apart from an in-process
+    :class:`~repro.suboram.suboram.SubOram`: ``initialize``,
+    ``batch_access`` and ``num_objects`` have identical contracts, and
+    ``copy.deepcopy`` (the driver's atomicity seam) becomes the
+    ``TXN_BEGIN`` transaction described in the module docstring.
+    """
+
+    def __init__(self, cluster: "WorkerCluster", index: int, version: int = 0,
+                 num_objects: int = 0):
+        self._cluster = cluster
+        self._index = index
+        self._version = version
+        self._num_objects = num_objects
+        #: Telemetry seam (attach_telemetry_to_suborams attaches here).
+        self.telemetry = NULL_TELEMETRY
+
+    def initialize(self, objects: Dict[int, bytes]) -> None:
+        """Ship this partition to the worker and load it there."""
+        payload = encode_batch([
+            BatchEntry(op=OpType.WRITE, key=key, value=value, is_dummy=False)
+            for key, value in sorted(objects.items())
+        ])
+        ack = self._cluster.request(
+            self._index, FrameKind.INIT, payload, FrameKind.INIT_ACK
+        )
+        self._version = 0
+        self._num_objects = decode_u32(ack)
+
+    def batch_access(self, batch: List[BatchEntry]) -> List[BatchEntry]:
+        """One framed batch round trip against this proxy's version."""
+        with self.telemetry.time(
+            "serve_worker_batch_seconds", unit=self._index
+        ):
+            reply = self._cluster.request(
+                self._index,
+                FrameKind.BATCH,
+                encode_u64(self._version) + encode_batch(batch),
+                FrameKind.BATCH_REPLY,
+            )
+        return decode_batch(reply)
+
+    @property
+    def num_objects(self) -> int:
+        """Partition size reported by the worker at initialization."""
+        return self._num_objects
+
+    def __deepcopy__(self, memo) -> "RemoteSubOram":
+        """The atomicity seam: begin a worker-side transaction.
+
+        Called by the epoch driver before each atomic attempt.  The
+        worker clones this proxy's version under a fresh id (committing
+        the parent as a side effect); the clone proxy addresses the new
+        version, so a failed attempt's mutations are confined to a
+        version nobody references afterwards.
+        """
+        new_version = self._cluster.next_version()
+        self._cluster.request(
+            self._index,
+            FrameKind.TXN_BEGIN,
+            encode_txn(self._version, new_version),
+            FrameKind.TXN_ACK,
+        )
+        clone = RemoteSubOram(
+            self._cluster, self._index, new_version, self._num_objects
+        )
+        clone.telemetry = self.telemetry
+        memo[id(self)] = clone
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteSubOram(index={self._index}, version={self._version}, "
+            f"objects={self._num_objects})"
+        )
+
+
+class WorkerCluster:
+    """Supervisor for S subORAM worker processes.
+
+    Spawns the workers, owns one blocking socket per worker, respawns
+    crashed workers from their sealed snapshots, and hands out
+    :class:`RemoteSubOram` proxies through :meth:`factory` — a drop-in
+    ``suboram_factory`` for :class:`~repro.core.snoopy.Snoopy`::
+
+        cluster = WorkerCluster(num_workers=3, value_size=16).start()
+        store = Snoopy(config, suboram_factory=cluster.factory)
+
+    Thread-safety: one lock per worker serializes that worker's framed
+    round trips (the thread backend may drive distinct workers
+    concurrently, which uses distinct sockets and locks).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        value_size: int,
+        security_parameter: int = 128,
+        kernel: Optional[str] = None,
+        snapshot_dir: Optional[str] = None,
+        telemetry=None,
+        crash_plan: Optional[Dict[int, int]] = None,
+    ):
+        self.num_workers = num_workers
+        self.value_size = value_size
+        self.security_parameter = security_parameter
+        self.kernel = kernel
+        self.telemetry = resolve_telemetry(telemetry)
+        self._owns_snapshot_dir = snapshot_dir is None
+        self._snapshot_dir = (
+            snapshot_dir
+            if snapshot_dir is not None
+            else tempfile.mkdtemp(prefix="snoopy-workers-")
+        )
+        self._context = multiprocessing.get_context()
+        self._procs: List[Optional[multiprocessing.Process]] = (
+            [None] * num_workers
+        )
+        self._ports: List[Optional[int]] = [None] * num_workers
+        self._socks: List[Optional[socket.socket]] = [None] * num_workers
+        self._locks = [threading.Lock() for _ in range(num_workers)]
+        self._version_lock = threading.Lock()
+        self._next_version = 1
+        self._started = False
+        # Deterministic chaos: worker index -> crash after N batches.
+        # Consumed at first spawn only, so the respawned worker is sane.
+        self._crash_plan = dict(crash_plan or {})
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "WorkerCluster":
+        """Spawn every worker process and connect to it."""
+        if self._started:
+            raise ConfigurationError("worker cluster already started")
+        self._started = True
+        for index in range(self.num_workers):
+            self._spawn(index)
+            self._connect(index)
+        return self
+
+    def stop(self) -> None:
+        """Terminate the workers and remove owned snapshots; idempotent."""
+        for index in range(self.num_workers):
+            self._close_socket(index)
+            proc = self._procs[index]
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+            self._procs[index] = None
+        if self._owns_snapshot_dir:
+            shutil.rmtree(self._snapshot_dir, ignore_errors=True)
+        self._started = False
+
+    def __enter__(self) -> "WorkerCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Proxies
+    # ------------------------------------------------------------------
+    def factory(self, suboram_id: int, config=None, keychain=None):
+        """``suboram_factory`` seam: a proxy for worker ``suboram_id``.
+
+        The ``config``/``keychain`` arguments exist to match the factory
+        signature; partition keys never leave the balancer side, and the
+        worker encrypts its store under its own process-local keys.
+        """
+        if not 0 <= suboram_id < self.num_workers:
+            raise ConfigurationError(
+                f"subORAM index {suboram_id} outside this cluster's "
+                f"{self.num_workers} workers"
+            )
+        if config is not None and config.value_size != self.value_size:
+            raise ConfigurationError(
+                f"deployment value_size {config.value_size} != cluster "
+                f"value_size {self.value_size}"
+            )
+        return RemoteSubOram(self, suboram_id)
+
+    def next_version(self) -> int:
+        """Allocate a cluster-unique state-version id."""
+        with self._version_lock:
+            version = self._next_version
+            self._next_version += 1
+            return version
+
+    # ------------------------------------------------------------------
+    # Worker channel
+    # ------------------------------------------------------------------
+    def request(
+        self, index: int, kind: int, payload: bytes, expect_kind: int
+    ) -> bytes:
+        """One framed round trip to worker ``index``; returns the reply payload.
+
+        Respawns a dead worker (from its sealed snapshot) and reconnects
+        a dropped channel *before* sending, so recovery is transparent;
+        a failure *during* the round trip — the crash-mid-batch case —
+        closes the channel and raises :class:`TransportError`, leaving
+        recovery to the caller's retry (which lands back here).
+        """
+        with self._locks[index]:
+            self._ensure(index)
+            sock = self._socks[index]
+            try:
+                send_frame(sock, kind, payload)
+                reply_kind, reply = recv_frame(sock)
+            except TransportError as exc:
+                self._close_socket(index)
+                exc.unit = index
+                raise
+            if reply_kind == FrameKind.ERROR:
+                self._close_socket(index)
+                raise WireError(
+                    f"worker {index}: " + reply.decode("utf-8", "replace")
+                )
+            if reply_kind != expect_kind:
+                raise WireError(
+                    f"worker {index} replied frame kind {reply_kind}, "
+                    f"expected {expect_kind}"
+                )
+            return reply
+
+    def ping(self, index: int) -> bool:
+        """Liveness probe; returns False instead of raising on a dead worker."""
+        try:
+            self.request(index, FrameKind.PING, b"", FrameKind.PONG)
+            return True
+        except TransportError:
+            return False
+
+    def kill_worker(self, index: int) -> None:
+        """Hard-kill one worker process (chaos testing)."""
+        proc = self._procs[index]
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(timeout=5)
+        self._close_socket(index)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _snapshot_path(self, index: int) -> str:
+        return os.path.join(self._snapshot_dir, f"worker-{index}.seal")
+
+    def _spawn(self, index: int) -> None:
+        parent_pipe, child_pipe = self._context.Pipe(duplex=False)
+        proc = self._context.Process(
+            target=worker_main,
+            args=(
+                index,
+                self.value_size,
+                self.security_parameter,
+                self.kernel,
+                child_pipe,
+                self._snapshot_path(index),
+                self._crash_plan.pop(index, None),
+            ),
+            daemon=True,
+            name=f"snoopy-worker-{index}",
+        )
+        proc.start()
+        child_pipe.close()
+        try:
+            self._ports[index] = parent_pipe.recv()
+        except EOFError as exc:
+            raise TransportError(
+                f"worker {index} died before binding its port"
+            ) from exc
+        finally:
+            parent_pipe.close()
+        self._procs[index] = proc
+
+    def _connect(self, index: int) -> None:
+        try:
+            sock = socket.create_connection(
+                ("127.0.0.1", self._ports[index]), timeout=30
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"worker {index} connect failed: {exc}"
+            ) from exc
+        sock.settimeout(None)
+        try:
+            handshake(sock, Role.BALANCER)
+        except BaseException:
+            sock.close()
+            raise
+        self._socks[index] = sock
+
+    def _close_socket(self, index: int) -> None:
+        sock = self._socks[index]
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._socks[index] = None
+
+    def _ensure(self, index: int) -> None:
+        """Respawn/reconnect worker ``index`` if its channel is down.
+
+        Must succeed transparently whenever recovery is possible at all:
+        the epoch driver's ``deepcopy`` seam calls into here *outside*
+        its fault-wrapping, so an exception from this path is fatal
+        rather than retryable.  The loop absorbs the race where a worker
+        that just died still reports ``is_alive()`` (connect is refused,
+        the join lets it be reaped, the next pass respawns it).
+        """
+        failure: Optional[TransportError] = None
+        for _ in range(5):
+            proc = self._procs[index]
+            if proc is None or not proc.is_alive():
+                self._close_socket(index)
+                self._spawn(index)
+                self.telemetry.counter("serve_worker_respawns_total").inc()
+            if self._socks[index] is not None:
+                return
+            try:
+                self._connect(index)
+                return
+            except TransportError as exc:
+                failure = exc
+                proc = self._procs[index]
+                if proc is not None:
+                    proc.join(timeout=0.2)
+        failure.unit = index
+        raise failure

@@ -30,6 +30,11 @@ GUIDES = [
         ("repro.core.resilience", "repro.core.faults"),
     ),
     ("Telemetry", "repro.telemetry"),
+    ("The SnoopyClient protocol", "repro.core.client"),
+    (
+        "The network front door",
+        ("repro.serve", "repro.serve.server", "repro.serve.workers"),
+    ),
 ]
 
 

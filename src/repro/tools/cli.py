@@ -5,7 +5,13 @@ Commands:
 * ``plan``    — run the §6 planner for a throughput/latency/data-size SLO.
 * ``figures`` — print the modelled series behind the paper's figures.
 * ``demo``    — stand up a tiny in-process deployment and exercise it.
+* ``serve``   — expose a deployment over TCP (the network front door).
+* ``loadgen`` — drive a running server and report throughput/latency.
 * ``info``    — library version and default cost-model constants.
+
+``serve`` and ``loadgen`` follow the machine-readable convention:
+structured results are JSON on **stdout**, human progress goes to
+**stderr**, so ``python -m repro loadgen ... > stats.json`` just works.
 """
 
 from __future__ import annotations
@@ -105,6 +111,65 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--trace-out", type=str, default=None, metavar="PATH",
                       help="append the metrics and finished trace-span "
                            "trees to PATH as JSON lines")
+
+    serve = sub.add_parser(
+        "serve", help="serve a deployment over TCP (asyncio front door)"
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default 0: pick a free port, "
+                            "reported in the startup JSON line)")
+    serve.add_argument("--balancers", type=int, default=2)
+    serve.add_argument("--suborams", type=int, default=2)
+    serve.add_argument("--objects", type=int, default=1000)
+    serve.add_argument("--value-size", type=int, default=16)
+    serve.add_argument("--backend", type=str, default="thread",
+                       help="execution backend spec: serial or thread[:N] "
+                            "(default thread; the server needs a "
+                            "shared-state backend)")
+    serve.add_argument("--kernel", type=str, default="python",
+                       choices=["python", "numpy"])
+    serve.add_argument("--epoch-duration", type=float, default=0.01,
+                       metavar="SECONDS",
+                       help="epoch clock period (default 0.01)")
+    serve.add_argument("--pipeline-depth", type=int, default=None)
+    serve.add_argument("--manual-epochs", action="store_true",
+                       help="disable the epoch clock; epochs close only "
+                            "on client CLOSE_EPOCH admin frames "
+                            "(deterministic mode)")
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       metavar="N",
+                       help="per-connection open-ticket backpressure "
+                            "window (default 1024)")
+    serve.add_argument("--worker-processes", action="store_true",
+                       help="run each subORAM in its own OS process "
+                            "behind the wire protocol (the paper's "
+                            "deployment boundary) instead of in-process")
+    serve.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="epoch attempts with --worker-processes "
+                            "(>1 enables atomic epoch retry)")
+    serve.add_argument("--duration", type=float, default=None,
+                       metavar="SECONDS",
+                       help="serve for a fixed time then exit "
+                            "(default: until interrupted)")
+    serve.add_argument("--seed", type=int, default=0)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a running server over TCP and report stats"
+    )
+    loadgen.add_argument("--host", type=str, default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--requests", type=int, default=10_000)
+    loadgen.add_argument("--connections", type=int, default=4)
+    loadgen.add_argument("--window", type=int, default=256,
+                         help="open requests kept in flight per "
+                              "connection (default 256)")
+    loadgen.add_argument("--keys", type=int, default=1000,
+                         help="keyspace size requests draw from")
+    loadgen.add_argument("--write-fraction", type=float, default=0.5)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--out", type=str, default=None, metavar="PATH",
+                         help="also write the JSON stats to PATH")
 
     sub.add_parser("info", help="version and cost-model constants")
     return parser
@@ -327,6 +392,126 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """``serve``: host a deployment behind the TCP front door.
+
+    Emits one JSON line to stdout when listening (machine-readable:
+    ``{"event": "listening", "port": ...}``) and progress to stderr;
+    serves until interrupted or ``--duration`` elapses.
+    """
+    import asyncio
+    import contextlib
+    import json
+
+    from repro.serve import SnoopyServer, WorkerCluster
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr, flush=True)
+
+    config = SnoopyConfig(
+        num_load_balancers=args.balancers,
+        num_suborams=args.suborams,
+        value_size=args.value_size,
+        security_parameter=32,
+        execution_backend=args.backend,
+        kernel=args.kernel,
+        epoch_max_attempts=args.retries,
+    )
+    with contextlib.ExitStack() as stack:
+        factory = None
+        if args.worker_processes:
+            cluster = stack.enter_context(WorkerCluster(
+                args.suborams,
+                value_size=args.value_size,
+                security_parameter=32,
+                kernel=args.kernel,
+            ))
+            cluster.start()
+            factory = cluster.factory
+            log(f"spawned {args.suborams} subORAM worker processes")
+        store = stack.enter_context(Snoopy(
+            config, rng=random.Random(args.seed), suboram_factory=factory,
+        ))
+        store.initialize(
+            {k: bytes(args.value_size) for k in range(args.objects)}
+        )
+        log(f"deployment: {args.balancers} LB + {args.suborams} subORAMs, "
+            f"{store.num_objects} objects, backend {store.backend.name}, "
+            f"kernel {config.kernel}")
+
+        async def _serve() -> None:
+            server = SnoopyServer(
+                store,
+                args.host,
+                args.port,
+                clock=not args.manual_epochs,
+                epoch_duration=args.epoch_duration,
+                pipeline_depth=args.pipeline_depth,
+                max_pending_per_connection=args.max_pending,
+            )
+            await server.start()
+            print(json.dumps({
+                "event": "listening",
+                "host": args.host,
+                "port": server.port,
+                "value_size": args.value_size,
+                "num_load_balancers": args.balancers,
+                "num_suborams": args.suborams,
+                "epoch_duration_s": (
+                    None if args.manual_epochs else args.epoch_duration
+                ),
+            }), flush=True)
+            try:
+                if args.duration is not None:
+                    with contextlib.suppress(asyncio.TimeoutError):
+                        await asyncio.wait_for(
+                            server.serve_forever(), timeout=args.duration
+                        )
+                else:
+                    await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await server.aclose()
+                log(f"served {server.stats['responses']} responses over "
+                    f"{server.stats['connections']} connections, "
+                    f"{server.stats['epochs']} epochs")
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            log("interrupted; shut down cleanly")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """``loadgen``: drive a running server, print JSON stats to stdout."""
+    import json
+
+    from repro.serve import run_loadgen
+
+    print(f"loadgen: {args.requests} requests over {args.connections} "
+          f"connections (window {args.window}) against "
+          f"{args.host}:{args.port}", file=sys.stderr, flush=True)
+    stats = run_loadgen(
+        args.host,
+        args.port,
+        requests=args.requests,
+        connections=args.connections,
+        window=args.window,
+        num_keys=args.keys,
+        write_fraction=args.write_fraction,
+        seed=args.seed,
+    )
+    rendered = json.dumps(stats, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"stats written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def cmd_info(_args) -> int:
     """``info``: version and cost-model constants."""
     profile = DEFAULT_PROFILE
@@ -350,6 +535,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": cmd_plan,
         "figures": cmd_figures,
         "demo": cmd_demo,
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
         "info": cmd_info,
     }[args.command]
     return handler(args)

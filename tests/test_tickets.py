@@ -77,11 +77,10 @@ class TestTicket:
         store.run_epoch()
         assert "done" in repr(ticket)
 
-    def test_legacy_tuple_unpacking_warns(self, store):
+    def test_tuple_unpacking_shim_removed(self, store):
         ticket = store.submit(Request(OpType.READ, 1), load_balancer=1)
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError):
             balancer, arrival = ticket
-        assert (balancer, arrival) == (1, 0)
 
     def test_tickets_survive_multiple_epochs(self, store):
         first = store.submit(Request(OpType.READ, 1))
@@ -92,6 +91,65 @@ class TestTicket:
         assert second.epoch == 2
         assert first.result().key == 1
         assert second.result().key == 2
+
+
+class TestDoneCallbacks:
+    def test_callback_after_resolve_fires_immediately(self, store):
+        ticket = store.submit(Request(OpType.READ, 2), load_balancer=0)
+        store.run_epoch()
+        seen = []
+        ticket.add_done_callback(seen.append)
+        assert seen == [ticket]
+
+    def test_callback_before_resolve_fires_once_at_epoch(self, store):
+        ticket = store.submit(Request(OpType.READ, 2), load_balancer=0)
+        seen = []
+        ticket.add_done_callback(seen.append)
+        assert seen == []
+        store.run_epoch()
+        assert seen == [ticket]
+        assert seen[0].result().key == 2
+
+    def test_multiple_callbacks_fire_in_registration_order(self, store):
+        ticket = store.submit(Request(OpType.READ, 3), load_balancer=0)
+        order = []
+        ticket.add_done_callback(lambda t: order.append("a"))
+        ticket.add_done_callback(lambda t: order.append("b"))
+        store.run_epoch()
+        assert order == ["a", "b"]
+
+    def test_callback_sees_resolved_ticket(self):
+        ticket = Ticket(0, 0, Request(OpType.READ, 9))
+        captured = {}
+
+        def on_done(t):
+            captured["done"] = t.done
+            captured["epoch"] = t.epoch
+
+        ticket.add_done_callback(on_done)
+        ticket._resolve(Response(key=9, value=b"v"), epoch=4)
+        assert captured == {"done": True, "epoch": 4}
+
+    def test_callbacks_under_pipelined_resolution(self):
+        """Callbacks registered on the submitting thread fire for tickets
+        resolved by the pipeline's match thread."""
+        config = SnoopyConfig(
+            num_load_balancers=2, num_suborams=2, value_size=4,
+            security_parameter=16,
+        )
+        with Snoopy(config, rng=random.Random(0)) as s:
+            s.initialize({k: bytes([k]) * 4 for k in range(16)})
+            with s.start_pipeline(depth=2, clock=False) as pipe:
+                seen = []
+                tickets = [
+                    s.submit(Request(OpType.READ, k, seq=k)) for k in range(8)
+                ]
+                for ticket in tickets:
+                    ticket.add_done_callback(seen.append)
+                pipe.close_epoch(wait=True)
+                pipe.flush()
+            assert sorted(t.request.key for t in seen) == list(range(8))
+            assert all(t.done for t in seen)
 
 
 class TestTicketBook:

@@ -3,13 +3,31 @@
 import pytest
 
 from repro.core.wire import (
+    FRAME_HEADER_SIZE,
+    HELLO_SIZE,
+    WIRE_VERSION,
+    FrameKind,
+    Role,
+    VersionMismatchError,
     WireError,
     decode_batch,
     decode_entry,
+    decode_frame_header,
+    decode_hello,
+    decode_request,
+    decode_response,
+    decode_txn,
     encode_batch,
     encode_entry,
+    encode_frame,
+    encode_hello,
+    encode_request,
+    encode_response,
+    encode_txn,
+    request_size,
+    response_size,
 )
-from repro.types import BatchEntry, OpType
+from repro.types import BatchEntry, OpType, Request, Response
 
 
 def entries_equal(a: BatchEntry, b: BatchEntry) -> bool:
@@ -140,6 +158,148 @@ class TestFuzz:
                 assert False, f"truncation at {cut} decoded: {decoded}"
             except WireError:
                 pass
+
+
+class TestHello:
+    def test_roundtrip(self):
+        version, role = decode_hello(encode_hello(Role.CLIENT))
+        assert version == WIRE_VERSION
+        assert role == Role.CLIENT
+
+    def test_fixed_size_for_every_role(self):
+        sizes = {
+            len(encode_hello(role))
+            for role in (Role.CLIENT, Role.SERVER, Role.BALANCER, Role.WORKER)
+        }
+        assert sizes == {HELLO_SIZE}
+
+    def test_version_mismatch_rejected(self):
+        frame = encode_hello(Role.CLIENT, version=WIRE_VERSION + 1)
+        with pytest.raises(VersionMismatchError) as excinfo:
+            decode_hello(frame)
+        assert excinfo.value.offered == WIRE_VERSION + 1
+        assert excinfo.value.supported == WIRE_VERSION
+
+    def test_bad_magic_rejected_before_version(self):
+        frame = bytearray(encode_hello(Role.CLIENT, version=WIRE_VERSION + 1))
+        frame[0] = 0x00
+        # Garbage connections fail as malformed, never as version skew.
+        with pytest.raises(WireError) as excinfo:
+            decode_hello(bytes(frame))
+        assert not isinstance(excinfo.value, VersionMismatchError)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(WireError):
+            decode_hello(encode_hello(Role.SERVER)[:-1])
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(WireError):
+            encode_hello(99)
+        frame = bytearray(encode_hello(Role.CLIENT))
+        frame[5] = 99
+        with pytest.raises(WireError):
+            decode_hello(bytes(frame))
+
+
+class TestFrames:
+    def test_header_roundtrip(self):
+        frame = encode_frame(FrameKind.REQUEST, b"abc")
+        kind, length = decode_frame_header(frame)
+        assert (kind, length) == (FrameKind.REQUEST, 3)
+        assert frame[FRAME_HEADER_SIZE:] == b"abc"
+
+    def test_empty_payload(self):
+        kind, length = decode_frame_header(encode_frame(FrameKind.PING))
+        assert (kind, length) == (FrameKind.PING, 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WireError):
+            encode_frame(0)
+        with pytest.raises(WireError):
+            decode_frame_header(b"\x00\x00\x00\x00\x00")
+
+    def test_oversized_length_rejected(self):
+        import struct as _struct
+
+        header = _struct.pack(">BI", FrameKind.BATCH, (1 << 30) + 1)
+        with pytest.raises(WireError):
+            decode_frame_header(header)
+
+    def test_txn_payload_roundtrip(self):
+        assert decode_txn(encode_txn(7, 8)) == (7, 8)
+        with pytest.raises(WireError):
+            decode_txn(b"\x00" * 3)
+
+
+class TestRequestResponse:
+    def test_request_roundtrip(self):
+        request = Request(OpType.WRITE, 42, b"abcd", client_id=9, seq=3)
+        data = encode_request(17, request, value_size=8, load_balancer=1)
+        req_id, decoded, balancer = decode_request(data, value_size=8)
+        assert req_id == 17
+        assert balancer == 1
+        assert decoded == request
+
+    def test_read_and_write_same_length(self):
+        """Request wire length depends only on the public value size."""
+        read = encode_request(1, Request(OpType.READ, 5), value_size=16)
+        write = encode_request(
+            2, Request(OpType.WRITE, 900, b"x" * 16), value_size=16
+        )
+        assert len(read) == len(write) == request_size(16)
+
+    def test_random_balancer_encodes_as_none(self):
+        data = encode_request(3, Request(OpType.READ, 1), value_size=4)
+        _, _, balancer = decode_request(data, value_size=4)
+        assert balancer is None
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(WireError):
+            encode_request(
+                1, Request(OpType.WRITE, 1, b"toolong"), value_size=4
+            )
+
+    def test_wrong_size_rejected(self):
+        data = encode_request(1, Request(OpType.READ, 1), value_size=4)
+        with pytest.raises(WireError):
+            decode_request(data[:-1], value_size=4)
+        with pytest.raises(WireError):
+            decode_request(data, value_size=8)
+
+    def test_response_roundtrip(self):
+        response = Response(key=5, value=b"vv", client_id=2, seq=7, ok=True)
+        data = encode_response(
+            21, response, value_size=8, load_balancer=1, arrival=4, epoch=9
+        )
+        req_id, decoded, placement = decode_response(data, value_size=8)
+        assert req_id == 21
+        assert decoded == response
+        assert placement == (1, 4, 9)
+
+    def test_response_none_value_distinguished(self):
+        none_resp = Response(key=1, value=None)
+        data = encode_response(
+            1, none_resp, value_size=4, load_balancer=0, arrival=0, epoch=1
+        )
+        _, decoded, _ = decode_response(data, value_size=4)
+        assert decoded.value is None
+        assert len(data) == response_size(4)
+
+    def test_fixed_size_for_fixed_value_size(self):
+        sizes = {
+            len(
+                encode_response(
+                    i,
+                    Response(key=i, value=bytes([i]) * i, ok=bool(i % 2)),
+                    value_size=8,
+                    load_balancer=i,
+                    arrival=i,
+                    epoch=i,
+                )
+            )
+            for i in range(1, 8)
+        }
+        assert sizes == {response_size(8)}
 
 
 class TestPropertyRoundtrip:
