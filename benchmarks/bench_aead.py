@@ -1,0 +1,190 @@
+"""Batched AEAD and state-shipping throughput: the epoch crypto floor.
+
+Two measurements behind the batched-crypto tentpole:
+
+* **seal/open MB/s** — scalar per-slot ``seal``/``open`` (the audited
+  oracle) vs the batched whole-buffer path
+  (:meth:`~repro.crypto.aead.AeadKey.seal_batch_buffer`) over a
+  store-shaped workload (N uniform slots, slot-index AAD) at
+  ``value_size`` in {16, 256, 1024}.  The write-back scan re-encrypts
+  every slot every epoch, so these MB/s *are* the epoch crypto floor.
+* **state ship time** — moving a populated
+  :class:`~repro.suboram.store.EncryptedStore` across the process seam:
+  plain pickle (protocol 5, buffers in-band) vs the shared-memory
+  shipping path (:mod:`repro.exec.shipping`: out-of-band buffers copied
+  once into a segment, tiny envelope on the pipe).
+
+Results land in ``BENCH_aead.json``; set ``SNOOPY_BENCH_SMOKE=1`` for
+CI's reduced sizes.  The run fails if the batched path is slower than
+the scalar oracle at any size — the whole point of batching is that it
+never regresses.
+"""
+
+import json
+import os
+import pathlib
+import pickle
+import time
+
+from repro.crypto.aead import AeadKey, NONCE_LEN
+from repro.exec import shipping
+from repro.suboram.store import EncryptedStore
+
+from conftest import report
+
+SMOKE = os.environ.get("SNOOPY_BENCH_SMOKE") == "1"
+
+VALUE_SIZES = [16, 256, 1024]
+#: Slots per measured pass, chosen so each pass moves ~the same volume.
+SLOTS = {16: 512, 256: 256, 1024: 128} if SMOKE else {
+    16: 4096, 256: 2048, 1024: 512
+}
+SHIP_SLOTS = 1024 if SMOKE else 8192
+SHIP_VALUE_SIZE = 64
+REPEATS = 3
+
+KEY = AeadKey(b"bench-aead-key-0123456789abcdef01")
+
+
+def _timed(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _fixtures(value_size, count):
+    # Store-shaped slots: 16-byte key prefix + value, slot-index AAD.
+    plain_size = 16 + value_size
+    nonces = [
+        (7 * i + 1).to_bytes(NONCE_LEN, "big") for i in range(count)
+    ]
+    plaintexts = [
+        i.to_bytes(16, "big") + bytes([i % 256]) * value_size
+        for i in range(count)
+    ]
+    aads = [i.to_bytes(8, "big") for i in range(count)]
+    return plain_size, nonces, plaintexts, aads
+
+
+def _crypto_row(value_size):
+    count = SLOTS[value_size]
+    plain_size, nonces, plaintexts, aads = _fixtures(value_size, count)
+    volume_mb = count * plain_size / 1e6
+
+    sealed = KEY.seal_batch(nonces, plaintexts, aads)
+    plain_buf = b"".join(plaintexts)
+    sealed_buf = b"".join(sealed)
+    slot_size = plain_size + 32
+
+    scalar_seal = _timed(lambda: [
+        KEY.seal(n, pt, aad) for n, pt, aad in zip(nonces, plaintexts, aads)
+    ])
+    batched_seal = _timed(
+        lambda: KEY.seal_batch_buffer(nonces, (plain_buf, plain_size), aads)
+    )
+    scalar_open = _timed(lambda: [
+        KEY.open(n, blob, aad) for n, blob, aad in zip(nonces, sealed, aads)
+    ])
+    batched_open = _timed(
+        lambda: KEY.open_batch_buffer(nonces, (sealed_buf, slot_size), aads)
+    )
+    return {
+        "slots": count,
+        "plain_size": plain_size,
+        "scalar_seal_mbps": volume_mb / scalar_seal,
+        "batched_seal_mbps": volume_mb / batched_seal,
+        "seal_speedup": scalar_seal / max(batched_seal, 1e-9),
+        "scalar_open_mbps": volume_mb / scalar_open,
+        "batched_open_mbps": volume_mb / batched_open,
+        "open_speedup": scalar_open / max(batched_open, 1e-9),
+    }
+
+
+def _ship_times():
+    """Pickle-only vs shared-memory round-trip of one populated store."""
+    store = EncryptedStore(
+        b"bench-ship-key-0123456789abcdef01",
+        num_slots=SHIP_SLOTS,
+        value_size=SHIP_VALUE_SIZE,
+    )
+    store.put_batch(
+        list(range(SHIP_SLOTS)),
+        [bytes([i % 256]) * SHIP_VALUE_SIZE for i in range(SHIP_SLOTS)],
+    )
+    state_bytes = SHIP_SLOTS * store.slot_size
+
+    def pickle_roundtrip():
+        pickle.loads(pickle.dumps(store, protocol=5))
+
+    pickle_s = _timed(pickle_roundtrip, repeats=5)
+
+    shm_s = None
+    if shipping.shm_available():
+        pool = shipping.RegionPool()
+        cache = shipping.AttachCache()
+        try:
+
+            def shm_roundtrip():
+                wire = shipping.encode(store, pool.ensure)
+                shipping.decode(wire, cache.get)
+
+            shm_roundtrip()  # create + map the segment outside the clock
+            shm_s = _timed(shm_roundtrip, repeats=5)
+        finally:
+            cache.close()
+            pool.close()
+    return {
+        "slots": SHIP_SLOTS,
+        "state_bytes": state_bytes,
+        "pickle_roundtrip_s": pickle_s,
+        "shm_roundtrip_s": shm_s,
+        "ship_speedup": (
+            pickle_s / max(shm_s, 1e-9) if shm_s is not None else None
+        ),
+    }
+
+
+def test_batched_aead_throughput():
+    """Scalar vs batched AEAD MB/s, plus shm vs pickle state shipping."""
+    results = {size: _crypto_row(size) for size in VALUE_SIZES}
+    ship = _ship_times()
+
+    lines = [
+        "value  scalar-seal  batch-seal  speedup | scalar-open  batch-open  speedup"
+    ]
+    for size, row in results.items():
+        lines.append(
+            f"{size:<6} {row['scalar_seal_mbps']:>8.1f}MB/s "
+            f"{row['batched_seal_mbps']:>8.1f}MB/s "
+            f"{row['seal_speedup']:>6.1f}x | "
+            f"{row['scalar_open_mbps']:>8.1f}MB/s "
+            f"{row['batched_open_mbps']:>8.1f}MB/s "
+            f"{row['open_speedup']:>6.1f}x"
+        )
+    if ship["shm_roundtrip_s"] is not None:
+        lines.append(
+            f"state ship ({ship['state_bytes'] / 1e6:.1f}MB): pickle "
+            f"{ship['pickle_roundtrip_s'] * 1e3:.2f}ms, shm "
+            f"{ship['shm_roundtrip_s'] * 1e3:.2f}ms "
+            f"({ship['ship_speedup']:.1f}x)"
+        )
+    report("Batched AEAD + zero-copy state shipping", "\n".join(lines))
+
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_aead.json"
+    out.write_text(json.dumps(
+        {
+            "benchmark": "batched_aead_throughput",
+            "smoke": SMOKE,
+            "results": {str(s): row for s, row in results.items()},
+            "state_ship": ship,
+        },
+        indent=2,
+    ) + "\n")
+
+    # The guard: batching must never lose to the per-slot oracle.
+    for size, row in results.items():
+        assert row["seal_speedup"] >= 1.0, (size, row)
+        assert row["open_speedup"] >= 1.0, (size, row)

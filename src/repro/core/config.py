@@ -43,6 +43,14 @@ class SnoopyConfig:
             kernel only changes how each fixed schedule level executes,
             never which addresses it touches (see
             :mod:`repro.oblivious.kernels`).
+        crypto: store-crypto selector, ``"scalar"`` (one AEAD call per
+            slot — the audited oracle) or ``"batched"`` (default: whole
+            -store seal/open in one vectorized pass per epoch, byte
+            -identical responses).  Public information: batching changes
+            only how many Python calls move the same uniform-size
+            ciphertexts; nonce uniqueness per slot and ciphertext
+            lengths are unchanged (SECURITY.md "Batched crypto is
+            public information").
         task_timeout: per-task timeout in seconds for pooled backends
             (None = unbounded).  An overrun raises
             :class:`~repro.errors.TaskTimeoutError`, a retryable fault.
@@ -80,6 +88,7 @@ ReplicatedSubOram` group of ``f + r + 1`` replicas.  ``None`` (default)
     execution_backend: str = "serial"
     max_workers: Optional[int] = None
     kernel: str = "python"
+    crypto: str = "batched"
     task_timeout: Optional[float] = None
     epoch_max_attempts: int = 1
     epoch_backoff_base: float = 0.0
@@ -148,6 +157,14 @@ ReplicatedSubOram` group of ``f + r + 1`` replicas.  ``None`` (default)
         from repro.oblivious.kernels import validate_kernel_name
 
         validate_kernel_name(self.kernel)
+
+        from repro.suboram.suboram import SubOram
+
+        require(
+            self.crypto in SubOram.CRYPTO_MODES,
+            f"unknown crypto mode {self.crypto!r}; valid modes: "
+            f"{list(SubOram.CRYPTO_MODES)}",
+        )
 
     @property
     def num_machines(self) -> int:

@@ -490,6 +490,7 @@ def _default_suboram_factory(suboram_id: int, config: SnoopyConfig,
         keychain=keychain,
         security_parameter=config.security_parameter,
         kernel=config.kernel,
+        crypto=config.crypto,
     )
 
 
@@ -509,4 +510,5 @@ def _replicated_suboram_factory(suboram_id: int, config: SnoopyConfig,
         keychain=keychain,
         security_parameter=config.security_parameter,
         kernel=config.kernel,
+        crypto=config.crypto,
     )

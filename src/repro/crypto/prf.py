@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import hmac
 import hashlib
+from typing import List, Sequence
 
 
 class Prf:
@@ -18,18 +19,35 @@ class Prf:
     Range reduction uses the full 256-bit output modulo ``n``; the modulo
     bias is below 2^-190 for any realistic ``n`` and is irrelevant for the
     balls-into-bins analysis.
+
+    Evaluations go through a pre-keyed HMAC context (``copy()`` per
+    message skips the per-call key schedule); outputs are identical to
+    ``hmac.new(key, message)`` — HMAC is deterministic in (key, message).
     """
 
-    __slots__ = ("_key",)
+    __slots__ = ("_key", "_base")
 
     def __init__(self, key: bytes):
         if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
             raise ValueError("PRF key must be non-empty bytes")
         self._key = bytes(key)
+        self._base = None
+
+    # Pre-keyed HMAC contexts are not picklable; rebuild lazily.
+    def __getstate__(self) -> bytes:
+        return self._key
+
+    def __setstate__(self, state: bytes) -> None:
+        self._key = state
+        self._base = None
 
     def digest(self, message: bytes) -> bytes:
         """Raw 32-byte PRF output for a byte-string input."""
-        return hmac.new(self._key, message, hashlib.sha256).digest()
+        if self._base is None:
+            self._base = hmac.new(self._key, digestmod=hashlib.sha256)
+        h = self._base.copy()
+        h.update(message)
+        return h.digest()
 
     def value(self, x: int) -> int:
         """PRF output for integer input, as a 256-bit integer."""
@@ -41,6 +59,26 @@ class Prf:
         if n <= 0:
             raise ValueError(f"range size must be positive, got {n}")
         return self.value(x) % n
+
+    def range_many(self, xs: Sequence[int], n: int) -> List[int]:
+        """Batched :meth:`range` over a key column (same outputs).
+
+        One pre-keyed HMAC copy per element with the loop overhead
+        hoisted — the bulk-lookup path for the oblivious hash table's
+        per-object bucket derivation.
+        """
+        if n <= 0:
+            raise ValueError(f"range size must be positive, got {n}")
+        if self._base is None:
+            self._base = hmac.new(self._key, digestmod=hashlib.sha256)
+        base = self._base
+        from_bytes = int.from_bytes
+        out = []
+        for x in xs:
+            h = base.copy()
+            h.update(int(x).to_bytes(16, "big", signed=True))
+            out.append(from_bytes(h.digest(), "big") % n)
+        return out
 
 
 def suboram_of(key: bytes, object_id: int, num_suborams: int) -> int:

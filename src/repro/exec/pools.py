@@ -33,6 +33,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional
 
 from repro.errors import TaskTimeoutError, WorkerCrashError
+from repro.exec import shipping
 from repro.exec.backend import ExecutionBackend
 from repro.utils.validation import require
 
@@ -253,25 +254,39 @@ def _sticky_worker_main(conn) -> None:
     """Loop of one long-lived stateful worker process.
 
     Keeps a ``key -> (version, state)`` cache so the parent can send
-    version probes instead of full state.  Messages are
-    ``(fn, key, version, has_state, state, args)``; replies are
+    version probes instead of full state.  Wire objects are
+    ``(envelope, reply_name)`` pairs: ``envelope`` is the logical message
+    ``(fn, key, version, has_state, state, args)`` either plain or as a
+    :class:`~repro.exec.shipping.ShmShipment`, and ``reply_name`` is the
+    parent-owned shared-memory segment large replies should be written
+    into (``None`` disables shm replies).  Logical replies are
     ``("ok", new_state, result)``, ``("miss", None, None)`` when a probe
-    finds no current cached state, or ``("error", exc, None)``.
+    finds no current cached state, or ``("error", exc, None)``; "ok"
+    replies carrying bulk state ship through the reply segment when it
+    fits, degrade to a :class:`~repro.exec.shipping.GrowHint` when not.
     """
     cache: dict = {}
+    request_segments = shipping.AttachCache()
+    reply_segments = shipping.AttachCache()
     while True:
         try:
-            message = conn.recv()
+            wire = conn.recv()
         except EOFError:
             break
-        if message is None:
+        if wire is None:
             break
+        envelope, reply_name = wire
+        try:
+            message = shipping.decode(envelope, request_segments.get)
+        except Exception as exc:  # segment vanished / mapping failed
+            conn.send((("error", RuntimeError(repr(exc)), None), None))
+            continue
         fn, key, version, has_state, state, args = message
         try:
             if not has_state:
                 cached = cache.get(key)
                 if cached is None or cached[0] != version:
-                    conn.send(("miss", None, None))
+                    conn.send((("miss", None, None), None))
                     continue
                 state = cached[1]
             new_state, result = fn(state, args)
@@ -279,17 +294,33 @@ def _sticky_worker_main(conn) -> None:
             reply = ("ok", new_state, result)
         except BaseException as exc:  # propagate to the parent
             reply = ("error", exc, None)
+        out = reply
+        if reply_name is not None and reply[0] == "ok":
+            try:
+                out = shipping.encode_reply(
+                    reply, reply_segments.get(reply_name)
+                )
+            except Exception:  # shm failure: fall back to the pipe
+                out = reply
         try:
-            conn.send(reply)
+            conn.send((out, None))
         except Exception as exc:  # unpicklable state/result/exception
-            conn.send(("error", RuntimeError(repr(exc)), None))
+            conn.send((("error", RuntimeError(repr(exc)), None), None))
+    request_segments.close()
+    reply_segments.close()
     conn.close()
 
 
 class _StickyWorker:
-    """Parent-side handle of one sticky worker: process + pipe + lock."""
+    """Parent-side handle of one sticky worker: process + pipe + lock.
 
-    def __init__(self, ctx):
+    When shipping is enabled the parent owns two shared-memory segments
+    per worker — one per transfer direction — created on the first
+    message whose out-of-band bytes clear the threshold and grown by
+    replace-and-unlink (see :mod:`repro.exec.shipping`).
+    """
+
+    def __init__(self, ctx, use_shm: bool = False, on_ship=None):
         self.conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
             target=_sticky_worker_main, args=(child_conn,), daemon=True
@@ -297,6 +328,20 @@ class _StickyWorker:
         self.process.start()
         child_conn.close()
         self.lock = threading.Lock()
+        self.use_shm = use_shm and shipping.shm_available()
+        self.on_ship = on_ship
+        self._send_pool = shipping.RegionPool()
+        self._reply_pool = shipping.RegionPool()
+
+    def _send_region(self, nbytes: int):
+        # State transfers are roughly symmetric (the mutated state comes
+        # back every epoch), so size the reply segment alongside.
+        self._reply_pool.ensure(nbytes)
+        return self._send_pool.ensure(nbytes)
+
+    def _record(self, direction: str, transport: str, nbytes: int) -> None:
+        if self.on_ship is not None:
+            self.on_ship(direction, transport, nbytes)
 
     def request(self, message, timeout: Optional[float] = None) -> tuple:
         """Send one task message and wait for its reply (thread-safe).
@@ -307,12 +352,46 @@ class _StickyWorker:
                 would desynchronize the request/reply protocol.
         """
         with self.lock:
-            self.conn.send(message)
+            if self.use_shm:
+                envelope = shipping.encode(
+                    message,
+                    self._send_region,
+                    on_ship=lambda transport, nbytes: self._record(
+                        "send", transport, nbytes
+                    ),
+                )
+                reply_region = self._reply_pool.region
+                reply_name = (
+                    reply_region.name if reply_region is not None else None
+                )
+            else:
+                envelope, reply_name = message, None
+            self.conn.send((envelope, reply_name))
             if timeout is not None and not self.conn.poll(timeout):
                 raise TaskTimeoutError(
                     f"sticky worker gave no reply within {timeout}s"
                 )
-            return self.conn.recv()
+            wire, _ = self.conn.recv()
+            if isinstance(wire, shipping.GrowHint):
+                # Reply outgrew the segment: grow for next epoch, use the
+                # inline payload now.
+                self._reply_pool.ensure(wire.need_bytes)
+                self._record("recv", "pipe", wire.need_bytes)
+                return wire.message
+            if isinstance(wire, shipping.ShmShipment):
+                self._record("recv", "shm", sum(wire.sizes))
+                region = self._reply_pool.region
+                if region is None or region.name != wire.name:
+                    raise WorkerCrashError(
+                        "sticky worker replied through an unknown "
+                        "shared-memory segment"
+                    )
+                return shipping.decode(wire, lambda _name: region)
+            return wire
+
+    def _close_segments(self) -> None:
+        self._send_pool.close()
+        self._reply_pool.close()
 
     def stop(self) -> None:
         """Ask the worker to exit and reap the process."""
@@ -325,6 +404,7 @@ class _StickyWorker:
             self.process.terminate()
             self.process.join(timeout=5)
         self.conn.close()
+        self._close_segments()
 
     def kill(self) -> None:
         """Forcefully terminate a stuck or crashed worker and reap it."""
@@ -337,6 +417,7 @@ class _StickyWorker:
             self.conn.close()
         except Exception:  # pragma: no cover - defensive
             pass
+        self._close_segments()
 
 
 class ProcessPoolBackend(_PooledBackend):
@@ -358,6 +439,17 @@ class ProcessPoolBackend(_PooledBackend):
     (``hits`` — probe succeeded, nothing shipped; ``misses`` — probe
     failed, full state re-shipped; ``full_ships`` — every transfer of
     full state, including first sends).
+
+    **Shared-memory state shipping.**  Even a probe hit ships the
+    mutated state *back* every epoch, so by default (``shm_state=None``)
+    bulk state bytes move through per-worker
+    ``multiprocessing.shared_memory`` segments instead of the pickle
+    pipe (see :mod:`repro.exec.shipping`): one copy into the segment,
+    pipe traffic reduced to a tiny envelope.  Byte volume per transport
+    is exported as ``exec_state_bytes_total{transport=shm|pipe,
+    direction=send|recv}`` (and ships as ``exec_state_ships_total``).
+    Disable with ``shm_state=False`` or ``SNOOPY_NO_SHM=1``; any shm
+    failure silently falls back to plain pipe pickling.
     """
 
     name = "process"
@@ -367,6 +459,7 @@ class ProcessPoolBackend(_PooledBackend):
         self,
         max_workers: Optional[int] = None,
         task_timeout: Optional[float] = None,
+        shm_state: Optional[bool] = None,
     ):
         super().__init__(max_workers, task_timeout)
         self._sticky: Dict[int, _StickyWorker] = {}
@@ -376,6 +469,8 @@ class ProcessPoolBackend(_PooledBackend):
         #: key -> (version, state object, token) from the previous call.
         self._state_cache: Dict[object, tuple] = {}
         self.state_cache_stats = {"hits": 0, "misses": 0, "full_ships": 0}
+        #: Whether sticky-worker state rides shared-memory segments.
+        self.shm_state = shipping.shipping_enabled(shm_state)
 
     # ------------------------------------------------------------------
     # Stateless map (unchanged): ordinary executor pool
@@ -402,9 +497,30 @@ class ProcessPoolBackend(_PooledBackend):
         with self._sticky_lock:
             worker = self._sticky.get(slot)
             if worker is None or not worker.process.is_alive():
-                worker = _StickyWorker(multiprocessing.get_context())
+                worker = _StickyWorker(
+                    multiprocessing.get_context(),
+                    use_shm=self.shm_state,
+                    on_ship=self._record_ship,
+                )
                 self._sticky[slot] = worker
             return worker
+
+    def _record_ship(
+        self, direction: str, transport: str, nbytes: int
+    ) -> None:
+        """Count one state transfer per transport/direction (telemetry)."""
+        self.telemetry.counter(
+            "exec_state_ships_total",
+            backend=self.name,
+            transport=transport,
+            direction=direction,
+        ).inc()
+        self.telemetry.counter(
+            "exec_state_bytes_total",
+            backend=self.name,
+            transport=transport,
+            direction=direction,
+        ).inc(nbytes)
 
     @staticmethod
     def _slot_of(key, num_workers: int) -> int:
@@ -547,7 +663,9 @@ class ProcessPoolBackend(_PooledBackend):
                     "exec_worker_crashes_total", backend=self.name
                 ).inc()
                 with self._sticky_lock:
-                    self._sticky.pop(slot, None)
+                    dead = self._sticky.pop(slot, None)
+                if dead is not None:
+                    dead.kill()  # reap + unlink its shm segments
                 self._state_cache.pop(key, None)
                 worker = self._sticky_worker(slot)
                 self.telemetry.counter(

@@ -1,0 +1,333 @@
+"""Shared-memory state shipping for the process backend's sticky workers.
+
+The sticky-worker protocol (:mod:`repro.exec.pools`) must move each
+subORAM's full state across the process boundary at least once per epoch:
+even when the parent's version probe hits, the *reply* carries the
+mutated state back.  Pickling that state into the pipe copies every byte
+through pickle opcodes and a socket; for stores of any size the copy —
+not the compute — becomes the epoch floor.
+
+This module puts the bulk bytes in ``multiprocessing.shared_memory``
+segments instead, using pickle protocol 5's out-of-band buffer machinery
+as the seam:
+
+* :func:`encode` pickles a message with a ``buffer_callback``, which
+  diverts every :class:`pickle.PickleBuffer` a ``__reduce_ex__`` emits —
+  in particular the :class:`~repro.suboram.store.EncryptedStore`'s
+  contiguous nonce/ciphertext buffers — away from the pickle stream.
+  When the diverted bytes clear :data:`SHM_MIN_BYTES`, they are copied
+  once into a shared-memory :class:`Region` and only a tiny
+  :class:`ShmShipment` envelope (segment name + buffer sizes + the
+  residual pickle payload) crosses the pipe.
+* :func:`decode` maps the segment and hands the buffer views straight to
+  ``pickle.loads(buffers=...)``.  **Aliasing contract:** objects rebuilt
+  from out-of-band buffers must copy them (``EncryptedStore`` does),
+  because the sender reuses the segment for the next message.
+
+Both directions are covered: the parent owns a send segment *and* a
+reply segment per worker (created on first large message, grown by
+replace-and-unlink; safe because the protocol is strict request/reply
+under the worker's lock).  The worker attaches to whichever segment
+names it is told about — :class:`Region` attachments unregister
+themselves from the ``resource_tracker`` so a worker exiting does not
+unlink segments the parent still owns.  A reply too large for the
+current reply segment degrades to an in-pipe :class:`GrowHint` carrying
+the payload inline plus the size that *would* have been needed; the
+parent grows the segment for next epoch.  Any shared-memory failure
+falls back to plain pipe pickling — shipping is a transport
+optimization, never a correctness dependency — and the whole layer can
+be disabled with ``SNOOPY_NO_SHM=1`` or
+``ProcessPoolBackend(shm_state=False)``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Callable, List, Optional, Sequence
+
+try:  # pragma: no cover - stdlib, but permit exotic builds without it
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+    resource_tracker = None
+
+#: Messages whose out-of-band bytes fall below this ride the pipe as-is.
+SHM_MIN_BYTES = 64 * 1024
+
+#: Growth headroom: segments are sized to ceil(need * 5 / 4).
+_SLACK_NUM, _SLACK_DEN = 5, 4
+
+
+def shm_available() -> bool:
+    """Whether this interpreter can create shared-memory segments."""
+    return shared_memory is not None
+
+
+class ShmShipment:
+    """Pipe envelope for a message whose bulk bytes live in a segment."""
+
+    __slots__ = ("name", "sizes", "payload")
+
+    def __init__(self, name: str, sizes: List[int], payload: bytes):
+        self.name = name
+        self.sizes = sizes
+        self.payload = payload
+
+    def __reduce__(self):
+        return (ShmShipment, (self.name, self.sizes, self.payload))
+
+
+class GrowHint:
+    """In-pipe fallback reply: payload inline plus the segment size needed."""
+
+    __slots__ = ("message", "need_bytes")
+
+    def __init__(self, message, need_bytes: int):
+        self.message = message
+        self.need_bytes = need_bytes
+
+    def __reduce__(self):
+        return (GrowHint, (self.message, self.need_bytes))
+
+
+class Region:
+    """One shared-memory segment, owned (create/unlink) or attached."""
+
+    def __init__(self, shm, owner: bool):
+        self._shm = shm
+        self.owner = owner
+
+    @classmethod
+    def create(cls, nbytes: int) -> "Region":
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, nbytes)
+        )
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "Region":
+        shm = shared_memory.SharedMemory(name=name)
+        # Attaching registers the segment with the resource tracker as if
+        # this process owned it, and the tracker would unlink it when this
+        # process exits — yanking memory the real owner still uses.
+        if resource_tracker is not None:
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+        return cls(shm, owner=False)
+
+    @property
+    def name(self) -> str:
+        """Segment name peers attach by."""
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        """Mapped segment capacity in bytes."""
+        return self._shm.size
+
+    def write(self, buffers: Sequence) -> List[int]:
+        """Copy raw buffers back to back into the segment; returns sizes."""
+        view = self._shm.buf
+        sizes: List[int] = []
+        offset = 0
+        for raw in buffers:
+            n = raw.nbytes
+            view[offset : offset + n] = raw
+            sizes.append(n)
+            offset += n
+        return sizes
+
+    def read(self, sizes: Sequence[int]) -> List[memoryview]:
+        """Views of the buffers previously written (no copy)."""
+        view = self._shm.buf
+        out: List[memoryview] = []
+        offset = 0
+        for n in sizes:
+            out.append(view[offset : offset + n])
+            offset += n
+        return out
+
+    def close(self) -> None:
+        """Unmap, and unlink when this side owns the segment."""
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        if self.owner:
+            # An attachment's unregister (above) may have already removed
+            # this name from the shared resource tracker; re-register so
+            # unlink's own unregister finds it (set semantics — a double
+            # add is a no-op, a missing remove is a KeyError traceback).
+            if resource_tracker is not None:
+                try:
+                    resource_tracker.register(
+                        self._shm._name, "shared_memory"
+                    )
+                except Exception:  # pragma: no cover - tracker moved
+                    pass
+            try:
+                self._shm.unlink()
+            except Exception:  # pragma: no cover - already unlinked
+                pass
+
+
+def _sized(need: int) -> int:
+    return max(SHM_MIN_BYTES, need * _SLACK_NUM // _SLACK_DEN)
+
+
+class RegionPool:
+    """Owner-side handle of one growable segment (parent per direction)."""
+
+    def __init__(self):
+        self.region: Optional[Region] = None
+
+    def ensure(self, nbytes: int) -> Optional[Region]:
+        """A region of at least ``nbytes``, growing by replace-and-unlink.
+
+        Safe under the strict request/reply alternation of the sticky
+        protocol: by the time the parent replaces a segment, the worker
+        holds no outstanding views into the old one.
+        """
+        if not shm_available():
+            return None
+        if self.region is None or self.region.size < nbytes:
+            old, self.region = self.region, None
+            if old is not None:
+                old.close()
+            self.region = Region.create(_sized(nbytes))
+        return self.region
+
+    def close(self) -> None:
+        """Unlink and drop the owned segment (idempotent)."""
+        region, self.region = self.region, None
+        if region is not None:
+            region.close()
+
+
+class AttachCache:
+    """Reader-side cache of segment attachments, keyed by name."""
+
+    def __init__(self):
+        self._regions: dict = {}
+
+    def get(self, name: str) -> Region:
+        """Attachment for ``name``, superseding older attachments."""
+        region = self._regions.get(name)
+        if region is None:
+            # A new name supersedes all prior segments from this peer
+            # (the owner unlinked them when it grew).
+            self.close()
+            region = Region.attach(name)
+            self._regions[name] = region
+        return region
+
+    def close(self) -> None:
+        """Unmap every cached attachment (idempotent)."""
+        regions, self._regions = self._regions, {}
+        for region in regions.values():
+            region.close()
+
+
+def encode(
+    message,
+    provider: Callable[[int], Optional[Region]],
+    min_bytes: int = SHM_MIN_BYTES,
+    on_ship=None,
+):
+    """Encode a message for ``Connection.send``; bulk bytes go to shm.
+
+    ``provider(nbytes)`` returns a region of at least ``nbytes`` or
+    ``None`` (then the message rides the pipe unchanged).  When the
+    provider is a worker-side fixed attachment that is too small, the
+    caller wraps the result in a :class:`GrowHint` instead — see
+    :func:`encode_reply`.  ``on_ship(transport, nbytes)`` records the
+    outcome for telemetry.
+    """
+    buffers: List[pickle.PickleBuffer] = []
+    try:
+        payload = pickle.dumps(
+            message, protocol=5, buffer_callback=buffers.append
+        )
+        raws = [b.raw() for b in buffers]
+        total = sum(r.nbytes for r in raws)
+        if total >= min_bytes:
+            region = provider(total)
+            if region is not None and region.size >= total:
+                sizes = region.write(raws)
+                if on_ship is not None:
+                    on_ship("shm", total)
+                return ShmShipment(region.name, sizes, payload)
+        if on_ship is not None:
+            on_ship("pipe", total)
+    except Exception:
+        # Any shipping failure degrades to plain pipe pickling.
+        pass
+    finally:
+        for b in buffers:
+            b.release()
+    return message
+
+
+def encode_reply(
+    message,
+    attachment: Optional[Region],
+    min_bytes: int = SHM_MIN_BYTES,
+):
+    """Worker-side encode into a fixed-size reply attachment.
+
+    Returns a :class:`ShmShipment` when the reply fits, a
+    :class:`GrowHint` (inline payload + needed size) when the attachment
+    is absent or too small but the reply was big enough to want one, and
+    the plain message otherwise.
+    """
+    buffers: List[pickle.PickleBuffer] = []
+    try:
+        payload = pickle.dumps(
+            message, protocol=5, buffer_callback=buffers.append
+        )
+        raws = [b.raw() for b in buffers]
+        total = sum(r.nbytes for r in raws)
+        if total < min_bytes:
+            return message
+        if attachment is not None and attachment.size >= total:
+            sizes = attachment.write(raws)
+            return ShmShipment(attachment.name, sizes, payload)
+        return GrowHint(message, total)
+    except Exception:
+        return message
+    finally:
+        for b in buffers:
+            b.release()
+
+
+def decode(obj, resolve: Callable[[str], Region]):
+    """Decode a received object; ``resolve(name)`` maps segment names.
+
+    The out-of-band views are handed to ``pickle.loads`` without copying;
+    rebuilt objects own their bytes only because their ``__reduce_ex__``
+    counterparts copy on rebuild (the aliasing contract above).
+    """
+    if isinstance(obj, ShmShipment):
+        region = resolve(obj.name)
+        views = region.read(obj.sizes)
+        try:
+            return pickle.loads(obj.payload, buffers=views)
+        finally:
+            for view in views:
+                view.release()
+    return obj
+
+
+def shipping_enabled(flag: Optional[bool] = None) -> bool:
+    """Resolve the shm-shipping kill-switch.
+
+    ``flag`` wins when given; otherwise shipping is on unless the
+    ``SNOOPY_NO_SHM`` environment variable is set to a non-empty value
+    or shared memory is unavailable.
+    """
+    if flag is not None:
+        return bool(flag) and shm_available()
+    return shm_available() and not os.environ.get("SNOOPY_NO_SHM")

@@ -70,6 +70,7 @@ class ReplicatedSubOram:
         keychain: Optional[KeyChain] = None,
         security_parameter: int = 32,
         kernel=None,
+        crypto: str = "batched",
     ):
         require(crash_tolerance >= 0, "crash_tolerance must be >= 0")
         require(rollback_tolerance >= 0, "rollback_tolerance must be >= 0")
@@ -86,6 +87,7 @@ class ReplicatedSubOram:
                     keychain,
                     security_parameter,
                     kernel=kernel,
+                    crypto=crypto,
                 )
             )
             for _ in range(crash_tolerance + rollback_tolerance + 1)

@@ -31,6 +31,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.analysis.balls_bins import batch_size
 from repro.crypto.prf import Prf
 from repro.errors import CapacityError
+from repro.oblivious import soa
 from repro.oblivious.kernels import resolve_kernel
 from repro.oblivious.primitives import o_select
 
@@ -258,10 +259,13 @@ class TwoTierHashTable:
         kern = resolve_kernel(kernel, mem_factory)
         # Working records: [bucket, kind, within_bucket_index, item, real].
         # kind 0 = real/dummy payload entry, kind 1 = bucket filler.
-        records = []
-        for item, real_bit in tagged_items:
-            bucket = prf.range(key_fn(item), num_buckets)
-            records.append([bucket, 0, 0, item, real_bit])
+        buckets = prf.range_many(
+            [key_fn(item) for item, _ in tagged_items], num_buckets
+        )
+        records = [
+            [bucket, 0, 0, item, real_bit]
+            for bucket, (item, real_bit) in zip(buckets, tagged_items)
+        ]
         for bucket in range(num_buckets):
             for _ in range(bucket_size):
                 records.append([bucket, 1, 0, None, 0])
@@ -339,6 +343,35 @@ class TwoTierHashTable:
         tier2_start = p.tier1_slots + b2 * p.tier2_bucket_size
         return list(range(tier1_start, tier1_start + p.tier1_bucket_size)) + list(
             range(tier2_start, tier2_start + p.tier2_bucket_size)
+        )
+
+    def lookup_matrix(self, keys: Sequence[int]):
+        """Bucket-slot index rows for a whole key column, as int64 matrix.
+
+        Row ``i`` equals ``bucket_slot_indices(keys[i])`` — the PRF
+        bucket derivations run through the batched
+        :meth:`~repro.crypto.prf.Prf.range_many` and the intra-bucket
+        offsets are broadcast instead of materialized per key.  This is
+        the lookup input of the vectorized scan kernel.
+        """
+        np = soa.require_numpy()
+        p = self.params
+        b1 = np.asarray(
+            self._prf1.range_many(keys, p.tier1_buckets), dtype=np.int64
+        )
+        b2 = np.asarray(
+            self._prf2.range_many(keys, p.tier2_buckets), dtype=np.int64
+        )
+        tier1_start = b1 * p.tier1_bucket_size
+        tier2_start = p.tier1_slots + b2 * p.tier2_bucket_size
+        return np.concatenate(
+            [
+                tier1_start[:, None]
+                + np.arange(p.tier1_bucket_size, dtype=np.int64)[None, :],
+                tier2_start[:, None]
+                + np.arange(p.tier2_bucket_size, dtype=np.int64)[None, :],
+            ],
+            axis=1,
         )
 
     def lookup_slots(self, key: int) -> List[_Slot]:

@@ -265,6 +265,37 @@ class PythonKernel(Kernel):
         return new_values, matched, responses
 
 
+def _packed_sort_keys(np, m: int, n: int, cols):
+    """One int64 sort key per row, or ``None`` when the columns don't fit.
+
+    The lexicographic key ``(pad_bit, col_1, ..., col_k)`` is packed as a
+    mixed-radix integer: each column is shifted to start at its minimum
+    (a monotone shift preserves per-column order) and assigned just
+    enough bits for its range, with the padding bit above all of them.
+    Packing is order-isomorphic to the lexicographic compare, so every
+    bitonic swap decision is unchanged.  Columns whose combined widths
+    exceed an int64 (e.g. load-balancer sorts spanning the negative
+    dummy-id space) fall back to the multi-row compare.
+    """
+    total_bits = 0
+    shifted = []
+    for col in cols:
+        lo = int(col.min()) if n else 0
+        span = int(col.max()) - lo if n else 0
+        width = max(1, span.bit_length())
+        total_bits += width
+        if total_bits > 62:
+            return None
+        shifted.append((col - lo, width))
+    packed = np.zeros(m, dtype=np.int64)
+    real = packed[:n]
+    for col, width in shifted:
+        real <<= width
+        real |= col
+    packed[n:] = np.int64(1) << total_bits
+    return packed
+
+
 #: Cache of per-size numpy level index arrays: m -> [(i_idx, j_idx, asc)].
 _LEVEL_CACHE: dict = {}
 
@@ -314,13 +345,35 @@ class NumpyKernel(Kernel):
                     trace.record("sort_level", m, level_index, len(level))
             return items
         num_cols = len(columns)
+        cols = [np.asarray(list(col), dtype=np.int64) for col in columns]
+        packed = _packed_sort_keys(np, m, n, cols)
+        perm = np.arange(m, dtype=np.int64)
+        if packed is not None:
+            # All columns fit one int64: compare/swap a single vector per
+            # level instead of num_cols + 1 rows.  The packing is order-
+            # isomorphic to the lexicographic compare below, so every
+            # swap decision — and hence the output — is identical.
+            for level_index, (i_idx, j_idx, asc) in enumerate(
+                _level_arrays(m)
+            ):
+                if trace is not None:
+                    trace.record("sort_level", m, level_index, int(len(i_idx)))
+                swap = (packed[i_idx] > packed[j_idx]) == asc
+                ii = i_idx[swap]
+                jj = j_idx[swap]
+                tmp = packed[ii]
+                packed[ii] = packed[jj]
+                packed[jj] = tmp
+                tmp_p = perm[ii]
+                perm[ii] = perm[jj]
+                perm[jj] = tmp_p
+            return [items[p] for p in perm.tolist() if p < n]
         # Row 0 is the padding bit: real rows sort as (0, cols...), padding
         # as (1, 0, ...), reproducing the scalar path's sentinel ordering.
         keys = np.zeros((num_cols + 1, m), dtype=np.int64)
         keys[0, n:] = 1
-        for c, col in enumerate(columns):
-            keys[c + 1, :n] = np.asarray(list(col), dtype=np.int64)
-        perm = np.arange(m, dtype=np.int64)
+        for c, col in enumerate(cols):
+            keys[c + 1, :n] = col
         for level_index, (i_idx, j_idx, asc) in enumerate(_level_arrays(m)):
             if trace is not None:
                 trace.record("sort_level", m, level_index, int(len(i_idx)))
@@ -421,31 +474,60 @@ class NumpyKernel(Kernel):
              trace=None):
         """Branchless masked Figure 19 scan across the whole batch dimension.
 
-        Correct without per-slot sequencing because batch keys are
-        distinct and store keys are distinct: every object matches at
-        most one slot and every slot at most one object, so the masked
-        writes commute with the scalar loop's order.
+        Packs the Python-object inputs into SoA columns, delegates to
+        :meth:`scan_soa`, and unpacks — the store's batch path skips the
+        packing entirely by calling :meth:`scan_soa` with columns that
+        came straight out of the contiguous ciphertext buffers.
         """
         np = soa.require_numpy()
         num_objects = len(obj_keys)
         num_slots = len(table.keys)
-        if trace is not None:
-            trace.record("scan", num_objects, num_slots)
         if num_objects == 0 or num_slots == 0:
             if trace is not None:
+                trace.record("scan", num_objects, num_slots)
                 for o in range(num_objects):
                     trace.record("scan_slot", o, tuple(lookup[o]))
             return list(obj_values), [0] * num_slots, list(table.values)
-        look = np.asarray([list(row) for row in lookup], dtype=np.int64)
+        okeys = soa.int_column(obj_keys)
+        ovals, _ = soa.values_to_matrix(list(obj_values), value_size)
+        new_ovals, matched, responses = self.scan_soa(
+            okeys, ovals, lookup, table, trace=trace
+        )
+        new_values = soa.matrix_to_values(
+            new_ovals, np.ones(num_objects, dtype=bool)
+        )
+        return new_values, matched, responses
+
+    def scan_soa(self, okeys, ovals, lookup, table, trace=None):
+        """Figure 19 scan over pre-packed SoA columns (the zero-copy core).
+
+        ``okeys`` is the int64 store-key column, ``ovals`` the uint8
+        value matrix (one row per store object); ``lookup`` is either the
+        per-object index rows or an already-packed int64 matrix.  Returns
+        ``(new_ovals_matrix, slot_matched, slot_responses)`` with the
+        store values left in matrix form so the caller can re-encrypt
+        them in one batched pass.  Correct without per-slot sequencing
+        because batch keys are distinct and store keys are distinct:
+        every object matches at most one slot and every slot at most one
+        object, so the masked writes commute with the scalar loop's order.
+        """
+        np = soa.require_numpy()
+        num_objects = int(okeys.shape[0])
+        num_slots = len(table.keys)
+        if trace is not None:
+            trace.record("scan", num_objects, num_slots)
+        if isinstance(lookup, np.ndarray):
+            look = lookup.astype(np.int64, copy=False)
+        else:
+            look = np.asarray([list(row) for row in lookup], dtype=np.int64)
         if trace is not None:
             for o in range(num_objects):
                 trace.record("scan_slot", o, tuple(int(x) for x in look[o]))
-        okeys = soa.int_column(obj_keys)
-        ovals, _ = soa.values_to_matrix(list(obj_values), value_size)
         tkeys = soa.int_column(table.keys)
         tocc = soa.bit_column(table.occupied)
         twrite = soa.bit_column(table.is_write)
         tperm = soa.bit_column(table.permitted)
+        value_size = int(ovals.shape[1])
         tvals, thas = soa.values_to_matrix(table.values, value_size)
         match = tocc[look] & (tkeys[look] == okeys[:, None])
         # Write path: the object's new value is the matched write payload.
@@ -467,11 +549,8 @@ class NumpyKernel(Kernel):
             matched[m_slot] = 1
             resp_vals[m_slot] = ovals[m_obj]
             resp_has[m_slot] = True
-        new_values = soa.matrix_to_values(
-            new_ovals, np.ones(num_objects, dtype=bool)
-        )
         responses = soa.matrix_to_values(resp_vals, resp_has)
-        return new_values, [int(b) for b in matched], responses
+        return new_ovals, [int(b) for b in matched], responses
 
 
 #: Singleton kernel instances, keyed by selector name.

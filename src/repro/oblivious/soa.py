@@ -85,3 +85,65 @@ def matrix_to_values(matrix, has) -> List[Optional[bytes]]:
         raw[i * value_size : (i + 1) * value_size] if has[i] else None
         for i in range(n)
     ]
+
+
+def buffer_to_matrix(buf, row_size: int):
+    """View a contiguous row-major byte buffer as a writable uint8 matrix.
+
+    The zero-copy complement of :func:`values_to_matrix` used by the
+    encrypted store's batch path: N fixed-width rows packed back to back
+    become an ``(N, row_size)`` array without per-row byte objects.
+    """
+    np = require_numpy()
+    flat = np.frombuffer(bytes(buf), dtype=np.uint8)
+    if row_size <= 0 or flat.size % row_size:
+        raise ValueError(
+            f"buffer of {flat.size} bytes is not a whole number of "
+            f"{row_size}-byte rows"
+        )
+    return flat.reshape(flat.size // row_size, row_size).copy()
+
+
+def keys_to_prefix(keys):
+    """Encode an int64 key column as (N, 16) big-endian signed bytes.
+
+    Row ``i`` is byte-identical to ``int(keys[i]).to_bytes(16, "big",
+    signed=True)`` — the store's scalar plaintext prefix — produced as
+    two vectorized int64 lanes (sign-extension high half + value low
+    half) instead of N ``to_bytes`` calls.
+    """
+    np = require_numpy()
+    keys = np.asarray(keys, dtype=np.int64)
+    n = keys.shape[0]
+    out = np.empty((n, 16), dtype=np.uint8)
+    hi = np.where(keys < 0, np.int64(-1), np.int64(0))
+    out[:, :8] = hi.astype(">i8").view(np.uint8).reshape(n, 8)
+    out[:, 8:] = keys.astype(">i8").view(np.uint8).reshape(n, 8)
+    return out
+
+
+def prefix_to_keys(prefix):
+    """Decode (N, 16) big-endian signed key prefixes to an int64 column.
+
+    Inverse of :func:`keys_to_prefix`.  Keys beyond the int64 range
+    cannot be represented in the SoA layout, so a high half that is not
+    the sign extension of the low half raises ``ValueError`` (the scalar
+    path should be used for such keys).
+    """
+    np = require_numpy()
+    n = prefix.shape[0]
+    hi = (
+        np.ascontiguousarray(prefix[:, :8])
+        .view(">i8")
+        .reshape(n)
+        .astype(np.int64)
+    )
+    lo = (
+        np.ascontiguousarray(prefix[:, 8:])
+        .view(">i8")
+        .reshape(n)
+        .astype(np.int64)
+    )
+    if not np.array_equal(hi, np.where(lo < 0, np.int64(-1), np.int64(0))):
+        raise ValueError("key prefix exceeds the int64 SoA key range")
+    return lo

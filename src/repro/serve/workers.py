@@ -102,6 +102,7 @@ def worker_main(
     port_pipe,
     snapshot_path: str,
     crash_after: Optional[int] = None,
+    crypto: str = "batched",
 ) -> None:
     """One subORAM worker process: accept, handshake, serve frames.
 
@@ -141,6 +142,7 @@ def worker_main(
                         value_size,
                         security_parameter=security_parameter,
                         kernel=kernel,
+                        crypto=crypto,
                     )
                     suboram.initialize({
                         entry.key: entry.value
@@ -310,11 +312,13 @@ class WorkerCluster:
         snapshot_dir: Optional[str] = None,
         telemetry=None,
         crash_plan: Optional[Dict[int, int]] = None,
+        crypto: str = "batched",
     ):
         self.num_workers = num_workers
         self.value_size = value_size
         self.security_parameter = security_parameter
         self.kernel = kernel
+        self.crypto = crypto
         self.telemetry = resolve_telemetry(telemetry)
         self._owns_snapshot_dir = snapshot_dir is None
         self._snapshot_dir = (
@@ -467,6 +471,7 @@ class WorkerCluster:
                 child_pipe,
                 self._snapshot_path(index),
                 self._crash_plan.pop(index, None),
+                self.crypto,
             ),
             daemon=True,
             name=f"snoopy-worker-{index}",

@@ -3,29 +3,106 @@
 The paper keeps bulk data in untrusted memory: "The enclave encrypts
 objects (for confidentiality) and stores digests of the contents inside
 the enclave (for integrity)."  :class:`EncryptedStore` models exactly
-that: a host-side array of AEAD ciphertexts plus an enclave-side digest
-per physical slot.  Reads authenticate; any host tampering raises
+that: host-side AEAD ciphertexts plus enclave-side integrity metadata.
+Reads authenticate; any host tampering raises
 :class:`~repro.errors.IntegrityError`.
+
+Zero-copy layout
+================
+
+The store is a structure of arrays: the host side is two contiguous
+buffers (all nonces back to back, all fixed-size ``ciphertext || tag``
+blobs back to back) rather than a Python list of per-slot tuples.  That
+single decision is what the whole batched hot path hangs off:
+
+* :meth:`EncryptedStore.get_batch` authenticates and decrypts the entire
+  store in one pass — one SHA-256 over the whole ciphertext buffer
+  (instead of one digest per slot), one batched AEAD open
+  (:meth:`~repro.crypto.aead.AeadKey.open_batch_buffer`), one NumPy
+  reshape into the ``(num_slots, value_size)`` value matrix the
+  vectorized scan kernel consumes.  No per-slot Python call, no
+  per-object tuples.
+* :meth:`EncryptedStore.put_batch` is the mirror image for the
+  write-back: fresh nonces for every slot from a single ``os.urandom``
+  call, one batched seal straight into the host buffer, one whole-buffer
+  digest pinned in the enclave.
+* Pickling uses out-of-band :class:`pickle.PickleBuffer` views of the
+  contiguous buffers (protocol 5), so process-backend state shipping
+  never copies slot payloads through per-object pickle opcodes — and can
+  hand the buffers to ``multiprocessing.shared_memory`` untouched (see
+  :mod:`repro.exec.shipping`).
+
+Integrity bookkeeping across both paths
+=======================================
+
+The enclave pins, per slot, the last nonce *it* wrote; freshness never
+depends on host-held data.  Scalar writes additionally keep the seed
+implementation's per-slot SHA-256 digest; batched writes keep one digest
+of the whole ciphertext buffer instead.  Reads then verify, in order:
+the pinned nonce (rollback detection), the freshest digest covering the
+slot (tamper detection at memcmp cost), and finally the AEAD tag bound
+to the slot index via associated data (cross-slot splicing detection).
+A batch read counts the bytes it verified into the
+``snoopy_store_verified_bytes_total`` telemetry counter.
+
+The scalar ``put``/``get`` path is byte-compatible with the seed
+implementation and remains the audited oracle; instrumented subclasses
+that override ``put``/``get`` (e.g. the test harness's ``TracingStore``)
+automatically disable the batch fast path (``supports_batch`` is False),
+so per-slot access traces keep meaning what they always meant.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List
+import pickle
+from typing import List, Optional, Sequence
 
 from repro.crypto.aead import AeadKey, NONCE_LEN, digest
 from repro.errors import CapacityError, IntegrityError
+from repro.oblivious import soa
+from repro.telemetry import NULL_TELEMETRY
 from repro.utils.validation import require
+
+_DIGEST_LEN = 32
+
+#: Store attributes held as contiguous buffers and pickled out-of-band.
+_BUFFER_FIELDS = (
+    "_host_nonces",
+    "_host_blobs",
+    "_pinned_nonces",
+    "_written",
+    "_slot_digests",
+    "_digest_fresh",
+)
+
+
+def _rebuild_store(cls, state: dict, *buffers):
+    """Reassemble a store from out-of-band pickle buffers.
+
+    The buffers may be views into a shared-memory segment that the
+    sender will reuse, so each one is copied into a fresh ``bytearray``
+    here — the rebuilt store must never alias transport memory.
+    """
+    store = cls.__new__(cls)
+    store.__dict__.update(state)
+    for name, buf in zip(_BUFFER_FIELDS, buffers):
+        store.__dict__[name] = bytearray(buf)
+    store._slot_aads = None
+    store.telemetry = NULL_TELEMETRY
+    return store
 
 
 class EncryptedStore:
-    """Fixed-slot encrypted store with per-slot in-enclave digests.
+    """Fixed-slot encrypted store over contiguous host buffers.
 
     Slot payloads are ``(key, value)`` pairs serialized as
     ``key(16 bytes, signed) || value``.  Every write re-encrypts under a
     fresh nonce so ciphertexts never repeat even for unchanged plaintext —
     this is what lets the subORAM's write-back scan hide which objects a
-    batch modified.
+    batch modified.  ``put``/``get`` are the scalar per-slot oracle;
+    ``put_batch``/``get_batch`` move the same bytes through one
+    vectorized pass per epoch (see the module docstring).
     """
 
     def __init__(self, encryption_key: bytes, num_slots: int, value_size: int):
@@ -34,10 +111,30 @@ class EncryptedStore:
         self._aead = AeadKey(encryption_key)
         self.num_slots = num_slots
         self.value_size = value_size
-        # Host-visible ciphertexts (nonce, blob) and enclave-held digests.
-        self._host: List[tuple] = [None] * num_slots
-        self._digests: List[bytes] = [b""] * num_slots
+        #: Plaintext bytes per slot: 16-byte signed key prefix + value.
+        self.plain_size = 16 + value_size
+        #: Host ciphertext bytes per slot (uniform: plaintext + tag).
+        self.slot_size = self.plain_size + 32
+        # Host-visible contiguous buffers (untrusted memory).
+        self._host_nonces = bytearray(num_slots * NONCE_LEN)
+        self._host_blobs = bytearray(num_slots * self.slot_size)
+        # Host tampering with a non-uniform-length blob cannot live in the
+        # fixed-width buffer; it is tracked here and rejected on read.
+        self._odd_blobs: dict = {}
+        # Enclave-held integrity metadata.
+        self._pinned_nonces = bytearray(num_slots * NONCE_LEN)
+        self._written = bytearray(num_slots)
+        self._slot_digests = bytearray(num_slots * _DIGEST_LEN)
+        self._digest_fresh = bytearray(num_slots)
+        self._buffer_digest: Optional[bytes] = None
+        # Lazily built per-slot associated data (slot index, 8 bytes BE).
+        self._slot_aads: Optional[List[bytes]] = None
+        #: Telemetry handle; the owning subORAM attaches its live handle.
+        self.telemetry = NULL_TELEMETRY
 
+    # ------------------------------------------------------------------
+    # Scalar path (the audited oracle)
+    # ------------------------------------------------------------------
     def put(self, slot: int, key: int, value: bytes) -> None:
         """Encrypt and store an object, refreshing the slot digest.
 
@@ -50,36 +147,270 @@ class EncryptedStore:
             raise CapacityError(
                 f"value must be exactly {self.value_size} bytes, got {len(value)}"
             )
+        require(0 <= slot < self.num_slots, f"slot {slot} out of range")
         plaintext = key.to_bytes(16, "big", signed=True) + value
         nonce = os.urandom(NONCE_LEN)
         blob = self._aead.seal(nonce, plaintext, aad=slot.to_bytes(8, "big"))
-        self._host[slot] = (nonce, blob)
-        self._digests[slot] = digest(blob)
+        nrow = slot * NONCE_LEN
+        self._host_nonces[nrow : nrow + NONCE_LEN] = nonce
+        brow = slot * self.slot_size
+        self._host_blobs[brow : brow + self.slot_size] = blob
+        self._odd_blobs.pop(slot, None)
+        self._pinned_nonces[nrow : nrow + NONCE_LEN] = nonce
+        self._written[slot] = 1
+        drow = slot * _DIGEST_LEN
+        self._slot_digests[drow : drow + _DIGEST_LEN] = digest(blob)
+        self._digest_fresh[slot] = 1
+        # A scalar write invalidates the whole-buffer digest; the next
+        # batch read falls back to per-slot verification and re-pins it.
+        self._buffer_digest = None
 
     def get(self, slot: int) -> tuple:
         """Fetch, authenticate, and decrypt slot contents; returns (key, value)."""
-        stored = self._host[slot]
-        if stored is None:
+        require(0 <= slot < self.num_slots, f"slot {slot} out of range")
+        if not self._written[slot]:
             raise IntegrityError(f"slot {slot} was never written")
-        nonce, blob = stored
-        if digest(blob) != self._digests[slot]:
-            raise IntegrityError(f"slot {slot} ciphertext digest mismatch")
+        nonce, blob = self._host_slot(slot)
+        self._verify_slot(slot, nonce, blob)
         plaintext = self._aead.open(nonce, blob, aad=slot.to_bytes(8, "big"))
         key = int.from_bytes(plaintext[:16], "big", signed=True)
         return key, plaintext[16:]
 
+    def _host_slot(self, slot: int) -> tuple:
+        """The (nonce, blob) pair currently held by the untrusted host."""
+        nrow = slot * NONCE_LEN
+        nonce = bytes(self._host_nonces[nrow : nrow + NONCE_LEN])
+        if slot in self._odd_blobs:
+            return nonce, self._odd_blobs[slot]
+        brow = slot * self.slot_size
+        return nonce, bytes(self._host_blobs[brow : brow + self.slot_size])
+
+    def _verify_slot(self, slot: int, nonce: bytes, blob: bytes) -> None:
+        """Enclave-side freshness + integrity checks for one slot."""
+        nrow = slot * NONCE_LEN
+        if nonce != bytes(self._pinned_nonces[nrow : nrow + NONCE_LEN]):
+            raise IntegrityError(
+                f"slot {slot} nonce does not match the enclave-pinned nonce"
+            )
+        if self._digest_fresh[slot]:
+            drow = slot * _DIGEST_LEN
+            if digest(blob) != bytes(
+                self._slot_digests[drow : drow + _DIGEST_LEN]
+            ):
+                raise IntegrityError(
+                    f"slot {slot} ciphertext digest mismatch"
+                )
+
+    # ------------------------------------------------------------------
+    # Batched path (one vectorized pass over the whole store)
+    # ------------------------------------------------------------------
+    @property
+    def supports_batch(self) -> bool:
+        """Whether the batch fast path preserves this instance's semantics.
+
+        False for subclasses or instances that override the scalar
+        ``put``/``get`` (instrumented stores must see every per-slot
+        access), and when NumPy is unavailable.  Callers fall back to
+        the scalar loop.
+        """
+        if "get" in self.__dict__ or "put" in self.__dict__:
+            return False
+        cls = type(self)
+        return (
+            soa.HAS_NUMPY
+            and cls.get is EncryptedStore.get
+            and cls.put is EncryptedStore.put
+        )
+
+    def _aads(self) -> List[bytes]:
+        if self._slot_aads is None:
+            self._slot_aads = [
+                slot.to_bytes(8, "big") for slot in range(self.num_slots)
+            ]
+        return self._slot_aads
+
+    def _nonce_list(self, raw: bytes) -> List[bytes]:
+        return [
+            raw[i * NONCE_LEN : (i + 1) * NONCE_LEN]
+            for i in range(self.num_slots)
+        ]
+
+    def put_batch(self, keys: Sequence[int], values) -> None:
+        """Re-encrypt and store every slot in one batched pass.
+
+        ``keys`` is the per-slot object key column (one entry per slot,
+        in slot order) and ``values`` either a ``(num_slots, value_size)``
+        uint8 matrix or a list of ``value_size``-byte strings.  Fresh
+        nonces for all slots come from a single ``os.urandom`` call; the
+        seal runs through :meth:`~repro.crypto.aead.AeadKey.
+        seal_batch_buffer` straight into the contiguous host buffer, and
+        the enclave pins one digest of the whole buffer.  Byte movement:
+        ``num_slots * slot_size`` through one vectorized pass, counted in
+        ``snoopy_store_bytes_moved_total{op="seal"}``.
+        """
+        n = self.num_slots
+        if len(keys) != n:
+            raise ValueError(f"{len(keys)} keys for {n} slots")
+        if not self.supports_batch:
+            for slot, key in enumerate(keys):
+                value = values[slot]
+                self.put(slot, int(key), bytes(value))
+            return
+        np = soa.require_numpy()
+        if isinstance(values, np.ndarray):
+            matrix = values
+            if matrix.shape != (n, self.value_size):
+                raise CapacityError(
+                    f"value matrix shape {matrix.shape} != "
+                    f"({n}, {self.value_size})"
+                )
+        else:
+            try:
+                matrix, has = soa.values_to_matrix(
+                    list(values), self.value_size
+                )
+            except ValueError as exc:
+                raise CapacityError(str(exc)) from None
+            if not bool(has.all()) and n:
+                raise CapacityError("put_batch values must all be present")
+        plain = np.empty((n, self.plain_size), dtype=np.uint8)
+        plain[:, :16] = soa.keys_to_prefix(keys)
+        plain[:, 16:] = matrix
+        raw_nonces = os.urandom(n * NONCE_LEN)
+        blobs, _ = self._aead.seal_batch_buffer(
+            self._nonce_list(raw_nonces),
+            (plain.tobytes(), self.plain_size),
+            self._aads(),
+        )
+        self._host_blobs[:] = blobs
+        self._host_nonces[:] = raw_nonces
+        self._odd_blobs.clear()
+        self._pinned_nonces[:] = raw_nonces
+        self._written[:] = b"\x01" * n
+        self._digest_fresh[:] = b"\x00" * n
+        self._buffer_digest = digest(bytes(self._host_blobs))
+        self.telemetry.counter("snoopy_aead_seal_batch_total").inc()
+        self.telemetry.counter(
+            "snoopy_store_bytes_moved_total", op="seal"
+        ).inc(n * self.slot_size)
+
+    def get_batch(self) -> tuple:
+        """Authenticate and decrypt the whole store in one batched pass.
+
+        Returns ``(keys, values)``: the int64 key column and the
+        ``(num_slots, value_size)`` uint8 value matrix, both in slot
+        order — exactly the SoA inputs of
+        :meth:`~repro.oblivious.kernels.NumpyKernel.scan_soa`.  Integrity
+        comes from (in order) the enclave-pinned nonces (rollback), one
+        digest pass over the contiguous ciphertext buffer — or the
+        per-slot digests where fresher — (tamper at memcmp cost, counted
+        in ``snoopy_store_verified_bytes_total``), and every slot's AEAD
+        tag (splicing).  Raises :class:`IntegrityError` on any deviation,
+        including non-uniform ciphertext lengths.
+        """
+        if not self.supports_batch:
+            raise RuntimeError(
+                "get_batch requires NumPy and the unmodified scalar path; "
+                "use per-slot get()"
+            )
+        n = self.num_slots
+        missing = self._written.find(0)
+        if missing >= 0:
+            raise IntegrityError(f"slot {missing} was never written")
+        if self._odd_blobs:
+            raise IntegrityError(
+                f"slot {min(self._odd_blobs)} ciphertext length deviates "
+                "from the uniform slot size"
+            )
+        raw_nonces = bytes(self._host_nonces)
+        if raw_nonces != bytes(self._pinned_nonces):
+            bad = next(
+                slot
+                for slot in range(n)
+                if raw_nonces[slot * NONCE_LEN : (slot + 1) * NONCE_LEN]
+                != bytes(
+                    self._pinned_nonces[
+                        slot * NONCE_LEN : (slot + 1) * NONCE_LEN
+                    ]
+                )
+            )
+            raise IntegrityError(
+                f"slot {bad} nonce does not match the enclave-pinned nonce"
+            )
+        blob_buf = bytes(self._host_blobs)
+        if self._buffer_digest is not None:
+            if digest(blob_buf) != self._buffer_digest:
+                raise IntegrityError("store ciphertext buffer digest mismatch")
+            self.telemetry.counter("snoopy_store_verified_bytes_total").inc(
+                len(blob_buf)
+            )
+        else:
+            # Mixed state after scalar writes: verify the slots that still
+            # carry fresh per-slot digests the scalar way.
+            for slot in range(n):
+                if self._digest_fresh[slot]:
+                    brow = slot * self.slot_size
+                    blob = blob_buf[brow : brow + self.slot_size]
+                    drow = slot * _DIGEST_LEN
+                    if digest(blob) != bytes(
+                        self._slot_digests[drow : drow + _DIGEST_LEN]
+                    ):
+                        raise IntegrityError(
+                            f"slot {slot} ciphertext digest mismatch"
+                        )
+        plain_buf, plain_size = self._aead.open_batch_buffer(
+            self._nonce_list(raw_nonces),
+            (blob_buf, self.slot_size),
+            self._aads(),
+        )
+        self.telemetry.counter("snoopy_aead_open_batch_total").inc()
+        self.telemetry.counter(
+            "snoopy_store_bytes_moved_total", op="open"
+        ).inc(len(blob_buf))
+        plain = soa.buffer_to_matrix(plain_buf, plain_size)
+        keys = soa.prefix_to_keys(plain[:, :16])
+        return keys, plain[:, 16:]
+
+    # ------------------------------------------------------------------
+    # Out-of-band pickling (protocol 5): buffers ship without copies.
+    # ------------------------------------------------------------------
+    def __reduce_ex__(self, protocol):
+        if protocol < 5:
+            return super().__reduce_ex__(protocol)
+        state = {
+            name: value
+            for name, value in self.__dict__.items()
+            if name not in _BUFFER_FIELDS
+            and name not in ("_slot_aads", "telemetry")
+        }
+        buffers = tuple(
+            pickle.PickleBuffer(self.__dict__[name])
+            for name in _BUFFER_FIELDS
+        )
+        return (_rebuild_store, (type(self), state) + buffers)
+
     # ------------------------------------------------------------------
     # Host-attack surface, used by integrity tests.
     # ------------------------------------------------------------------
-    def host_ciphertext(self, slot: int) -> tuple:
+    def host_ciphertext(self, slot: int) -> Optional[tuple]:
         """What the untrusted host sees for a slot."""
-        return self._host[slot]
+        if not self._written[slot] and slot not in self._odd_blobs:
+            return None
+        return self._host_slot(slot)
 
     def host_tamper(self, slot: int, blob: bytes) -> None:
         """Simulate the host overwriting a ciphertext."""
-        nonce, _ = self._host[slot]
-        self._host[slot] = (nonce, blob)
+        blob = bytes(blob)
+        if len(blob) == self.slot_size:
+            brow = slot * self.slot_size
+            self._host_blobs[brow : brow + self.slot_size] = blob
+            self._odd_blobs.pop(slot, None)
+        else:
+            self._odd_blobs[slot] = blob
 
     def host_rollback(self, slot: int, old: tuple) -> None:
         """Simulate the host replaying an old (nonce, blob) pair."""
-        self._host[slot] = old
+        nonce, blob = old
+        nrow = slot * NONCE_LEN
+        self._host_nonces[nrow : nrow + NONCE_LEN] = nonce
+        self.host_tamper(slot, blob)

@@ -44,7 +44,19 @@ class SubOram:
             :mod:`repro.oblivious.kernels`).  The python kernel runs the
             audited scalar Figure 19 loop; the numpy kernel runs the
             structure-of-arrays scan with byte-identical results.
+        crypto: store-crypto selector: ``"scalar"`` seals/opens one slot
+            per AEAD call (the audited oracle); ``"batched"`` (default)
+            moves whole-store reads and the write-back re-encryption
+            through one batched pass per epoch
+            (:meth:`~repro.suboram.store.EncryptedStore.get_batch` /
+            ``put_batch``) with byte-identical responses.  Batched mode
+            silently degrades to the scalar path when the vectorized
+            prerequisites are absent (python kernel, no NumPy, or an
+            instrumented store subclass).
     """
+
+    #: Valid store-crypto selectors.
+    CRYPTO_MODES = ("scalar", "batched")
 
     def __init__(
         self,
@@ -53,12 +65,19 @@ class SubOram:
         keychain: Optional[KeyChain] = None,
         security_parameter: int = 128,
         kernel=None,
+        crypto: str = "batched",
     ):
         require_positive(value_size, "value_size")
+        require(
+            crypto in self.CRYPTO_MODES,
+            f"unknown crypto mode {crypto!r}; valid modes: "
+            f"{list(self.CRYPTO_MODES)}",
+        )
         self.suboram_id = suboram_id
         self.value_size = value_size
         self.security_parameter = security_parameter
         self.kernel = resolve_kernel(kernel)
+        self.crypto = crypto
         self._keychain = keychain if keychain is not None else KeyChain()
         self._store: Optional[EncryptedStore] = None
         self._keys: List[int] = []  # physical slot -> object key (scan order)
@@ -80,13 +99,20 @@ class SubOram:
         self._store = EncryptedStore(
             storage_key, num_slots=len(self._keys), value_size=self.value_size
         )
-        for slot, key in enumerate(self._keys):
+        self._store.telemetry = self.telemetry
+        values = []
+        for key in self._keys:
             value = objects[key]
             require(
                 len(value) == self.value_size,
                 f"object {key} has size {len(value)}, expected {self.value_size}",
             )
-            self._store.put(slot, key, value)
+            values.append(value)
+        if self.crypto == "batched" and self._store.supports_batch:
+            self._store.put_batch(self._keys, values)
+        else:
+            for slot, (key, value) in enumerate(zip(self._keys, values)):
+                self._store.put(slot, key, value)
 
     @property
     def num_objects(self) -> int:
@@ -144,6 +170,9 @@ class SubOram:
 
         self._epoch += 1
         self._state_version += 1
+        # Re-attach the live telemetry handle: a store that crossed a
+        # process boundary came back with the null handle.
+        self._store.telemetry = self.telemetry
         if batch_key is None:
             batch_key = self._keychain.batch_key(self.suboram_id, self._epoch)
 
@@ -230,19 +259,32 @@ class SubOram:
     ) -> Dict[int, int]:
         """The structure-of-arrays Figure 19 scan (numpy kernel).
 
-        Reads every slot in fixed order, packs the table into a
-        :class:`~repro.oblivious.kernels.ScanTable`, runs the kernel's
-        branchless masked scan across the whole batch dimension, then
-        rewrites (re-encrypts) every slot in fixed order.  Outputs are
-        byte-identical to :meth:`_scan_reference`.
+        In batched-crypto mode the whole store is authenticated,
+        decrypted, scanned, and re-encrypted through four vectorized
+        passes (``get_batch`` → ``lookup_matrix`` → ``scan_soa`` →
+        ``put_batch``) with no per-slot Python call.  In scalar mode the
+        same kernel core runs between per-slot ``get``/``put`` calls —
+        the audited per-slot crypto oracle.  Outputs are byte-identical
+        to :meth:`_scan_reference` either way.
         """
-        obj_keys: List[int] = []
-        obj_values: List[bytes] = []
-        for slot in range(self.num_objects):
-            obj_key, obj_value = self._store.get(slot)
-            obj_keys.append(obj_key)
-            obj_values.append(obj_value)
-        lookup = [table.bucket_slot_indices(key) for key in obj_keys]
+        store = self._store
+        batched = (
+            self.crypto == "batched"
+            and store.supports_batch
+            and hasattr(self.kernel, "scan_soa")
+        )
+        if batched:
+            okeys, ovals = store.get_batch()
+            obj_keys = okeys.tolist()
+            lookup = table.lookup_matrix(obj_keys)
+        else:
+            obj_keys = []
+            obj_values: List[bytes] = []
+            for slot in range(self.num_objects):
+                obj_key, obj_value = store.get(slot)
+                obj_keys.append(obj_key)
+                obj_values.append(obj_value)
+            lookup = [table.bucket_slot_indices(key) for key in obj_keys]
         slots = table.slots
         scan_table = ScanTable(
             keys=[0 if s.item is None else s.item.key for s in slots],
@@ -259,16 +301,24 @@ class SubOram:
         kernel_trace = (
             TimedKernelTrace() if self.telemetry.enabled else None
         )
-        new_values, slot_matched, responses = self.kernel.scan(
-            obj_keys, obj_values, self.value_size, lookup, scan_table,
-            trace=kernel_trace,
-        )
+        if batched:
+            new_ovals, slot_matched, responses = self.kernel.scan_soa(
+                okeys, ovals, lookup, scan_table, trace=kernel_trace
+            )
+        else:
+            new_values, slot_matched, responses = self.kernel.scan(
+                obj_keys, obj_values, self.value_size, lookup, scan_table,
+                trace=kernel_trace,
+            )
         if kernel_trace is not None:
             flush_kernel_trace(
                 self.telemetry.registry, kernel_trace, self.kernel.name
             )
-        for slot in range(self.num_objects):
-            self._store.put(slot, obj_keys[slot], new_values[slot])
+        if batched:
+            store.put_batch(obj_keys, new_ovals)
+        else:
+            for slot in range(self.num_objects):
+                store.put(slot, obj_keys[slot], new_values[slot])
         matched: Dict[int, int] = {id(entry): 0 for entry in batch}
         for index, table_slot in enumerate(slots):
             entry = table_slot.item

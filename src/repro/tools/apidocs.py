@@ -35,6 +35,10 @@ GUIDES = [
         "The network front door",
         ("repro.serve", "repro.serve.server", "repro.serve.workers"),
     ),
+    (
+        "Batched crypto & zero-copy state",
+        ("repro.crypto.aead", "repro.suboram.store", "repro.exec.shipping"),
+    ),
 ]
 
 

@@ -8,10 +8,15 @@ carried a private copy of the same drivers (tracing stores, seeded
 workloads, store builders).  They now share this harness, and the
 matrix test (``test_harness.py``) runs the full cross product
 
-    {serial, thread, process} x {python, numpy} x {fault-free, FaultPlan}
+    {serial, thread, process} x {python, numpy} x {scalar, batched}
+        x {fault-free, FaultPlan}
 
 asserting byte-identical responses and identical workload-invariant
-public telemetry for every cell.
+public telemetry for every cell.  The crypto axis is the store-crypto
+selector of :class:`~repro.core.config.SnoopyConfig`: ``"scalar"`` seals
+one slot per AEAD call (the audited oracle), ``"batched"`` re-encrypts
+the whole store in one vectorized pass per epoch — the matrix proves
+the two serve identical bytes on every backend.
 
 Key pieces:
 
@@ -165,6 +170,7 @@ def build_store(
     master: bytes,
     objects: Dict[int, bytes],
     kernel: str = "python",
+    crypto: str = "batched",
     plan=None,
     replication=None,
     max_attempts: int = 1,
@@ -189,6 +195,7 @@ def build_store(
         security_parameter=security_parameter,
         execution_backend=backend,
         kernel=kernel,
+        crypto=crypto,
         epoch_max_attempts=max_attempts,
         replication=replication,
         telemetry=telemetry,
@@ -258,6 +265,7 @@ class RunResult:
     Attributes:
         backend: the execution-backend spec of this cell.
         kernel: the oblivious-kernel name of this cell.
+        crypto: the store-crypto mode (``"scalar"`` or ``"batched"``).
         plan_name: the fault-plan label (``"fault-free"`` or a label the
             caller chose).
         responses: per-epoch response lists, in epoch order.
@@ -271,6 +279,7 @@ class RunResult:
 
     backend: str
     kernel: str
+    crypto: str
     plan_name: str
     responses: list
     results: list
@@ -279,9 +288,9 @@ class RunResult:
     fault_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
-    def key(self) -> Tuple[str, str, str]:
-        """The cell's (backend, kernel, plan_name) matrix coordinate."""
-        return (self.backend, self.kernel, self.plan_name)
+    def key(self) -> Tuple[str, str, str, str]:
+        """The cell's (backend, kernel, crypto, plan_name) coordinate."""
+        return (self.backend, self.kernel, self.crypto, self.plan_name)
 
 
 def _invariant_subset(public: Dict[str, float]) -> Dict[str, float]:
@@ -300,6 +309,7 @@ def differential_run(
     master: bytes,
     backends: Sequence[str] = ("serial", "thread:4", "process:2"),
     kernels: Sequence[str] = ("python", "numpy"),
+    cryptos: Sequence[str] = ("batched",),
     fault_plans: Sequence[Tuple[str, object]] = (("fault-free", None),),
     replication=None,
     fault_max_attempts: int = 4,
@@ -319,50 +329,57 @@ def differential_run(
     :func:`run_workload`); cell results remain directly comparable to a
     sequential run's.
 
-    Returns the cells in matrix order — plans outermost, then kernels,
-    then backends — so ``results[0]`` is the fault-free reference cell
-    when ``backends``/``kernels``/``fault_plans`` keep their defaults.
+    Returns the cells in matrix order — plans outermost, then cryptos,
+    then kernels, then backends — so ``results[0]`` is the fault-free
+    reference cell when the axes keep their defaults, and the scalar
+    (oracle-crypto) cells come first when ``cryptos=("scalar",
+    "batched")``.
     """
+    cells = [
+        (plan_name, plan_spec, crypto, kernel, backend)
+        for plan_name, plan_spec in fault_plans
+        for crypto in cryptos
+        for kernel in kernels
+        for backend in backends
+    ]
     results = []
-    for plan_name, plan_spec in fault_plans:
-        for kernel in kernels:
-            for backend in backends:
-                plan = plan_spec() if callable(plan_spec) else plan_spec
-                telemetry = Telemetry()
-                store = build_store(
-                    backend,
-                    master=master,
-                    objects=dict(objects),
-                    kernel=kernel,
-                    plan=plan,
-                    replication=replication if plan is not None else None,
-                    max_attempts=(
-                        fault_max_attempts if plan is not None else 1
-                    ),
-                    value_size=value_size,
-                    telemetry=telemetry,
-                    **build_kwargs,
-                )
-                try:
-                    responses, tickets = run_workload(
-                        store,
-                        workload,
-                        pipelined=pipelined,
-                        pipeline_depth=pipeline_depth,
-                    )
-                    public = telemetry.registry.public_snapshot()
-                    results.append(RunResult(
-                        backend=backend,
-                        kernel=kernel,
-                        plan_name=plan_name,
-                        responses=responses,
-                        results=[ticket.result() for ticket in tickets],
-                        invariant_metrics=_invariant_subset(public),
-                        public_metrics=public,
-                        fault_stats=dict(store.fault_stats),
-                    ))
-                finally:
-                    store.close()
+    for plan_name, plan_spec, crypto, kernel, backend in cells:
+        plan = plan_spec() if callable(plan_spec) else plan_spec
+        telemetry = Telemetry()
+        store = build_store(
+            backend,
+            master=master,
+            objects=dict(objects),
+            kernel=kernel,
+            crypto=crypto,
+            plan=plan,
+            replication=replication if plan is not None else None,
+            max_attempts=fault_max_attempts if plan is not None else 1,
+            value_size=value_size,
+            telemetry=telemetry,
+            **build_kwargs,
+        )
+        try:
+            responses, tickets = run_workload(
+                store,
+                workload,
+                pipelined=pipelined,
+                pipeline_depth=pipeline_depth,
+            )
+            public = telemetry.registry.public_snapshot()
+            results.append(RunResult(
+                backend=backend,
+                kernel=kernel,
+                crypto=crypto,
+                plan_name=plan_name,
+                responses=responses,
+                results=[ticket.result() for ticket in tickets],
+                invariant_metrics=_invariant_subset(public),
+                public_metrics=public,
+                fault_stats=dict(store.fault_stats),
+            ))
+        finally:
+            store.close()
     return results
 
 

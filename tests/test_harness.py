@@ -2,11 +2,15 @@
 
 Runs one seeded workload through the full cross product
 
-    {serial, thread, process} x {python, numpy} x {fault-free, FaultPlan}
+    {serial, thread, process} x {python, numpy} x {scalar, batched}
+        x {fault-free, FaultPlan}
 
 via :func:`tests.harness.differential_run` and asserts every cell's
 responses, resolved tickets, and workload-invariant public telemetry
-match the fault-free serial/python reference cell exactly.
+match the fault-free serial/python/scalar reference cell exactly.  The
+scalar cells seal one slot per AEAD call (the audited oracle); the
+batched cells re-encrypt the whole store in one vectorized pass — so a
+matrix pass is a proof that batching changed throughput, not bytes.
 """
 
 import pytest
@@ -36,11 +40,12 @@ CHAOS_PLAN = FaultPlan([
 
 @pytest.fixture(scope="module")
 def matrix():
-    """All 12 cells of the (backend, kernel, plan) cross product."""
+    """All 24 cells of the (backend, kernel, crypto, plan) cross product."""
     return differential_run(
         WORKLOAD,
         OBJECTS,
         master=MASTER,
+        cryptos=("scalar", "batched"),
         fault_plans=(
             ("fault-free", None),
             # Callable: each cell consumes its own injector cursor.
@@ -51,18 +56,20 @@ def matrix():
 
 def test_matrix_covers_every_cell(matrix):
     keys = {run.key for run in matrix}
-    assert len(keys) == len(matrix) == 12
-    backends = {backend for backend, _, _ in keys}
-    kernels = {kernel for _, kernel, _ in keys}
-    plans = {plan for _, _, plan in keys}
+    assert len(keys) == len(matrix) == 24
+    backends = {backend for backend, _, _, _ in keys}
+    kernels = {kernel for _, kernel, _, _ in keys}
+    cryptos = {crypto for _, _, crypto, _ in keys}
+    plans = {plan for _, _, _, plan in keys}
     assert backends == {"serial", "thread:4", "process:2"}
     assert kernels == {"python", "numpy"}
+    assert cryptos == {"scalar", "batched"}
     assert plans == {"fault-free", "chaos"}
 
 
 def test_all_cells_equivalent_to_reference(matrix):
     reference = matrix[0]
-    assert reference.key == ("serial", "python", "fault-free")
+    assert reference.key == ("serial", "python", "scalar", "fault-free")
     assert_equivalent(matrix, reference)
 
 
@@ -80,6 +87,31 @@ def test_invariant_metrics_are_populated(matrix):
         # Every declared invariant series is present.
         bases = {s.split("{")[0] for s in run.invariant_metrics}
         assert bases == set(INVARIANT_METRICS)
+
+
+def test_batched_cells_actually_batched(matrix):
+    """The batched half of the matrix really used the vectorized path.
+
+    Guards against the crypto axis silently collapsing to scalar (e.g. a
+    ``supports_batch`` regression): every in-process batched cell must
+    have recorded batched seal passes, and no scalar cell may have any.
+    Process-backend cells run their seals inside workers, whose telemetry
+    handle is the pickled null — their counters legitimately stay zero.
+    """
+    seal_series = "snoopy_aead_seal_batch_total"
+
+    def seal_batches(run):
+        return sum(
+            value
+            for series, value in run.public_metrics.items()
+            if series.split("{")[0].split("#")[0] == seal_series
+        )
+
+    for run in matrix:
+        if run.crypto == "scalar":
+            assert seal_batches(run) == 0, run.key
+        elif not run.backend.startswith("process"):
+            assert seal_batches(run) > 0, run.key
 
 
 def test_chaos_cells_actually_injected_faults(matrix):

@@ -1,0 +1,255 @@
+"""Shared-memory state shipping: envelopes, segments, backend integration.
+
+Covers :mod:`repro.exec.shipping` directly (encode/decode envelopes,
+segment growth, kill switches) and through
+:class:`~repro.exec.pools.ProcessPoolBackend` (byte-identical results
+with shipping on and off, telemetry transport counters, no leaked
+``/dev/shm`` segments after close, reply-segment growth).
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.exec import shipping
+from repro.exec.pools import ProcessPoolBackend
+from repro.suboram.store import EncryptedStore
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.skipif(
+    not shipping.shm_available(), reason="no multiprocessing.shared_memory"
+)
+
+STORE_KEY = b"shipping-test-key-0123456789abcdef"
+
+
+def make_store(num_slots=1024, value_size=48):
+    """A populated store whose contiguous buffers clear SHM_MIN_BYTES."""
+    store = EncryptedStore(
+        STORE_KEY, num_slots=num_slots, value_size=value_size
+    )
+    store.put_batch(
+        list(range(num_slots)),
+        [bytes([slot % 256]) * value_size for slot in range(num_slots)],
+    )
+    return store
+
+
+def stamp(store, args):
+    """Stateful unit: write the epoch number into slot 0."""
+    store.put(0, key=args, value=bytes([args % 256]) * store.value_size)
+    return store, store.get(0)
+
+
+def grow(store, args):
+    """Stateful unit whose new state is a (possibly larger) fresh store."""
+    return make_store(num_slots=args), args
+
+
+class TestEnvelopes:
+    def test_small_messages_ride_the_pipe(self):
+        pool = shipping.RegionPool()
+        shipped = []
+        try:
+            message = ("tiny", EncryptedStore(STORE_KEY, 4, 8))
+            out = shipping.encode(
+                message, pool.ensure, on_ship=lambda t, n: shipped.append(t)
+            )
+            assert not isinstance(out, shipping.ShmShipment)
+            assert shipped == ["pipe"]
+        finally:
+            pool.close()
+
+    def test_large_store_round_trips_through_a_segment(self):
+        pool = shipping.RegionPool()
+        try:
+            store = make_store()
+            shipped = []
+            out = shipping.encode(
+                ("msg", store),
+                pool.ensure,
+                on_ship=lambda t, n: shipped.append((t, n)),
+            )
+            assert isinstance(out, shipping.ShmShipment)
+            assert shipped[0][0] == "shm"
+            assert shipped[0][1] >= store.num_slots * store.slot_size
+            # The receiver maps the segment by name, exactly as a worker
+            # in another process would.
+            cache = shipping.AttachCache()
+            try:
+                # The envelope crosses the pipe pickled; round-trip it.
+                wire = pickle.loads(pickle.dumps(out))
+                tag, clone = shipping.decode(wire, cache.get)
+            finally:
+                cache.close()
+            assert tag == "msg"
+            for slot in (0, 1, store.num_slots - 1):
+                assert clone.get(slot) == store.get(slot)
+        finally:
+            pool.close()
+
+    def test_encode_reply_degrades_to_grow_hint(self):
+        store = make_store()
+        out = shipping.encode_reply(("ok", store, None), attachment=None)
+        assert isinstance(out, shipping.GrowHint)
+        assert out.need_bytes >= store.num_slots * store.slot_size
+        assert out.message[1] is store
+
+    def test_encode_reply_uses_a_fitting_attachment(self):
+        store = make_store()
+        region = shipping.Region.create(4 * store.num_slots * store.slot_size)
+        try:
+            out = shipping.encode_reply(("ok", store, None), region)
+            assert isinstance(out, shipping.ShmShipment)
+            assert out.name == region.name
+        finally:
+            region.close()
+
+    def test_missing_provider_falls_back_to_pipe(self):
+        message = ("msg", make_store())
+        assert shipping.encode(message, lambda n: None) is message
+
+
+class TestSegments:
+    def test_region_pool_grows_by_replace_and_unlink(self):
+        pool = shipping.RegionPool()
+        try:
+            first = pool.ensure(100)
+            assert first.size >= shipping.SHM_MIN_BYTES
+            old_name = first.name
+            second = pool.ensure(first.size * 3)
+            assert second.size >= first.size * 3
+            assert second.name != old_name
+            with pytest.raises(FileNotFoundError):
+                shipping.Region.attach(old_name)
+        finally:
+            pool.close()
+
+    def test_close_unlinks(self):
+        pool = shipping.RegionPool()
+        name = pool.ensure(1).name
+        pool.close()
+        with pytest.raises(FileNotFoundError):
+            shipping.Region.attach(name)
+        pool.close()  # idempotent
+
+    def test_attach_cache_drops_superseded_segments(self):
+        pool = shipping.RegionPool()
+        cache = shipping.AttachCache()
+        try:
+            region = pool.ensure(1)
+            attached = cache.get(region.name)
+            assert attached.size == region.size
+            grown = pool.ensure(region.size * 2)
+            assert cache.get(grown.name).size == grown.size
+            assert len(cache._regions) == 1  # the stale mapping is gone
+        finally:
+            cache.close()
+            pool.close()
+
+
+class TestKillSwitches:
+    def test_flag_wins(self):
+        assert shipping.shipping_enabled(False) is False
+        assert shipping.shipping_enabled(True) is True
+
+    def test_env_disables(self, monkeypatch):
+        monkeypatch.setenv("SNOOPY_NO_SHM", "1")
+        assert shipping.shipping_enabled() is False
+        assert shipping.shipping_enabled(None) is False
+
+    def test_backend_honours_env(self, monkeypatch):
+        monkeypatch.setenv("SNOOPY_NO_SHM", "1")
+        with ProcessPoolBackend(max_workers=1) as backend:
+            assert backend.shm_state is False
+
+    def test_backend_honours_flag(self):
+        with ProcessPoolBackend(max_workers=1, shm_state=False) as backend:
+            assert backend.shm_state is False
+
+
+class TestBackendIntegration:
+    def _run_epochs(self, shm_state, epochs=3):
+        with ProcessPoolBackend(
+            max_workers=1, shm_state=shm_state
+        ) as backend:
+            telemetry = Telemetry()
+            backend.attach_telemetry(telemetry)
+            state = make_store()
+            results = []
+            for epoch in range(epochs):
+                [(state, result)] = backend.map_stateful(
+                    stamp, [("store", state, epoch)]
+                )
+                results.append(result)
+            contents = [state.get(slot) for slot in range(state.num_slots)]
+            metrics = {
+                (m.name, m.labels): m.value
+                for m in telemetry.registry.metrics()
+                if hasattr(m, "value")  # counters/gauges, not histograms
+            }
+        return results, contents, metrics
+
+    def test_results_identical_with_and_without_shm(self):
+        with_shm = self._run_epochs(shm_state=True)
+        without = self._run_epochs(shm_state=False)
+        assert with_shm[0] == without[0]
+        assert with_shm[1] == without[1]
+
+    def test_shm_transport_is_recorded(self):
+        _, _, metrics = self._run_epochs(shm_state=True)
+        ships = {
+            labels: value
+            for (name, labels), value in metrics.items()
+            if name == "exec_state_ships_total"
+        }
+        shm_ships = sum(
+            value
+            for labels, value in ships.items()
+            if ("transport", "shm") in labels
+        )
+        assert shm_ships > 0
+        shm_bytes = sum(
+            value
+            for (name, labels), value in metrics.items()
+            if name == "exec_state_bytes_total"
+            and ("transport", "shm") in labels
+        )
+        assert shm_bytes >= 1024 * (16 + 48 + 32)
+
+    def test_no_shm_run_never_touches_segments(self):
+        _, _, metrics = self._run_epochs(shm_state=False)
+        assert not any(
+            ("transport", "shm") in labels
+            for (name, labels) in metrics
+            if name.startswith("exec_state_")
+        )
+
+    def test_segments_cleaned_up_after_close(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm to observe")
+        before = set(os.listdir("/dev/shm"))
+        self._run_epochs(shm_state=True)
+        leaked = set(os.listdir("/dev/shm")) - before
+        assert leaked == set()
+
+    def test_reply_growth_is_transparent(self):
+        """A reply that outgrows its segment degrades, grows, and recovers."""
+        with ProcessPoolBackend(max_workers=1, shm_state=True) as backend:
+            state = make_store(num_slots=1024)
+            # The new state is ~4x the shipped one: the reply cannot fit
+            # the segment sized from the request and must take the
+            # GrowHint path without changing any bytes.
+            [(state, result)] = backend.map_stateful(
+                grow, [("store", state, 4096)]
+            )
+            assert result == 4096
+            assert state.num_slots == 4096
+            # Next epoch the grown segment carries the big reply in shm.
+            [(state, result)] = backend.map_stateful(
+                grow, [("store", state, 4096)]
+            )
+            assert result == 4096
+            expected = make_store(num_slots=4096)
+            assert state.get(17) == expected.get(17)

@@ -74,3 +74,146 @@ class TestTamperDetection:
         store.host_rollback(1, store.host_ciphertext(0))
         with pytest.raises(IntegrityError):
             store.get(1)
+
+
+class TestBatchPath:
+    """put_batch/get_batch move the same bytes as the scalar oracle."""
+
+    def test_roundtrip_matches_scalar_reads(self, store):
+        keys = [slot * 100 for slot in range(8)]
+        values = [bytes([slot + 1]) * 4 for slot in range(8)]
+        store.put_batch(keys, values)
+        got_keys, got_values = store.get_batch()
+        assert got_keys.tolist() == keys
+        assert [bytes(row) for row in got_values] == values
+        # The scalar oracle reads the very same bytes back.
+        for slot in range(8):
+            assert store.get(slot) == (keys[slot], values[slot])
+
+    def test_matrix_input_equals_list_input(self, store):
+        import numpy as np
+
+        keys = list(range(8))
+        matrix = np.arange(32, dtype=np.uint8).reshape(8, 4)
+        store.put_batch(keys, matrix)
+        _, got = store.get_batch()
+        assert (got == matrix).all()
+
+    def test_scalar_writes_then_batch_read(self, store):
+        """A batch read after scalar puts verifies per-slot digests."""
+        store.put(3, key=77, value=b"mixd")
+        keys, values = store.get_batch()
+        assert keys[3] == 77
+        assert bytes(values[3]) == b"mixd"
+
+    def test_negative_keys_roundtrip(self):
+        s = EncryptedStore(b"k" * 32, num_slots=2, value_size=2)
+        s.put_batch([-(2**61), -1], [b"ab", b"cd"])
+        keys, values = s.get_batch()
+        assert keys.tolist() == [-(2**61), -1]
+        assert s.get(0) == (-(2**61), b"ab")
+
+    def test_rewrites_produce_new_ciphertexts(self, store):
+        before = bytes(store._host_blobs)
+        keys, values = store.get_batch()
+        store.put_batch(keys.tolist(), values)
+        assert bytes(store._host_blobs) != before
+
+    def test_unwritten_slot_rejected(self):
+        s = EncryptedStore(b"k" * 32, num_slots=3, value_size=4)
+        s.put(0, key=1, value=b"aaaa")
+        s.put(2, key=2, value=b"cccc")
+        with pytest.raises(IntegrityError, match="slot 1"):
+            s.get_batch()
+
+    def test_bit_flip_detected(self, store):
+        store.put_batch(list(range(8)), [b"vvvv"] * 8)
+        _, blob = store.host_ciphertext(5)
+        store.host_tamper(5, blob[:-1] + bytes([blob[-1] ^ 1]))
+        with pytest.raises(IntegrityError, match="digest mismatch"):
+            store.get_batch()
+
+    def test_rollback_detected(self, store):
+        old = store.host_ciphertext(4)
+        store.put_batch(list(range(8)), [b"flip"] * 8)
+        store.host_rollback(4, old)
+        with pytest.raises(IntegrityError, match="pinned nonce"):
+            store.get_batch()
+
+    def test_odd_length_blob_detected(self, store):
+        store.host_tamper(6, b"short")
+        with pytest.raises(IntegrityError, match="uniform slot size"):
+            store.get_batch()
+
+    def test_wrong_shapes_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put_batch([1, 2], [b"aaaa", b"bbbb"])
+        with pytest.raises(CapacityError):
+            store.put_batch(list(range(8)), [b"xx"] * 8)
+
+    def test_batch_telemetry_counters(self, store):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        store.telemetry = telemetry
+        store.put_batch(list(range(8)), [b"tttt"] * 8)
+        store.get_batch()
+        values = {
+            (m.name, m.labels): m.value
+            for m in telemetry.registry.metrics()
+        }
+        moved = 8 * store.slot_size
+        assert values[("snoopy_aead_seal_batch_total", ())] == 1
+        assert values[("snoopy_aead_open_batch_total", ())] == 1
+        assert values[
+            ("snoopy_store_bytes_moved_total", (("op", "seal"),))
+        ] == moved
+        assert values[
+            ("snoopy_store_bytes_moved_total", (("op", "open"),))
+        ] == moved
+        # The batch read verified the whole contiguous buffer in one pass.
+        assert values[("snoopy_store_verified_bytes_total", ())] == moved
+
+
+class TestOutOfBandPickle:
+    """Protocol-5 pickling ships buffers out of band and copies on rebuild."""
+
+    def test_roundtrip_preserves_contents(self, store):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(store, protocol=5))
+        for slot in range(8):
+            assert clone.get(slot) == store.get(slot)
+
+    def test_out_of_band_buffers_are_emitted(self, store):
+        import pickle
+
+        buffers = []
+        pickle.dumps(store, protocol=5, buffer_callback=buffers.append)
+        raw = sum(b.raw().nbytes for b in buffers)
+        assert raw >= 8 * store.slot_size  # blobs ride out of band
+
+    def test_rebuilt_store_does_not_alias_transport_memory(self, store):
+        import pickle
+
+        buffers = []
+        payload = pickle.dumps(
+            store, protocol=5, buffer_callback=buffers.append
+        )
+        # A stand-in for a shared-memory segment: the transport's own
+        # copies of the out-of-band buffers.
+        segment = [bytearray(b.raw()) for b in buffers]
+        views = [memoryview(chunk) for chunk in segment]
+        clone = pickle.loads(payload, buffers=views)
+        # Scribble over the transport buffers, as a sender reusing its
+        # segment for the next message would; the clone must own copies.
+        for view in views:
+            view[:] = b"\x00" * view.nbytes
+        for slot in range(8):
+            assert clone.get(slot) == store.get(slot)
+
+    def test_legacy_protocol_still_works(self, store):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(store, protocol=4))
+        assert clone.get(3) == store.get(3)
