@@ -31,7 +31,7 @@ from repro.core.faults import FaultInjector, FaultPlan
 from repro.core.resilience import EpochRetryController, RetryPolicy
 from repro.core.tickets import Ticket, TicketBook
 from repro.core.wire import decode_batch, encode_batch
-from repro.crypto.aead import SecureChannel
+from repro.crypto.aead import SecureChannelPair
 from repro.crypto.keys import KeyChain
 from repro.enclave.attestation import AttestationService
 from repro.errors import NotInitializedError, TransportError
@@ -50,13 +50,17 @@ _DEPLOYMENT_COUNTER = itertools.count()
 
 
 class _ChannelPair:
-    """Both directions of an attested LB <-> subORAM link."""
+    """Both *endpoints* of an attested LB <-> subORAM link.
+
+    The in-process deployment simulates the wire, so it holds the load
+    balancer's :class:`SecureChannelPair` and the subORAM's — the same
+    construction :mod:`repro.serve.secure` gives each endpoint of a real
+    TCP link after the attested handshake.
+    """
 
     def __init__(self, key: bytes, name: str):
-        self.to_suboram = SecureChannel(key, f"{name}/fwd")
-        self.to_suboram_rx = SecureChannel(key, f"{name}/fwd")
-        self.to_balancer = SecureChannel(key, f"{name}/rev")
-        self.to_balancer_rx = SecureChannel(key, f"{name}/rev")
+        self.lb = SecureChannelPair(key, name, initiator=True)
+        self.so = SecureChannelPair(key, name, initiator=False)
 
 
 class DistributedSnoopy:
@@ -220,17 +224,17 @@ class DistributedSnoopy:
             raise fault
         pair = self._channels[(balancer_index, suboram_index)]
         # LB side: serialize + seal.
-        nonce, sealed = pair.to_suboram.send(encode_batch(batch))
+        nonce, sealed = pair.lb.tx.send(encode_batch(batch))
         # "Network" — the attacker may tamper here (tests do).
         nonce, sealed = self.network_hook(
             balancer_index, suboram_index, nonce, sealed
         )
         # SubORAM side: open + deserialize + execute.
-        wire_batch = decode_batch(pair.to_suboram_rx.receive(nonce, sealed))
+        wire_batch = decode_batch(pair.so.rx.receive(nonce, sealed))
         results = suboram.batch_access(wire_batch)
         # Response path back.
-        r_nonce, r_sealed = pair.to_balancer.send(encode_batch(results))
-        return decode_batch(pair.to_balancer_rx.receive(r_nonce, r_sealed))
+        r_nonce, r_sealed = pair.so.tx.send(encode_batch(results))
+        return decode_batch(pair.lb.rx.receive(r_nonce, r_sealed))
 
     def run_epoch(self) -> List[Response]:
         """One epoch over the encrypted transport.

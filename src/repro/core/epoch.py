@@ -400,18 +400,29 @@ class EpochDriver:
         """
         work_suborams = list(suborams)
         work_built = built
-        if atomic and self.backend.supports_shared_state:
-            # Shared-state backends mutate in place; run on copies so a
-            # failed unit cannot leave the caller's state half-applied.
-            # Batches too: ``batch_access`` consumes entries in place
-            # (each entry's value is folded into its response), and a
-            # retried attempt — or the pipeline, which reuses one build
-            # across attempts — must re-execute pristine batches.
-            work_suborams = copy.deepcopy(work_suborams)
-            work_built = [
-                (copy.deepcopy(batches), originals, size)
-                for (batches, originals, size) in built
-            ]
+        try:
+            if atomic and self.backend.supports_shared_state:
+                # Shared-state backends mutate in place; run on copies
+                # so a failed unit cannot leave the caller's state
+                # half-applied.  Batches too: ``batch_access`` consumes
+                # entries in place (each entry's value is folded into
+                # its response), and a retried attempt — or the
+                # pipeline, which reuses one build across attempts —
+                # must re-execute pristine batches.  The copy itself is
+                # inside the fault wrapping because remote proxies turn
+                # it into a TXN_BEGIN round trip that can hit a network
+                # fault; an abandoned half-clone is harmless (the retry
+                # re-clones the same committed parents under fresh
+                # version ids).
+                work_suborams = copy.deepcopy(work_suborams)
+                work_built = [
+                    (copy.deepcopy(batches), originals, size)
+                    for (batches, originals, size) in built
+                ]
+        except BaseException as exc:
+            raise EpochFailedError(
+                "execute", getattr(exc, "unit", None), exc
+            ) from exc
         faults = [
             injector.stage_fault(suboram_index)
             if injector is not None

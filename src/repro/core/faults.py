@@ -20,6 +20,13 @@ The plan is injected through the two seams the system already has:
   :class:`~repro.errors.TransportError` for the scheduled hop, while both
   deployments apply replica crash/rollback events at epoch boundaries.
 
+The serve layer's real TCP sockets get their own message-indexed chaos
+vocabulary — :class:`NetworkFaultPlan` / :class:`NetworkFaultInjector`
+(connection drops, frame delays, partitions, truncated and duplicated
+frames, slow-loris handshakes) — injected inside
+:class:`repro.serve.secure.FrameTransport`, the seam every serve-layer
+connection already crosses.
+
 Security note (mirrors the paper's §2.1 public-information model): a
 fault plan describes *public* events — which machine failed and when is
 exactly what a cloud attacker already observes and controls.  Injection
@@ -38,6 +45,8 @@ event in :attr:`FaultInjector.stats` — the substrate of the deployment's
 from __future__ import annotations
 
 import random
+import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -270,3 +279,285 @@ class FaultInjector:
             if event is None:
                 return fired
             fired.append(event)
+
+
+# ---------------------------------------------------------------------------
+# Network chaos (the serve-layer transport seam)
+# ---------------------------------------------------------------------------
+#: Network fault kinds a plan may schedule, and their ``stats`` counters.
+NET_FAULT_KINDS: Dict[str, str] = {
+    "conn_drop": "net_conn_drops",
+    "frame_delay": "net_frame_delays",
+    "partition": "net_partitions",
+    "frame_truncate": "net_frames_truncated",
+    "frame_duplicate": "net_frames_duplicated",
+    "slow_handshake": "net_slow_handshakes",
+}
+
+#: Kinds that fire at a connect attempt (the rest fire at a frame send).
+_NET_CONNECT_KINDS = frozenset(("slow_handshake",))
+
+
+@dataclass(frozen=True, order=True)
+class NetFaultEvent:
+    """One scheduled network fault on one link.
+
+    Unlike :class:`FaultEvent` (epoch-indexed, because backend faults
+    fire inside epoch execution), network faults are *message-indexed*:
+    the coordinate is (link, N-th operation on that link), which is
+    deterministic regardless of how requests interleave with epochs.
+
+    Attributes:
+        link: the transport link name (``"client"``, ``"worker-2"`` ...).
+        message: 1-based operation index on the link.  For
+            ``slow_handshake`` this counts connect attempts; for every
+            other kind it counts frame sends.
+        kind: one of :data:`NET_FAULT_KINDS`.
+        delay_s: sleep applied for ``frame_delay`` / per-fragment dribble
+            for ``slow_handshake``.
+        span: for ``partition`` — how many *further* operations (sends
+            or connects) on the link are refused after the triggering
+            one.
+    """
+
+    link: str
+    message: int
+    kind: str
+    delay_s: float = 0.0
+    span: int = 1
+
+    def __post_init__(self) -> None:
+        require(self.kind in NET_FAULT_KINDS,
+                f"unknown network fault kind {self.kind!r}; "
+                f"expected one of {sorted(NET_FAULT_KINDS)}")
+        require(self.message >= 1, "fault message index must be >= 1 (1-based)")
+        require(self.delay_s >= 0.0, "fault delay must be >= 0")
+        require(self.span >= 0, "partition span must be >= 0")
+
+
+class NetworkFaultPlan:
+    """An immutable, seeded schedule of :class:`NetFaultEvent`.
+
+    The same no-collision guarantee as :class:`FaultPlan` holds: at most
+    one event per (link, message, op-class) coordinate, so — provided
+    every link sees at least as many operations as its largest scheduled
+    ``message`` index — a run's injector ``stats`` equal
+    :meth:`counts` exactly.
+    """
+
+    def __init__(self, events: Iterable[NetFaultEvent] = ()):
+        self.events: Tuple[NetFaultEvent, ...] = tuple(sorted(events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def for_link(self, link: str) -> List[NetFaultEvent]:
+        """All events scheduled for one link, in message order."""
+        return [event for event in self.events if event.link == link]
+
+    def counts(self) -> Dict[str, int]:
+        """Scheduled events per kind (what injector ``stats`` must reach)."""
+        counts = {kind: 0 for kind in NET_FAULT_KINDS}
+        for event in self.events:
+            counts[event.kind] += 1
+        return counts
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        links: Iterable[str],
+        messages: int,
+        intensity: int = 1,
+        kinds: Optional[Iterable[str]] = None,
+        max_delay_s: float = 0.02,
+        partition_span: int = 2,
+    ) -> "NetworkFaultPlan":
+        """Derive a deterministic network fault plan from a seed.
+
+        Schedules ``intensity`` events of each kind in ``kinds`` (default:
+        every send-indexed kind) at pseudo-random (link, message)
+        coordinates with ``message <= messages``.  ``slow_handshake``
+        events always target connect attempt 1 (the only connect attempt
+        guaranteed to happen on a link), at most one per link.
+
+        Callers must pick ``messages`` at or below the number of frame
+        sends the quietest link will actually perform — drops and
+        partitions only ever *add* retransmissions, never remove sends,
+        so the fault-free send count is a safe bound.  Under that
+        contract every scheduled event fires and ``stats`` equals
+        :meth:`counts` exactly.
+        """
+        links = list(links)
+        require(bool(links), "links must be non-empty")
+        require(messages >= 1, "messages must be >= 1")
+        require(intensity >= 0, "intensity must be >= 0")
+        if kinds is None:
+            kinds = [k for k in NET_FAULT_KINDS if k not in _NET_CONNECT_KINDS]
+        kinds = list(kinds)
+        rng = random.Random(seed)
+        events: List[NetFaultEvent] = []
+        used = set()
+        slow_links = set()
+        for kind in kinds:
+            for _ in range(intensity):
+                if kind in _NET_CONNECT_KINDS:
+                    free = [l for l in links if l not in slow_links]
+                    if not free:
+                        break
+                    link = free[rng.randrange(len(free))]
+                    slow_links.add(link)
+                    events.append(NetFaultEvent(
+                        link=link, message=1, kind=kind,
+                        delay_s=rng.uniform(0.001, max_delay_s),
+                    ))
+                    continue
+                for _attempt in range(64):
+                    link = links[rng.randrange(len(links))]
+                    message = rng.randrange(1, messages + 1)
+                    if (link, message) in used:
+                        continue
+                    used.add((link, message))
+                    events.append(NetFaultEvent(
+                        link=link, message=message, kind=kind,
+                        delay_s=(rng.uniform(0.001, max_delay_s)
+                                 if kind == "frame_delay" else 0.0),
+                        span=(partition_span if kind == "partition" else 1),
+                    ))
+                    break
+        return cls(events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NetworkFaultPlan({list(self.events)!r})"
+
+
+class NetworkFaultInjector:
+    """Runtime cursor over a :class:`NetworkFaultPlan`.
+
+    Shared by every transport of one deployment run; each transport
+    reports its link name.  Thread-safe: a single lock guards the
+    pending-event list and per-link counters, because distinct links
+    are driven from distinct threads (the client's sender vs the
+    server-side worker channels) during a chaos soak.
+
+    The injector *sleeps* for ``frame_delay`` itself, *raises*
+    :class:`~repro.errors.TransportError` for partition refusals, and
+    hands every other event back to the calling transport, which owns
+    the socket and applies the drop/truncate/duplicate/dribble.
+
+    Attributes:
+        stats: fired-event counters, keyed by the
+            :data:`NET_FAULT_KINDS` counter names.
+    """
+
+    def __init__(self, plan: Optional[NetworkFaultPlan] = None,
+                 telemetry=None, sleep=time.sleep, armed: bool = True):
+        from repro.telemetry import resolve_telemetry
+
+        #: While False, ``on_send``/``on_connect`` neither count
+        #: operations nor fire events — setup traffic (worker INIT,
+        #: snapshot seeding) passes untouched, and the plan's
+        #: message indices align to steady-state serving from the
+        #: moment the harness flips this to True.
+        self.armed = armed
+        self.plan = plan if plan is not None else NetworkFaultPlan()
+        self._pending: List[NetFaultEvent] = list(self.plan.events)
+        self._sends: Dict[str, int] = {}
+        self._connects: Dict[str, int] = {}
+        self._partition_left: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._sleep = sleep
+        self.telemetry = resolve_telemetry(telemetry)
+        self.stats: Dict[str, int] = {
+            counter: 0 for counter in NET_FAULT_KINDS.values()
+        }
+
+    @property
+    def pending(self) -> List[NetFaultEvent]:
+        """Events that have not fired yet (inspection/testing)."""
+        return list(self._pending)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scheduled event has fired."""
+        return not self._pending and not any(self._partition_left.values())
+
+    def _count(self, event: NetFaultEvent) -> None:
+        self.stats[NET_FAULT_KINDS[event.kind]] += 1
+        self.telemetry.counter(
+            "net_fault_injected_total", kind=event.kind
+        ).inc()
+
+    def _take(self, link: str, message: int, connect: bool) -> Optional[NetFaultEvent]:
+        wanted = _NET_CONNECT_KINDS if connect else None
+        for index, event in enumerate(self._pending):
+            if event.link != link or event.message != message:
+                continue
+            is_connect_kind = event.kind in _NET_CONNECT_KINDS
+            if is_connect_kind != connect:
+                continue
+            del self._pending[index]
+            return event
+        return None
+
+    def _check_partition(self, link: str) -> None:
+        from repro.errors import TransportError
+
+        left = self._partition_left.get(link, 0)
+        if left > 0:
+            self._partition_left[link] = left - 1
+            raise TransportError(
+                f"injected fault: link {link!r} is partitioned"
+            )
+
+    def on_connect(self, link: str) -> Optional[NetFaultEvent]:
+        """Consult the plan before a connect attempt on ``link``.
+
+        Raises :class:`~repro.errors.TransportError` while a partition
+        is in force.  Returns a ``slow_handshake`` event (the caller
+        dribbles its hello with ``delay_s`` pauses) or ``None``.
+        """
+        if not self.armed:
+            return None
+        with self._lock:
+            self._check_partition(link)
+            self._connects[link] = self._connects.get(link, 0) + 1
+            event = self._take(link, self._connects[link], connect=True)
+            if event is not None:
+                self._count(event)
+            return event
+
+    def on_send(self, link: str) -> Optional[NetFaultEvent]:
+        """Consult the plan before sending one frame on ``link``.
+
+        Applies ``frame_delay`` (sleeps) and ``partition`` (marks the
+        link down and raises :class:`~repro.errors.TransportError`)
+        internally; returns ``conn_drop`` / ``frame_truncate`` /
+        ``frame_duplicate`` events for the transport to apply, or
+        ``None`` for a clean send.
+        """
+        from repro.errors import TransportError
+
+        if not self.armed:
+            return None
+        with self._lock:
+            self._check_partition(link)
+            self._sends[link] = self._sends.get(link, 0) + 1
+            event = self._take(link, self._sends[link], connect=False)
+            if event is None:
+                return None
+            self._count(event)
+            if event.kind == "partition":
+                self._partition_left[link] = event.span
+                raise TransportError(
+                    f"injected fault: link {link!r} partitioned for "
+                    f"{event.span} further operations"
+                )
+        if event.kind == "frame_delay":
+            if event.delay_s:
+                self._sleep(event.delay_s)
+            return None
+        return event

@@ -16,13 +16,29 @@ quantities — preserving the obliviousness of the transport.
 **Versioned handshake.**  Every Snoopy TCP connection opens with one
 fixed-size hello frame from each side:
 
-    hello := magic(4 = "SNPY") | version(1) | role(1) | reserved(10)
+    hello := magic(4 = "SNPY") | version(1) | role(1) | flags(1)
+             | reserved(9)
 
 The hello is 16 bytes for every client, server, and worker, regardless
 of configuration or payload sizes, so the handshake itself leaks nothing
-beyond the fact of a connection (already host-visible).  A peer speaking
-a different :data:`WIRE_VERSION` is rejected with
-:class:`VersionMismatchError` before any request bytes flow.
+beyond the fact of a connection (already host-visible).  The flags byte
+advertises transport capabilities (:data:`HELLO_FLAG_ATTESTED` — the
+peer will follow the hello with an ATTEST quote exchange).  A peer
+speaking a version outside :data:`SUPPORTED_WIRE_VERSIONS` is rejected
+with :class:`VersionMismatchError` — which names both the offered and
+the supported versions — before any request bytes flow; servers
+additionally answer with a structured ``VERSION_REJECT`` frame
+(:func:`encode_version_reject`) so the rejected client learns the
+server's supported set instead of an opaque hangup.
+
+**Attested channels.**  When both hellos carry
+:data:`HELLO_FLAG_ATTESTED`, each side follows with one fixed-size
+ATTEST frame (:func:`encode_attest`, always :data:`ATTEST_SIZE` payload
+bytes) carrying an attestation quote and a key share; every subsequent
+frame is sealed by :class:`repro.crypto.aead.SecureChannel` framing (see
+:mod:`repro.serve.secure`).  The ATTEST payload is constant-size for
+every role and enclave name, so the upgraded handshake still has a
+constant shape.
 
 **Frames.**  After the handshake, every message is a framed unit:
 
@@ -40,6 +56,15 @@ value size, batch sizes), preserving obliviousness end to end:
   traffic, reusing :func:`encode_batch` payloads.
 * ``TXN_BEGIN``/``TXN_ACK``/``CLOSE_EPOCH``/``EPOCH_CLOSED``/``ERROR``
   — control frames with fixed-size payloads.
+* ``SESSION``/``SESSION_ACK``/``RESPONSE_ACK`` — resumable client
+  sessions: a reconnecting client re-adopts its open tickets and the
+  server replays undelivered responses (exactly-once delivery).
+* ``BUSY``/``SHUTTING_DOWN`` — typed load-shedding and drain signals so
+  clients get a structured verdict instead of a dropped connection.
+* ``SNAP_FETCH``/``SNAP_DATA``/``SNAP_PUSH``/``SNAP_ACK``/
+  ``VERSIONS_QUERY``/``VERSIONS_REPLY`` — chunked, resumable sealed
+  snapshot transfer between a balancer and its subORAM workers, so
+  workers no longer need a shared filesystem.
 """
 
 from __future__ import annotations
@@ -73,15 +98,26 @@ class WireError(ReproError):
 class VersionMismatchError(WireError):
     """A peer's hello frame advertised an unsupported wire version.
 
+    The error names *both* sides of the negotiation so a rejected peer
+    can log something actionable instead of an opaque hangup.
+
     Attributes:
         offered: the version byte the peer sent.
-        supported: the version this library speaks.
+        supported: tuple of versions this library accepts
+            (:data:`SUPPORTED_WIRE_VERSIONS`).
     """
 
-    def __init__(self, offered: int, supported: int):
+    def __init__(self, offered: int, supported=None):
+        if supported is None:
+            supported = SUPPORTED_WIRE_VERSIONS
+        elif isinstance(supported, int):
+            supported = (supported,)
+        else:
+            supported = tuple(supported)
+        versions = ", ".join(str(v) for v in supported)
         super().__init__(
-            f"peer speaks wire version {offered}, this library speaks "
-            f"{supported}"
+            f"peer offered wire version {offered}; this library supports "
+            f"version(s) {{{versions}}}"
         )
         self.offered = offered
         self.supported = supported
@@ -172,14 +208,25 @@ def decode_batch(data: bytes) -> List[BatchEntry]:
 #: Protocol version this library speaks.  Bump on any incompatible frame
 #: or encoding change; peers with a different version are rejected at
 #: handshake time instead of failing mid-stream.
-WIRE_VERSION = 1
+#: v2: hello flags byte, ATTEST exchange, sessions, snapshot transfer,
+#: delivery sequence numbers on responses.
+WIRE_VERSION = 2
+
+#: Every wire version this library can speak.  Kept as a tuple so a
+#: future version can retain backward compatibility windows; rejects
+#: report this whole set, not a single number.
+SUPPORTED_WIRE_VERSIONS = (WIRE_VERSION,)
 
 #: Connection magic: the first four bytes of every Snoopy TCP stream.
 WIRE_MAGIC = b"SNPY"
 
-_HELLO = struct.Struct(">4sBB10x")
+_HELLO = struct.Struct(">4sBBB9x")
 #: Size in bytes of the (fixed-size) hello frame.
 HELLO_SIZE = _HELLO.size
+
+#: Hello flag: the sender will follow its hello with an ATTEST frame and
+#: expects every post-handshake frame to ride a sealed channel.
+HELLO_FLAG_ATTESTED = 1
 
 
 class Role:
@@ -193,38 +240,44 @@ class Role:
     _VALID = frozenset((CLIENT, SERVER, BALANCER, WORKER))
 
 
-def encode_hello(role: int, version: int = WIRE_VERSION) -> bytes:
+def encode_hello(
+    role: int, version: int = WIRE_VERSION, flags: int = 0
+) -> bytes:
     """The fixed-size hello frame opening every connection.
 
     Always exactly :data:`HELLO_SIZE` bytes regardless of role, version,
-    or deployment parameters — the handshake's shape is constant.
+    or flags — the handshake's shape is constant.
     """
     if role not in Role._VALID:
         raise WireError(f"unknown hello role {role}")
     if not 0 <= version <= 255:
         raise WireError(f"version {version} does not fit the version byte")
-    return _HELLO.pack(WIRE_MAGIC, version, role)
+    if not 0 <= flags <= 255:
+        raise WireError(f"flags {flags} do not fit the flags byte")
+    return _HELLO.pack(WIRE_MAGIC, version, role, flags)
 
 
-def decode_hello(data: bytes) -> Tuple[int, int]:
-    """Validate a peer's hello; returns ``(version, role)``.
+def decode_hello(data: bytes) -> Tuple[int, int, int]:
+    """Validate a peer's hello; returns ``(version, role, flags)``.
 
     Raises:
         WireError: short frame, bad magic, or unknown role.
-        VersionMismatchError: the peer speaks a different
-            :data:`WIRE_VERSION` (checked *after* the magic so garbage
-            connections fail as malformed, not as version skew).
+        VersionMismatchError: the peer speaks a version outside
+            :data:`SUPPORTED_WIRE_VERSIONS` (checked *after* the magic
+            so garbage connections fail as malformed, not as version
+            skew).  The error carries both the offered version and the
+            supported set.
     """
     if len(data) < HELLO_SIZE:
         raise WireError("truncated hello frame")
-    magic, version, role = _HELLO.unpack_from(data, 0)
+    magic, version, role, flags = _HELLO.unpack_from(data, 0)
     if magic != WIRE_MAGIC:
         raise WireError(f"bad connection magic {magic!r}")
-    if version != WIRE_VERSION:
-        raise VersionMismatchError(version, WIRE_VERSION)
+    if version not in SUPPORTED_WIRE_VERSIONS:
+        raise VersionMismatchError(version, SUPPORTED_WIRE_VERSIONS)
     if role not in Role._VALID:
         raise WireError(f"unknown hello role {role}")
-    return version, role
+    return version, role, flags
 
 
 # ---------------------------------------------------------------------------
@@ -253,10 +306,23 @@ class FrameKind:
     BATCH_REPLY = 9    # worker -> balancer: the batch's response entries
     TXN_BEGIN = 10     # balancer -> worker: start an atomic epoch attempt
     TXN_ACK = 11       # worker -> balancer: attempt state staged
-    PING = 12          # liveness probe
+    PING = 12          # liveness probe (optional u32 echo-delay ms)
     PONG = 13          # liveness reply
+    ATTEST = 14        # both directions: quote + key share (fixed size)
+    VERSION_REJECT = 15  # server -> client: offered + supported versions
+    SESSION = 16       # client -> server: open/resume a resumable session
+    SESSION_ACK = 17   # server -> client: session id granted/resumed
+    RESPONSE_ACK = 18  # client -> server: delivery seq received through
+    BUSY = 19          # server -> client: request shed (req_id)
+    SHUTTING_DOWN = 20  # server -> client: drain verdict (req_id or empty)
+    SNAP_FETCH = 21    # balancer -> worker: read sealed snapshot chunk
+    SNAP_DATA = 22     # worker -> balancer: total size + chunk bytes
+    SNAP_PUSH = 23     # balancer -> worker: install snapshot chunk
+    SNAP_ACK = 24      # worker -> balancer: bytes staged so far
+    VERSIONS_QUERY = 25  # balancer -> worker: which versions do you hold?
+    VERSIONS_REPLY = 26  # worker -> balancer: held version ids
 
-    _VALID = frozenset(range(1, 14))
+    _VALID = frozenset(range(1, 27))
 
 
 def encode_frame(kind: int, payload: bytes = b"") -> bytes:
@@ -286,9 +352,12 @@ def decode_frame_header(data: bytes) -> Tuple[int, int]:
 _REQUEST = struct.Struct(">QBBhq8xQQI")
 # req_id(8) | op(1) | flags(1) | load_balancer(2, signed; -1 = random)
 # | key(8) | pad(8) | client_id(8) | seq(8) | vlen(4)
-_RESPONSE = struct.Struct(">QBBhIq8xQQQI")
-# req_id(8) | ok(1) | flags(1) | load_balancer(2) | arrival(4) | key(8)
-# | pad(8) | client_id(8) | seq(8) | epoch(8) | vlen(4)
+_RESPONSE = struct.Struct(">QQBBhIq8xQQQI")
+# req_id(8) | delivery_seq(8) | ok(1) | flags(1) | load_balancer(2)
+# | arrival(4) | key(8) | pad(8) | client_id(8) | seq(8) | epoch(8)
+# | vlen(4)
+# delivery_seq is the per-session delivery counter used by the
+# exactly-once resume protocol (0 on sessionless connections).
 
 
 def request_size(value_size: int) -> int:
@@ -364,11 +433,15 @@ def encode_response(
     load_balancer: int,
     arrival: int,
     epoch: int,
+    delivery_seq: int = 0,
 ) -> bytes:
     """Serialize one resolved ticket back to its client.
 
     Like requests, every response of a given value size is the same
     length: absent values (``None``) are flagged and zero-padded.
+    ``delivery_seq`` is the session's delivery counter (0 when the
+    connection is sessionless); it lets a resumed client acknowledge
+    and deduplicate replayed responses.
     """
     value = response.value if response.value is not None else b""
     if len(value) > value_size:
@@ -379,6 +452,7 @@ def encode_response(
     flags = _FLAG_HAS_VALUE if response.value is not None else 0
     header = _RESPONSE.pack(
         req_id,
+        delivery_seq,
         1 if response.ok else 0,
         flags,
         load_balancer,
@@ -395,13 +469,13 @@ def encode_response(
 def decode_response(data: bytes, value_size: int):
     """Deserialize one response frame.
 
-    Returns ``(req_id, response, placement)`` where ``placement`` is a
-    ``(load_balancer, arrival, epoch)`` tuple.
+    Returns ``(req_id, response, placement, delivery_seq)`` where
+    ``placement`` is a ``(load_balancer, arrival, epoch)`` tuple.
     """
     if len(data) != _RESPONSE.size + value_size:
         raise WireError("response frame has the wrong size")
     (
-        req_id, ok, flags, load_balancer, arrival, key,
+        req_id, delivery_seq, ok, flags, load_balancer, arrival, key,
         client_id, seq, epoch, vlen,
     ) = _RESPONSE.unpack_from(data, 0)
     if vlen > value_size:
@@ -414,7 +488,7 @@ def decode_response(data: bytes, value_size: int):
     response = Response(
         key=key, value=value, client_id=client_id, seq=seq, ok=bool(ok)
     )
-    return req_id, response, (load_balancer, arrival, epoch)
+    return req_id, response, (load_balancer, arrival, epoch), delivery_seq
 
 
 # ---------------------------------------------------------------------------
@@ -459,3 +533,149 @@ def decode_u32(data: bytes) -> int:
     if len(data) != _U32.size:
         raise WireError("u32 payload has the wrong size")
     return _U32.unpack(data)[0]
+
+
+# ---------------------------------------------------------------------------
+# Attestation exchange
+# ---------------------------------------------------------------------------
+#: Maximum enclave-name length carried in an ATTEST payload.
+ATTEST_NAME_MAX = 31
+
+_ATTEST = struct.Struct(">B31s32s32s32s")
+#: Byte length of every ATTEST payload: name_len(1) | name(31, padded)
+#: | measurement(32) | key_share(32) | signature(32).  Constant for
+#: every role and enclave name, so the attested handshake has the same
+#: shape as the plaintext one plus one fixed-size frame each way.
+ATTEST_SIZE = _ATTEST.size
+
+
+def encode_attest(
+    name: str, measurement: bytes, key_share: bytes, signature: bytes
+) -> bytes:
+    """Serialize one ATTEST payload (quote + key share).
+
+    Clients — which are verified by password/authorization out of band,
+    not by attestation — send an all-zero measurement and signature with
+    their key share; enclave roles send a full quote.  Both encode to
+    exactly :data:`ATTEST_SIZE` bytes.
+    """
+    raw = name.encode("utf-8")
+    if len(raw) > ATTEST_NAME_MAX:
+        raise WireError(f"enclave name {name!r} exceeds {ATTEST_NAME_MAX} bytes")
+    if len(measurement) != 32 or len(key_share) != 32 or len(signature) != 32:
+        raise WireError("attest fields must be exactly 32 bytes")
+    return _ATTEST.pack(len(raw), raw, measurement, key_share, signature)
+
+
+def decode_attest(data: bytes):
+    """Parse an ATTEST payload.
+
+    Returns ``(name, measurement, key_share, signature)``.
+    """
+    if len(data) != ATTEST_SIZE:
+        raise WireError("attest payload has the wrong size")
+    name_len, raw, measurement, key_share, signature = _ATTEST.unpack(data)
+    if name_len > ATTEST_NAME_MAX:
+        raise WireError("attest name length out of range")
+    name = raw[:name_len].decode("utf-8", errors="replace")
+    return name, measurement, key_share, signature
+
+
+# ---------------------------------------------------------------------------
+# Version negotiation reject
+# ---------------------------------------------------------------------------
+def encode_version_reject(offered: int, supported=SUPPORTED_WIRE_VERSIONS) -> bytes:
+    """VERSION_REJECT payload: offered(1) | count(1) | versions(count)."""
+    supported = tuple(supported)
+    if not supported or len(supported) > 255:
+        raise WireError("supported version set out of range")
+    return bytes([offered & 0xFF, len(supported), *[v & 0xFF for v in supported]])
+
+
+def decode_version_reject(data: bytes) -> Tuple[int, Tuple[int, ...]]:
+    """Parse a VERSION_REJECT payload; returns ``(offered, supported)``."""
+    if len(data) < 2 or len(data) != 2 + data[1]:
+        raise WireError("version reject payload has the wrong size")
+    return data[0], tuple(data[2 : 2 + data[1]])
+
+
+# ---------------------------------------------------------------------------
+# Resumable sessions
+# ---------------------------------------------------------------------------
+_SESSION = struct.Struct(">QQ")
+
+
+def encode_session(session_id: int, last_delivery_seq: int) -> bytes:
+    """SESSION payload: resume ``session_id`` (0 = open a new session)
+    having received responses through ``last_delivery_seq``."""
+    return _SESSION.pack(session_id, last_delivery_seq)
+
+
+def decode_session(data: bytes) -> Tuple[int, int]:
+    """Parse a SESSION payload; returns ``(session_id, last_seq)``."""
+    if len(data) != _SESSION.size:
+        raise WireError("session payload has the wrong size")
+    return _SESSION.unpack(data)
+
+
+# ---------------------------------------------------------------------------
+# Snapshot transfer (remote workers, no shared filesystem)
+# ---------------------------------------------------------------------------
+_SNAP_FETCH = struct.Struct(">QI")
+_SNAP_PUSH_HEAD = struct.Struct(">QB")
+
+
+def encode_snap_fetch(offset: int, max_chunk: int) -> bytes:
+    """SNAP_FETCH payload: read snapshot bytes from ``offset``."""
+    return _SNAP_FETCH.pack(offset, max_chunk)
+
+
+def decode_snap_fetch(data: bytes) -> Tuple[int, int]:
+    """Parse a SNAP_FETCH payload; returns ``(offset, max_chunk)``."""
+    if len(data) != _SNAP_FETCH.size:
+        raise WireError("snap fetch payload has the wrong size")
+    return _SNAP_FETCH.unpack(data)
+
+
+def encode_snap_data(total: int, chunk: bytes) -> bytes:
+    """SNAP_DATA payload: snapshot total length + one chunk."""
+    return _U64.pack(total) + chunk
+
+
+def decode_snap_data(data: bytes) -> Tuple[int, bytes]:
+    """Parse a SNAP_DATA payload; returns ``(total, chunk)``."""
+    if len(data) < _U64.size:
+        raise WireError("snap data payload has the wrong size")
+    return _U64.unpack_from(data, 0)[0], bytes(data[_U64.size:])
+
+
+def encode_snap_push(offset: int, last: bool, chunk: bytes) -> bytes:
+    """SNAP_PUSH payload: stage ``chunk`` at ``offset``; ``last`` commits."""
+    return _SNAP_PUSH_HEAD.pack(offset, 1 if last else 0) + chunk
+
+
+def decode_snap_push(data: bytes) -> Tuple[int, bool, bytes]:
+    """Parse a SNAP_PUSH payload; returns ``(offset, last, chunk)``."""
+    if len(data) < _SNAP_PUSH_HEAD.size:
+        raise WireError("snap push payload has the wrong size")
+    offset, last = _SNAP_PUSH_HEAD.unpack_from(data, 0)
+    return offset, bool(last), bytes(data[_SNAP_PUSH_HEAD.size:])
+
+
+def encode_versions(versions) -> bytes:
+    """VERSIONS_REPLY payload: count(4) | version ids (8 bytes each)."""
+    versions = tuple(versions)
+    return _U32.pack(len(versions)) + b"".join(_U64.pack(v) for v in versions)
+
+
+def decode_versions(data: bytes) -> Tuple[int, ...]:
+    """Parse a VERSIONS_REPLY payload; returns the held version ids."""
+    if len(data) < _U32.size:
+        raise WireError("versions payload has the wrong size")
+    (count,) = _U32.unpack_from(data, 0)
+    if len(data) != _U32.size + count * _U64.size:
+        raise WireError("versions payload has the wrong size")
+    return tuple(
+        _U64.unpack_from(data, _U32.size + i * _U64.size)[0]
+        for i in range(count)
+    )

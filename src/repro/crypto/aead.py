@@ -410,6 +410,29 @@ class SecureChannel:
         return plaintext
 
 
+class SecureChannelPair:
+    """One endpoint's view of a full-duplex attested link.
+
+    A link between an initiator (the side that connected: a client or a
+    load balancer) and an acceptor (the side that listened: a server or
+    a subORAM worker) is two independent :class:`SecureChannel`
+    directions keyed off one shared secret.  Direction is bound into
+    the AAD (``name/fwd`` = initiator→acceptor, ``name/rev`` = the
+    reverse), so a frame reflected back at its sender fails
+    authentication instead of decrypting.
+
+    Both endpoints construct the pair from the same ``key`` and
+    ``name``; the ``initiator`` flag picks which direction is ``tx``.
+    """
+
+    def __init__(self, key: bytes, name: str = "chan", *, initiator: bool):
+        fwd = f"{name}/fwd"
+        rev = f"{name}/rev"
+        self.tx = SecureChannel(key, fwd if initiator else rev)
+        self.rx = SecureChannel(key, rev if initiator else fwd)
+        self.initiator = initiator
+
+
 def digest(data: bytes) -> bytes:
     """Content digest used for the out-of-enclave block integrity map (§7)."""
     return hashlib.sha256(data).digest()

@@ -129,6 +129,62 @@ class TransportError(FaultError):
     """
 
 
+class ServiceUnavailableError(ReproError):
+    """The serve-layer front door refused a request with a typed verdict.
+
+    Subclasses distinguish *why* — load shedding vs. drain — because the
+    right client reaction differs: a BUSY verdict is retryable after
+    backoff, a SHUTTING_DOWN verdict means find another server.  Both
+    are public control-plane facts (the paper's §2.1 model already
+    grants the attacker full visibility into connection lifecycle).
+    """
+
+
+class ServerBusyError(ServiceUnavailableError, FaultError):
+    """The server shed this request with a BUSY frame (load shedding).
+
+    Also a :class:`FaultError`: busy verdicts are transient by
+    definition, so generic retry machinery may treat them as retryable.
+    """
+
+
+class ServerShuttingDownError(ServiceUnavailableError):
+    """The server answered with SHUTTING_DOWN while draining.
+
+    Deliberately *not* a :class:`FaultError`: retrying against the same
+    server would race its drain; clients should fail over instead.
+    """
+
+
+class SessionExpiredError(ReproError):
+    """A reconnecting client's resumable session was no longer held.
+
+    The server evicted the session (buffer cap exceeded, server
+    restart, or LRU pressure), so exactly-once resumption is impossible
+    and the open tickets fail loudly instead of silently re-executing.
+    """
+
+
+class CircuitOpenError(FaultError):
+    """The client's per-connection circuit breaker is open.
+
+    Raised on submit without touching the network: enough consecutive
+    transport failures occurred that further attempts are presumed
+    futile until the cooldown elapses (then one half-open probe is let
+    through).
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A per-request deadline elapsed before the ticket resolved.
+
+    Subclasses :class:`TimeoutError` so callers treating deadlines as
+    generic timeouts keep working.  The request itself may still
+    complete server-side; the deadline bounds the *wait*, not the
+    epoch execution.
+    """
+
+
 class EpochFailedError(ReproError):
     """One epoch attempt failed; its requests were requeued, not dropped.
 

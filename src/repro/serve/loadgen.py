@@ -6,11 +6,18 @@ flight — the closed-loop-per-connection / open-loop-in-aggregate shape
 the paper's throughput experiments use (§8: saturate the epoch batches,
 then measure sustained throughput and the latency the batching costs).
 
+Connections are sessionless on purpose (the server buffers nothing for
+them) and speak whichever channel the server requires: pass ``trust``
+to run the attested handshake and sealed framing — the configuration
+``BENCH_serve.json`` now records, with the plaintext mode kept as the
+overhead baseline.
+
 The generator measures from the client side of the wire: a request's
 latency is first-byte-sent to response-frame-decoded, so it includes
-framing, the kernel socket path, epoch queueing, and the oblivious
-batch itself.  Results feed ``BENCH_serve.json`` via the bench harness
-and the ``python -m repro loadgen`` CLI.
+framing, the attested channel's AEAD work, the kernel socket path,
+epoch queueing, and the oblivious batch itself.  Results feed
+``BENCH_serve.json`` via the bench harness and the
+``python -m repro loadgen`` CLI.
 """
 
 from __future__ import annotations
@@ -28,10 +35,11 @@ from repro.core.wire import (
     decode_u32,
     encode_request,
 )
-from repro.serve.protocol import (
-    handshake_async,
-    read_frame_async,
-    write_frame,
+from repro.errors import ServerBusyError, ServerShuttingDownError
+from repro.serve.secure import (
+    AsyncFrameTransport,
+    ServeTrust,
+    secure_handshake_async,
 )
 from repro.types import OpType, Request
 
@@ -56,12 +64,19 @@ async def _run_connection(
     rng: random.Random,
     client_id: int,
     latencies: List[float],
+    trust: Optional[ServeTrust] = None,
 ) -> int:
     """One connection's closed loop; returns responses received."""
     reader, writer = await asyncio.open_connection(host, port)
+    transport: Optional[AsyncFrameTransport] = None
     try:
-        await handshake_async(reader, writer, Role.CLIENT)
-        kind, payload = await read_frame_async(reader)
+        _version, _role, pair = await secure_handshake_async(
+            reader, writer, Role.CLIENT,
+            trust=trust, attested=trust is not None,
+            expected_roles=(Role.SERVER,),
+        )
+        transport = AsyncFrameTransport(reader, writer, pair)
+        kind, payload = await transport.recv()
         if kind == FrameKind.ERROR:
             raise WireError(payload.decode("utf-8", "replace"))
         if kind != FrameKind.INIT:
@@ -94,8 +109,7 @@ async def _run_connection(
                     seq=req_id,
                 )
             sent_at[req_id] = time.monotonic()
-            write_frame(
-                writer,
+            transport.send(
                 FrameKind.REQUEST,
                 encode_request(req_id, request, value_size),
             )
@@ -104,23 +118,36 @@ async def _run_connection(
         # slot that is immediately refilled until the quota is sent.
         for _ in range(min(window, requests)):
             send_one()
-        await writer.drain()
+        await transport.drain()
 
         while completed < requests:
-            kind, payload = await read_frame_async(reader)
+            kind, payload = await transport.recv()
             if kind == FrameKind.ERROR:
                 raise WireError(payload.decode("utf-8", "replace"))
+            if kind == FrameKind.BUSY:
+                raise ServerBusyError(
+                    "server shed load mid-benchmark; lower the window"
+                )
+            if kind == FrameKind.SHUTTING_DOWN:
+                raise ServerShuttingDownError(
+                    "server drained mid-benchmark"
+                )
             if kind != FrameKind.RESPONSE:
                 raise WireError(f"unexpected frame kind {kind}")
-            req_id, _response, _coords = decode_response(payload, value_size)
+            req_id, _response, _coords, _seq = decode_response(
+                payload, value_size
+            )
             latencies.append(time.monotonic() - sent_at.pop(req_id))
             completed += 1
             if next_req < requests:
                 send_one()
-                await writer.drain()
+                await transport.drain()
         return completed
     finally:
-        writer.close()
+        if transport is not None:
+            transport.close()
+        else:
+            writer.close()
         try:
             await writer.wait_closed()
         except (ConnectionError, OSError):
@@ -137,14 +164,19 @@ async def run_loadgen_async(
     num_keys: int = 1024,
     write_fraction: float = 0.5,
     seed: int = 0,
+    trust=None,
 ) -> Dict[str, object]:
     """Drive the server with ``requests`` total operations; return stats.
 
     The quota is split evenly across ``connections``, each running the
     closed window loop above concurrently on one event loop.  The
     aggregate open-ticket count is ``connections * window`` — the knob
-    the 100K-open-ticket soak turns up.
+    the 100K-open-ticket soak turns up.  ``trust`` (a
+    :class:`~repro.serve.secure.ServeTrust` or raw secret bytes)
+    switches every connection to the attested sealed channel.
     """
+    if isinstance(trust, (bytes, bytearray)):
+        trust = ServeTrust(bytes(trust))
     per_connection = max(1, requests // connections)
     latencies: List[float] = []
     started = time.monotonic()
@@ -158,6 +190,7 @@ async def run_loadgen_async(
             rng=random.Random(seed * 7919 + index),
             client_id=1000 + index,
             latencies=latencies,
+            trust=trust,
         )
         for index in range(connections)
     ])
@@ -169,6 +202,7 @@ async def run_loadgen_async(
         "window": window,
         "open_tickets": connections * window,
         "write_fraction": write_fraction,
+        "attested": trust is not None,
         "elapsed_s": elapsed,
         "rps": total / elapsed if elapsed > 0 else 0.0,
         "latency_p50_ms": percentile(latencies, 0.50) * 1e3,

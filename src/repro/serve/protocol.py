@@ -78,11 +78,14 @@ def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
     return kind, payload
 
 
-def handshake(sock: socket.socket, role: int) -> Tuple[int, int]:
-    """Exchange hello frames on a blocking socket; returns peer (version, role).
+def handshake(sock: socket.socket, role: int) -> Tuple[int, int, int]:
+    """Exchange plaintext hello frames on a blocking socket.
 
-    Both sides send their hello eagerly (the frames are fixed-size, so
-    there is no ordering deadlock) and then validate the peer's.
+    Returns the peer's ``(version, role, flags)``.  Both sides send
+    their hello eagerly (the frames are fixed-size, so there is no
+    ordering deadlock) and then validate the peer's.  Attested
+    deployments use :func:`repro.serve.secure.secure_handshake`, which
+    layers the quote exchange on top of this hello.
 
     Raises:
         WireError / VersionMismatchError: malformed peer or version skew.
@@ -124,8 +127,11 @@ async def handshake_async(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
     role: int,
-) -> Tuple[int, int]:
-    """Exchange hello frames on an asyncio stream; returns peer (version, role)."""
+) -> Tuple[int, int, int]:
+    """Exchange plaintext hellos on an asyncio stream.
+
+    Returns the peer's ``(version, role, flags)``.
+    """
     writer.write(encode_hello(role))
     await writer.drain()
     try:

@@ -7,6 +7,15 @@ duck-typed subORAM (``initialize`` / ``batch_access`` / ``num_objects``)
 whose method calls are framed round trips to a :func:`worker_main`
 process owning the real :class:`~repro.suboram.suboram.SubOram`.
 
+**Attested channels.**  With a trust secret configured (the default
+when a :class:`~repro.serve.secure.ServeTrust` is handed in), every
+balancer↔worker connection runs the quote exchange of
+:mod:`repro.serve.secure` — the worker proves it runs the expected
+subORAM program measurement, the balancer proves it is the balancer —
+and all frames ride a sealed, replay-protected channel.  Frame *sizes*
+are unchanged (the sealed envelope adds a constant), so the public
+traffic shape is exactly the plaintext one.
+
 **Atomic epochs across the process boundary.**  The epoch driver's
 atomicity seam is ``copy.deepcopy`` of the subORAM list before each
 attempt; :class:`RemoteSubOram` turns that deepcopy into a versioned
@@ -17,12 +26,30 @@ versions), and the returned proxy addresses ``new``.  A failed attempt
 simply abandons its version: the retry deep-copies the pristine proxies
 again, beginning a fresh clone of the same committed parent.
 
-**Crash recovery.**  The worker seals its live version table (pickle +
-atomic rename) at initialization, at every transaction boundary, and
-after every batch, so a worker killed at *any* point is respawned by
-:class:`WorkerCluster` with every version id the balancer might still
-reference — in particular the pre-epoch parent a retried attempt clones
-from.  Mid-flight socket failures surface as
+**Crash recovery — local and remote.**  The worker seals its live
+version table (pickle + atomic rename) at initialization, at every
+transaction boundary, and after every batch, so a worker killed at
+*any* point is respawned by :class:`WorkerCluster` with every version
+id the balancer might still reference.  Two recovery modes:
+
+- ``remote_snapshots=False`` (default): the respawned worker reloads
+  its seal from its own disk — the original shared-fate model.
+- ``remote_snapshots=True``: the cluster mirrors each worker's sealed
+  blob over the wire (chunked SNAP_FETCH after every state mutation)
+  and, when a respawned worker comes back *empty* (its disk is gone
+  too — ``kill_worker(..., lose_disk=True)``), restores it with a
+  chunked, offset-resumable SNAP_PUSH before use.  No shared
+  filesystem is ever assumed: workers may live on other machines.
+
+**Health supervision.**  :meth:`WorkerCluster.check_health` probes a
+worker with a deadline-bounded PING and distinguishes *slow* (the
+process is alive but missed the deadline — the socket is dropped and
+redialed later, no respawn, no state loss) from *dead* (the process is
+gone — respawn-and-restore).  :meth:`start_monitor` runs that sweep on
+a background heartbeat thread so dead workers respawn before the next
+epoch trips over them.
+
+Mid-flight socket failures surface as
 :class:`~repro.errors.TransportError`, the retryable fault class, so
 the existing :class:`~repro.core.resilience.EpochRetryController` and
 :class:`~repro.core.pipeline.EpochPipeline` machinery recovers (or, with
@@ -36,7 +63,9 @@ constraint the driver already enforces for custom transports.
 **What crosses this wire.**  INIT and BATCH payloads reuse
 :func:`~repro.core.wire.encode_batch`, so message sizes depend only on
 partition/batch sizes and the value size — public quantities.  Version
-ids and commit points are epoch-schedule facts, also public.
+ids, commit points, and snapshot byte counts are epoch-schedule facts,
+also public (snapshot size is a function of partition size and value
+size, not of contents — the seal is itself sized by public geometry).
 """
 
 from __future__ import annotations
@@ -49,6 +78,7 @@ import shutil
 import socket
 import tempfile
 import threading
+import time
 from typing import Dict, List, Optional
 
 from repro.core.wire import (
@@ -56,21 +86,37 @@ from repro.core.wire import (
     Role,
     WireError,
     decode_batch,
+    decode_snap_fetch,
+    decode_snap_push,
     decode_txn,
     decode_u32,
+    decode_u64,
+    decode_versions,
     encode_batch,
+    encode_snap_data,
+    encode_snap_fetch,
+    encode_snap_push,
     encode_txn,
     encode_u32,
     encode_u64,
-    decode_u64,
+    encode_versions,
+    decode_snap_data,
 )
 from repro.errors import ConfigurationError, TransportError
-from repro.serve.protocol import handshake, recv_frame, send_frame
+from repro.serve.secure import (
+    FrameTransport,
+    ServeTrust,
+    secure_handshake,
+)
 from repro.telemetry import NULL_TELEMETRY, resolve_telemetry
 from repro.types import BatchEntry, OpType
 
+#: Default chunk size for snapshot transfers (64 KiB keeps each frame
+#: well under the wire cap while amortizing round trips).
+SNAP_CHUNK = 64 * 1024
 
-def _seal(snapshot_path: str, versions: Dict[int, object]) -> None:
+
+def _seal(snapshot_path: str, versions: Dict[int, object]) -> bytes:
     """Persist the live version table: pickle then atomic rename.
 
     Sealing the *whole* table (committed parent and working clone) after
@@ -79,19 +125,25 @@ def _seal(snapshot_path: str, versions: Dict[int, object]) -> None:
     installed version the next epoch has not yet committed — survives a
     crash.  Sealing only commit points would lose an installed version
     that crashes before its commit-by-next-transaction.
+
+    Returns the sealed blob so the worker can serve SNAP_FETCH without
+    re-reading its own disk.
     """
+    blob = pickle.dumps(versions)
     tmp_path = snapshot_path + ".tmp"
     with open(tmp_path, "wb") as handle:
-        pickle.dump(versions, handle)
+        handle.write(blob)
     os.replace(tmp_path, snapshot_path)
+    return blob
 
 
-def _load_seal(snapshot_path: str) -> Dict[int, object]:
-    """Load the sealed version table, or an empty one."""
+def _load_seal(snapshot_path: str):
+    """Load the sealed version table; returns ``(versions, blob)``."""
     if not os.path.exists(snapshot_path):
-        return {}
+        return {}, b""
     with open(snapshot_path, "rb") as handle:
-        return pickle.load(handle)
+        blob = handle.read()
+    return pickle.loads(blob), blob
 
 
 def worker_main(
@@ -103,6 +155,7 @@ def worker_main(
     snapshot_path: str,
     crash_after: Optional[int] = None,
     crypto: str = "batched",
+    trust_secret: Optional[bytes] = None,
 ) -> None:
     """One subORAM worker process: accept, handshake, serve frames.
 
@@ -111,6 +164,11 @@ def worker_main(
     concurrency.  When the balancer's connection drops the worker loops
     back to ``accept`` and waits for a reconnect; its versioned state
     survives in memory (and the committed version on disk).
+
+    With ``trust_secret`` the worker presents an attested quote for the
+    subORAM program measurement and serves only sealed frames; without
+    it the channel is plaintext (both sides must agree — a mode
+    mismatch fails closed at the handshake).
 
     ``crash_after`` is the deterministic chaos seam: after serving that
     many BATCH frames the process exits *after applying and sealing*
@@ -127,15 +185,31 @@ def worker_main(
     port_pipe.send(listener.getsockname()[1])
     port_pipe.close()
 
-    versions: Dict[int, object] = _load_seal(snapshot_path)
+    trust = ServeTrust(trust_secret) if trust_secret is not None else None
+    enclave = (
+        trust.enclave(Role.WORKER, instance=worker_id)
+        if trust is not None else None
+    )
+    link_name = f"worker-{worker_id}"
+
+    versions, sealed_blob = _load_seal(snapshot_path)
     batches_served = 0
+    push_buf = b""
 
     while True:
         conn, _ = listener.accept()
+        transport: Optional[FrameTransport] = None
         try:
-            handshake(conn, Role.WORKER)
+            _version, _role, pair = secure_handshake(
+                conn, Role.WORKER,
+                trust=trust, enclave=enclave,
+                attested=trust is not None,
+                expected_roles=(Role.BALANCER,),
+                link_name=link_name,
+            )
+            transport = FrameTransport(conn, pair)
             while True:
-                kind, payload = recv_frame(conn)
+                kind, payload = transport.recv()
                 if kind == FrameKind.INIT:
                     suboram = SubOram(
                         worker_id,
@@ -149,9 +223,9 @@ def worker_main(
                         for entry in decode_batch(payload)
                     })
                     versions = {0: suboram}
-                    _seal(snapshot_path, versions)
-                    send_frame(
-                        conn, FrameKind.INIT_ACK,
+                    sealed_blob = _seal(snapshot_path, versions)
+                    transport.send(
+                        FrameKind.INIT_ACK,
                         encode_u32(suboram.num_objects),
                     )
                 elif kind == FrameKind.BATCH:
@@ -164,12 +238,12 @@ def worker_main(
                     entries = versions[version].batch_access(
                         decode_batch(payload[8:])
                     )
-                    _seal(snapshot_path, versions)
+                    sealed_blob = _seal(snapshot_path, versions)
                     batches_served += 1
                     if crash_after is not None and batches_served >= crash_after:
                         os._exit(1)  # chaos: die with the reply unsent
-                    send_frame(
-                        conn, FrameKind.BATCH_REPLY, encode_batch(entries)
+                    transport.send(
+                        FrameKind.BATCH_REPLY, encode_batch(entries)
                     )
                 elif kind == FrameKind.TXN_BEGIN:
                     parent, new = decode_txn(payload)
@@ -185,27 +259,69 @@ def worker_main(
                         parent: committed_suboram,
                         new: copy.deepcopy(committed_suboram),
                     }
-                    _seal(snapshot_path, versions)
-                    send_frame(conn, FrameKind.TXN_ACK)
+                    sealed_blob = _seal(snapshot_path, versions)
+                    transport.send(FrameKind.TXN_ACK)
                 elif kind == FrameKind.PING:
-                    send_frame(conn, FrameKind.PONG)
+                    # Optional u32 payload: echo delay in ms — the
+                    # health monitor's "slow worker" test seam.
+                    if payload:
+                        time.sleep(decode_u32(payload) / 1000.0)
+                    transport.send(FrameKind.PONG)
+                elif kind == FrameKind.SNAP_FETCH:
+                    offset, max_chunk = decode_snap_fetch(payload)
+                    transport.send(
+                        FrameKind.SNAP_DATA,
+                        encode_snap_data(
+                            len(sealed_blob),
+                            sealed_blob[offset:offset + max_chunk],
+                        ),
+                    )
+                elif kind == FrameKind.SNAP_PUSH:
+                    offset, last, chunk = decode_snap_push(payload)
+                    if offset == len(push_buf):
+                        push_buf += chunk
+                        if last:
+                            versions = pickle.loads(push_buf)
+                            sealed_blob = _seal(snapshot_path, versions)
+                            push_buf = b""
+                            transport.send(
+                                FrameKind.SNAP_ACK,
+                                encode_u64(len(sealed_blob)),
+                            )
+                            continue
+                    # Out-of-order offsets (a resumed push after a
+                    # drop) are not applied; the ack tells the pusher
+                    # where to resume from.
+                    transport.send(
+                        FrameKind.SNAP_ACK, encode_u64(len(push_buf))
+                    )
+                elif kind == FrameKind.VERSIONS_QUERY:
+                    transport.send(
+                        FrameKind.VERSIONS_REPLY,
+                        encode_versions(sorted(versions)),
+                    )
                 else:
                     raise WireError(f"unexpected worker frame kind {kind}")
         except TransportError:
             pass  # balancer went away; await a reconnect
         except Exception as exc:
-            # Protocol or application bug (bad frame, capacity abort):
-            # report it — non-retryable on the balancer side — and drop
-            # the connection, but keep the worker and its state alive.
+            # Protocol or application bug (bad frame, capacity abort,
+            # failed attestation): report it — non-retryable on the
+            # balancer side — and drop the connection, but keep the
+            # worker and its state alive.
             try:
-                send_frame(
-                    conn, FrameKind.ERROR,
-                    f"{type(exc).__name__}: {exc}".encode("utf-8"),
-                )
+                if transport is not None:
+                    transport.send(
+                        FrameKind.ERROR,
+                        f"{type(exc).__name__}: {exc}".encode("utf-8"),
+                    )
             except TransportError:
                 pass
         finally:
-            conn.close()
+            if transport is not None:
+                transport.close()
+            else:
+                conn.close()
 
 
 class RemoteSubOram:
@@ -290,10 +406,11 @@ class RemoteSubOram:
 class WorkerCluster:
     """Supervisor for S subORAM worker processes.
 
-    Spawns the workers, owns one blocking socket per worker, respawns
-    crashed workers from their sealed snapshots, and hands out
-    :class:`RemoteSubOram` proxies through :meth:`factory` — a drop-in
-    ``suboram_factory`` for :class:`~repro.core.snoopy.Snoopy`::
+    Spawns the workers, owns one framed channel per worker (attested
+    and sealed when a trust is configured), respawns crashed workers,
+    restores lost state over the wire (``remote_snapshots``), and hands
+    out :class:`RemoteSubOram` proxies through :meth:`factory` — a
+    drop-in ``suboram_factory`` for :class:`~repro.core.snoopy.Snoopy`::
 
         cluster = WorkerCluster(num_workers=3, value_size=16).start()
         store = Snoopy(config, suboram_factory=cluster.factory)
@@ -301,6 +418,18 @@ class WorkerCluster:
     Thread-safety: one lock per worker serializes that worker's framed
     round trips (the thread backend may drive distinct workers
     concurrently, which uses distinct sockets and locks).
+
+    Args:
+        trust: a :class:`~repro.serve.secure.ServeTrust` (or a raw
+            secret ``bytes``) establishing the attested channels.
+            ``None`` (default) keeps the channels plaintext.
+        remote_snapshots: mirror every worker's sealed state over the
+            wire and restore an empty respawned worker from the mirror
+            (the no-shared-filesystem deployment model).
+        injector: a :class:`~repro.core.faults.NetworkFaultInjector`
+            whose plan addresses links named ``worker-<i>``; every
+            connect and send on the worker channels consults it.
+        snap_chunk: snapshot transfer chunk size in bytes.
     """
 
     def __init__(
@@ -313,6 +442,10 @@ class WorkerCluster:
         telemetry=None,
         crash_plan: Optional[Dict[int, int]] = None,
         crypto: str = "batched",
+        trust=None,
+        remote_snapshots: bool = False,
+        injector=None,
+        snap_chunk: int = SNAP_CHUNK,
     ):
         self.num_workers = num_workers
         self.value_size = value_size
@@ -320,6 +453,15 @@ class WorkerCluster:
         self.kernel = kernel
         self.crypto = crypto
         self.telemetry = resolve_telemetry(telemetry)
+        if isinstance(trust, (bytes, bytearray)):
+            trust = ServeTrust(bytes(trust))
+        self.trust: Optional[ServeTrust] = trust
+        self._balancer_enclave = (
+            trust.enclave(Role.BALANCER) if trust is not None else None
+        )
+        self.remote_snapshots = remote_snapshots
+        self.snap_chunk = snap_chunk
+        self._injector = injector
         self._owns_snapshot_dir = snapshot_dir is None
         self._snapshot_dir = (
             snapshot_dir
@@ -331,11 +473,19 @@ class WorkerCluster:
             [None] * num_workers
         )
         self._ports: List[Optional[int]] = [None] * num_workers
-        self._socks: List[Optional[socket.socket]] = [None] * num_workers
+        self._transports: List[Optional[FrameTransport]] = (
+            [None] * num_workers
+        )
         self._locks = [threading.Lock() for _ in range(num_workers)]
         self._version_lock = threading.Lock()
         self._next_version = 1
         self._started = False
+        #: Wire-mirrored sealed blobs (remote_snapshots mode).
+        self._snap_cache: List[bytes] = [b""] * num_workers
+        #: Workers respawned since their last restore check.
+        self._respawned: List[bool] = [False] * num_workers
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._monitor_stop = threading.Event()
         # Deterministic chaos: worker index -> crash after N batches.
         # Consumed at first spawn only, so the respawned worker is sane.
         self._crash_plan = dict(crash_plan or {})
@@ -351,12 +501,14 @@ class WorkerCluster:
         for index in range(self.num_workers):
             self._spawn(index)
             self._connect(index)
+            self._respawned[index] = False
         return self
 
     def stop(self) -> None:
         """Terminate the workers and remove owned snapshots; idempotent."""
+        self.stop_monitor()
         for index in range(self.num_workers):
-            self._close_socket(index)
+            self._close_channel(index)
             proc = self._procs[index]
             if proc is not None and proc.is_alive():
                 proc.terminate()
@@ -409,33 +561,46 @@ class WorkerCluster:
     ) -> bytes:
         """One framed round trip to worker ``index``; returns the reply payload.
 
-        Respawns a dead worker (from its sealed snapshot) and reconnects
-        a dropped channel *before* sending, so recovery is transparent;
-        a failure *during* the round trip — the crash-mid-batch case —
+        Respawns a dead worker (and, in ``remote_snapshots`` mode,
+        restores a state-less one over the wire) and reconnects a
+        dropped channel *before* sending, so recovery is transparent; a
+        failure *during* the round trip — the crash-mid-batch case —
         closes the channel and raises :class:`TransportError`, leaving
         recovery to the caller's retry (which lands back here).
         """
+        state_mutating = kind in (
+            FrameKind.INIT, FrameKind.BATCH, FrameKind.TXN_BEGIN
+        )
         with self._locks[index]:
             self._ensure(index)
-            sock = self._socks[index]
-            try:
-                send_frame(sock, kind, payload)
-                reply_kind, reply = recv_frame(sock)
-            except TransportError as exc:
-                self._close_socket(index)
-                exc.unit = index
-                raise
-            if reply_kind == FrameKind.ERROR:
-                self._close_socket(index)
-                raise WireError(
-                    f"worker {index}: " + reply.decode("utf-8", "replace")
-                )
-            if reply_kind != expect_kind:
-                raise WireError(
-                    f"worker {index} replied frame kind {reply_kind}, "
-                    f"expected {expect_kind}"
-                )
+            reply = self._round_trip(index, kind, payload, expect_kind)
+            if self.remote_snapshots and state_mutating:
+                self._refresh_snapshot(index)
             return reply
+
+    def _round_trip(
+        self, index: int, kind: int, payload: bytes, expect_kind: int
+    ) -> bytes:
+        """One send/recv on an already-ensured channel (lock held)."""
+        transport = self._transports[index]
+        try:
+            transport.send(kind, payload)
+            reply_kind, reply = transport.recv()
+        except TransportError as exc:
+            self._close_channel(index)
+            exc.unit = index
+            raise
+        if reply_kind == FrameKind.ERROR:
+            self._close_channel(index)
+            raise WireError(
+                f"worker {index}: " + reply.decode("utf-8", "replace")
+            )
+        if reply_kind != expect_kind:
+            raise WireError(
+                f"worker {index} replied frame kind {reply_kind}, "
+                f"expected {expect_kind}"
+            )
+        return reply
 
     def ping(self, index: int) -> bool:
         """Liveness probe; returns False instead of raising on a dead worker."""
@@ -445,13 +610,210 @@ class WorkerCluster:
         except TransportError:
             return False
 
-    def kill_worker(self, index: int) -> None:
-        """Hard-kill one worker process (chaos testing)."""
+    def timed_ping(
+        self,
+        index: int,
+        timeout: Optional[float] = None,
+        echo_delay_ms: int = 0,
+    ) -> float:
+        """Deadline-bounded PING; returns the round-trip time in seconds.
+
+        ``echo_delay_ms`` asks the worker to stall before answering —
+        the test seam for exercising the slow-worker path.  A missed
+        deadline raises :class:`TransportError` whose ``__cause__`` is a
+        timeout, which :meth:`check_health` uses to classify *slow*
+        (alive, channel dropped, no respawn) versus *dead*.
+        """
+        payload = encode_u32(echo_delay_ms) if echo_delay_ms else b""
+        with self._locks[index]:
+            self._ensure(index)
+            transport = self._transports[index]
+            started = time.monotonic()
+            try:
+                transport.settimeout(timeout)
+                self._round_trip(
+                    index, FrameKind.PING, payload, FrameKind.PONG
+                )
+            finally:
+                live = self._transports[index]
+                if live is not None:
+                    live.settimeout(None)
+            return time.monotonic() - started
+
+    def check_health(self, index: int, timeout: float = 1.0) -> str:
+        """Classify worker ``index``: ``"ok"``, ``"slow"``, or ``"dead"``.
+
+        *Slow* means the process is alive but missed the PING deadline:
+        the channel is dropped (a fresh one is dialed on next use) but
+        the process — and its in-memory state — is left alone.  *Dead*
+        means the process is gone; the next use (or the monitor)
+        respawns it.
+        """
+        self.telemetry.counter("serve_worker_health_checks_total").inc()
+        proc = self._procs[index]
+        if proc is None or not proc.is_alive():
+            self.telemetry.counter("serve_worker_dead_total").inc()
+            return "dead"
+        try:
+            self.timed_ping(index, timeout=timeout)
+            return "ok"
+        except TransportError as exc:
+            proc = self._procs[index]
+            if proc is not None and proc.is_alive():
+                slow = isinstance(
+                    exc.__cause__, (socket.timeout, TimeoutError)
+                )
+                if slow:
+                    self.telemetry.counter(
+                        "serve_worker_slow_total"
+                    ).inc()
+                    return "slow"
+            self.telemetry.counter("serve_worker_dead_total").inc()
+            return "dead"
+
+    def start_monitor(
+        self, interval: float = 1.0, timeout: float = 1.0
+    ) -> None:
+        """Run :meth:`monitor_once` on a background heartbeat thread."""
+        if self._monitor_thread is not None:
+            return
+        self._monitor_stop.clear()
+
+        def _run() -> None:
+            while not self._monitor_stop.wait(interval):
+                try:
+                    self.monitor_once(timeout=timeout)
+                except Exception:
+                    # The monitor must never take the cluster down; a
+                    # failed sweep retries on the next heartbeat.
+                    pass
+
+        self._monitor_thread = threading.Thread(
+            target=_run, name="snoopy-worker-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+
+    def stop_monitor(self) -> None:
+        """Stop the heartbeat thread; idempotent."""
+        if self._monitor_thread is None:
+            return
+        self._monitor_stop.set()
+        self._monitor_thread.join(timeout=5)
+        self._monitor_thread = None
+
+    def monitor_once(self, timeout: float = 1.0) -> Dict[int, str]:
+        """One health sweep; respawns dead workers eagerly.
+
+        Returns ``{index: status}``.  Dead workers are brought back
+        (respawn + reconnect + remote restore) inside the sweep so the
+        next epoch finds a ready channel instead of paying recovery
+        latency on its critical path.
+        """
+        statuses: Dict[int, str] = {}
+        for index in range(self.num_workers):
+            status = self.check_health(index, timeout=timeout)
+            if status == "dead":
+                try:
+                    with self._locks[index]:
+                        self._ensure(index)
+                    status = "respawned"
+                except TransportError:
+                    pass  # still down; the next sweep retries
+            statuses[index] = status
+        return statuses
+
+    def kill_worker(self, index: int, lose_disk: bool = False) -> None:
+        """Hard-kill one worker process (chaos testing).
+
+        With ``lose_disk`` the worker's sealed snapshot is deleted too —
+        the machine-is-gone scenario only ``remote_snapshots`` recovery
+        survives.
+        """
         proc = self._procs[index]
         if proc is not None and proc.is_alive():
             proc.kill()
             proc.join(timeout=5)
-        self._close_socket(index)
+        self._close_channel(index)
+        if lose_disk:
+            for path in (
+                self._snapshot_path(index),
+                self._snapshot_path(index) + ".tmp",
+            ):
+                try:
+                    os.remove(path)
+                except FileNotFoundError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # Snapshot mirroring (remote_snapshots mode)
+    # ------------------------------------------------------------------
+    def _refresh_snapshot(self, index: int) -> None:
+        """Mirror worker ``index``'s sealed blob (lock held).
+
+        Chunked and offset-resumable: a connection drop mid-fetch
+        re-ensures the channel and continues from the bytes already
+        received (the worker's blob is stable between mutations, so the
+        offsets stay valid across its respawn-from-disk).
+        """
+        buf = b""
+        failures = 0
+        while True:
+            try:
+                reply = self._round_trip(
+                    index,
+                    FrameKind.SNAP_FETCH,
+                    encode_snap_fetch(len(buf), self.snap_chunk),
+                    FrameKind.SNAP_DATA,
+                )
+            except TransportError:
+                failures += 1
+                if failures >= 3:
+                    raise
+                self._ensure(index)
+                continue
+            total, chunk = decode_snap_data(reply)
+            buf += chunk
+            if len(buf) >= total:
+                break
+        self._snap_cache[index] = buf
+        self.telemetry.counter("serve_snapshot_fetches_total").inc()
+        self.telemetry.gauge("serve_snapshot_bytes").set(len(buf))
+
+    def _push_snapshot(self, index: int, blob: bytes) -> None:
+        """Restore worker ``index`` from the mirror (lock held).
+
+        Offset-resumable: every chunk is acknowledged with the worker's
+        buffered length, so after a drop the push resumes exactly where
+        the worker left off (including restarting from zero if the
+        worker respawned and lost its partial buffer).
+        """
+        offset = 0
+        while True:
+            chunk = blob[offset:offset + self.snap_chunk]
+            last = offset + len(chunk) >= len(blob)
+            ack = self._round_trip(
+                index,
+                FrameKind.SNAP_PUSH,
+                encode_snap_push(offset, last, chunk),
+                FrameKind.SNAP_ACK,
+            )
+            acked = decode_u64(ack)
+            if last and acked >= len(blob):
+                break
+            offset = acked
+        self.telemetry.counter("serve_snapshot_restores_total").inc()
+
+    def _restore_if_empty(self, index: int) -> None:
+        """After a respawn: push the mirror if the worker came back bare."""
+        if not self.remote_snapshots or not self._snap_cache[index]:
+            self._respawned[index] = False
+            return
+        reply = self._round_trip(
+            index, FrameKind.VERSIONS_QUERY, b"", FrameKind.VERSIONS_REPLY
+        )
+        if not decode_versions(reply):
+            self._push_snapshot(index, self._snap_cache[index])
+        self._respawned[index] = False
 
     # ------------------------------------------------------------------
     # Internals
@@ -472,6 +834,7 @@ class WorkerCluster:
                 self._snapshot_path(index),
                 self._crash_plan.pop(index, None),
                 self.crypto,
+                self.trust.secret if self.trust is not None else None,
             ),
             daemon=True,
             name=f"snoopy-worker-{index}",
@@ -487,8 +850,15 @@ class WorkerCluster:
         finally:
             parent_pipe.close()
         self._procs[index] = proc
+        self._respawned[index] = True
 
     def _connect(self, index: int) -> None:
+        link = f"worker-{index}"
+        dribble_s = 0.0
+        if self._injector is not None:
+            event = self._injector.on_connect(link)
+            if event is not None and event.kind == "slow_handshake":
+                dribble_s = event.delay_s
         try:
             sock = socket.create_connection(
                 ("127.0.0.1", self._ports[index]), timeout=30
@@ -499,47 +869,60 @@ class WorkerCluster:
             ) from exc
         sock.settimeout(None)
         try:
-            handshake(sock, Role.BALANCER)
+            _version, _role, pair = secure_handshake(
+                sock, Role.BALANCER,
+                trust=self.trust,
+                enclave=self._balancer_enclave,
+                attested=self.trust is not None,
+                expected_roles=(Role.WORKER,),
+                link_name=link,
+                dribble_s=dribble_s,
+            )
         except BaseException:
             sock.close()
             raise
-        self._socks[index] = sock
+        self._transports[index] = FrameTransport(
+            sock, pair, injector=self._injector, link=link
+        )
 
-    def _close_socket(self, index: int) -> None:
-        sock = self._socks[index]
-        if sock is not None:
-            try:
-                sock.close()
-            except OSError:
-                pass
-        self._socks[index] = None
+    def _close_channel(self, index: int) -> None:
+        transport = self._transports[index]
+        if transport is not None:
+            transport.close()
+        self._transports[index] = None
 
     def _ensure(self, index: int) -> None:
         """Respawn/reconnect worker ``index`` if its channel is down.
 
-        Must succeed transparently whenever recovery is possible at all:
-        the epoch driver's ``deepcopy`` seam calls into here *outside*
-        its fault-wrapping, so an exception from this path is fatal
-        rather than retryable.  The loop absorbs the race where a worker
+        Tries hard to succeed transparently whenever recovery is
+        possible at all, so callers rarely see recovery latency as a
+        failed epoch attempt.  The loop absorbs the race where a worker
         that just died still reports ``is_alive()`` (connect is refused,
-        the join lets it be reaped, the next pass respawns it).
+        the join lets it be reaped, the next pass respawns it) and
+        injected partitions spanning a few connect attempts.
         """
         failure: Optional[TransportError] = None
         for _ in range(5):
             proc = self._procs[index]
             if proc is None or not proc.is_alive():
-                self._close_socket(index)
+                self._close_channel(index)
                 self._spawn(index)
                 self.telemetry.counter("serve_worker_respawns_total").inc()
-            if self._socks[index] is not None:
-                return
-            try:
-                self._connect(index)
-                return
-            except TransportError as exc:
-                failure = exc
-                proc = self._procs[index]
-                if proc is not None:
-                    proc.join(timeout=0.2)
+            if self._transports[index] is None:
+                try:
+                    self._connect(index)
+                except TransportError as exc:
+                    failure = exc
+                    proc = self._procs[index]
+                    if proc is not None:
+                        proc.join(timeout=0.2)
+                    continue
+            if self._respawned[index]:
+                try:
+                    self._restore_if_empty(index)
+                except TransportError as exc:
+                    failure = exc
+                    continue
+            return
         failure.unit = index
         raise failure

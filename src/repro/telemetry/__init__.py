@@ -235,6 +235,9 @@ class _NullMetric:
     def set(self, value: float) -> None:
         """Discard the value."""
 
+    def set_max(self, value: float) -> None:
+        """Discard the peak."""
+
     def observe(self, value: float) -> None:
         """Discard the sample."""
 

@@ -115,6 +115,16 @@ class Gauge:
         with self._lock:
             self._value += amount
 
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is higher (peak tracking).
+
+        Atomic under the gauge lock, so concurrent observers of a
+        high-water mark (e.g. peak open tickets) never regress it.
+        """
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
     @property
     def value(self) -> float:
         """Current gauge value."""
@@ -284,17 +294,30 @@ class MetricsRegistry:
             rows.append(row)
         return rows
 
+    @staticmethod
+    def _timing_valued(name: str) -> bool:
+        """Counters/gauges whose *value* is wall-clock time.
+
+        ``*_seconds`` / ``*_seconds_total`` series (stage busy time,
+        retry backoff) carry measured durations, not shape-determined
+        counts — the byte-exact public export must omit them just like
+        histogram sums and quantiles.
+        """
+        base = name[:-len("_total")] if name.endswith("_total") else name
+        return base.endswith("_seconds")
+
     def public_snapshot(self) -> Dict[str, float]:
         """The shape-determined values only: counters, gauges, histogram
         counts — the quantities SECURITY.md declares to be pure functions
-        of configuration and batch shape.  Keys are rendered series names
-        (``name{label="value",...}``)."""
+        of configuration and batch shape.  Wall-clock-valued series
+        (``*_seconds``/``*_seconds_total``) are omitted.  Keys are
+        rendered series names (``name{label="value",...}``)."""
         snap: Dict[str, float] = {}
         for metric in self.metrics():
             series = _render_series(metric.name, metric.labels)
             if isinstance(metric, Histogram):
                 snap[series + "#count"] = metric.count
-            else:
+            elif not self._timing_valued(metric.name):
                 snap[series] = metric.value
         return snap
 
@@ -311,6 +334,12 @@ class MetricsRegistry:
         lines: List[str] = []
         typed = set()
         for metric in self.metrics():
+            if (
+                public_only
+                and not isinstance(metric, Histogram)
+                and self._timing_valued(metric.name)
+            ):
+                continue
             if metric.name not in typed:
                 kind = "summary" if metric.kind == "histogram" else metric.kind
                 lines.append(f"# TYPE {metric.name} {kind}")

@@ -7,6 +7,8 @@ Commands:
 * ``demo``    — stand up a tiny in-process deployment and exercise it.
 * ``serve``   — expose a deployment over TCP (the network front door).
 * ``loadgen`` — drive a running server and report throughput/latency.
+* ``chaos-net`` — the deterministic network-chaos soak (differential
+  robustness check over the attested stack; exit 1 on mismatch).
 * ``info``    — library version and default cost-model constants.
 
 ``serve`` and ``loadgen`` follow the machine-readable convention:
@@ -153,6 +155,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve for a fixed time then exit "
                             "(default: until interrupted)")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--trust-secret", type=str,
+                       default="snoopy-dev-trust", metavar="SECRET",
+                       help="shared deployment trust secret (>= 16 "
+                            "chars) for the attested handshake and "
+                            "sealed channels; clients must present the "
+                            "same secret (default: a well-known dev "
+                            "secret — override it for anything real)")
+    serve.add_argument("--plaintext", action="store_true",
+                       help="disable channel attestation and sealing "
+                            "(benchmark baselines only; attested "
+                            "clients will refuse to connect)")
 
     loadgen = sub.add_parser(
         "loadgen", help="drive a running server over TCP and report stats"
@@ -170,6 +183,38 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument("--out", type=str, default=None, metavar="PATH",
                          help="also write the JSON stats to PATH")
+    loadgen.add_argument("--trust-secret", type=str,
+                         default="snoopy-dev-trust", metavar="SECRET",
+                         help="trust secret matching the server's "
+                              "(attested sealed channels; the default "
+                              "matches serve's default)")
+    loadgen.add_argument("--plaintext", action="store_true",
+                         help="connect without attestation (the server "
+                              "must also run --plaintext)")
+
+    chaos = sub.add_parser(
+        "chaos-net",
+        help="run the deterministic network-chaos soak and report "
+             "whether the chaotic run matched the fault-free oracle",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--epochs", type=int, default=12)
+    chaos.add_argument("--requests-per-epoch", type=int, default=8)
+    chaos.add_argument("--objects", type=int, default=96)
+    chaos.add_argument("--balancers", type=int, default=2)
+    chaos.add_argument("--suborams", type=int, default=2)
+    chaos.add_argument("--intensity", type=int, default=1,
+                       help="scheduled events per fault kind per link "
+                            "(default 1)")
+    chaos.add_argument("--worker-processes", action="store_true",
+                       help="also run subORAMs out of process and "
+                            "inject faults on the balancer-worker links")
+    chaos.add_argument("--kernel", type=str, default="python",
+                       choices=["python", "numpy"])
+    chaos.add_argument("--timeout", type=float, default=60.0,
+                       help="client/admin timeout in seconds")
+    chaos.add_argument("--out", type=str, default=None, metavar="PATH",
+                       help="also write the JSON report to PATH")
 
     sub.add_parser("info", help="version and cost-model constants")
     return parser
@@ -404,10 +449,14 @@ def cmd_serve(args) -> int:
     import json
 
     from repro.serve import SnoopyServer, WorkerCluster
+    from repro.serve.secure import ServeTrust
 
     def log(message: str) -> None:
         print(message, file=sys.stderr, flush=True)
 
+    trust = None
+    if not args.plaintext:
+        trust = ServeTrust(args.trust_secret.encode("utf-8"))
     config = SnoopyConfig(
         num_load_balancers=args.balancers,
         num_suborams=args.suborams,
@@ -425,10 +474,13 @@ def cmd_serve(args) -> int:
                 value_size=args.value_size,
                 security_parameter=32,
                 kernel=args.kernel,
+                trust=trust,
             ))
             cluster.start()
             factory = cluster.factory
-            log(f"spawned {args.suborams} subORAM worker processes")
+            log(f"spawned {args.suborams} subORAM worker processes "
+                + ("(attested links)" if trust is not None
+                   else "(plaintext links)"))
         store = stack.enter_context(Snoopy(
             config, rng=random.Random(args.seed), suboram_factory=factory,
         ))
@@ -448,12 +500,15 @@ def cmd_serve(args) -> int:
                 epoch_duration=args.epoch_duration,
                 pipeline_depth=args.pipeline_depth,
                 max_pending_per_connection=args.max_pending,
+                attested=trust is not None,
+                trust=trust,
             )
             await server.start()
             print(json.dumps({
                 "event": "listening",
                 "host": args.host,
                 "port": server.port,
+                "attested": trust is not None,
                 "value_size": args.value_size,
                 "num_load_balancers": args.balancers,
                 "num_suborams": args.suborams,
@@ -490,8 +545,12 @@ def cmd_loadgen(args) -> int:
 
     from repro.serve import run_loadgen
 
+    trust = None
+    if not args.plaintext:
+        trust = args.trust_secret.encode("utf-8")
     print(f"loadgen: {args.requests} requests over {args.connections} "
-          f"connections (window {args.window}) against "
+          f"connections (window {args.window}, "
+          f"{'attested' if trust is not None else 'plaintext'}) against "
           f"{args.host}:{args.port}", file=sys.stderr, flush=True)
     stats = run_loadgen(
         args.host,
@@ -502,6 +561,7 @@ def cmd_loadgen(args) -> int:
         num_keys=args.keys,
         write_fraction=args.write_fraction,
         seed=args.seed,
+        trust=trust,
     )
     rendered = json.dumps(stats, indent=2, sort_keys=True)
     print(rendered)
@@ -510,6 +570,43 @@ def cmd_loadgen(args) -> int:
             handle.write(rendered + "\n")
         print(f"stats written to {args.out}", file=sys.stderr)
     return 0
+
+
+def cmd_chaos_net(args) -> int:
+    """``chaos-net``: deterministic network-chaos soak, JSON verdict.
+
+    Exit code 0 when the chaos-soaked attested run matched the
+    fault-free oracle byte-for-byte *and* every scheduled fault fired
+    exactly once; 1 otherwise.
+    """
+    import json
+
+    from repro.serve.chaos import run_network_soak
+
+    print(f"chaos-net: seed {args.seed}, {args.epochs} epochs x "
+          f"{args.requests_per_epoch} requests, intensity "
+          f"{args.intensity}"
+          + (", worker processes" if args.worker_processes else ""),
+          file=sys.stderr, flush=True)
+    report = run_network_soak(
+        seed=args.seed,
+        epochs=args.epochs,
+        requests_per_epoch=args.requests_per_epoch,
+        objects=args.objects,
+        num_load_balancers=args.balancers,
+        num_suborams=args.suborams,
+        intensity=args.intensity,
+        worker_processes=args.worker_processes,
+        kernel=args.kernel,
+        timeout=args.timeout,
+    )
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+    return 0 if report["matched"] else 1
 
 
 def cmd_info(_args) -> int:
@@ -537,6 +634,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": cmd_demo,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "chaos-net": cmd_chaos_net,
         "info": cmd_info,
     }[args.command]
     return handler(args)

@@ -94,7 +94,7 @@ class TestTransportSecurity:
         balancer, suboram, nonce, sealed = captured[0]
         pair = deployment._channels[(balancer, suboram)]
         with pytest.raises(ReplayError):
-            pair.to_suboram_rx.receive(nonce, sealed)
+            pair.so.rx.receive(nonce, sealed)
 
     def test_rogue_enclave_rejected(self):
         deployment = make_deployment()

@@ -460,8 +460,9 @@ class TestOverlapMetrics:
         for thread in threads:
             thread.join()
         assert len(recorder.intervals) == 100
-        snapshot = telemetry.registry.public_snapshot()
-        busy = snapshot[
-            'pipeline_stage_busy_seconds_total{stage="build"}'
-        ]
+        # Busy time is wall-clock-valued, so it is *not* in the public
+        # snapshot; read the counter directly.
+        busy = telemetry.registry.counter(
+            "pipeline_stage_busy_seconds_total", stage="build"
+        ).value
         assert busy == pytest.approx(25.0)

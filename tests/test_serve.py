@@ -19,9 +19,11 @@ from tests.harness import assert_equivalent, build_store, seeded_workload
 from repro.core.client import SnoopyClient
 from repro.core.wire import (
     HELLO_SIZE,
+    SUPPORTED_WIRE_VERSIONS,
     WIRE_MAGIC,
     FrameKind,
     Role,
+    decode_version_reject,
     encode_hello,
 )
 from repro.errors import (
@@ -59,6 +61,12 @@ def make_store(**overrides):
     return build_store(backend, **kwargs)
 
 
+def connect(handle, **kwargs):
+    """A client for ``handle``'s server, sharing its attested trust."""
+    kwargs.setdefault("trust", handle.trust)
+    return NetworkSnoopyClient("127.0.0.1", handle.port, **kwargs)
+
+
 @pytest.fixture
 def service():
     """A served deployment in deterministic (manual-epoch) mode."""
@@ -71,14 +79,14 @@ def service():
 class TestServiceBasics:
     def test_init_frame_reports_geometry(self, service):
         _store, handle = service
-        with NetworkSnoopyClient("127.0.0.1", handle.port,
+        with connect(handle,
                                  manual_epochs=True) as client:
             assert client.value_size == VALUE
             assert client.num_load_balancers == 2
 
     def test_read_write_round_trip(self, service):
         _store, handle = service
-        with NetworkSnoopyClient("127.0.0.1", handle.port,
+        with connect(handle,
                                  manual_epochs=True) as client:
             assert client.read(3) == bytes([3]) * VALUE
             assert client.write(3, b"ABCDEFGH") == bytes([3]) * VALUE
@@ -86,7 +94,7 @@ class TestServiceBasics:
 
     def test_batch(self, service):
         _store, handle = service
-        with NetworkSnoopyClient("127.0.0.1", handle.port,
+        with connect(handle,
                                  manual_epochs=True) as client:
             responses = client.batch([
                 Request(OpType.READ, k, client_id=9, seq=i)
@@ -98,19 +106,19 @@ class TestServiceBasics:
 
     def test_ping(self, service):
         _store, handle = service
-        with NetworkSnoopyClient("127.0.0.1", handle.port) as client:
+        with connect(handle) as client:
             client.ping()
 
     def test_conforms_to_snoopy_client_protocol(self, service):
         _store, handle = service
-        with NetworkSnoopyClient("127.0.0.1", handle.port,
+        with connect(handle,
                                  manual_epochs=True) as client:
             assert isinstance(client, SnoopyClient)
 
     def test_two_clients_share_epochs(self, service):
         _store, handle = service
-        with NetworkSnoopyClient("127.0.0.1", handle.port) as alice, \
-                NetworkSnoopyClient("127.0.0.1", handle.port) as bob:
+        with connect(handle) as alice, \
+                connect(handle) as bob:
             ta = alice.submit(Request(OpType.READ, 5, client_id=1))
             tb = bob.submit(Request(OpType.READ, 6, client_id=2))
             alice.close_epoch()
@@ -119,7 +127,7 @@ class TestServiceBasics:
 
     def test_ticket_coordinates_settle_with_response(self, service):
         _store, handle = service
-        with NetworkSnoopyClient("127.0.0.1", handle.port) as client:
+        with connect(handle) as client:
             ticket = client.submit(Request(OpType.READ, 1), load_balancer=1)
             assert ticket.load_balancer is None  # unresolved: no coords yet
             client.close_epoch()
@@ -131,7 +139,7 @@ class TestServiceBasics:
     def test_done_callback_fires(self, service):
         _store, handle = service
         fired = threading.Event()
-        with NetworkSnoopyClient("127.0.0.1", handle.port) as client:
+        with connect(handle) as client:
             ticket = client.submit(Request(OpType.READ, 2))
             ticket.add_done_callback(lambda t: fired.set())
             client.close_epoch()
@@ -142,7 +150,7 @@ class TestServiceBasics:
         with store, ServerThread(store, clock=False,
                                  max_pending_per_connection=1) as handle:
             handle.start()
-            with NetworkSnoopyClient("127.0.0.1", handle.port,
+            with connect(handle,
                                      manual_epochs=True) as client:
                 for key in (1, 2, 3):
                     assert client.read(key) == bytes([key]) * VALUE
@@ -188,12 +196,15 @@ class TestWireVersioning:
         assert len(server_hello) == HELLO_SIZE
         assert server_hello.startswith(WIRE_MAGIC)
 
-    def test_version_skew_answered_with_error_frame(self, service):
+    def test_version_skew_answered_with_reject_frame(self, service):
+        """The reject is structured: offered *and* supported versions."""
         store, handle = service
         bad = struct.pack(">4sBB10x", WIRE_MAGIC, 99, Role.CLIENT)
         _, (kind, payload) = self._raw_hello(handle.port, bad)
-        assert kind == FrameKind.ERROR
-        assert b"version" in payload.lower()
+        assert kind == FrameKind.VERSION_REJECT
+        offered, supported = decode_version_reject(payload)
+        assert offered == 99
+        assert supported == SUPPORTED_WIRE_VERSIONS
         assert handle.server.stats["version_mismatches"] == 1
 
     def test_wrong_role_rejected(self, service):
@@ -232,7 +243,7 @@ class TestServiceDifferential:
         store = make_store(kernel=kernel, objects=dict(objects))
         with store, ServerThread(store, clock=False) as handle:
             handle.start()
-            with NetworkSnoopyClient("127.0.0.1", handle.port,
+            with connect(handle,
                                      timeout=30) as client:
                 epoch_tickets = []
                 for requests in workload:
@@ -286,7 +297,7 @@ class TestConnectionDrop:
         store = make_store()
         with store, ServerThread(store, clock=False) as handle:
             handle.start()
-            dropped = NetworkSnoopyClient("127.0.0.1", handle.port)
+            dropped = connect(handle)
             tickets = [
                 dropped.submit(
                     Request(OpType.WRITE, key, value, client_id=1, seq=i),
@@ -301,7 +312,7 @@ class TestConnectionDrop:
                 with pytest.raises(TransportError):
                     ticket.result(5)
 
-            with NetworkSnoopyClient("127.0.0.1", handle.port,
+            with connect(handle,
                                      manual_epochs=True) as client:
                 client.close_epoch(flush=True)
                 observed = {k: client.read(k) for k in small_objects()}
@@ -309,10 +320,10 @@ class TestConnectionDrop:
 
     def test_server_survives_drop_and_keeps_serving(self, service):
         _store, handle = service
-        victim = NetworkSnoopyClient("127.0.0.1", handle.port)
+        victim = connect(handle, resume=False)
         victim.submit(Request(OpType.READ, 1))
-        victim._sock.close()  # abrupt, no shutdown handshake
-        with NetworkSnoopyClient("127.0.0.1", handle.port,
+        victim._transport.close()  # abrupt, no shutdown handshake
+        with connect(handle,
                                  manual_epochs=True) as client:
             assert client.read(2) == bytes([2]) * VALUE
 
@@ -320,7 +331,7 @@ class TestConnectionDrop:
 class TestClientTimeout:
     def test_timeout_leaves_ticket_pending_then_resolves(self, service):
         _store, handle = service
-        with NetworkSnoopyClient("127.0.0.1", handle.port) as client:
+        with connect(handle) as client:
             ticket = client.submit(Request(OpType.READ, 7))
             with pytest.raises(TaskTimeoutError):
                 ticket.result(timeout=0.2)  # no epoch closed yet
@@ -445,7 +456,7 @@ class TestWorkerCrashDifferential:
             )
             with store, ServerThread(store, clock=False) as handle:
                 handle.start()
-                with NetworkSnoopyClient("127.0.0.1", handle.port,
+                with connect(handle,
                                          manual_epochs=True,
                                          timeout=60) as client:
                     assert client.read(3) == bytes([3]) * VALUE
@@ -462,7 +473,7 @@ class TestLoadgen:
             stats = run_loadgen(
                 "127.0.0.1", handle.port,
                 requests=300, connections=2, window=32,
-                num_keys=64, seed=11,
+                num_keys=64, seed=11, trust=handle.trust,
             )
         assert stats["requests"] == 300
         assert stats["rps"] > 0

@@ -132,3 +132,58 @@ class TestMetricObliviousness:
         export, _ = public_view("serial", "python", 101, 201)
         assert "quantile" not in export
         assert "_sum" not in export
+
+
+def served_public_view(key_seed: int, value_seed: int):
+    """Public telemetry for one workload served over the real TCP stack.
+
+    The serve layer adds its own metric families (connections, frames,
+    sessions, shed counters) on top of the core's — all of which must
+    stay functions of the workload *shape* only, even though the bytes
+    on the wire now include sealed frames of content-derived data.
+    """
+    from repro.serve import NetworkSnoopyClient, ServerThread
+
+    telemetry = Telemetry()
+    config = SnoopyConfig(
+        num_load_balancers=2,
+        num_suborams=3,
+        value_size=8,
+        security_parameter=16,
+        telemetry=telemetry,
+    )
+    with Snoopy(
+        config, keychain=KeyChain(master=MASTER), rng=random.Random(2)
+    ) as store:
+        store.initialize({k: bytes([k]) * 8 for k in range(NUM_KEYS)})
+        with ServerThread(store, clock=False) as handle:
+            handle.start()
+            with NetworkSnoopyClient(
+                "127.0.0.1", handle.port, trust=handle.trust,
+                client_id=1,
+            ) as client:
+                tickets = []
+                for requests in shaped_workload(key_seed, value_seed):
+                    for request, balancer in requests:
+                        tickets.append(
+                            client.submit(request, load_balancer=balancer)
+                        )
+                    client.close_epoch(flush=True)
+                for ticket in tickets:
+                    ticket.result(30.0)
+            server_stats = dict(handle.server.stats)
+    return (
+        telemetry.registry.prometheus_text(public_only=True),
+        server_stats,
+    )
+
+
+class TestServeLayerObliviousness:
+    def test_served_same_shape_identical_public_telemetry(self):
+        export_a, stats_a = served_public_view(101, 201)
+        export_b, stats_b = served_public_view(0xDEAD, 0xBEEF)
+        assert export_a == export_b
+        assert stats_a == stats_b
+        # Non-vacuous: the serve layer really contributed series.
+        assert "serve_connections_total" in export_a
+        assert stats_a["responses"] == EPOCHS * PER_EPOCH

@@ -162,9 +162,18 @@ class TestFuzz:
 
 class TestHello:
     def test_roundtrip(self):
-        version, role = decode_hello(encode_hello(Role.CLIENT))
+        version, role, flags = decode_hello(encode_hello(Role.CLIENT))
         assert version == WIRE_VERSION
         assert role == Role.CLIENT
+        assert flags == 0
+
+    def test_attested_flag_roundtrip(self):
+        from repro.core.wire import HELLO_FLAG_ATTESTED
+
+        hello = encode_hello(Role.SERVER, flags=HELLO_FLAG_ATTESTED)
+        assert len(hello) == HELLO_SIZE
+        _version, _role, flags = decode_hello(hello)
+        assert flags & HELLO_FLAG_ATTESTED
 
     def test_fixed_size_for_every_role(self):
         sizes = {
@@ -178,7 +187,7 @@ class TestHello:
         with pytest.raises(VersionMismatchError) as excinfo:
             decode_hello(frame)
         assert excinfo.value.offered == WIRE_VERSION + 1
-        assert excinfo.value.supported == WIRE_VERSION
+        assert WIRE_VERSION in excinfo.value.supported
 
     def test_bad_magic_rejected_before_version(self):
         frame = bytearray(encode_hello(Role.CLIENT, version=WIRE_VERSION + 1))
@@ -271,17 +280,30 @@ class TestRequestResponse:
         data = encode_response(
             21, response, value_size=8, load_balancer=1, arrival=4, epoch=9
         )
-        req_id, decoded, placement = decode_response(data, value_size=8)
+        req_id, decoded, placement, delivery_seq = decode_response(
+            data, value_size=8
+        )
         assert req_id == 21
         assert decoded == response
         assert placement == (1, 4, 9)
+        assert delivery_seq == 0
+
+    def test_response_delivery_seq_roundtrip(self):
+        response = Response(key=5, value=b"vv", client_id=2, seq=7, ok=True)
+        data = encode_response(
+            21, response, value_size=8, load_balancer=1, arrival=4,
+            epoch=9, delivery_seq=1234,
+        )
+        assert len(data) == response_size(8)  # seq never changes the size
+        _, _, _, delivery_seq = decode_response(data, value_size=8)
+        assert delivery_seq == 1234
 
     def test_response_none_value_distinguished(self):
         none_resp = Response(key=1, value=None)
         data = encode_response(
             1, none_resp, value_size=4, load_balancer=0, arrival=0, epoch=1
         )
-        _, decoded, _ = decode_response(data, value_size=4)
+        _, decoded, _, _ = decode_response(data, value_size=4)
         assert decoded.value is None
         assert len(data) == response_size(4)
 
