@@ -18,6 +18,12 @@ framing, the attested channel's AEAD work, the kernel socket path,
 epoch queueing, and the oblivious batch itself.  Results feed
 ``BENCH_serve.json`` via the bench harness and the
 ``python -m repro loadgen`` CLI.
+
+Request streams come from :mod:`repro.workloads`: pass ``workload`` (a
+:class:`~repro.workloads.WorkloadSpec` or CLI shorthand like
+``zipf:1.2``) to drive a seeded generator, ``trace_in`` to replay a
+recorded trace over the wire, and ``trace_out`` to record what was
+actually sent — with arrival timestamps — as a replayable trace file.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from __future__ import annotations
 import asyncio
 import random
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.core.wire import (
     FrameKind,
@@ -42,6 +48,12 @@ from repro.serve.secure import (
     secure_handshake_async,
 )
 from repro.types import OpType, Request
+from repro.workloads.generators import (
+    WorkloadSpec,
+    generate_requests,
+    parse_workload_spec,
+)
+from repro.workloads.trace import Trace, TraceRecord, dump_trace, load_trace
 
 
 def percentile(samples: List[float], fraction: float) -> float:
@@ -51,6 +63,11 @@ def percentile(samples: List[float], fraction: float) -> float:
     ordered = sorted(samples)
     rank = min(len(ordered) - 1, int(fraction * len(ordered)))
     return ordered[rank]
+
+
+def _fit_value(value: Optional[bytes], value_size: int) -> bytes:
+    """Resize a scripted value to the server's value size (pad/truncate)."""
+    return (value or b"").ljust(value_size, b"\x00")[:value_size]
 
 
 async def _run_connection(
@@ -65,8 +82,18 @@ async def _run_connection(
     client_id: int,
     latencies: List[float],
     trust: Optional[ServeTrust] = None,
+    script: Optional[List[Request]] = None,
+    record: Optional[List[TraceRecord]] = None,
+    t0: float = 0.0,
 ) -> int:
-    """One connection's closed loop; returns responses received."""
+    """One connection's closed loop; returns responses received.
+
+    With ``script`` the connection sends those requests in order
+    (scripted values are padded/truncated to the server's value size);
+    otherwise it draws uniform keys from ``rng`` as before.  With
+    ``record`` every request actually sent is appended as a
+    :class:`TraceRecord` stamped relative to ``t0``.
+    """
     reader, writer = await asyncio.open_connection(host, port)
     transport: Optional[AsyncFrameTransport] = None
     try:
@@ -91,7 +118,19 @@ async def _run_connection(
             nonlocal next_req
             req_id = next_req
             next_req += 1
-            if rng.random() < write_fraction:
+            if script is not None:
+                template = script[req_id]
+                request = Request(
+                    op=template.op,
+                    key=template.key,
+                    value=(
+                        _fit_value(template.value, value_size)
+                        if template.is_write() else None
+                    ),
+                    client_id=template.client_id or client_id,
+                    seq=req_id,
+                )
+            elif rng.random() < write_fraction:
                 request = Request(
                     op=OpType.WRITE,
                     key=rng.randrange(num_keys),
@@ -108,7 +147,10 @@ async def _run_connection(
                     client_id=client_id,
                     seq=req_id,
                 )
-            sent_at[req_id] = time.monotonic()
+            now = time.monotonic()
+            sent_at[req_id] = now
+            if record is not None:
+                record.append(TraceRecord.from_request(request, now - t0))
             transport.send(
                 FrameKind.REQUEST,
                 encode_request(req_id, request, value_size),
@@ -165,6 +207,9 @@ async def run_loadgen_async(
     write_fraction: float = 0.5,
     seed: int = 0,
     trust=None,
+    workload: Optional[Union[str, WorkloadSpec]] = None,
+    trace_in: Optional[Union[str, Trace]] = None,
+    trace_out: Optional[str] = None,
 ) -> Dict[str, object]:
     """Drive the server with ``requests`` total operations; return stats.
 
@@ -174,16 +219,43 @@ async def run_loadgen_async(
     the 100K-open-ticket soak turns up.  ``trust`` (a
     :class:`~repro.serve.secure.ServeTrust` or raw secret bytes)
     switches every connection to the attested sealed channel.
+
+    ``workload`` swaps the inline uniform stream for a seeded
+    :mod:`repro.workloads` generator (spec object or shorthand such as
+    ``"zipf:1.2"``); ``trace_in`` replays a recorded trace (path or
+    :class:`Trace`), round-robined across connections, overriding
+    ``requests``; ``trace_out`` records every request actually sent —
+    with client-side send timestamps — as a replayable trace file.
     """
     if isinstance(trust, (bytes, bytearray)):
         trust = ServeTrust(bytes(trust))
+    spec: Optional[WorkloadSpec] = None
+    scripts: Optional[List[List[Request]]] = None
+    if trace_in is not None:
+        trace = load_trace(trace_in) if isinstance(trace_in, str) else trace_in
+        replayed = trace.requests()
+        scripts = [replayed[index::connections] for index in range(connections)]
+        spec = trace.spec
+    elif workload is not None:
+        spec = (
+            parse_workload_spec(
+                workload, num_keys=num_keys, write_fraction=write_fraction,
+            )
+            if isinstance(workload, str) else workload
+        )
+        per_connection = max(1, requests // connections)
+        scripts = [
+            generate_requests(spec, per_connection, seed * 7919 + index)
+            for index in range(connections)
+        ]
     per_connection = max(1, requests // connections)
     latencies: List[float] = []
+    record: Optional[List[TraceRecord]] = [] if trace_out else None
     started = time.monotonic()
     totals = await asyncio.gather(*[
         _run_connection(
             host, port,
-            requests=per_connection,
+            requests=len(scripts[index]) if scripts else per_connection,
             window=window,
             num_keys=num_keys,
             write_fraction=write_fraction,
@@ -191,12 +263,15 @@ async def run_loadgen_async(
             client_id=1000 + index,
             latencies=latencies,
             trust=trust,
+            script=scripts[index] if scripts else None,
+            record=record,
+            t0=started,
         )
         for index in range(connections)
     ])
     elapsed = time.monotonic() - started
     total = sum(totals)
-    return {
+    stats: Dict[str, object] = {
         "requests": total,
         "connections": connections,
         "window": window,
@@ -211,6 +286,21 @@ async def run_loadgen_async(
             sum(latencies) / len(latencies) * 1e3 if latencies else 0.0
         ),
     }
+    if spec is not None:
+        stats["workload"] = spec.to_dict()
+    if trace_in is not None:
+        stats["replayed_trace"] = trace.checksum()
+    if record is not None:
+        recorded = Trace(
+            records=sorted(record, key=lambda r: (r.t, r.client_id, r.seq)),
+            spec=spec,
+            seed=seed,
+            meta={"source": "loadgen", "connections": connections,
+                  "window": window},
+        )
+        stats["trace_out"] = trace_out
+        stats["trace_checksum"] = dump_trace(recorded, trace_out)
+    return stats
 
 
 def run_loadgen(host: str, port: int, **kwargs) -> Dict[str, object]:

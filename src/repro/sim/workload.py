@@ -1,18 +1,42 @@
-"""Workload generators: request distributions and arrival processes.
+"""Deprecated alias of :mod:`repro.workloads` (the scenario factory).
 
-The paper benchmarks with a uniform request distribution and notes that —
-because the system is oblivious — the distribution cannot affect
-performance (§8, "Experiment Setup"); the load balancer's deduplication
-specifically neutralizes skew (§4.1).  We therefore provide skewed (Zipf)
-and bursty generators too, so tests can *demonstrate* that insensitivity.
+The workload generators started life inside the simulator package;
+they are now a first-class subsystem at :mod:`repro.workloads`, with
+seeded shape/key-split generators, arrival processes, trace
+record/replay, and the replay tuner.  These shims keep the historical
+entry points importable — each emits a :class:`DeprecationWarning` on
+use and delegates to the new package.  New code should import from
+``repro.workloads`` directly.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Iterator, List, Optional
 
-from repro.types import OpType, Request
+from repro.types import Request
+from repro.workloads import arrivals as _arrivals
+from repro.workloads import generators as _generators
+from repro.workloads.generators import ZipfSampler as _ZipfSampler
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.sim.workload.{old} is deprecated; use "
+        f"repro.workloads.{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class ZipfSampler(_ZipfSampler):
+    """Deprecated alias of :class:`repro.workloads.ZipfSampler`."""
+
+    def __init__(self, num_keys: int, exponent: float = 1.0,
+                 rng: Optional[random.Random] = None):
+        _deprecated("ZipfSampler", "ZipfSampler")
+        super().__init__(num_keys, exponent, rng)
 
 
 def uniform_requests(
@@ -22,46 +46,11 @@ def uniform_requests(
     value_size: int = 160,
     rng: Optional[random.Random] = None,
 ) -> List[Request]:
-    """Uniformly distributed reads/writes over ``num_keys`` objects."""
-    rng = rng if rng is not None else random.Random()
-    requests = []
-    for seq in range(count):
-        key = rng.randrange(num_keys)
-        if rng.random() < write_fraction:
-            value = bytes(rng.getrandbits(8) for _ in range(value_size))
-            requests.append(Request(OpType.WRITE, key, value, seq=seq))
-        else:
-            requests.append(Request(OpType.READ, key, seq=seq))
-    return requests
-
-
-class ZipfSampler:
-    """Zipf(s) sampler over ``[0, n)`` via inverse-CDF binary search."""
-
-    def __init__(self, num_keys: int, exponent: float = 1.0,
-                 rng: Optional[random.Random] = None):
-        if num_keys < 1:
-            raise ValueError("num_keys must be >= 1")
-        self._rng = rng if rng is not None else random.Random()
-        weights = [1.0 / (rank**exponent) for rank in range(1, num_keys + 1)]
-        total = 0.0
-        self._cdf = []
-        for w in weights:
-            total += w
-            self._cdf.append(total)
-        self._total = total
-
-    def sample(self) -> int:
-        """Draw one Zipf-distributed key."""
-        target = self._rng.random() * self._total
-        lo, hi = 0, len(self._cdf) - 1
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self._cdf[mid] < target:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo
+    """Deprecated alias of :func:`repro.workloads.uniform_requests`."""
+    _deprecated("uniform_requests", "uniform_requests")
+    return _generators.uniform_requests(
+        count, num_keys, write_fraction, value_size, rng
+    )
 
 
 def zipf_requests(
@@ -72,18 +61,11 @@ def zipf_requests(
     value_size: int = 160,
     rng: Optional[random.Random] = None,
 ) -> List[Request]:
-    """Heavily skewed workload — the adversarial case for batch overflow."""
-    rng = rng if rng is not None else random.Random()
-    sampler = ZipfSampler(num_keys, exponent, rng)
-    requests = []
-    for seq in range(count):
-        key = sampler.sample()
-        if rng.random() < write_fraction:
-            value = bytes(rng.getrandbits(8) for _ in range(value_size))
-            requests.append(Request(OpType.WRITE, key, value, seq=seq))
-        else:
-            requests.append(Request(OpType.READ, key, seq=seq))
-    return requests
+    """Deprecated alias of :func:`repro.workloads.zipf_requests`."""
+    _deprecated("zipf_requests", "zipf_requests")
+    return _generators.zipf_requests(
+        count, num_keys, exponent, write_fraction, value_size, rng
+    )
 
 
 def poisson_arrivals(
@@ -91,14 +73,9 @@ def poisson_arrivals(
     duration: float,
     rng: Optional[random.Random] = None,
 ) -> Iterator[float]:
-    """Arrival times of a Poisson process with ``rate`` events/second."""
-    rng = rng if rng is not None else random.Random()
-    t = 0.0
-    while True:
-        t += rng.expovariate(rate)
-        if t >= duration:
-            return
-        yield t
+    """Deprecated alias of :func:`repro.workloads.poisson_arrivals`."""
+    _deprecated("poisson_arrivals", "poisson_arrivals")
+    return _arrivals.poisson_arrivals(rate, duration, rng)
 
 
 def bursty_arrivals(
@@ -109,13 +86,8 @@ def bursty_arrivals(
     burst_length: float = 0.2,
     rng: Optional[random.Random] = None,
 ) -> Iterator[float]:
-    """A Poisson process alternating base and burst rates (bursty epochs §4.1)."""
-    rng = rng if rng is not None else random.Random()
-    t = 0.0
-    while True:
-        in_burst = (t % burst_every) < burst_length
-        rate = burst_rate if in_burst else base_rate
-        t += rng.expovariate(rate)
-        if t >= duration:
-            return
-        yield t
+    """Deprecated alias of :func:`repro.workloads.bursty_arrivals`."""
+    _deprecated("bursty_arrivals", "bursty_arrivals")
+    return _arrivals.bursty_arrivals(
+        base_rate, burst_rate, duration, burst_every, burst_length, rng
+    )

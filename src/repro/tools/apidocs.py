@@ -39,6 +39,11 @@ GUIDES = [
         "Batched crypto & zero-copy state",
         ("repro.crypto.aead", "repro.suboram.store", "repro.exec.shipping"),
     ),
+    (
+        "Workloads & trace replay",
+        ("repro.workloads", "repro.workloads.trace",
+         "repro.workloads.tuner"),
+    ),
 ]
 
 

@@ -9,6 +9,9 @@ Commands:
 * ``loadgen`` — drive a running server and report throughput/latency.
 * ``chaos-net`` — the deterministic network-chaos soak (differential
   robustness check over the attested stack; exit 1 on mismatch).
+* ``tune``    — record or load a workload trace and sweep configurations
+  against it; emits the best config as JSON (``--verify`` re-replays an
+  emitted config and checks the measurement reproduces).
 * ``info``    — library version and default cost-model constants.
 
 ``serve`` and ``loadgen`` follow the machine-readable convention:
@@ -181,6 +184,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="keyspace size requests draw from")
     loadgen.add_argument("--write-fraction", type=float, default=0.5)
     loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--workload", type=str, default=None,
+                         metavar="SPEC",
+                         help="drive a seeded repro.workloads generator "
+                              "instead of the inline uniform stream: "
+                              "uniform, zipf[:s], tenant[:NxK], or a "
+                              "WorkloadSpec JSON path")
+    loadgen.add_argument("--trace-in", type=str, default=None,
+                         metavar="PATH",
+                         help="replay a recorded trace file over the "
+                              "wire (overrides --requests/--workload)")
+    loadgen.add_argument("--trace-out", type=str, default=None,
+                         metavar="PATH",
+                         help="record every request sent (with "
+                              "client-side timestamps) as a replayable "
+                              "trace file at PATH")
     loadgen.add_argument("--out", type=str, default=None, metavar="PATH",
                          help="also write the JSON stats to PATH")
     loadgen.add_argument("--trust-secret", type=str,
@@ -215,6 +233,63 @@ def build_parser() -> argparse.ArgumentParser:
                        help="client/admin timeout in seconds")
     chaos.add_argument("--out", type=str, default=None, metavar="PATH",
                        help="also write the JSON report to PATH")
+
+    tune = sub.add_parser(
+        "tune",
+        help="sweep configurations against a workload trace and emit "
+             "the best one as JSON",
+    )
+    tune.add_argument("--trace", type=str, default=None, metavar="PATH",
+                      help="tune against this recorded trace file "
+                           "(default: record a synthetic trace from "
+                           "--workload first)")
+    tune.add_argument("--workload", type=str, default="zipf:1.1",
+                      metavar="SPEC",
+                      help="workload shorthand used when no --trace is "
+                           "given: uniform, zipf[:s], tenant[:NxK], or "
+                           "a WorkloadSpec JSON path (default zipf:1.1)")
+    tune.add_argument("--arrival", type=str, default="poisson",
+                      choices=["poisson", "bursty", "diurnal",
+                               "flash_crowd"],
+                      help="arrival process for the synthetic trace "
+                           "(default poisson)")
+    tune.add_argument("--rate", type=float, default=2000.0,
+                      help="mean arrival rate for the synthetic trace "
+                           "(default 2000 req/s)")
+    tune.add_argument("--requests", type=int, default=400,
+                      help="synthetic trace length (default 400)")
+    tune.add_argument("--keys", type=int, default=512,
+                      help="key-space size for --workload (default 512)")
+    tune.add_argument("--write-fraction", type=float, default=0.5)
+    tune.add_argument("--value-size", type=int, default=32)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--balancers", type=int, default=1)
+    tune.add_argument("--suborams", type=int, default=2)
+    tune.add_argument("--epoch-durations", type=str, default=None,
+                      metavar="LIST",
+                      help="comma-separated sweep axis, e.g. 0.05,0.1,0.2")
+    tune.add_argument("--backends", type=str, default=None, metavar="LIST",
+                      help="comma-separated backend specs, e.g. "
+                           "serial,thread:4")
+    tune.add_argument("--no-measure", action="store_true",
+                      help="model-based selection only; skip the replay "
+                           "measurement (fully deterministic output)")
+    tune.add_argument("--repeats", type=int, default=2,
+                      help="replay repeats per measurement (best-of; "
+                           "default 2)")
+    tune.add_argument("--verify", action="store_true",
+                      help="after tuning, re-replay the emitted config "
+                           "and exit 1 unless the measured throughput "
+                           "reproduces within 10%%")
+    tune.add_argument("--trace-out", type=str, default=None, metavar="PATH",
+                      help="also write the (synthetic) trace used for "
+                           "tuning to PATH")
+    tune.add_argument("--out", type=str, default=None, metavar="PATH",
+                      help="write the best-config JSON to PATH (stdout "
+                           "always gets the full report)")
+    tune.add_argument("--report-out", type=str, default=None,
+                      metavar="PATH",
+                      help="also write the full report JSON to PATH")
 
     sub.add_parser("info", help="version and cost-model constants")
     return parser
@@ -562,6 +637,9 @@ def cmd_loadgen(args) -> int:
         write_fraction=args.write_fraction,
         seed=args.seed,
         trust=trust,
+        workload=args.workload,
+        trace_in=args.trace_in,
+        trace_out=args.trace_out,
     )
     rendered = json.dumps(stats, indent=2, sort_keys=True)
     print(rendered)
@@ -609,6 +687,101 @@ def cmd_chaos_net(args) -> int:
     return 0 if report["matched"] else 1
 
 
+def cmd_tune(args) -> int:
+    """``tune``: sweep configs against a trace, emit the best as JSON.
+
+    Follows the machine-readable convention: the full report JSON goes
+    to stdout, progress to stderr.  ``--out`` captures just the
+    deterministic best-config document (byte-stable for a given trace
+    and sweep).  With ``--verify`` the emitted config is re-replayed
+    and the exit code reflects whether the measured throughput
+    reproduced within tolerance.
+    """
+    import dataclasses
+    import json
+
+    from repro.workloads import (
+        TunerSweep,
+        load_trace,
+        parse_workload_spec,
+        record_trace,
+        dump_trace,
+        tune,
+        verify_reproduction,
+    )
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr, flush=True)
+
+    if args.trace is not None:
+        trace = load_trace(args.trace)
+        log(f"tune: loaded trace {args.trace} "
+            f"({len(trace)} records, checksum "
+            f"{trace.checksum()[:12]}...)")
+    else:
+        spec = parse_workload_spec(
+            args.workload, num_keys=args.keys,
+            write_fraction=args.write_fraction, value_size=args.value_size,
+        )
+        trace = record_trace(
+            spec, args.requests, args.seed,
+            arrival=args.arrival, rate=args.rate,
+        )
+        log(f"tune: recorded synthetic trace ({args.workload}, "
+            f"{args.arrival} arrivals at {args.rate:g}/s, "
+            f"{len(trace)} records)")
+    if args.trace_out is not None:
+        dump_trace(trace, args.trace_out)
+        log(f"trace written to {args.trace_out}")
+
+    sweep_kwargs = {}
+    if args.epoch_durations is not None:
+        sweep_kwargs["epoch_durations"] = tuple(
+            float(x) for x in args.epoch_durations.split(",") if x
+        )
+    if args.backends is not None:
+        sweep_kwargs["backends"] = tuple(
+            x for x in args.backends.split(",") if x
+        )
+    sweep = dataclasses.replace(TunerSweep(), **sweep_kwargs)
+    result = tune(
+        trace,
+        sweep=sweep,
+        num_load_balancers=args.balancers,
+        num_suborams=args.suborams,
+        measure=not args.no_measure,
+        repeats=args.repeats,
+    )
+    log(f"best config: {result.best.to_dict()}")
+    if result.measured is not None:
+        log(f"measured: {result.measured['best_rps']:,.0f} rps "
+            f"(default {result.measured['default_rps']:,.0f} rps, "
+            f"{result.measured['speedup_over_default']:.2f}x)")
+    print(json.dumps(result.report(), indent=2, sort_keys=True))
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            handle.write(result.best_config_json())
+        log(f"best config written to {args.out}")
+    if args.report_out is not None:
+        with open(args.report_out, "w") as handle:
+            handle.write(
+                json.dumps(result.report(), indent=2, sort_keys=True) + "\n"
+            )
+        log(f"report written to {args.report_out}")
+    if args.verify:
+        if result.measured is None:
+            raise SystemExit("--verify requires measurement "
+                             "(drop --no-measure)")
+        verdict = verify_reproduction(trace, result, repeats=args.repeats)
+        log(f"verify: reported {verdict['reported_rps']:,.0f} rps, "
+            f"replayed {verdict['replayed_rps']:,.0f} rps "
+            f"(error {verdict['relative_error']:.1%}, digest "
+            f"{'ok' if verdict['digest_matches'] else 'MISMATCH'})")
+        if not (verdict["within_tolerance"] and verdict["digest_matches"]):
+            return 1
+    return 0
+
+
 def cmd_info(_args) -> int:
     """``info``: version and cost-model constants."""
     profile = DEFAULT_PROFILE
@@ -635,6 +808,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
         "chaos-net": cmd_chaos_net,
+        "tune": cmd_tune,
         "info": cmd_info,
     }[args.command]
     return handler(args)

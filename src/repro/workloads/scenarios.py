@@ -1,0 +1,161 @@
+"""End-to-end application scenarios at production scale (§3.2).
+
+The §3.2 applications — key transparency and private contact discovery
+— wired into the scenario factory as *workloads*: million-object
+deployments driven by skewed (hot-user / hot-contact) request streams
+drawn from :mod:`repro.workloads.generators`.  Skew is the realistic
+shape for both apps (popular users get looked up more; viral numbers
+get checked more) and exactly the shape Snoopy must not respond to.
+
+Each scenario builds the app on a configurable deployment, drives a
+seeded workload, and returns a flat stats dict the benchmark suite
+(``benchmarks/bench_workloads.py`` → ``BENCH_workloads.json``) and the
+CLI can serialize directly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, Optional
+
+from repro.core.config import SnoopyConfig
+from repro.workloads.generators import ZipfSampler, key_rng
+
+
+def key_transparency_scenario(
+    num_users: int = 1 << 19,
+    lookups: int = 24,
+    *,
+    seed: int = 0,
+    num_suborams: int = 4,
+    backend: str = "thread:4",
+    kernel: str = "numpy",
+    security_parameter: int = 32,
+    hot_exponent: float = 1.1,
+) -> Dict[str, object]:
+    """Private key lookups over a Merkle-tree log (Fig. 9b's app).
+
+    ``num_users = 2**19`` stores ~1.57M objects (two tree levels of
+    nodes plus the user keys) — past the 1M-object mark the paper's
+    large-scale experiments use.  Lookups target Zipf-hot users: the
+    verifier checks every proof, so correctness is end-to-end.
+    """
+    from repro.apps.key_transparency import KeyTransparencyLog
+
+    users = {
+        user: user.to_bytes(4, "big") * 8 for user in range(1, num_users + 1)
+    }
+    config = SnoopyConfig(
+        num_load_balancers=1,
+        num_suborams=num_suborams,
+        value_size=32,
+        security_parameter=security_parameter,
+        execution_backend=backend,
+        kernel=kernel,
+    )
+    build_started = time.perf_counter()
+    log = KeyTransparencyLog(users, config=config)
+    build_s = time.perf_counter() - build_started
+    try:
+        sampler = ZipfSampler(num_users, hot_exponent, key_rng(seed))
+        verified = 0
+        lookup_started = time.perf_counter()
+        for _ in range(lookups):
+            user = 1 + sampler.sample()
+            proof = log.lookup(user)
+            if log.verify_lookup(proof):
+                verified += 1
+        lookup_s = time.perf_counter() - lookup_started
+        return {
+            "scenario": "key_transparency",
+            "num_users": num_users,
+            "num_objects": log.num_objects,
+            "accesses_per_lookup": log.accesses_per_lookup(),
+            "lookups": lookups,
+            "verified": verified,
+            "build_s": build_s,
+            "lookup_s": lookup_s,
+            "lookups_per_s": lookups / lookup_s if lookup_s > 0 else 0.0,
+            "backend": backend,
+            "kernel": kernel,
+            "num_suborams": num_suborams,
+        }
+    finally:
+        log.store.close()
+
+
+def contact_discovery_scenario(
+    key_space: int = 1 << 20,
+    registered: int = 100_000,
+    *,
+    batches: int = 4,
+    contacts_per_batch: int = 48,
+    seed: int = 0,
+    num_suborams: int = 4,
+    backend: str = "thread:4",
+    kernel: str = "numpy",
+    security_parameter: int = 32,
+    hot_exponent: float = 1.2,
+) -> Dict[str, object]:
+    """Private contact discovery over a million-bucket directory (§5).
+
+    Registration state is the oblivious store (``key_space`` buckets —
+    the object count); discovery batches draw Zipf-hot contacts, so
+    duplicates occur and the §4.1 deduplication path is on the hot
+    path, exactly the mechanism that makes skew invisible.
+    """
+    from repro.apps.contact_discovery import ContactDiscoveryService
+
+    config = SnoopyConfig(
+        num_load_balancers=1,
+        num_suborams=num_suborams,
+        value_size=16,
+        security_parameter=security_parameter,
+        execution_backend=backend,
+        kernel=kernel,
+    )
+    service = ContactDiscoveryService(key_space=key_space, config=config)
+    phone = "+1-555-{:08d}".format
+    registration_rng = random.Random(seed)
+    numbers = [
+        phone(registration_rng.randrange(10 ** 8)) for _ in range(registered)
+    ]
+    build_started = time.perf_counter()
+    service.initialize(numbers)
+    build_s = time.perf_counter() - build_started
+    try:
+        sampler = ZipfSampler(10 ** 6, hot_exponent, key_rng(seed))
+        hits = queries = duplicate_contacts = 0
+        discover_started = time.perf_counter()
+        for _ in range(batches):
+            contacts = [
+                phone(sampler.sample() * 97 % (10 ** 8))
+                for _ in range(contacts_per_batch)
+            ]
+            duplicate_contacts += len(contacts) - len(set(contacts))
+            found = service.discover(contacts)
+            queries += len(contacts)
+            hits += sum(1 for present in found.values() if present)
+        discover_s = time.perf_counter() - discover_started
+        return {
+            "scenario": "contact_discovery",
+            "key_space": key_space,
+            "num_objects": key_space,
+            "registered": registered,
+            "batches": batches,
+            "contacts_per_batch": contacts_per_batch,
+            "duplicate_contacts": duplicate_contacts,
+            "queries": queries,
+            "hits": hits,
+            "build_s": build_s,
+            "discover_s": discover_s,
+            "queries_per_s": (
+                queries / discover_s if discover_s > 0 else 0.0
+            ),
+            "backend": backend,
+            "kernel": kernel,
+            "num_suborams": num_suborams,
+        }
+    finally:
+        service.store.close()

@@ -1,0 +1,277 @@
+"""Replayable workload traces: a versioned JSONL record format.
+
+A trace is one header line followed by one line per request, each a
+canonical JSON object (sorted keys, no whitespace) — so a trace file is
+a deterministic function of its contents and ``loads(dumps(t))`` is
+byte-identical, the property the record→replay tests pin down.
+
+Header line::
+
+    {"checksum": "<sha256 of the record lines>", "format": "snoopy-trace",
+     "meta": {...}, "records": N, "seed": S, "spec": {...}, "version": 1}
+
+Record line::
+
+    {"client_id": 0, "key": 17, "op": "write", "seq": 3,
+     "t": 0.0123, "value": "a1b2..."}   # value hex; absent for reads
+
+The checksum makes a trace self-identifying: the tuner stamps it into
+its emitted config so a "best config" is verifiably tied to the trace
+it was tuned against.  Workload *shape and timing* are public inputs
+(SECURITY.md); values are payload bytes a real deployment would seal —
+treat recorded trace files accordingly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.types import OpType, Request
+from repro.workloads.arrivals import arrival_times
+from repro.workloads.generators import WorkloadSpec, generate_requests
+
+TRACE_FORMAT = "snoopy-trace"
+TRACE_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """A trace file violates the format (version, checksum, fields)."""
+
+
+def _canonical(obj: Dict[str, object]) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One request at one arrival time."""
+
+    t: float
+    op: str  # "read" | "write"
+    key: int
+    value: Optional[bytes] = None
+    client_id: int = 0
+    seq: int = 0
+
+    def to_request(self) -> Request:
+        """The wire-level request this record replays as."""
+        return Request(
+            op=OpType.WRITE if self.op == "write" else OpType.READ,
+            key=self.key,
+            value=self.value,
+            client_id=self.client_id,
+            seq=self.seq,
+        )
+
+    @classmethod
+    def from_request(cls, request: Request, t: float) -> "TraceRecord":
+        """Record a request observed at time ``t``."""
+        return cls(
+            t=t,
+            op="write" if request.is_write() else "read",
+            key=request.key,
+            value=request.value,
+            client_id=request.client_id,
+            seq=request.seq,
+        )
+
+    def to_json_obj(self) -> Dict[str, object]:
+        """JSON-ready dict with sorted keys and hex-encoded value."""
+        obj: Dict[str, object] = {
+            "client_id": self.client_id,
+            "key": self.key,
+            "op": self.op,
+            "seq": self.seq,
+            "t": self.t,
+        }
+        if self.value is not None:
+            obj["value"] = self.value.hex()
+        return obj
+
+    @classmethod
+    def from_json_obj(cls, obj: Dict[str, object]) -> "TraceRecord":
+        op = obj.get("op")
+        if op not in ("read", "write"):
+            raise TraceFormatError(f"record has invalid op {op!r}")
+        value = obj.get("value")
+        return cls(
+            t=float(obj["t"]),
+            op=str(op),
+            key=int(obj["key"]),
+            value=bytes.fromhex(value) if value is not None else None,
+            client_id=int(obj.get("client_id", 0)),
+            seq=int(obj.get("seq", 0)),
+        )
+
+
+@dataclass
+class Trace:
+    """A replayable workload: spec provenance plus timed records."""
+
+    records: List[TraceRecord]
+    spec: Optional[WorkloadSpec] = None
+    seed: Optional[int] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last arrival (0.0 for an empty trace)."""
+        return self.records[-1].t if self.records else 0.0
+
+    @property
+    def mean_rate(self) -> float:
+        """Requests per second over the trace's makespan."""
+        if not self.records or self.duration <= 0:
+            return 0.0
+        return len(self.records) / self.duration
+
+    def checksum(self) -> str:
+        """SHA-256 over the canonical record lines (trace identity)."""
+        digest = hashlib.sha256()
+        for record in self.records:
+            digest.update(_canonical(record.to_json_obj()).encode("ascii"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def requests(self) -> List[Request]:
+        """Every record as a :class:`~repro.types.Request`, in order."""
+        return [record.to_request() for record in self.records]
+
+    def epoch_groups(self, epoch_duration: float) -> List[List[TraceRecord]]:
+        """Records grouped into epochs of ``epoch_duration`` seconds.
+
+        Open-loop semantics: record ``r`` lands in epoch
+        ``floor(r.t / T)``; empty leading/interior epochs are kept (an
+        epoch with no arrivals still closes), trailing emptiness is not.
+        """
+        if epoch_duration <= 0:
+            raise ValueError("epoch_duration must be positive")
+        if not self.records:
+            return []
+        last = int(self.records[-1].t / epoch_duration)
+        groups: List[List[TraceRecord]] = [[] for _ in range(last + 1)]
+        for record in self.records:
+            groups[int(record.t / epoch_duration)].append(record)
+        return groups
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+def dumps_trace(trace: Trace) -> str:
+    """Render a trace as canonical JSONL (header + one line per record)."""
+    lines = [_canonical(r.to_json_obj()) for r in trace.records]
+    header: Dict[str, object] = {
+        "checksum": trace.checksum(),
+        "format": TRACE_FORMAT,
+        "meta": trace.meta,
+        "records": len(trace.records),
+        "seed": trace.seed,
+        "spec": trace.spec.to_dict() if trace.spec is not None else None,
+        "version": TRACE_VERSION,
+    }
+    return "\n".join([_canonical(header)] + lines) + "\n"
+
+
+def loads_trace(text: str) -> Trace:
+    """Parse :func:`dumps_trace` output; verifies version and checksum."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise TraceFormatError("empty trace")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"unparseable trace header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise TraceFormatError(
+            f"not a {TRACE_FORMAT} file (format="
+            f"{header.get('format') if isinstance(header, dict) else None!r})"
+        )
+    version = header.get("version")
+    if version != TRACE_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace version {version!r} "
+            f"(this library reads version {TRACE_VERSION})"
+        )
+    declared = header.get("records")
+    records = [
+        TraceRecord.from_json_obj(json.loads(line)) for line in lines[1:]
+    ]
+    if declared is not None and declared != len(records):
+        raise TraceFormatError(
+            f"header declares {declared} records, file has {len(records)}"
+        )
+    spec_obj = header.get("spec")
+    trace = Trace(
+        records=records,
+        spec=WorkloadSpec.from_dict(spec_obj) if spec_obj else None,
+        seed=header.get("seed"),
+        meta=dict(header.get("meta", {})),
+    )
+    expected = header.get("checksum")
+    if expected is not None and expected != trace.checksum():
+        raise TraceFormatError(
+            "trace checksum mismatch: file edited or truncated "
+            f"(header {expected[:12]}..., computed "
+            f"{trace.checksum()[:12]}...)"
+        )
+    return trace
+
+
+def dump_trace(trace: Trace, path: str) -> str:
+    """Write a trace file; returns its checksum."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(dumps_trace(trace))
+    return trace.checksum()
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace file written by :func:`dump_trace`."""
+    with open(path, "r", encoding="ascii") as handle:
+        return loads_trace(handle.read())
+
+
+# ---------------------------------------------------------------------------
+# Recording
+# ---------------------------------------------------------------------------
+def record_trace(
+    spec: WorkloadSpec,
+    count: int,
+    seed: int,
+    *,
+    arrival: str = "poisson",
+    rate: float = 1000.0,
+    arrival_params: Optional[Dict[str, object]] = None,
+) -> Trace:
+    """Record a synthetic trace: ``spec``-drawn requests on an arrival clock.
+
+    The request stream (shape + keys) and the arrival stream are seeded
+    independently off ``seed``, so the same spec re-recorded with the
+    same seed is identical — and two specs differing only in key
+    distribution produce traces with **identical timestamps and shape**.
+    """
+    times = arrival_times(
+        arrival, rate, seed=seed ^ 0xA221_7A1, count=count,
+        **(arrival_params or {}),
+    )
+    requests = generate_requests(spec, count, seed)
+    records = [
+        TraceRecord.from_request(request, t)
+        for request, t in zip(requests, times)
+    ]
+    return Trace(
+        records=records,
+        spec=spec,
+        seed=seed,
+        meta={"arrival": arrival, "rate": rate,
+              **({"arrival_params": arrival_params} if arrival_params else {})},
+    )

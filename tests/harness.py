@@ -164,6 +164,33 @@ def seeded_workload(
     return epochs
 
 
+def workload_schedule(
+    spec,
+    num_epochs: int,
+    per_epoch: int,
+    seed: int,
+    *,
+    num_balancers: int = 2,
+) -> List[List[Tuple[Request, int]]]:
+    """A harness-shaped schedule drawn from a :mod:`repro.workloads` spec.
+
+    ``spec`` is a :class:`repro.workloads.WorkloadSpec` or a CLI
+    shorthand string (``"uniform"``, ``"zipf:1.2"``, ...).  The
+    schedule comes from :func:`repro.workloads.generate_schedule`, so
+    the shape/key RNG split holds: two specs differing only in key
+    distribution yield schedules identical in ops, values, and balancer
+    assignment for the same ``seed`` — the pair every skew differential
+    feeds to :func:`differential_run`.
+    """
+    from repro.workloads import generate_schedule, parse_workload_spec
+
+    if isinstance(spec, str):
+        spec = parse_workload_spec(spec)
+    return generate_schedule(
+        spec, num_epochs, per_epoch, seed, num_balancers=num_balancers
+    )
+
+
 def build_store(
     backend: str = "serial",
     *,

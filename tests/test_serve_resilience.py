@@ -396,3 +396,64 @@ class TestNetworkChaosDifferential:
         assert any(
             link.startswith("net_") for link in report["fault_stats"]
         )
+
+
+class TestServedSkewInsensitivity:
+    """Hot keys stay invisible across the attested wire (loadgen path).
+
+    The in-process skew differential lives in
+    ``test_telemetry_obliviousness.py``; this one drives the same
+    uniform-vs-Zipf shape-identical pair through the real TCP stack —
+    attested handshake, sealed frames, the server's epoch loop — and
+    requires byte-identical public telemetry and identical server
+    stats.
+    """
+
+    EPOCHS = 3
+    PER_EPOCH = 8
+
+    def served_skew_view(self, spec):
+        from repro.telemetry import Telemetry
+        from tests.harness import workload_schedule
+
+        telemetry = Telemetry()
+        trust = ServeTrust(b"resilience-skew-trust-secret")
+        store = make_store(telemetry=telemetry)
+        with store, ServerThread(store, clock=False, trust=trust) as handle:
+            handle.start()
+            with NetworkSnoopyClient(
+                "127.0.0.1", handle.port, trust=trust, client_id=1,
+            ) as client:
+                tickets = []
+                for requests in workload_schedule(
+                    spec, self.EPOCHS, self.PER_EPOCH, seed=23
+                ):
+                    for request, balancer in requests:
+                        tickets.append(
+                            client.submit(request, load_balancer=balancer)
+                        )
+                    client.close_epoch(flush=True)
+                for ticket in tickets:
+                    ticket.result(30.0)
+            server_stats = dict(handle.server.stats)
+        return (
+            telemetry.registry.prometheus_text(public_only=True),
+            server_stats,
+        )
+
+    def test_hot_key_vs_uniform_identical_over_the_wire(self):
+        from repro.workloads import WorkloadSpec
+
+        uniform = WorkloadSpec(
+            distribution="uniform", num_keys=36, value_size=VALUE
+        )
+        hot = WorkloadSpec(
+            distribution="zipf", num_keys=36, value_size=VALUE,
+            zipf_exponent=1.2,
+        )
+        export_u, stats_u = self.served_skew_view(uniform)
+        export_z, stats_z = self.served_skew_view(hot)
+        assert export_u == export_z
+        assert stats_u == stats_z
+        assert "serve_connections_total" in export_u
+        assert stats_u["responses"] == self.EPOCHS * self.PER_EPOCH
