@@ -1,32 +1,49 @@
-"""Batched AEAD and state-shipping throughput: the epoch crypto floor.
+"""Vectorized AEAD and state-shipping throughput: the epoch crypto floor.
 
-Two measurements behind the batched-crypto tentpole:
+Two measurements behind the execute-stage crypto tentpole:
 
 * **seal/open MB/s** — scalar per-slot ``seal``/``open`` (the audited
-  oracle) vs the batched whole-buffer path
-  (:meth:`~repro.crypto.aead.AeadKey.seal_batch_buffer`) over a
-  store-shaped workload (N uniform slots, slot-index AAD) at
-  ``value_size`` in {16, 256, 1024}.  The write-back scan re-encrypts
-  every slot every epoch, so these MB/s *are* the epoch crypto floor.
+  HMAC oracle) vs the two batch paths over a store-shaped workload
+  (N uniform slots) at ``value_size`` in {16, 256, 1024}:
+
+  - the batched HMAC pass (:meth:`~repro.crypto.aead.AeadKey.
+    seal_batch_buffer`) — one nonce per slot, vectorized HMAC;
+  - the counter-mode kernel (:class:`~repro.crypto.vector.VectorAead`)
+    — one nonce-derived keystream for the whole batch, whole-buffer
+    XOR, vectorized polynomial MAC, O(1) Python calls per epoch.
+
+  The write-back scan re-encrypts every slot every epoch, so these
+  MB/s *are* the epoch crypto floor.  The headline ``seal_speedup`` /
+  ``open_speedup`` compare the vector kernel against the scalar
+  oracle; the HMAC batch path is reported as ``*_hmac`` secondaries.
+
 * **state ship time** — moving a populated
-  :class:`~repro.suboram.store.EncryptedStore` across the process seam:
-  plain pickle (protocol 5, buffers in-band) vs the shared-memory
-  shipping path (:mod:`repro.exec.shipping`: out-of-band buffers copied
-  once into a segment, tiny envelope on the pipe).
+  :class:`~repro.suboram.store.EncryptedStore` across a *real*
+  ``multiprocessing.Pipe`` at several state sizes: plain ``conn.send``
+  (default in-band pickling) vs the shipping layer
+  (:mod:`repro.exec.shipping`: buffers copied once into a persistent
+  shared-memory segment, tiny envelope on the pipe).  All benched
+  sizes sit above the shm routing threshold; below-threshold states
+  take the :class:`~repro.exec.shipping.PipeShipment` path, which by
+  construction reuses the one pickling pass plain ``send`` would do,
+  so it is not separately timed here.
 
 Results land in ``BENCH_aead.json``; set ``SNOOPY_BENCH_SMOKE=1`` for
-CI's reduced sizes.  The run fails if the batched path is slower than
-the scalar oracle at any size — the whole point of batching is that it
-never regresses.
+CI's reduced sizes.  The run fails if the vector kernel clears less
+than ``VECTOR_GATE``x over the scalar oracle at any size (the CI
+regression gate), if the HMAC batch path loses to the oracle, or if
+shm shipping loses to plain pickling at any benched size.
 """
 
 import json
+import multiprocessing
 import os
 import pathlib
-import pickle
+import threading
 import time
 
 from repro.crypto.aead import AeadKey, NONCE_LEN
+from repro.crypto.vector import VectorAead
 from repro.exec import shipping
 from repro.suboram.store import EncryptedStore
 
@@ -39,11 +56,18 @@ VALUE_SIZES = [16, 256, 1024]
 SLOTS = {16: 512, 256: 256, 1024: 128} if SMOKE else {
     16: 4096, 256: 2048, 1024: 512
 }
-SHIP_SLOTS = 1024 if SMOKE else 8192
+#: State-ship sizes (slots of 64B values, ~112B/slot on the host), all
+#: above the shm routing threshold so every row takes the segment path.
+SHIP_SLOT_COUNTS = [1024, 4096] if SMOKE else [1024, 4096, 16384]
 SHIP_VALUE_SIZE = 64
 REPEATS = 3
+#: The CI regression gate: the vector kernel must clear this over the
+#: scalar oracle at every value size (full runs at 1KB clear >= 8x).
+VECTOR_GATE = 4.0
 
-KEY = AeadKey(b"bench-aead-key-0123456789abcdef01")
+KEY_BYTES = b"bench-aead-key-0123456789abcdef01"
+KEY = AeadKey(KEY_BYTES)
+VEC = VectorAead(KEY_BYTES)
 
 
 def _timed(fn, repeats=REPEATS):
@@ -82,62 +106,101 @@ def _crypto_row(value_size):
     scalar_seal = _timed(lambda: [
         KEY.seal(n, pt, aad) for n, pt, aad in zip(nonces, plaintexts, aads)
     ])
-    batched_seal = _timed(
+    hmac_seal = _timed(
         lambda: KEY.seal_batch_buffer(nonces, (plain_buf, plain_size), aads)
     )
     scalar_open = _timed(lambda: [
         KEY.open(n, blob, aad) for n, blob, aad in zip(nonces, sealed, aads)
     ])
-    batched_open = _timed(
+    hmac_open = _timed(
         lambda: KEY.open_batch_buffer(nonces, (sealed_buf, slot_size), aads)
+    )
+
+    # The counter-mode kernel: one batch nonce, epoch-reused scratch.
+    batch_nonce = (11 * count + 5).to_bytes(NONCE_LEN, "big")
+    scratch = {}
+    vec_sealed = bytes(
+        VEC.seal_lanes(batch_nonce, plain_buf, count, plain_size,
+                       scratch=scratch)
+    )
+    vector_seal = _timed(
+        lambda: VEC.seal_lanes(batch_nonce, plain_buf, count, plain_size,
+                               scratch=scratch)
+    )
+    vector_open = _timed(
+        lambda: VEC.open_lanes(batch_nonce, vec_sealed, count, plain_size,
+                               scratch=scratch)
     )
     return {
         "slots": count,
         "plain_size": plain_size,
         "scalar_seal_mbps": volume_mb / scalar_seal,
-        "batched_seal_mbps": volume_mb / batched_seal,
-        "seal_speedup": scalar_seal / max(batched_seal, 1e-9),
         "scalar_open_mbps": volume_mb / scalar_open,
-        "batched_open_mbps": volume_mb / batched_open,
-        "open_speedup": scalar_open / max(batched_open, 1e-9),
+        "hmac_seal_mbps": volume_mb / hmac_seal,
+        "hmac_open_mbps": volume_mb / hmac_open,
+        "seal_speedup_hmac": scalar_seal / max(hmac_seal, 1e-9),
+        "open_speedup_hmac": scalar_open / max(hmac_open, 1e-9),
+        "vector_seal_mbps": volume_mb / vector_seal,
+        "vector_open_mbps": volume_mb / vector_open,
+        "seal_speedup": scalar_seal / max(vector_seal, 1e-9),
+        "open_speedup": scalar_open / max(vector_open, 1e-9),
     }
 
 
-def _ship_times():
-    """Pickle-only vs shared-memory round-trip of one populated store."""
+def _pipe_best(conn_a, conn_b, produce, finish, repeats=5):
+    """Best-of wall-clock for produce -> send -> recv -> finish.
+
+    The sender runs in a thread so large in-band payloads cannot
+    deadlock against the OS pipe buffer while this thread receives.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sender = threading.Thread(target=lambda: conn_a.send(produce()))
+        sender.start()
+        finish(conn_b.recv())
+        sender.join()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _ship_row(num_slots):
+    """Plain pipe send vs shm shipping for one populated store."""
     store = EncryptedStore(
         b"bench-ship-key-0123456789abcdef01",
-        num_slots=SHIP_SLOTS,
+        num_slots=num_slots,
         value_size=SHIP_VALUE_SIZE,
     )
     store.put_batch(
-        list(range(SHIP_SLOTS)),
-        [bytes([i % 256]) * SHIP_VALUE_SIZE for i in range(SHIP_SLOTS)],
+        list(range(num_slots)),
+        [bytes([i % 256]) * SHIP_VALUE_SIZE for i in range(num_slots)],
     )
-    state_bytes = SHIP_SLOTS * store.slot_size
+    state_bytes = num_slots * store.slot_size
 
-    def pickle_roundtrip():
-        pickle.loads(pickle.dumps(store, protocol=5))
-
-    pickle_s = _timed(pickle_roundtrip, repeats=5)
-
-    shm_s = None
-    if shipping.shm_available():
-        pool = shipping.RegionPool()
-        cache = shipping.AttachCache()
-        try:
-
-            def shm_roundtrip():
-                wire = shipping.encode(store, pool.ensure)
-                shipping.decode(wire, cache.get)
-
-            shm_roundtrip()  # create + map the segment outside the clock
-            shm_s = _timed(shm_roundtrip, repeats=5)
-        finally:
-            cache.close()
-            pool.close()
+    conn_a, conn_b = multiprocessing.Pipe()
+    try:
+        pickle_s = _pipe_best(
+            conn_a, conn_b, lambda: store, lambda obj: obj
+        )
+        shm_s = None
+        if shipping.shm_available():
+            pool = shipping.RegionPool()
+            cache = shipping.AttachCache()
+            try:
+                produce = lambda: shipping.encode(store, pool.ensure)
+                finish = lambda wire: shipping.decode(wire, cache.get)
+                # Create + map the segment outside the clock; every
+                # epoch after the first reuses both sides' attachments.
+                finish(produce())
+                shm_s = _pipe_best(conn_a, conn_b, produce, finish)
+            finally:
+                cache.close()
+                pool.close()
+    finally:
+        conn_a.close()
+        conn_b.close()
     return {
-        "slots": SHIP_SLOTS,
+        "slots": num_slots,
         "state_bytes": state_bytes,
         "pickle_roundtrip_s": pickle_s,
         "shm_roundtrip_s": shm_s,
@@ -148,43 +211,58 @@ def _ship_times():
 
 
 def test_batched_aead_throughput():
-    """Scalar vs batched AEAD MB/s, plus shm vs pickle state shipping."""
+    """Scalar vs batch AEAD MB/s, plus shm vs pipe state shipping."""
     results = {size: _crypto_row(size) for size in VALUE_SIZES}
-    ship = _ship_times()
+    ship_rows = [_ship_row(n) for n in SHIP_SLOT_COUNTS]
 
     lines = [
-        "value  scalar-seal  batch-seal  speedup | scalar-open  batch-open  speedup"
+        "value  scalar-seal  hmac-seal  vector-seal  speedup | "
+        "scalar-open  hmac-open  vector-open  speedup"
     ]
     for size, row in results.items():
         lines.append(
             f"{size:<6} {row['scalar_seal_mbps']:>8.1f}MB/s "
-            f"{row['batched_seal_mbps']:>8.1f}MB/s "
+            f"{row['hmac_seal_mbps']:>8.1f}MB/s "
+            f"{row['vector_seal_mbps']:>8.1f}MB/s "
             f"{row['seal_speedup']:>6.1f}x | "
             f"{row['scalar_open_mbps']:>8.1f}MB/s "
-            f"{row['batched_open_mbps']:>8.1f}MB/s "
+            f"{row['hmac_open_mbps']:>8.1f}MB/s "
+            f"{row['vector_open_mbps']:>8.1f}MB/s "
             f"{row['open_speedup']:>6.1f}x"
         )
-    if ship["shm_roundtrip_s"] is not None:
+    for ship in ship_rows:
+        if ship["shm_roundtrip_s"] is None:
+            continue
         lines.append(
-            f"state ship ({ship['state_bytes'] / 1e6:.1f}MB): pickle "
+            f"state ship ({ship['state_bytes'] / 1e6:.2f}MB): pipe "
             f"{ship['pickle_roundtrip_s'] * 1e3:.2f}ms, shm "
             f"{ship['shm_roundtrip_s'] * 1e3:.2f}ms "
             f"({ship['ship_speedup']:.1f}x)"
         )
-    report("Batched AEAD + zero-copy state shipping", "\n".join(lines))
+    report(
+        "Vectorized AEAD + zero-copy state shipping", "\n".join(lines)
+    )
 
     out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_aead.json"
     out.write_text(json.dumps(
         {
             "benchmark": "batched_aead_throughput",
             "smoke": SMOKE,
+            "vector_gate": VECTOR_GATE,
             "results": {str(s): row for s, row in results.items()},
-            "state_ship": ship,
+            "state_ship": ship_rows,
         },
         indent=2,
     ) + "\n")
 
-    # The guard: batching must never lose to the per-slot oracle.
     for size, row in results.items():
-        assert row["seal_speedup"] >= 1.0, (size, row)
-        assert row["open_speedup"] >= 1.0, (size, row)
+        # The CI regression gate: the counter-mode kernel must hold its
+        # margin over the scalar oracle at every size.
+        assert row["seal_speedup"] >= VECTOR_GATE, (size, row)
+        assert row["open_speedup"] >= VECTOR_GATE, (size, row)
+        # And the HMAC batch path must never lose to the oracle.
+        assert row["seal_speedup_hmac"] >= 1.0, (size, row)
+        assert row["open_speedup_hmac"] >= 1.0, (size, row)
+    for ship in ship_rows:
+        if ship["ship_speedup"] is not None:
+            assert ship["ship_speedup"] >= 1.0, ship

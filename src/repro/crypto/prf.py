@@ -23,23 +23,44 @@ class Prf:
     Evaluations go through a pre-keyed HMAC context (``copy()`` per
     message skips the per-call key schedule); outputs are identical to
     ``hmac.new(key, message)`` — HMAC is deterministic in (key, message).
+    The bulk path (:meth:`range_many`) drops to raw pre-padded SHA-256
+    contexts (the inner/outer construction HMAC is defined as), which
+    skips the ``hmac`` module's per-call Python wrapper objects while
+    producing the exact same digests.
     """
 
-    __slots__ = ("_key", "_base")
+    __slots__ = ("_key", "_base", "_inner", "_outer")
+
+    _BLOCK = 64  # SHA-256 block size: the HMAC pad width.
 
     def __init__(self, key: bytes):
         if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
             raise ValueError("PRF key must be non-empty bytes")
         self._key = bytes(key)
         self._base = None
+        self._inner = None
+        self._outer = None
 
-    # Pre-keyed HMAC contexts are not picklable; rebuild lazily.
+    # Pre-keyed HMAC/SHA-256 contexts are not picklable; rebuild lazily.
     def __getstate__(self) -> bytes:
         return self._key
 
     def __setstate__(self, state: bytes) -> None:
         self._key = state
         self._base = None
+        self._inner = None
+        self._outer = None
+
+    def _pads(self):
+        """Pre-padded inner/outer SHA-256 contexts (RFC 2104)."""
+        if self._inner is None:
+            key = self._key
+            if len(key) > self._BLOCK:
+                key = hashlib.sha256(key).digest()
+            key = key.ljust(self._BLOCK, b"\x00")
+            self._inner = hashlib.sha256(bytes(b ^ 0x36 for b in key))
+            self._outer = hashlib.sha256(bytes(b ^ 0x5C for b in key))
+        return self._inner, self._outer
 
     def digest(self, message: bytes) -> bytes:
         """Raw 32-byte PRF output for a byte-string input."""
@@ -63,21 +84,24 @@ class Prf:
     def range_many(self, xs: Sequence[int], n: int) -> List[int]:
         """Batched :meth:`range` over a key column (same outputs).
 
-        One pre-keyed HMAC copy per element with the loop overhead
-        hoisted — the bulk-lookup path for the oblivious hash table's
-        per-object bucket derivation.
+        One inner/outer SHA-256 copy pair per element over pre-padded
+        key contexts — byte-for-byte the HMAC construction, minus the
+        ``hmac`` module's per-call wrapper — with the loop overhead
+        hoisted.  This is the bulk-lookup path for the oblivious hash
+        table's per-object bucket derivation.
         """
         if n <= 0:
             raise ValueError(f"range size must be positive, got {n}")
-        if self._base is None:
-            self._base = hmac.new(self._key, digestmod=hashlib.sha256)
-        base = self._base
+        inner, outer = self._pads()
+        inner_copy, outer_copy = inner.copy, outer.copy
         from_bytes = int.from_bytes
         out = []
         for x in xs:
-            h = base.copy()
+            h = inner_copy()
             h.update(int(x).to_bytes(16, "big", signed=True))
-            out.append(from_bytes(h.digest(), "big") % n)
+            o = outer_copy()
+            o.update(h.digest())
+            out.append(from_bytes(o.digest(), "big") % n)
         return out
 
 

@@ -255,15 +255,20 @@ def _sticky_worker_main(conn) -> None:
 
     Keeps a ``key -> (version, state)`` cache so the parent can send
     version probes instead of full state.  Wire objects are
-    ``(envelope, reply_name)`` pairs: ``envelope`` is the logical message
-    ``(fn, key, version, has_state, state, args)`` either plain or as a
-    :class:`~repro.exec.shipping.ShmShipment`, and ``reply_name`` is the
-    parent-owned shared-memory segment large replies should be written
-    into (``None`` disables shm replies).  Logical replies are
-    ``("ok", new_state, result)``, ``("miss", None, None)`` when a probe
-    finds no current cached state, or ``("error", exc, None)``; "ok"
-    replies carrying bulk state ship through the reply segment when it
-    fits, degrade to a :class:`~repro.exec.shipping.GrowHint` when not.
+    ``(envelope, reply_name, min_bytes)`` triples: ``envelope`` is the
+    logical message ``(fn, key, version, has_state, state, args)`` as a
+    :class:`~repro.exec.shipping.ShmShipment`,
+    :class:`~repro.exec.shipping.PipeShipment`, or plain object;
+    ``reply_name`` is the parent-owned shared-memory segment large
+    replies should be written into (``None`` disables shm replies); and
+    ``min_bytes`` is the parent's shm routing threshold, echoed so both
+    directions agree.  Logical replies are ``("ok", new_state, result)``,
+    ``("miss", None, None)`` when a probe finds no current cached state,
+    or ``("error", exc, None)``; "ok" replies carrying bulk state ship
+    through the reply segment when it fits and degrade to a
+    :class:`~repro.exec.shipping.GrowHint` when not.  Segment
+    attachments persist in the caches across epochs — a sticky worker
+    maps each segment once, not once per message.
     """
     cache: dict = {}
     request_segments = shipping.AttachCache()
@@ -275,7 +280,7 @@ def _sticky_worker_main(conn) -> None:
             break
         if wire is None:
             break
-        envelope, reply_name = wire
+        envelope, reply_name, min_bytes = wire
         try:
             message = shipping.decode(envelope, request_segments.get)
         except Exception as exc:  # segment vanished / mapping failed
@@ -298,7 +303,8 @@ def _sticky_worker_main(conn) -> None:
         if reply_name is not None and reply[0] == "ok":
             try:
                 out = shipping.encode_reply(
-                    reply, reply_segments.get(reply_name)
+                    reply, reply_segments.get(reply_name),
+                    min_bytes=min_bytes,
                 )
             except Exception:  # shm failure: fall back to the pipe
                 out = reply
@@ -320,7 +326,8 @@ class _StickyWorker:
     replace-and-unlink (see :mod:`repro.exec.shipping`).
     """
 
-    def __init__(self, ctx, use_shm: bool = False, on_ship=None):
+    def __init__(self, ctx, use_shm: bool = False, on_ship=None,
+                 min_bytes: Optional[int] = None):
         self.conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
             target=_sticky_worker_main, args=(child_conn,), daemon=True
@@ -330,6 +337,7 @@ class _StickyWorker:
         self.lock = threading.Lock()
         self.use_shm = use_shm and shipping.shm_available()
         self.on_ship = on_ship
+        self.min_bytes = shipping.resolve_min_bytes(min_bytes)
         self._send_pool = shipping.RegionPool()
         self._reply_pool = shipping.RegionPool()
 
@@ -356,6 +364,7 @@ class _StickyWorker:
                 envelope = shipping.encode(
                     message,
                     self._send_region,
+                    min_bytes=self.min_bytes,
                     on_ship=lambda transport, nbytes: self._record(
                         "send", transport, nbytes
                     ),
@@ -366,7 +375,7 @@ class _StickyWorker:
                 )
             else:
                 envelope, reply_name = message, None
-            self.conn.send((envelope, reply_name))
+            self.conn.send((envelope, reply_name, self.min_bytes))
             if timeout is not None and not self.conn.poll(timeout):
                 raise TaskTimeoutError(
                     f"sticky worker gave no reply within {timeout}s"
@@ -374,10 +383,10 @@ class _StickyWorker:
             wire, _ = self.conn.recv()
             if isinstance(wire, shipping.GrowHint):
                 # Reply outgrew the segment: grow for next epoch, use the
-                # inline payload now.
+                # inline pipe shipment now.
                 self._reply_pool.ensure(wire.need_bytes)
                 self._record("recv", "pipe", wire.need_bytes)
-                return wire.message
+                return shipping.decode(wire.message)
             if isinstance(wire, shipping.ShmShipment):
                 self._record("recv", "shm", sum(wire.sizes))
                 region = self._reply_pool.region
@@ -387,7 +396,7 @@ class _StickyWorker:
                         "shared-memory segment"
                     )
                 return shipping.decode(wire, lambda _name: region)
-            return wire
+            return shipping.decode(wire)
 
     def _close_segments(self) -> None:
         self._send_pool.close()
@@ -460,6 +469,7 @@ class ProcessPoolBackend(_PooledBackend):
         max_workers: Optional[int] = None,
         task_timeout: Optional[float] = None,
         shm_state: Optional[bool] = None,
+        shm_min_bytes: Optional[int] = None,
     ):
         super().__init__(max_workers, task_timeout)
         self._sticky: Dict[int, _StickyWorker] = {}
@@ -471,6 +481,9 @@ class ProcessPoolBackend(_PooledBackend):
         self.state_cache_stats = {"hits": 0, "misses": 0, "full_ships": 0}
         #: Whether sticky-worker state rides shared-memory segments.
         self.shm_state = shipping.shipping_enabled(shm_state)
+        #: Byte threshold routing state to shm vs the pipe (``None``
+        #: resolves ``SNOOPY_SHM_MIN_BYTES`` / the module default).
+        self.shm_min_bytes = shipping.resolve_min_bytes(shm_min_bytes)
 
     # ------------------------------------------------------------------
     # Stateless map (unchanged): ordinary executor pool
@@ -501,6 +514,7 @@ class ProcessPoolBackend(_PooledBackend):
                     multiprocessing.get_context(),
                     use_shm=self.shm_state,
                     on_ship=self._record_ship,
+                    min_bytes=self.shm_min_bytes,
                 )
                 self._sticky[slot] = worker
             return worker

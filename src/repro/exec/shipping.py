@@ -38,6 +38,18 @@ falls back to plain pipe pickling — shipping is a transport
 optimization, never a correctness dependency — and the whole layer can
 be disabled with ``SNOOPY_NO_SHM=1`` or
 ``ProcessPoolBackend(shm_state=False)``.
+
+Small states do not take the segment path: below
+:data:`SHM_MIN_BYTES` of out-of-band payload (configurable with
+``SNOOPY_SHM_MIN_BYTES`` or ``ProcessPoolBackend(shm_min_bytes=...)``,
+resolved by :func:`resolve_min_bytes` and propagated to workers over
+the sticky wire protocol) the segment setup and mapping costs more
+than it saves.  Those messages ride the pipe as a
+:class:`PipeShipment`, which reuses the protocol-5 pickling pass
+:func:`encode` already performed instead of letting ``Connection.send``
+re-pickle the whole message — one pickling pass and one buffer memcpy
+either way, so the shipping layer never loses to plain pickling at any
+state size (``BENCH_aead.json``'s ``state_ship`` rows pin this).
 """
 
 from __future__ import annotations
@@ -52,11 +64,37 @@ except ImportError:  # pragma: no cover
     shared_memory = None
     resource_tracker = None
 
-#: Messages whose out-of-band bytes fall below this ride the pipe as-is.
+#: Default byte threshold below which out-of-band bytes ride the pipe
+#: (as a :class:`PipeShipment` — still pickled only once).  Override per
+#: deployment with ``SNOOPY_SHM_MIN_BYTES`` or per backend with
+#: ``ProcessPoolBackend(shm_min_bytes=...)``.
 SHM_MIN_BYTES = 64 * 1024
 
 #: Growth headroom: segments are sized to ceil(need * 5 / 4).
 _SLACK_NUM, _SLACK_DEN = 5, 4
+
+
+def resolve_min_bytes(value: Optional[int] = None) -> int:
+    """Resolve the shm routing threshold.
+
+    ``value`` wins when given; otherwise the ``SNOOPY_SHM_MIN_BYTES``
+    environment variable (bytes, base 10); otherwise
+    :data:`SHM_MIN_BYTES`.  Unparseable env values fall back to the
+    default rather than crashing a worker at import time.
+    """
+    if value is not None:
+        if value < 0:
+            raise ValueError("shm_min_bytes must be non-negative")
+        return int(value)
+    raw = os.environ.get("SNOOPY_SHM_MIN_BYTES")
+    if raw:
+        try:
+            parsed = int(raw)
+        except ValueError:
+            return SHM_MIN_BYTES
+        if parsed >= 0:
+            return parsed
+    return SHM_MIN_BYTES
 
 
 def shm_available() -> bool:
@@ -78,8 +116,46 @@ class ShmShipment:
         return (ShmShipment, (self.name, self.sizes, self.payload))
 
 
+class PipeShipment:
+    """Pipe envelope reusing the pickling pass :func:`encode` already paid.
+
+    Below the shm threshold (or when no segment is available) the naive
+    fallback — returning the original message for ``Connection.send`` to
+    pickle — pays for a *second* full pickling pass, copying every store
+    buffer through pickle opcodes again.  That is exactly the 0.88x
+    state-ship regression: small states lost to plain pipe pickling.
+    Instead, the already-produced protocol-5 payload plus its diverted
+    :class:`pickle.PickleBuffer` views ride the pipe directly; pickling
+    the shipment flattens each buffer to ``bytes`` (one memcpy each,
+    no second object-graph traversal — and no protocol-5 requirement on
+    the connection's own pickler, which still defaults to protocol 4).
+
+    **Aliasing contract:** like :class:`ShmShipment`, the buffers view
+    the sender's live state; the sender must put the shipment on the
+    wire before mutating the message (the sticky protocol's strict
+    request/reply alternation guarantees this).
+    """
+
+    __slots__ = ("payload", "buffers")
+
+    def __init__(self, payload: bytes, buffers: Sequence):
+        self.payload = payload
+        self.buffers = list(buffers)
+
+    def __reduce__(self):
+        flat = [
+            b if isinstance(b, (bytes, bytearray)) else bytes(b.raw())
+            for b in self.buffers
+        ]
+        return (PipeShipment, (self.payload, flat))
+
+
 class GrowHint:
-    """In-pipe fallback reply: payload inline plus the segment size needed."""
+    """In-pipe fallback reply: payload inline plus the segment size needed.
+
+    ``message`` is normally a :class:`PipeShipment` (decode it); it may
+    also be a plain logical message from a degraded encode path.
+    """
 
     __slots__ = ("message", "need_bytes")
 
@@ -231,21 +307,30 @@ class AttachCache:
             region.close()
 
 
+def _release_all(buffers: Sequence) -> None:
+    for b in buffers:
+        b.release()
+
+
 def encode(
     message,
     provider: Callable[[int], Optional[Region]],
-    min_bytes: int = SHM_MIN_BYTES,
+    min_bytes: Optional[int] = None,
     on_ship=None,
 ):
     """Encode a message for ``Connection.send``; bulk bytes go to shm.
 
     ``provider(nbytes)`` returns a region of at least ``nbytes`` or
-    ``None`` (then the message rides the pipe unchanged).  When the
-    provider is a worker-side fixed attachment that is too small, the
-    caller wraps the result in a :class:`GrowHint` instead — see
-    :func:`encode_reply`.  ``on_ship(transport, nbytes)`` records the
-    outcome for telemetry.
+    ``None``.  Out-of-band bytes clearing ``min_bytes`` (default:
+    :func:`resolve_min_bytes`) ship through the region as a
+    :class:`ShmShipment`; everything else rides the pipe as a
+    :class:`PipeShipment` so the pickling pass is never repeated.  Only
+    an encode *failure* returns the plain message for the pipe to pickle
+    itself.  ``on_ship(transport, nbytes)`` records the outcome for
+    telemetry.
     """
+    if min_bytes is None:
+        min_bytes = resolve_min_bytes()
     buffers: List[pickle.PickleBuffer] = []
     try:
         payload = pickle.dumps(
@@ -257,32 +342,35 @@ def encode(
             region = provider(total)
             if region is not None and region.size >= total:
                 sizes = region.write(raws)
+                _release_all(buffers)
                 if on_ship is not None:
                     on_ship("shm", total)
                 return ShmShipment(region.name, sizes, payload)
         if on_ship is not None:
             on_ship("pipe", total)
+        return PipeShipment(payload, buffers)
     except Exception:
         # Any shipping failure degrades to plain pipe pickling.
-        pass
-    finally:
-        for b in buffers:
-            b.release()
-    return message
+        _release_all(buffers)
+        return message
 
 
 def encode_reply(
     message,
     attachment: Optional[Region],
-    min_bytes: int = SHM_MIN_BYTES,
+    min_bytes: Optional[int] = None,
 ):
     """Worker-side encode into a fixed-size reply attachment.
 
-    Returns a :class:`ShmShipment` when the reply fits, a
-    :class:`GrowHint` (inline payload + needed size) when the attachment
-    is absent or too small but the reply was big enough to want one, and
-    the plain message otherwise.
+    Returns a :class:`ShmShipment` when the reply clears ``min_bytes``
+    (default: :func:`resolve_min_bytes`) and fits the attachment, a
+    :class:`GrowHint` (pipe shipment + needed size) when it cleared the
+    threshold but the attachment is absent or too small, and a
+    :class:`PipeShipment` otherwise; a failed encode degrades to the
+    plain message.
     """
+    if min_bytes is None:
+        min_bytes = resolve_min_bytes()
     buffers: List[pickle.PickleBuffer] = []
     try:
         payload = pickle.dumps(
@@ -290,27 +378,34 @@ def encode_reply(
         )
         raws = [b.raw() for b in buffers]
         total = sum(r.nbytes for r in raws)
-        if total < min_bytes:
-            return message
-        if attachment is not None and attachment.size >= total:
-            sizes = attachment.write(raws)
-            return ShmShipment(attachment.name, sizes, payload)
-        return GrowHint(message, total)
+        if total >= min_bytes:
+            if attachment is not None and attachment.size >= total:
+                sizes = attachment.write(raws)
+                _release_all(buffers)
+                return ShmShipment(attachment.name, sizes, payload)
+            return GrowHint(PipeShipment(payload, buffers), total)
+        return PipeShipment(payload, buffers)
     except Exception:
+        _release_all(buffers)
         return message
-    finally:
-        for b in buffers:
-            b.release()
 
 
-def decode(obj, resolve: Callable[[str], Region]):
+def decode(obj, resolve: Optional[Callable[[str], Region]] = None):
     """Decode a received object; ``resolve(name)`` maps segment names.
 
     The out-of-band views are handed to ``pickle.loads`` without copying;
     rebuilt objects own their bytes only because their ``__reduce_ex__``
     counterparts copy on rebuild (the aliasing contract above).
+    ``resolve`` may be omitted when the caller knows only pipe shipments
+    (or plain messages) can arrive.
     """
+    if isinstance(obj, PipeShipment):
+        return pickle.loads(obj.payload, buffers=obj.buffers)
     if isinstance(obj, ShmShipment):
+        if resolve is None:
+            raise RuntimeError(
+                "shm shipment arrived but no segment resolver is configured"
+            )
         region = resolve(obj.name)
         views = region.read(obj.sizes)
         try:

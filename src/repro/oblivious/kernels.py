@@ -60,6 +60,7 @@ the same public schedule as the audited reference path.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
@@ -265,6 +266,40 @@ class PythonKernel(Kernel):
         return new_values, matched, responses
 
 
+# Per-thread kernel scratch.  The singleton kernels are shared by every
+# deployment in the process *and* by the thread backend's workers, so the
+# epoch-reused arrays live in a thread-local dict (see soa.scratch_array)
+# rather than on the kernel instance — which also keeps kernels stateless
+# and picklable.
+_TLS = threading.local()
+
+
+def _kernel_scratch() -> dict:
+    scratch = getattr(_TLS, "scratch", None)
+    if scratch is None:
+        scratch = _TLS.scratch = {}
+    return scratch
+
+
+def _perm_template(np, m: int):
+    """Cached read-only ``arange(m)`` to copy fresh permutations from."""
+    scratch = _kernel_scratch()
+    key = ("perm_template", m)
+    tmpl = scratch.get(key)
+    if tmpl is None:
+        tmpl = np.arange(m, dtype=np.int64)
+        tmpl.setflags(write=False)
+        scratch[key] = tmpl
+    return tmpl
+
+
+def _fresh_perm(np, m: int, name: str):
+    """An epoch-reused identity permutation of size ``m``."""
+    perm = soa.scratch_array(_kernel_scratch(), name, (m,), np.int64)
+    np.copyto(perm, _perm_template(np, m))
+    return perm
+
+
 def _packed_sort_keys(np, m: int, n: int, cols):
     """One int64 sort key per row, or ``None`` when the columns don't fit.
 
@@ -287,7 +322,8 @@ def _packed_sort_keys(np, m: int, n: int, cols):
         if total_bits > 62:
             return None
         shifted.append((col - lo, width))
-    packed = np.zeros(m, dtype=np.int64)
+    packed = soa.scratch_array(_kernel_scratch(), "sort_packed", (m,), np.int64)
+    packed.fill(0)
     real = packed[:n]
     for col, width in shifted:
         real <<= width
@@ -347,7 +383,7 @@ class NumpyKernel(Kernel):
         num_cols = len(columns)
         cols = [np.asarray(list(col), dtype=np.int64) for col in columns]
         packed = _packed_sort_keys(np, m, n, cols)
-        perm = np.arange(m, dtype=np.int64)
+        perm = _fresh_perm(np, m, "sort_perm")
         if packed is not None:
             # All columns fit one int64: compare/swap a single vector per
             # level instead of num_cols + 1 rows.  The packing is order-
@@ -370,7 +406,10 @@ class NumpyKernel(Kernel):
             return [items[p] for p in perm.tolist() if p < n]
         # Row 0 is the padding bit: real rows sort as (0, cols...), padding
         # as (1, 0, ...), reproducing the scalar path's sentinel ordering.
-        keys = np.zeros((num_cols + 1, m), dtype=np.int64)
+        keys = soa.scratch_array(
+            _kernel_scratch(), "sort_keys", (num_cols + 1, m), np.int64
+        )
+        keys.fill(0)
         keys[0, n:] = 1
         for c, col in enumerate(cols):
             keys[c + 1, :n] = col
@@ -425,12 +464,15 @@ class NumpyKernel(Kernel):
             trace.record("compact", n, m)
         if n == 0:
             return []
-        flag = np.zeros(m, dtype=bool)
+        scratch = _kernel_scratch()
+        flag = soa.scratch_array(scratch, "compact_flag", (m,), bool)
+        flag.fill(False)
         flag[:n] = np.asarray([1 if f else 0 for f in flags], dtype=bool)
-        rank_excl = np.zeros(m, dtype=np.int64)
+        rank_excl = soa.scratch_array(scratch, "compact_rank", (m,), np.int64)
+        rank_excl[0] = 0
         rank_excl[1:] = np.cumsum(flag.astype(np.int64))[:-1]
-        dist = np.where(flag, np.arange(m, dtype=np.int64) - rank_excl, 0)
-        perm = np.arange(m, dtype=np.int64)
+        dist = np.where(flag, _perm_template(np, m) - rank_excl, 0)
+        perm = _fresh_perm(np, m, "compact_perm")
         offset = 1
         while offset < m:
             if trace is not None:

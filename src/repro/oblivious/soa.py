@@ -147,3 +147,27 @@ def prefix_to_keys(prefix):
     if not np.array_equal(hi, np.where(lo < 0, np.int64(-1), np.int64(0))):
         raise ValueError("key prefix exceeds the int64 SoA key range")
     return lo
+
+
+def scratch_array(scratch, name: str, shape, dtype):
+    """A reusable uninitialized array from a caller-owned scratch dict.
+
+    The hot paths (the vectorized AEAD kernel, the store's batch
+    seal/open, the oblivious kernels) run once per epoch over buffers
+    whose shapes are fixed functions of the configuration.  Rather than
+    allocating those buffers every epoch, callers hold one plain dict
+    and pass it here: the array is keyed by ``(name, shape, dtype)`` and
+    handed back uninitialized on every later call with the same shape.
+    With ``scratch=None`` a fresh array is allocated (one-shot callers,
+    tests).  The dict is the owner's responsibility to keep off pickle
+    paths and out of shared state — scratch must never cross threads.
+    """
+    np = require_numpy()
+    if scratch is None:
+        return np.empty(shape, dtype=dtype)
+    key = (name, tuple(shape), np.dtype(dtype).str)
+    arr = scratch.get(key)
+    if arr is None:
+        arr = np.empty(shape, dtype=dtype)
+        scratch[key] = arr
+    return arr

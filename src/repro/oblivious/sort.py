@@ -19,6 +19,7 @@ This implementation:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Iterator, List, Sequence, Tuple
 
 from repro.oblivious.primitives import ocmp_swap
@@ -48,13 +49,16 @@ def comparator_schedule(n: int) -> Iterator[Tuple[int, int, bool]]:
         k *= 2
 
 
+@lru_cache(maxsize=None)
 def bitonic_sort_levels(n: int) -> List[List[Tuple[int, int, bool]]]:
     """The comparator schedule grouped into its depth levels.
 
     Returns one list per network level, each holding that level's
-    ``(i, j, ascending)`` comparators.  ``n`` is padded to the next power
-    of two, mirroring :func:`bitonic_sort`.  Two properties make this the
-    unit the vectorized kernels consume:
+    ``(i, j, ascending)`` comparators.  The schedule is a pure function
+    of ``n`` and every epoch replays it, so results are memoized —
+    callers must treat the returned lists as immutable.  ``n`` is padded
+    to the next power of two, mirroring :func:`bitonic_sort`.  Two
+    properties make this the unit the vectorized kernels consume:
 
     * the comparators within one level touch pairwise-disjoint cells, so
       a whole level can be applied as one masked whole-array min/max

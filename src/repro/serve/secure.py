@@ -34,6 +34,18 @@ guarantees:
    frame, so ciphertext lengths remain functions of public quantities
    only — the transport stays oblivious (see SECURITY.md).
 
+**Coalesced sealing.**  The async transport
+(:class:`AsyncFrameTransport`, used by the server's response path and
+the load generator) does not seal each inner frame separately: frames
+queued within one event-loop iteration — e.g. a whole epoch's response
+fan-out to one connection — are concatenated and sealed as *one* outer
+record, greedily packed up to the outer record size limit.  One AEAD
+pass and one replay-window nonce replace one per response.  The receiving
+side (both transports) splits a record back into inner frames, so the
+wire format is unchanged and either side may batch or not.  Record
+sizes are sums of inner-frame sizes — still functions of public batch
+shape only (see SECURITY.md).
+
 **What the host still sees** — connection lifecycle, frame timing, and
 frame counts.  All are public in the paper's model (epoch boundaries
 and batch sizes are public functions of load), but they are real
@@ -56,7 +68,8 @@ import os
 import socket
 import struct
 import time
-from typing import Iterable, Optional, Tuple
+from collections import deque
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.wire import (
     ATTEST_SIZE,
@@ -113,8 +126,47 @@ _INITIATOR_ROLES = frozenset((Role.CLIENT, Role.BALANCER))
 
 _SEAL_LEN = struct.Struct(">I")
 
-#: Ceiling on one sealed outer frame: inner frame + AEAD tag.
+#: Ceiling on one sealed outer record: inner frame bytes + AEAD tag.
+#: A record may carry *several* coalesced inner frames (see
+#: :meth:`AsyncFrameTransport.send`) as long as their combined size
+#: stays under this cap, so one AEAD seal amortizes over a whole
+#: response flush.
 _MAX_SEALED = MAX_FRAME_PAYLOAD + 64 + TAG_LEN
+
+#: Inner-bytes budget for one coalesced sealed record.  Chosen so the
+#: sealed ciphertext (``inner + TAG_LEN``) never exceeds
+#: :data:`_MAX_SEALED`, and large enough that a single maximum-size
+#: inner frame always fits on its own.
+_RECORD_BUDGET = MAX_FRAME_PAYLOAD + 64
+
+
+def _split_record(record: bytes) -> List[Tuple[int, bytes]]:
+    """Split one unsealed record into its inner frames.
+
+    A sealed record is the concatenation of one or more ordinary inner
+    frames.  Raises :class:`~repro.core.wire.WireError` if the record
+    is empty, a header is truncated, or trailing bytes do not form a
+    complete frame — a sealed record must parse exactly.
+    """
+    from repro.core.wire import FRAME_HEADER_SIZE
+
+    if not record:
+        raise WireError("sealed record contains no frames")
+    frames: List[Tuple[int, bytes]] = []
+    view = memoryview(record)
+    offset = 0
+    total = len(record)
+    while offset < total:
+        kind, payload_len = decode_frame_header(
+            view[offset:offset + FRAME_HEADER_SIZE]
+        )
+        start = offset + FRAME_HEADER_SIZE
+        end = start + payload_len
+        if end > total:
+            raise WireError("sealed record truncates an inner frame")
+        frames.append((kind, bytes(view[start:end])))
+        offset = end
+    return frames
 
 
 class ServeTrust:
@@ -442,6 +494,10 @@ class FrameTransport:
         self._pair = pair
         self._injector = injector
         self._link = link if link is not None else "link"
+        # Inner frames already unsealed from a coalesced record but not
+        # yet handed to the caller (the peer may pack several frames
+        # into one sealed record).
+        self._rx_pending: deque = deque()
 
     @property
     def attested(self) -> bool:
@@ -493,7 +549,14 @@ class FrameTransport:
         send_all(self._sock, data)
 
     def recv(self) -> Tuple[int, bytes]:
-        """Receive one frame; returns ``(kind, payload)``."""
+        """Receive one frame; returns ``(kind, payload)``.
+
+        A sealed record may carry several coalesced inner frames; the
+        extras are buffered and returned by subsequent calls without
+        touching the socket.
+        """
+        if self._rx_pending:
+            return self._rx_pending.popleft()
         if self._pair is None:
             return recv_frame(self._sock)
         nonce = recv_exact(self._sock, NONCE_LEN)
@@ -501,13 +564,9 @@ class FrameTransport:
         if length > _MAX_SEALED:
             raise WireError(f"sealed frame of {length} bytes exceeds cap")
         sealed = recv_exact(self._sock, length)
-        frame = self._pair.rx.receive(nonce, sealed)
-        kind, payload_len = decode_frame_header(frame)
-        from repro.core.wire import FRAME_HEADER_SIZE
-
-        if len(frame) != FRAME_HEADER_SIZE + payload_len:
-            raise WireError("sealed frame length disagrees with its header")
-        return kind, frame[FRAME_HEADER_SIZE:]
+        record = self._pair.rx.receive(nonce, sealed)
+        self._rx_pending.extend(_split_record(record))
+        return self._rx_pending.popleft()
 
     def settimeout(self, timeout: Optional[float]) -> None:
         """Set the socket timeout for subsequent blocking calls."""
@@ -573,9 +632,22 @@ class AsyncFrameTransport:
     """Asyncio counterpart of :class:`FrameTransport` (server, loadgen).
 
     ``send`` buffers on the writer (callers drain when they need
-    flow-control); ``recv`` awaits one whole frame.  Sealed mode is
-    identical to the blocking transport, so either end of a link may be
-    sync or async.
+    flow-control); ``recv`` awaits one whole frame.  The wire format is
+    compatible with the blocking transport, so either end of a link may
+    be sync or async.
+
+    **Coalesced sealing.**  In sealed mode, ``send`` does not seal
+    per frame: it queues the encoded inner frame and schedules one
+    flush on the event loop (``call_soon``).  Every frame queued in the
+    same loop iteration — e.g. the whole response fan-out when an epoch
+    completes — is packed into as few sealed records as the
+    :data:`_RECORD_BUDGET` allows and sealed *once per record* instead
+    of once per frame.  ``drain``/``close`` flush eagerly, so callers
+    that await :meth:`drain` keep their flow-control semantics.
+    Observable flush sizes remain functions of public quantities only
+    (batch size and epoch boundaries are public in the paper's model;
+    see SECURITY.md).  ``sealed_flushes``/``sealed_frames`` count the
+    amortization achieved.
     """
 
     def __init__(self, reader: asyncio.StreamReader,
@@ -584,6 +656,13 @@ class AsyncFrameTransport:
         self._reader = reader
         self._writer = writer
         self._pair = pair
+        self._rx_pending: deque = deque()
+        self._tx_frames: List[bytes] = []
+        self._flush_scheduled = False
+        #: Number of sealed records written (one AEAD call each).
+        self.sealed_flushes = 0
+        #: Number of inner frames those records carried.
+        self.sealed_frames = 0
 
     @property
     def attested(self) -> bool:
@@ -600,16 +679,50 @@ class AsyncFrameTransport:
         return self._writer.is_closing()
 
     def send(self, kind: int, payload: bytes = b"") -> None:
-        """Queue one frame on the writer (sealed when attested)."""
+        """Queue one frame (coalesced into sealed records when attested)."""
         frame = encode_frame(kind, payload)
         if self._pair is None:
             self._writer.write(frame)
             return
-        nonce, sealed = self._pair.tx.send(frame)
+        self._tx_frames.append(frame)
+        if self._flush_scheduled:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            # No running loop (sync test harness): seal immediately.
+            self._flush_tx()
+            return
+        self._flush_scheduled = True
+        loop.call_soon(self._flush_tx)
+
+    def _flush_tx(self) -> None:
+        """Seal all queued inner frames into records and write them."""
+        self._flush_scheduled = False
+        frames = self._tx_frames
+        if not frames or self._pair is None:
+            return
+        self._tx_frames = []
+        group: List[bytes] = []
+        group_size = 0
+        for frame in frames:
+            if group and group_size + len(frame) > _RECORD_BUDGET:
+                self._seal_record(group)
+                group, group_size = [], 0
+            group.append(frame)
+            group_size += len(frame)
+        if group:
+            self._seal_record(group)
+
+    def _seal_record(self, group: List[bytes]) -> None:
+        nonce, sealed = self._pair.tx.send(b"".join(group))
         self._writer.write(nonce + _SEAL_LEN.pack(len(sealed)) + sealed)
+        self.sealed_flushes += 1
+        self.sealed_frames += len(group)
 
     async def drain(self) -> None:
         """Flush the write buffer; raises TransportError on a dead peer."""
+        self._flush_tx()
         try:
             await self._writer.drain()
         except ConnectionError as exc:
@@ -622,7 +735,13 @@ class AsyncFrameTransport:
             raise TransportError(f"connection lost mid-read: {exc}") from exc
 
     async def recv(self) -> Tuple[int, bytes]:
-        """Receive one frame; returns ``(kind, payload)``."""
+        """Receive one frame; returns ``(kind, payload)``.
+
+        Extra frames from a coalesced sealed record are buffered and
+        returned by subsequent calls without touching the stream.
+        """
+        if self._rx_pending:
+            return self._rx_pending.popleft()
         if self._pair is None:
             from repro.serve.protocol import read_frame_async
 
@@ -632,16 +751,17 @@ class AsyncFrameTransport:
         if length > _MAX_SEALED:
             raise WireError(f"sealed frame of {length} bytes exceeds cap")
         sealed = await self._read(length)
-        frame = self._pair.rx.receive(nonce, sealed)
-        kind, payload_len = decode_frame_header(frame)
-        from repro.core.wire import FRAME_HEADER_SIZE
-
-        if len(frame) != FRAME_HEADER_SIZE + payload_len:
-            raise WireError("sealed frame length disagrees with its header")
-        return kind, frame[FRAME_HEADER_SIZE:]
+        record = self._pair.rx.receive(nonce, sealed)
+        self._rx_pending.extend(_split_record(record))
+        return self._rx_pending.popleft()
 
     def close(self) -> None:
         """Close the underlying writer, ignoring teardown races."""
+        try:
+            if not self._writer.is_closing():
+                self._flush_tx()
+        except (OSError, RuntimeError):  # pragma: no cover - best-effort
+            pass
         try:
             self._writer.close()
         except (OSError, RuntimeError):  # pragma: no cover - best-effort

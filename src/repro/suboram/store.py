@@ -59,6 +59,7 @@ import pickle
 from typing import List, Optional, Sequence
 
 from repro.crypto.aead import AeadKey, NONCE_LEN, digest
+from repro.crypto.vector import VectorAead, resolve_crypto_kernel
 from repro.errors import CapacityError, IntegrityError
 from repro.oblivious import soa
 from repro.telemetry import NULL_TELEMETRY
@@ -76,6 +77,9 @@ _BUFFER_FIELDS = (
     "_digest_fresh",
 )
 
+#: Ephemeral attributes rebuilt (empty) after any pickle round-trip.
+_EPHEMERAL_FIELDS = ("_slot_aads", "telemetry", "_scratch")
+
 
 def _rebuild_store(cls, state: dict, *buffers):
     """Reassemble a store from out-of-band pickle buffers.
@@ -89,6 +93,7 @@ def _rebuild_store(cls, state: dict, *buffers):
     for name, buf in zip(_BUFFER_FIELDS, buffers):
         store.__dict__[name] = bytearray(buf)
     store._slot_aads = None
+    store._scratch = {}
     store.telemetry = NULL_TELEMETRY
     return store
 
@@ -105,10 +110,31 @@ class EncryptedStore:
     vectorized pass per epoch (see the module docstring).
     """
 
-    def __init__(self, encryption_key: bytes, num_slots: int, value_size: int):
+    def __init__(
+        self,
+        encryption_key: bytes,
+        num_slots: int,
+        value_size: int,
+        crypto_kernel: str = "hmac",
+    ):
         require(num_slots >= 0, "num_slots must be >= 0")
         require(value_size > 0, "value_size must be positive")
         self._aead = AeadKey(encryption_key)
+        #: Store-crypto kernel: ``"hmac"`` (the audited per-slot scheme,
+        #: byte-compatible with the seed) or ``"vector"`` (the
+        #: counter-mode kernel of :mod:`repro.crypto.vector`: one
+        #: nonce-derived keystream and one vectorized MAC pass per
+        #: batch, with the slot index bound as the keystream lane).
+        self.crypto_kernel = resolve_crypto_kernel(crypto_kernel)
+        self._vec = (
+            VectorAead(encryption_key)
+            if self.crypto_kernel == "vector"
+            else None
+        )
+        #: Epoch-reused scratch arrays for the batch crypto path (keyed
+        #: by shape; see :func:`repro.oblivious.soa.scratch_array`).
+        #: Never pickled — a shipped store re-grows its own.
+        self._scratch: dict = {}
         self.num_slots = num_slots
         self.value_size = value_size
         #: Plaintext bytes per slot: 16-byte signed key prefix + value.
@@ -150,7 +176,14 @@ class EncryptedStore:
         require(0 <= slot < self.num_slots, f"slot {slot} out of range")
         plaintext = key.to_bytes(16, "big", signed=True) + value
         nonce = os.urandom(NONCE_LEN)
-        blob = self._aead.seal(nonce, plaintext, aad=slot.to_bytes(8, "big"))
+        if self._vec is not None:
+            # Vector kernel: the lane index binds the slot (splice
+            # detection); a batch of one under a fresh nonce.
+            blob = self._vec.seal_one(nonce, plaintext, lane=slot)
+        else:
+            blob = self._aead.seal(
+                nonce, plaintext, aad=slot.to_bytes(8, "big")
+            )
         nrow = slot * NONCE_LEN
         self._host_nonces[nrow : nrow + NONCE_LEN] = nonce
         brow = slot * self.slot_size
@@ -172,7 +205,12 @@ class EncryptedStore:
             raise IntegrityError(f"slot {slot} was never written")
         nonce, blob = self._host_slot(slot)
         self._verify_slot(slot, nonce, blob)
-        plaintext = self._aead.open(nonce, blob, aad=slot.to_bytes(8, "big"))
+        if self._vec is not None:
+            plaintext = self._vec.open_one(nonce, blob, lane=slot)
+        else:
+            plaintext = self._aead.open(
+                nonce, blob, aad=slot.to_bytes(8, "big")
+            )
         key = int.from_bytes(plaintext[:16], "big", signed=True)
         return key, plaintext[16:]
 
@@ -273,16 +311,36 @@ class EncryptedStore:
                 raise CapacityError(str(exc)) from None
             if not bool(has.all()) and n:
                 raise CapacityError("put_batch values must all be present")
-        plain = np.empty((n, self.plain_size), dtype=np.uint8)
+        plain = soa.scratch_array(
+            self._scratch, "store_plain", (n, self.plain_size), np.uint8
+        )
         plain[:, :16] = soa.keys_to_prefix(keys)
         plain[:, 16:] = matrix
-        raw_nonces = os.urandom(n * NONCE_LEN)
-        blobs, _ = self._aead.seal_batch_buffer(
-            self._nonce_list(raw_nonces),
-            (plain.tobytes(), self.plain_size),
-            self._aads(),
-        )
-        self._host_blobs[:] = blobs
+        if self._vec is not None:
+            # One fresh nonce seeds the whole batch keystream; each slot
+            # owns its own lane of it, sealed straight into the host
+            # buffer (no intermediate blob copy).
+            nonce = os.urandom(NONCE_LEN)
+            raw_nonces = nonce * n
+            self._vec.seal_lanes(
+                nonce,
+                plain,
+                n,
+                self.plain_size,
+                out=memoryview(self._host_blobs),
+                scratch=self._scratch,
+            )
+            self.telemetry.counter(
+                "snoopy_keystream_derivations_total"
+            ).inc()
+        else:
+            raw_nonces = os.urandom(n * NONCE_LEN)
+            blobs, _ = self._aead.seal_batch_buffer(
+                self._nonce_list(raw_nonces),
+                (plain.tobytes(), self.plain_size),
+                self._aads(),
+            )
+            self._host_blobs[:] = blobs
         self._host_nonces[:] = raw_nonces
         self._odd_blobs.clear()
         self._pinned_nonces[:] = raw_nonces
@@ -292,6 +350,9 @@ class EncryptedStore:
         self.telemetry.counter("snoopy_aead_seal_batch_total").inc()
         self.telemetry.counter(
             "snoopy_store_bytes_moved_total", op="seal"
+        ).inc(n * self.slot_size)
+        self.telemetry.counter(
+            "snoopy_aead_bytes_total", op="seal", kernel=self.crypto_kernel
         ).inc(n * self.slot_size)
 
     def get_batch(self) -> tuple:
@@ -358,18 +419,55 @@ class EncryptedStore:
                         raise IntegrityError(
                             f"slot {slot} ciphertext digest mismatch"
                         )
-        plain_buf, plain_size = self._aead.open_batch_buffer(
-            self._nonce_list(raw_nonces),
-            (blob_buf, self.slot_size),
-            self._aads(),
-        )
+        if self._vec is not None:
+            plain = self._open_batch_vector(raw_nonces, blob_buf)
+        else:
+            plain_buf, plain_size = self._aead.open_batch_buffer(
+                self._nonce_list(raw_nonces),
+                (blob_buf, self.slot_size),
+                self._aads(),
+            )
+            plain = soa.buffer_to_matrix(plain_buf, plain_size)
         self.telemetry.counter("snoopy_aead_open_batch_total").inc()
         self.telemetry.counter(
             "snoopy_store_bytes_moved_total", op="open"
         ).inc(len(blob_buf))
-        plain = soa.buffer_to_matrix(plain_buf, plain_size)
+        self.telemetry.counter(
+            "snoopy_aead_bytes_total", op="open", kernel=self.crypto_kernel
+        ).inc(len(blob_buf))
         keys = soa.prefix_to_keys(plain[:, :16])
         return keys, plain[:, 16:]
+
+    def _open_batch_vector(self, raw_nonces: bytes, blob_buf: bytes):
+        """Vector-kernel whole-store open, as a plaintext matrix.
+
+        The fast path applies when every slot shares the batch nonce of
+        the last ``put_batch`` — one ``open_lanes`` call for the whole
+        store.  After interleaved scalar writes (mixed per-slot nonces)
+        each slot opens individually under its own stored nonce; both
+        paths verify every tag before releasing plaintext.
+        """
+        n = self.num_slots
+        nonce0 = raw_nonces[:NONCE_LEN]
+        if raw_nonces == nonce0 * n:
+            return self._vec.open_lanes(
+                nonce0,
+                blob_buf,
+                n,
+                self.plain_size,
+                scratch=self._scratch,
+                as_matrix=True,
+            )
+        np = soa.require_numpy()
+        plain = soa.scratch_array(
+            self._scratch, "store_plain_mixed", (n, self.plain_size), np.uint8
+        )
+        for slot in range(n):
+            nonce = raw_nonces[slot * NONCE_LEN : (slot + 1) * NONCE_LEN]
+            blob = blob_buf[slot * self.slot_size : (slot + 1) * self.slot_size]
+            row = self._vec.open_one(nonce, blob, lane=slot)
+            plain[slot] = np.frombuffer(row, dtype=np.uint8)
+        return plain
 
     # ------------------------------------------------------------------
     # Out-of-band pickling (protocol 5): buffers ship without copies.
@@ -381,7 +479,7 @@ class EncryptedStore:
             name: value
             for name, value in self.__dict__.items()
             if name not in _BUFFER_FIELDS
-            and name not in ("_slot_aads", "telemetry")
+            and name not in _EPHEMERAL_FIELDS
         }
         buffers = tuple(
             pickle.PickleBuffer(self.__dict__[name])

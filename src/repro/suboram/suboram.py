@@ -49,14 +49,20 @@ class SubOram:
             moves whole-store reads and the write-back re-encryption
             through one batched pass per epoch
             (:meth:`~repro.suboram.store.EncryptedStore.get_batch` /
-            ``put_batch``) with byte-identical responses.  Batched mode
-            silently degrades to the scalar path when the vectorized
+            ``put_batch``) with byte-identical responses; ``"vector"``
+            additionally switches the store onto the counter-mode crypto
+            kernel of :mod:`repro.crypto.vector` — one nonce-derived
+            keystream and one vectorized polynomial-MAC pass per epoch,
+            O(1) Python calls regardless of store size, same plaintext
+            responses (ciphertext bytes differ from the HMAC kernel;
+            lengths and schedules do not).  Batched/vector modes
+            silently degrade to the scalar path when the vectorized
             prerequisites are absent (python kernel, no NumPy, or an
             instrumented store subclass).
     """
 
     #: Valid store-crypto selectors.
-    CRYPTO_MODES = ("scalar", "batched")
+    CRYPTO_MODES = ("scalar", "batched", "vector")
 
     def __init__(
         self,
@@ -97,7 +103,10 @@ class SubOram:
         storage_key = self._keychain.subkey(f"suboram/{self.suboram_id}/storage")
         self._keys = sorted(objects)
         self._store = EncryptedStore(
-            storage_key, num_slots=len(self._keys), value_size=self.value_size
+            storage_key,
+            num_slots=len(self._keys),
+            value_size=self.value_size,
+            crypto_kernel="vector" if self.crypto == "vector" else "hmac",
         )
         self._store.telemetry = self.telemetry
         values = []
@@ -108,7 +117,7 @@ class SubOram:
                 f"object {key} has size {len(value)}, expected {self.value_size}",
             )
             values.append(value)
-        if self.crypto == "batched" and self._store.supports_batch:
+        if self.crypto != "scalar" and self._store.supports_batch:
             self._store.put_batch(self._keys, values)
         else:
             for slot, (key, value) in enumerate(zip(self._keys, values)):
@@ -269,7 +278,7 @@ class SubOram:
         """
         store = self._store
         batched = (
-            self.crypto == "batched"
+            self.crypto in ("batched", "vector")
             and store.supports_batch
             and hasattr(self.kernel, "scan_soa")
         )

@@ -33,11 +33,13 @@ GUIDES = [
     ("The SnoopyClient protocol", "repro.core.client"),
     (
         "The network front door",
-        ("repro.serve", "repro.serve.server", "repro.serve.workers"),
+        ("repro.serve", "repro.serve.server", "repro.serve.workers",
+         "repro.serve.secure"),
     ),
     (
         "Batched crypto & zero-copy state",
-        ("repro.crypto.aead", "repro.suboram.store", "repro.exec.shipping"),
+        ("repro.crypto.aead", "repro.crypto.vector",
+         "repro.suboram.store", "repro.exec.shipping"),
     ),
     (
         "Workloads & trace replay",

@@ -8,15 +8,17 @@ carried a private copy of the same drivers (tracing stores, seeded
 workloads, store builders).  They now share this harness, and the
 matrix test (``test_harness.py``) runs the full cross product
 
-    {serial, thread, process} x {python, numpy} x {scalar, batched}
-        x {fault-free, FaultPlan}
+    {serial, thread, process} x {python, numpy}
+        x {scalar, batched, vector} x {fault-free, FaultPlan}
 
 asserting byte-identical responses and identical workload-invariant
 public telemetry for every cell.  The crypto axis is the store-crypto
 selector of :class:`~repro.core.config.SnoopyConfig`: ``"scalar"`` seals
 one slot per AEAD call (the audited oracle), ``"batched"`` re-encrypts
-the whole store in one vectorized pass per epoch — the matrix proves
-the two serve identical bytes on every backend.
+the whole store in one vectorized HMAC pass per epoch, and ``"vector"``
+swaps in the counter-mode :class:`~repro.crypto.vector.VectorAead`
+kernel (one keystream + one polynomial-MAC pass per batch) — the matrix
+proves all three serve identical bytes on every backend.
 
 Key pieces:
 
@@ -292,7 +294,8 @@ class RunResult:
     Attributes:
         backend: the execution-backend spec of this cell.
         kernel: the oblivious-kernel name of this cell.
-        crypto: the store-crypto mode (``"scalar"`` or ``"batched"``).
+        crypto: the store-crypto mode (``"scalar"``, ``"batched"``, or
+            ``"vector"``).
         plan_name: the fault-plan label (``"fault-free"`` or a label the
             caller chose).
         responses: per-epoch response lists, in epoch order.

@@ -156,6 +156,128 @@ class TestServiceBasics:
                     assert client.read(key) == bytes([key]) * VALUE
 
 
+class TestCoalescedSealing:
+    """The async transport seals one record per flush, not per frame."""
+
+    @staticmethod
+    def _pairs():
+        import os
+
+        from repro.serve.secure import derive_channel_pair
+
+        share_a, share_b = os.urandom(32), os.urandom(32)
+        acceptor = derive_channel_pair(share_a, share_b, initiator=False)
+        initiator = derive_channel_pair(share_b, share_a, initiator=True)
+        return acceptor, initiator
+
+    def test_async_sends_coalesce_and_blocking_recv_splits(self):
+        import asyncio
+
+        from repro.serve.secure import AsyncFrameTransport, FrameTransport
+
+        acceptor, initiator = self._pairs()
+        server_sock, client_sock = socket.socketpair()
+        payloads = [bytes([i]) * (10 + i) for i in range(5)]
+
+        async def serve_side():
+            reader, writer = await asyncio.open_connection(sock=server_sock)
+            tx = AsyncFrameTransport(reader, writer, acceptor)
+            for payload in payloads:
+                tx.send(FrameKind.RESPONSE, payload)
+            # Nothing sealed yet: the flush is scheduled, not run.
+            assert tx.sealed_flushes == 0
+            await tx.drain()
+            assert tx.sealed_flushes == 1
+            assert tx.sealed_frames == len(payloads)
+            tx.close()
+
+        try:
+            asyncio.run(serve_side())
+            rx = FrameTransport(client_sock, initiator)
+            for expected in payloads:
+                kind, payload = rx.recv()
+                assert kind == FrameKind.RESPONSE
+                assert payload == expected
+        finally:
+            client_sock.close()
+
+    def test_record_budget_splits_into_multiple_records(self, monkeypatch):
+        import asyncio
+
+        from repro.serve import secure
+
+        acceptor, initiator = self._pairs()
+        server_sock, client_sock = socket.socketpair()
+        # Shrink the budget so three 40-byte frames need two records.
+        monkeypatch.setattr(secure, "_RECORD_BUDGET", 100)
+        payloads = [bytes([i]) * 40 for i in range(3)]
+
+        async def serve_side():
+            reader, writer = await asyncio.open_connection(sock=server_sock)
+            tx = secure.AsyncFrameTransport(reader, writer, acceptor)
+            for payload in payloads:
+                tx.send(FrameKind.RESPONSE, payload)
+            await tx.drain()
+            assert tx.sealed_flushes == 2
+            assert tx.sealed_frames == 3
+            tx.close()
+
+        try:
+            asyncio.run(serve_side())
+            rx = secure.FrameTransport(client_sock, initiator)
+            received = [rx.recv()[1] for _ in payloads]
+            assert received == payloads
+        finally:
+            client_sock.close()
+
+    def test_async_recv_splits_coalesced_records(self):
+        import asyncio
+
+        from repro.core.wire import encode_frame
+        from repro.serve.secure import _SEAL_LEN, AsyncFrameTransport
+
+        acceptor, initiator = self._pairs()
+        server_sock, client_sock = socket.socketpair()
+        # Hand-seal one record carrying two inner frames, as the peer's
+        # coalescing sender would.
+        record = encode_frame(FrameKind.RESPONSE, b"first") + encode_frame(
+            FrameKind.RESPONSE, b"second"
+        )
+        nonce, sealed = initiator.tx.send(record)
+        client_sock.sendall(nonce + _SEAL_LEN.pack(len(sealed)) + sealed)
+
+        async def serve_side():
+            reader, writer = await asyncio.open_connection(sock=server_sock)
+            rx = AsyncFrameTransport(reader, writer, acceptor)
+            first = await rx.recv()
+            second = await rx.recv()
+            assert first == (FrameKind.RESPONSE, b"first")
+            assert second == (FrameKind.RESPONSE, b"second")
+            writer.close()
+
+        try:
+            asyncio.run(serve_side())
+        finally:
+            client_sock.close()
+
+    def test_trailing_garbage_in_record_rejected(self):
+        from repro.core.wire import WireError, encode_frame
+        from repro.serve.secure import _SEAL_LEN, FrameTransport
+
+        acceptor, initiator = self._pairs()
+        server_sock, client_sock = socket.socketpair()
+        try:
+            record = encode_frame(FrameKind.RESPONSE, b"ok") + b"\x01\x02"
+            nonce, sealed = initiator.tx.send(record)
+            client_sock.sendall(nonce + _SEAL_LEN.pack(len(sealed)) + sealed)
+            rx = FrameTransport(server_sock, acceptor)
+            with pytest.raises(WireError):
+                rx.recv()
+        finally:
+            client_sock.close()
+            server_sock.close()
+
+
 class TestServerConfiguration:
     def test_process_backend_rejected(self):
         store = make_store(backend="process:2")

@@ -56,8 +56,16 @@ class TestEnvelopes:
             out = shipping.encode(
                 message, pool.ensure, on_ship=lambda t, n: shipped.append(t)
             )
-            assert not isinstance(out, shipping.ShmShipment)
+            # Below the threshold the already-paid pickling pass rides
+            # the pipe as a PipeShipment — never a second full pickle.
+            assert isinstance(out, shipping.PipeShipment)
             assert shipped == ["pipe"]
+            # Round-trip exactly as Connection.send/recv would (the
+            # PickleBuffers serialize in-band at protocol 5).
+            wire = pickle.loads(pickle.dumps(out, protocol=5))
+            tag, clone = shipping.decode(wire)
+            assert tag == "tiny"
+            assert clone.num_slots == 4
         finally:
             pool.close()
 
@@ -94,7 +102,11 @@ class TestEnvelopes:
         out = shipping.encode_reply(("ok", store, None), attachment=None)
         assert isinstance(out, shipping.GrowHint)
         assert out.need_bytes >= store.num_slots * store.slot_size
-        assert out.message[1] is store
+        # The inline fallback is a pipe shipment, not a second pickle.
+        assert isinstance(out.message, shipping.PipeShipment)
+        status, clone, _ = shipping.decode(out.message)
+        assert status == "ok"
+        assert clone.get(0) == store.get(0)
 
     def test_encode_reply_uses_a_fitting_attachment(self):
         store = make_store()
@@ -108,7 +120,35 @@ class TestEnvelopes:
 
     def test_missing_provider_falls_back_to_pipe(self):
         message = ("msg", make_store())
-        assert shipping.encode(message, lambda n: None) is message
+        out = shipping.encode(message, lambda n: None)
+        assert isinstance(out, shipping.PipeShipment)
+        tag, clone = shipping.decode(out)
+        assert tag == "msg"
+        assert clone.get(3) == message[1].get(3)
+
+    def test_min_bytes_resolution(self, monkeypatch):
+        assert shipping.resolve_min_bytes() == shipping.SHM_MIN_BYTES
+        assert shipping.resolve_min_bytes(512) == 512
+        monkeypatch.setenv("SNOOPY_SHM_MIN_BYTES", "2048")
+        assert shipping.resolve_min_bytes() == 2048
+        assert shipping.resolve_min_bytes(64) == 64  # explicit wins
+        monkeypatch.setenv("SNOOPY_SHM_MIN_BYTES", "not-a-number")
+        assert shipping.resolve_min_bytes() == shipping.SHM_MIN_BYTES
+        with pytest.raises(ValueError):
+            shipping.resolve_min_bytes(-1)
+
+    def test_threshold_routes_between_shm_and_pipe(self):
+        pool = shipping.RegionPool()
+        try:
+            message = ("msg", make_store())
+            big = shipping.encode(message, pool.ensure, min_bytes=1)
+            assert isinstance(big, shipping.ShmShipment)
+            small = shipping.encode(
+                message, pool.ensure, min_bytes=1 << 30
+            )
+            assert isinstance(small, shipping.PipeShipment)
+        finally:
+            pool.close()
 
 
 class TestSegments:
